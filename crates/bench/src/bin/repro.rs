@@ -1,0 +1,143 @@
+//! Experiment CLI: regenerate any figure of the paper.
+//!
+//! ```text
+//! cargo run -p vpu-bench --release -- <experiment> [--scale tiny|small|paper] [--json]
+//!
+//! experiments:
+//!   fig6a fig6b fig7a fig7b fig8a fig8b   the paper's result figures
+//!   anchors                               §IV/§V scalar anchors
+//!   timeline                              Fig. 4 execution timeline
+//!   ablation-accum ablation-usb ablation-shave
+//!   all                                   everything above
+//! ```
+
+use std::process::ExitCode;
+use vpu_bench::{ablations, anchors, fig6, fig7, fig8, timeline, Scale};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|all> [--scale tiny|small|paper] [--json] [--csv DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::Small;
+    let mut json = false;
+    let mut csv_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let Some(v) = it.next() else { return usage() };
+                let Some(s) = Scale::parse(v) else {
+                    eprintln!("unknown scale '{v}'");
+                    return usage();
+                };
+                scale = s;
+            }
+            "--json" => json = true,
+            "--csv" => {
+                let Some(v) = it.next() else { return usage() };
+                csv_dir = Some(v.clone());
+            }
+            other if experiment.is_none() && !other.starts_with('-') => {
+                experiment = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let Some(exp) = experiment else { return usage() };
+
+    macro_rules! emit {
+        ($result:expr) => {{
+            let r = $result;
+            if json {
+                println!("{}", serde_json::to_string_pretty(&r).expect("serialize"));
+            } else {
+                r.print();
+            }
+        }};
+    }
+
+    let write_csv = |name: &str, content: String| {
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{name}.csv");
+            std::fs::write(&path, content).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    };
+    let run = |name: &str, json: bool| {
+        match name {
+            "fig6a" => {
+                let r = fig6::fig6a(scale);
+                write_csv("fig6a", vpu_bench::csv::fig6a_csv(&r));
+                emit!(r);
+            }
+            "fig6b" => {
+                let r = fig6::fig6b(scale);
+                write_csv("fig6b", vpu_bench::csv::fig6b_csv(&r));
+                emit!(r);
+            }
+            "fig7a" | "fig7b" | "fig7" => {
+                let r = fig7::fig7(scale);
+                write_csv("fig7", vpu_bench::csv::fig7_csv(&r));
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&r).expect("serialize"));
+                } else {
+                    r.print();
+                }
+            }
+            "fig8a" => {
+                let r = fig8::fig8a(scale);
+                write_csv("fig8a", vpu_bench::csv::fig8a_csv(&r));
+                emit!(r);
+            }
+            "fig8b" => {
+                let r = fig8::fig8b(scale);
+                write_csv("fig8b", vpu_bench::csv::fig8b_csv(&r));
+                emit!(r);
+            }
+            "anchors" => emit!(anchors::anchors(scale)),
+            "timeline" => emit!(timeline::timeline()),
+            "ablation-accum" => emit!(ablations::ablation_accum(scale)),
+            "ablation-usb" => emit!(ablations::ablation_usb(scale)),
+            "ablation-shave" => emit!(ablations::ablation_shave()),
+            "mdk-gemm" => emit!(vpu_bench::mdk_gemm::mdk_gemm()),
+            "ablation-faults" => emit!(ablations::ablation_faults(scale)),
+            "ablation-prefetch" => emit!(ablations::ablation_prefetch()),
+            "ablation-blob" => emit!(ablations::ablation_blob_batch()),
+            "layers" => emit!(vpu_bench::layers::layers()),
+            "zoo" => emit!(vpu_bench::zoo_bench::zoo_bench()),
+            "stream" => emit!(vpu_bench::stream_bench::stream_bench()),
+            "power" => emit!(vpu_bench::power_bench::power_bench(scale)),
+            "future-work" => emit!(vpu_bench::future_work::future_work(scale)),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                std::process::exit(2);
+            }
+        }
+        true
+    };
+
+    if exp == "all" {
+        for name in [
+            "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "anchors", "timeline",
+            "ablation-accum", "ablation-usb", "ablation-shave", "ablation-faults",
+            "ablation-prefetch", "ablation-blob",
+            "mdk-gemm", "layers", "zoo", "stream", "power", "future-work",
+        ] {
+            run(name, json);
+        }
+    } else {
+        run(&exp, json);
+    }
+    ExitCode::SUCCESS
+}

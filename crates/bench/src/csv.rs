@@ -1,0 +1,116 @@
+//! CSV export of figure data — the series a plotting tool needs to
+//! redraw each figure (gnuplot/matplotlib-ready, one file per panel).
+
+use crate::{fig6, fig7, fig8};
+use std::fmt::Write as _;
+
+/// Fig. 6a: one row per (target, subset) with mean and stddev.
+pub fn fig6a_csv(r: &fig6::Fig6a) -> String {
+    let mut out = String::from("target,subset,img_per_sec_mean,img_per_sec_stddev\n");
+    for s in &r.series {
+        for (i, rep) in s.subsets.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{:.4}",
+                s.target,
+                i + 1,
+                rep.samples.mean,
+                rep.samples.stddev
+            );
+        }
+    }
+    out
+}
+
+/// Fig. 6b: one row per (target, batch) with latency and normalization.
+pub fn fig6b_csv(r: &fig6::Fig6b) -> String {
+    let mut out = String::from("target,batch,per_image_ms,normalized\n");
+    for s in &r.series {
+        for (&(b, ms), &(_, norm)) in s.latency_ms.iter().zip(&s.normalized) {
+            let _ = writeln!(out, "{},{},{:.4},{:.4}", s.target, b, ms, norm);
+        }
+    }
+    out
+}
+
+/// Fig. 7: one row per subset with both errors and the confidence diff.
+pub fn fig7_csv(r: &fig7::Fig7) -> String {
+    let mut out = String::from("subset,cpu_fp32_error,vpu_fp16_error,mean_abs_conf_diff\n");
+    for (i, ((c, v), d)) in r
+        .cpu_fp32
+        .iter()
+        .zip(&r.vpu_fp16)
+        .zip(&r.conf_diff)
+        .enumerate()
+    {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{:.6}",
+            i + 1,
+            c.top1_error(),
+            v.top1_error(),
+            d.mean_abs_diff
+        );
+    }
+    out
+}
+
+/// Fig. 8a: one row per (target, batch) with img/s and img/W.
+pub fn fig8a_csv(r: &fig8::Fig8a) -> String {
+    let mut out = String::from("target,batch,img_per_sec,img_per_watt\n");
+    for s in &r.series {
+        for &(b, ips, ipw) in &s.points {
+            let _ = writeln!(out, "{},{},{:.4},{:.4}", s.target, b, ips, ipw);
+        }
+    }
+    out
+}
+
+/// Fig. 8b: one row per (target, batch, kind) where kind is simulated or
+/// projected.
+pub fn fig8b_csv(r: &fig8::Fig8b) -> String {
+    let mut out = String::from("target,batch,img_per_sec,kind\n");
+    for s in &r.series {
+        for &(b, ips) in &s.simulated {
+            let _ = writeln!(out, "{},{},{:.4},simulated", s.target, b, ips);
+        }
+        for &(b, ips) in &s.projected {
+            let _ = writeln!(out, "{},{},{:.4},projected", s.target, b, ips);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn fig6a_csv_shape() {
+        let r = fig6::fig6a(Scale::Tiny);
+        let csv = fig6a_csv(&r);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "target,subset,img_per_sec_mean,img_per_sec_stddev");
+        // 3 targets × 5 subsets + header.
+        assert_eq!(lines.len(), 16);
+        assert!(lines[1].starts_with("cpu,1,"));
+        // Every data row has 4 comma-separated fields.
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), 4, "{l}");
+        }
+    }
+
+    #[test]
+    fn fig6b_and_fig8_csv_shapes() {
+        let b = fig6::fig6b(Scale::Tiny);
+        let csv = fig6b_csv(&b);
+        assert_eq!(csv.lines().count(), 1 + 3 * 4);
+        let a = fig8::fig8a(Scale::Tiny);
+        assert_eq!(fig8a_csv(&a).lines().count(), 1 + 3 * 4);
+        let p = fig8::fig8b(Scale::Tiny);
+        let pc = fig8b_csv(&p);
+        assert!(pc.contains(",projected"));
+        assert!(pc.contains(",simulated"));
+    }
+}

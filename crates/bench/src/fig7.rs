@@ -1,0 +1,156 @@
+//! Fig. 7a — top-1 inference error per subset (CPU FP32 vs VPU FP16),
+//! and Fig. 7b — absolute confidence difference after filtering the
+//! top-1 miss-predictions.
+//!
+//! These are the *real-numerics* experiments: the dataset is calibrated
+//! to the paper's ~32 % operating point, then every validation image is
+//! classified twice — once in IEEE f32 (the Caffe-MKL path) and once in
+//! software binary16 with per-operation rounding (the NCS path). The
+//! FP32/FP16 deltas are genuine rounding effects, not injected noise.
+
+use crate::report;
+use crate::scale::Scale;
+use ilsvrc_sim::calibrate::{calibrated_set, Calibration};
+use ilsvrc_sim::DatasetConfig;
+use ncsw::metrics::{confidence_diff, ConfidenceDiffReport};
+use ncsw::runner::{predictions_fp16, predictions_fp32};
+use ncsw::{AccuracyReport, ImageFolder, ModelBundle};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use vpu_num::stats;
+
+/// Paper values: top-1 error 32.01 % (CPU) vs 31.92 % (VPU); mean
+/// absolute confidence difference 0.44 %.
+pub const PAPER_CPU_ERROR: f64 = 0.3201;
+pub const PAPER_VPU_ERROR: f64 = 0.3192;
+pub const PAPER_CONF_DIFF: f64 = 0.0044;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    pub scale: Scale,
+    pub calibration: Calibration,
+    /// Per-subset FP32 accuracy (Fig. 7a, CPU bars).
+    pub cpu_fp32: Vec<AccuracyReport>,
+    /// Per-subset FP16 accuracy (Fig. 7a, VPU bars).
+    pub vpu_fp16: Vec<AccuracyReport>,
+    /// Per-subset confidence agreement (Fig. 7b).
+    pub conf_diff: Vec<ConfidenceDiffReport>,
+}
+
+/// Run both Fig. 7 panels.
+pub fn fig7(scale: Scale) -> Fig7 {
+    let variant = scale.accuracy_variant();
+    let spec = Arc::new(variant.build_with_classes(scale.accuracy_classes()));
+    let per_subset = scale.accuracy_images_per_subset();
+    let mut cfg = DatasetConfig::ilsvrc_like(
+        scale.accuracy_classes(),
+        per_subset * 5,
+        variant.input_shape(),
+        vpu_num::rng::DEFAULT_SEED,
+    );
+    // Milder distractor blending: difficulty comes mostly from σ, which
+    // the calibrator controls.
+    cfg.distractor_mix = 0.10;
+    let (set, weights, calibration) =
+        calibrated_set(&spec, cfg, PAPER_VPU_ERROR, scale.calibration_probe());
+    let model = ModelBundle::deploy(spec, weights);
+    let set = Arc::new(set);
+    let folders = ImageFolder::all_subsets(set);
+
+    let mut cpu_fp32 = Vec::new();
+    let mut vpu_fp16 = Vec::new();
+    let mut conf = Vec::new();
+    for f in &folders {
+        let p32 = predictions_fp32(&model, f);
+        let p16 = predictions_fp16(&model, f);
+        conf.push(confidence_diff(&p32, &p16));
+        cpu_fp32.push(ncsw::metrics::accuracy_report("cpu-fp32", &p32));
+        vpu_fp16.push(ncsw::metrics::accuracy_report("vpu-fp16", &p16));
+    }
+    Fig7 { scale, calibration, cpu_fp32, vpu_fp16, conf_diff: conf }
+}
+
+impl Fig7 {
+    pub fn mean_cpu_error(&self) -> f64 {
+        stats::mean(&self.cpu_fp32.iter().map(|r| r.top1_error()).collect::<Vec<_>>())
+    }
+
+    pub fn mean_vpu_error(&self) -> f64 {
+        stats::mean(&self.vpu_fp16.iter().map(|r| r.top1_error()).collect::<Vec<_>>())
+    }
+
+    pub fn mean_conf_diff(&self) -> f64 {
+        stats::mean(&self.conf_diff.iter().map(|r| r.mean_abs_diff).collect::<Vec<_>>())
+    }
+
+    pub fn print(&self) {
+        report::header(&format!(
+            "Fig. 7a — top-1 inference error per subset (scale {}, σ={:.3} calibrated over {} probe imgs)",
+            self.scale.name(),
+            self.calibration.sigma,
+            self.calibration.probe_images
+        ));
+        println!("{:<10} set-1   set-2   set-3   set-4   set-5   mean (vs paper)", "impl");
+        for (name, rows, paper) in [
+            ("cpu/fp32", &self.cpu_fp32, PAPER_CPU_ERROR),
+            ("vpu/fp16", &self.vpu_fp16, PAPER_VPU_ERROR),
+        ] {
+            let cells: Vec<String> =
+                rows.iter().map(|r| format!("{:>5.3}", r.top1_error())).collect();
+            let mean = stats::mean(&rows.iter().map(|r| r.top1_error()).collect::<Vec<_>>());
+            println!("{name:<10} {}   {}", cells.join("   "), report::vs_paper(mean, paper, 3));
+        }
+        let delta = (self.mean_cpu_error() - self.mean_vpu_error()).abs();
+        println!("|fp32 − fp16| top-1 gap: {delta:.4} (paper 0.0009)");
+
+        report::header("Fig. 7b — absolute confidence difference per subset (top-1 misses filtered)");
+        println!("{:<10} set-1    set-2    set-3    set-4    set-5    mean (vs paper)", "pair");
+        let cells: Vec<String> = self
+            .conf_diff
+            .iter()
+            .map(|r| format!("{:>7.4}", r.mean_abs_diff))
+            .collect();
+        println!(
+            "{:<10} {}  {}",
+            "cpu-vpu",
+            cells.join("  "),
+            report::vs_paper(self.mean_conf_diff(), PAPER_CONF_DIFF, 4)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_shape_holds_at_tiny_scale() {
+        let r = fig7(Scale::Tiny);
+        assert_eq!(r.cpu_fp32.len(), 5);
+        assert_eq!(r.vpu_fp16.len(), 5);
+        // Both precisions land near the calibrated operating point
+        // (tiny probe ⇒ generous tolerance).
+        let ce = r.mean_cpu_error();
+        let ve = r.mean_vpu_error();
+        assert!((0.1..0.6).contains(&ce), "cpu error {ce}");
+        assert!((0.1..0.6).contains(&ve), "vpu error {ve}");
+        // FP16 is within a whisker of FP32 — the paper's core claim.
+        assert!((ce - ve).abs() < 0.05, "precision gap too large: {ce} vs {ve}");
+        // Confidence differences are non-zero but tiny.
+        let cd = r.mean_conf_diff();
+        assert!(cd > 0.0, "fp16 must differ");
+        assert!(cd < 0.02, "confidence drift {cd} too large");
+    }
+
+    #[test]
+    fn fig7_subsets_are_consistent() {
+        let r = fig7(Scale::Tiny);
+        // Subset errors scatter around the mean, not wildly.
+        let errs: Vec<f64> = r.vpu_fp16.iter().map(|x| x.top1_error()).collect();
+        let sd = vpu_num::stats::stddev(&errs);
+        assert!(sd < 0.2, "subset errors too dispersed: {errs:?}");
+        for c in &r.conf_diff {
+            assert!(c.images_compared > 0, "no overlap of correct predictions");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Experiment harness: regenerates every figure of the paper's
+//! evaluation (§IV–§V), plus the anchor scalars quoted in the text, the
+//! Fig. 4 execution timeline, and three ablations of design choices the
+//! simulator exposes.
+//!
+//! Each experiment is a pure function of a [`Scale`] returning a
+//! serializable result with a `print()` that emits the same rows/series
+//! the paper reports, next to the paper's own numbers. The CLI binary
+//! (`repro`) maps one sub-command to each experiment; EXPERIMENTS.md
+//! records the paper-vs-measured comparison.
+
+pub mod ablations;
+pub mod anchors;
+pub mod csv;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod future_work;
+pub mod layers;
+pub mod mdk_gemm;
+pub mod power_bench;
+pub mod stream_bench;
+pub mod zoo_bench;
+pub mod report;
+pub mod scale;
+pub mod timeline;
+
+pub use scale::Scale;

@@ -1,0 +1,99 @@
+//! E9 — general-purpose GEMM offload (extension experiment).
+//!
+//! The paper's §VII future work proposes using the VPU "as a conventional
+//! vector processor for general-purpose computing"; its related work
+//! (Ionica & Gregg) measures a CMX-tiled DGEMM in Gflops and Gflops/W on
+//! the Myriad 1. This experiment runs that study on our Myriad 2 model.
+
+use crate::report;
+use mdk::{GemmPrecision, MdkContext};
+use myriad2::Myriad2Config;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GemmPoint {
+    pub size: usize,
+    pub precision: String,
+    pub tile: usize,
+    pub ms: f64,
+    pub gflops: f64,
+    pub gflops_per_watt: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MdkGemm {
+    pub points: Vec<GemmPoint>,
+    pub cpu_gflops_per_watt: f64,
+}
+
+pub fn mdk_gemm() -> MdkGemm {
+    let mut ctx = MdkContext::new(Myriad2Config::default());
+    let mut points = Vec::new();
+    for &size in &[128usize, 256, 512, 1024, 2048] {
+        for prec in [GemmPrecision::Fp16, GemmPrecision::Fp32] {
+            let run = match prec {
+                GemmPrecision::Fp16 => ctx.hgemm(size, size, size),
+                GemmPrecision::Fp32 => ctx.sgemm(size, size, size),
+            };
+            points.push(GemmPoint {
+                size,
+                precision: prec.name().to_string(),
+                tile: run.plan.tile,
+                ms: run.duration.as_millis(),
+                gflops: run.gflops,
+                gflops_per_watt: run.gflops_per_watt,
+            });
+        }
+    }
+    MdkGemm { points, cpu_gflops_per_watt: MdkContext::cpu_reference_gflops_per_watt() }
+}
+
+impl MdkGemm {
+    pub fn print(&self) {
+        report::header("E9 — MDK general-purpose GEMM offload (extension)");
+        println!(
+            "{:>6} {:>6} {:>6} {:>9} {:>10} {:>12}",
+            "size", "prec", "tile", "ms", "Gflop/s", "Gflop/s/W"
+        );
+        for p in &self.points {
+            println!(
+                "{:>6} {:>6} {:>6} {:>9.2} {:>10.1} {:>12.1}",
+                p.size, p.precision, p.tile, p.ms, p.gflops, p.gflops_per_watt
+            );
+        }
+        println!(
+            "\nXeon MKL-class reference: {:.1} Gflop/s/W — the chip wins per-Watt by ~{:.0}x",
+            self.cpu_gflops_per_watt,
+            self.points.iter().map(|p| p.gflops_per_watt).fold(0.0, f64::max)
+                / self.cpu_gflops_per_watt
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_sweep_shape() {
+        let r = mdk_gemm();
+        assert_eq!(r.points.len(), 10);
+        // Throughput grows with size (amortized overheads) and fp16
+        // beats fp32 at every size.
+        let at = |size: usize, prec: &str| {
+            r.points
+                .iter()
+                .find(|p| p.size == size && p.precision == prec)
+                .unwrap()
+                .gflops
+        };
+        assert!(at(2048, "fp16") > at(128, "fp16"));
+        for &s in &[128usize, 512, 2048] {
+            assert!(at(s, "fp16") > at(s, "fp32"), "fp16 must beat fp32 at {s}");
+        }
+        // Per-watt advantage over the CPU is at least an order of
+        // magnitude (the paper's energy story, general-purpose edition).
+        let best = r.points.iter().map(|p| p.gflops_per_watt).fold(0.0, f64::max);
+        assert!(best > 10.0 * r.cpu_gflops_per_watt);
+    }
+}

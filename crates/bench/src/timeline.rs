@@ -1,0 +1,96 @@
+//! E8 — the Fig. 4 multi-VPU execution timeline, rendered as an ASCII
+//! Gantt chart from the recorded trace spans.
+
+use crate::report;
+use ncsw::multivpu::{MultiVpu, MultiVpuConfig};
+use ncsw::ModelBundle;
+use serde::{Deserialize, Serialize};
+use vpu_nn::googlenet::Variant;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timeline {
+    pub devices: usize,
+    pub images: usize,
+    pub gantt: String,
+    pub makespan_ms: f64,
+    /// Fraction of the makespan during which ≥2 device execs overlap.
+    pub overlap_fraction: f64,
+}
+
+/// Reproduce Fig. 4: four devices, two images each, load → exec → read.
+pub fn timeline() -> Timeline {
+    timeline_with(4, 8)
+}
+
+pub fn timeline_with(devices: usize, images: usize) -> Timeline {
+    let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
+    let mut mv = MultiVpu::new(MultiVpuConfig::paper_testbed(devices), &model);
+    let run = mv.run_pipeline(images);
+    let gantt = run.trace.shifted(run.start).render_gantt(96);
+    // Overlap: sample the exec spans on a fine grid.
+    let lanes: Vec<Vec<(u64, u64)>> = (0..devices)
+        .map(|d| {
+            run.trace
+                .lane_spans(&format!("vpu{d}"))
+                .iter()
+                .map(|s| (s.start.nanos(), s.end.nanos()))
+                .collect()
+        })
+        .collect();
+    let (t0, t1) = (run.start.nanos(), run.end.nanos());
+    let steps = 2000u64;
+    let mut overlapped = 0u64;
+    for k in 0..steps {
+        let t = t0 + (t1 - t0) * k / steps;
+        let busy = lanes
+            .iter()
+            .filter(|spans| spans.iter().any(|&(a, b)| a <= t && t < b))
+            .count();
+        if busy >= 2 {
+            overlapped += 1;
+        }
+    }
+    Timeline {
+        devices,
+        images,
+        gantt,
+        makespan_ms: run.makespan().as_millis(),
+        overlap_fraction: overlapped as f64 / steps as f64,
+    }
+}
+
+impl Timeline {
+    pub fn print(&self) {
+        report::header(&format!(
+            "E8 / Fig. 4 — multi-VPU timeline: {} devices, {} images (makespan {:.1} ms, {:.0}% of it ≥2 chips busy)",
+            self.devices,
+            self.images,
+            self.makespan_ms,
+            self.overlap_fraction * 100.0
+        ));
+        println!("lanes: host* = load/read on the host thread; vpu* = on-chip execution");
+        print!("{}", self.gantt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_shows_heavy_overlap() {
+        let t = timeline_with(4, 8);
+        assert!(t.overlap_fraction > 0.6, "overlap only {}", t.overlap_fraction);
+        assert!(t.gantt.contains("vpu0"));
+        assert!(t.gantt.contains("vpu3"));
+        assert!(t.gantt.contains("host0"));
+        // 8 images on 4 sticks, pipelined: ~2 serial inferences + setup.
+        assert!((190.0..240.0).contains(&t.makespan_ms), "makespan {}", t.makespan_ms);
+    }
+
+    #[test]
+    fn single_device_has_no_overlap() {
+        let t = timeline_with(1, 3);
+        assert_eq!(t.overlap_fraction, 0.0);
+    }
+}

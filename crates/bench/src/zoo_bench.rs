@@ -1,0 +1,114 @@
+//! E11 — CNN zoo benchmark on the NCS (extension).
+//!
+//! Mirrors the paper's reference \[37\] (Pena et al., RSS 2017 workshop):
+//! several CNNs on the same stick, reporting latency, throughput, graph
+//! size and per-inference energy. GoogLeNet sits between the tiny
+//! SqueezeNet and the FC-heavy AlexNet.
+
+use crate::report;
+use desim::SimTime;
+use myriad2::{Myriad2, Myriad2Config};
+use serde::{Deserialize, Serialize};
+use vpu_nn::cost::NetworkCost;
+use vpu_nn::graph::NetworkSpec;
+use vpu_nn::{googlenet, zoo};
+use vpu_num::f16;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZooRow {
+    pub network: String,
+    pub gmacs: f64,
+    pub params_m: f64,
+    pub graph_mb: f64,
+    /// Single-stick on-chip latency.
+    pub ms: f64,
+    pub img_per_sec: f64,
+    pub mj_per_inference: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZooBench {
+    pub rows: Vec<ZooRow>,
+}
+
+fn bench_one(spec: &NetworkSpec) -> ZooRow {
+    let cost = NetworkCost::of::<f16>(spec);
+    let mut chip = Myriad2::new(Myriad2Config::default());
+    let run = chip.run_cost(&cost, SimTime::ZERO);
+    let ms = run.duration().as_millis();
+    ZooRow {
+        network: cost.network.clone(),
+        gmacs: cost.total_macs as f64 / 1e9,
+        params_m: cost.total_params as f64 / 1e6,
+        graph_mb: cost.total_weight_bytes() as f64 / 1e6,
+        ms,
+        img_per_sec: 1000.0 / ms,
+        mj_per_inference: run.energy_j * 1e3,
+    }
+}
+
+/// Benchmark the three zoo networks on one simulated stick.
+pub fn zoo_bench() -> ZooBench {
+    ZooBench {
+        rows: vec![
+            bench_one(&zoo::squeezenet_v10()),
+            bench_one(&googlenet::full()),
+            bench_one(&zoo::alexnet_one_tower()),
+        ],
+    }
+}
+
+impl ZooBench {
+    pub fn print(&self) {
+        report::header("E11 — CNN zoo on one Myriad 2 (extension, after Pena et al. [37])");
+        println!(
+            "{:<20} {:>7} {:>9} {:>9} {:>8} {:>8} {:>8}",
+            "network", "GMACs", "params M", "graph MB", "ms/inf", "img/s", "mJ/inf"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<20} {:>7.2} {:>9.2} {:>9.1} {:>8.1} {:>8.2} {:>8.1}",
+                r.network, r.gmacs, r.params_m, r.graph_mb, r.ms, r.img_per_sec, r.mj_per_inference
+            );
+        }
+        println!(
+            "\nSqueezeNet's 2.5 MB graph and sub-GoogLeNet latency is why it became\n\
+             the NCS demo network; AlexNet has fewer MACs than GoogLeNet but its\n\
+             61 M FC parameters make it DDR-bound, eating the compute advantage."
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_ordering_is_sane() {
+        let z = zoo_bench();
+        assert_eq!(z.rows.len(), 3);
+        let by: std::collections::HashMap<&str, &ZooRow> =
+            z.rows.iter().map(|r| (r.network.as_str(), r)).collect();
+        let sq = by["squeezenet_v1.0"];
+        let gl = by["bvlc_googlenet"];
+        let ax = by["alexnet_one_tower"];
+        // Latency tracks compute + weight streaming.
+        assert!(sq.ms < gl.ms, "SqueezeNet must beat GoogLeNet");
+        // AlexNet has 28% fewer MACs than GoogLeNet but streams 9x the
+        // weights: DDR time must push it far above compute-proportional
+        // latency (1.14/1.58 of GoogLeNet's would be ~72 ms).
+        let compute_proportional = gl.ms * ax.gmacs / gl.gmacs;
+        assert!(
+            ax.ms > compute_proportional * 1.15,
+            "AlexNet {} ms vs compute-only {} ms",
+            ax.ms,
+            compute_proportional
+        );
+        // Graph sizes.
+        assert!(sq.graph_mb < 4.0);
+        assert!((10.0..20.0).contains(&gl.graph_mb));
+        assert!(ax.graph_mb > 100.0);
+        // Energy ordering matches latency ordering.
+        assert!(sq.mj_per_inference < ax.mj_per_inference);
+    }
+}

@@ -1,0 +1,179 @@
+//! `ncsw` — the framework CLI, shaped after the paper's public tool.
+//!
+//! ```text
+//! ncsw info
+//! ncsw classify  [--target cpu|gpu|vpu] [--devices N] [--images N] [--seed S]
+//! ncsw benchmark [--target cpu|gpu|vpu] [--batch N] [--images N]
+//! ```
+//!
+//! `classify` runs real inference over a synthetic validation folder and
+//! prints per-image labels with confidences (FP16 on the VPU target,
+//! FP32 on the hosts). `benchmark` measures simulated throughput with
+//! the full-geometry GoogLeNet work profile.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ilsvrc_sim::{pseudo_train, DatasetConfig, ValidationSet};
+use ncsw::runner::{predictions_fp16, predictions_fp32};
+use ncsw::{ImageFolder, IntelCpu, IntelVpu, ModelBundle, NvGpu, TargetDevice};
+use vpu_nn::googlenet::Variant;
+
+struct Args {
+    command: String,
+    target: String,
+    devices: usize,
+    images: usize,
+    batch: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        target: "vpu".into(),
+        devices: 1,
+        images: 20,
+        batch: 8,
+        seed: 2012,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--target" => args.target = take("--target")?,
+            "--devices" => args.devices = take("--devices")?.parse().map_err(|e| format!("--devices: {e}"))?,
+            "--images" => args.images = take("--images")?.parse().map_err(|e| format!("--images: {e}"))?,
+            "--batch" => args.batch = take("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other if args.command.is_empty() && !other.starts_with('-') => {
+                args.command = other.to_string();
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if args.command.is_empty() {
+        return Err("missing command".into());
+    }
+    if !matches!(args.target.as_str(), "cpu" | "gpu" | "vpu") {
+        return Err(format!("unknown target '{}'", args.target));
+    }
+    Ok(args)
+}
+
+fn info() {
+    let cost = ModelBundle::paper_cost_fp16();
+    println!("NCSw — Neural Compute Stick Wrapper (simulated testbed)");
+    println!("  sources: ImageFolder (synthetic ILSVRC-2012), MpiStream");
+    println!("  targets: cpu (Caffe-MKL model), gpu (Caffe-cuDNN model), vpu (NCAPI multi-stick)");
+    println!(
+        "  network: {} — {:.2} GMAC/inference, {:.1} MB fp16 graph",
+        cost.network,
+        cost.total_macs as f64 / 1e9,
+        cost.total_weight_bytes() as f64 / 1e6
+    );
+    println!("  chip:    Myriad 2 MA2450 — 12 SHAVEs @ 600 MHz, 2 MB CMX, 4 GB LPDDR3");
+    println!("  anchors: 26.0 / 25.9 / 100.7 ms batch-1 latency (cpu/gpu/vpu)");
+    println!("\npaper testbed topology (Fig. 5):");
+    let fleet = ncs_platform::Fleet::new(8, ncs_platform::Topology::PaperTestbed, ncs_platform::NcsConfig::default());
+    print!("{}", fleet.describe());
+}
+
+fn classify(args: &Args) -> Result<(), String> {
+    let variant = Variant::Tiny;
+    let spec = Arc::new(variant.build());
+    // One subset must hold all requested images (the set splits 5 ways).
+    let total = args.images.max(1) * 5;
+    let mut cfg = DatasetConfig::ilsvrc_like(10, total, variant.input_shape(), args.seed);
+    cfg.sigma = 0.15;
+    cfg.distractor_mix = 0.05;
+    let set = Arc::new(ValidationSet::new(cfg));
+    let weights = pseudo_train(&spec, set.generator(), args.seed);
+    let model = ModelBundle::deploy(spec, weights);
+    let folder = ImageFolder::new(set.clone(), 0);
+
+    let preds = match args.target.as_str() {
+        "vpu" => predictions_fp16(&model, &folder),
+        _ => predictions_fp32(&model, &folder),
+    };
+    let shown = preds.len().min(args.images);
+    println!(
+        "classifying {} images on target '{}' ({}):",
+        shown,
+        args.target,
+        if args.target == "vpu" { "fp16" } else { "fp32" }
+    );
+    for p in preds.iter().take(shown) {
+        let truth = set.synsets().get(p.label);
+        let guess = set.synsets().get(p.predicted);
+        println!(
+            "  image {:>4}: {} ({:.1}%)  truth: {} {}",
+            p.image,
+            guess.name,
+            p.confidence * 100.0,
+            truth.name,
+            if p.correct() { "✓" } else { "✗" }
+        );
+    }
+    let wrong = preds.iter().take(shown).filter(|p| !p.correct()).count();
+    println!("top-1 error: {:.1}%", wrong as f64 / shown as f64 * 100.0);
+    Ok(())
+}
+
+fn benchmark(args: &Args) -> Result<(), String> {
+    let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
+    let images = args.images.max(args.batch) / args.batch * args.batch;
+    let mut target: Box<dyn TargetDevice> = match args.target.as_str() {
+        "cpu" => Box::new(IntelCpu::new(model)),
+        "gpu" => Box::new(NvGpu::new(model)),
+        // The framework couples batch size to active sticks; --devices
+        // overrides when given.
+        _ => {
+            let n = if args.devices > 1 { args.devices } else { args.batch };
+            Box::new(IntelVpu::new(model, n))
+        }
+    };
+    let batch = if args.target == "vpu" && args.devices > 1 { args.devices } else { args.batch };
+    let images = images.max(batch) / batch * batch;
+    let r = target.run_throughput(images, batch);
+    println!(
+        "target {} | batch {} | {} images: {:.1} img/s ({:.2} ms/image, {:.2} img/W)",
+        target.name(),
+        batch,
+        images,
+        r.images_per_sec(),
+        r.per_image_ms(),
+        r.images_per_watt(target.tdp_w(batch)),
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: ncsw <info|classify|benchmark> [--target cpu|gpu|vpu] [--devices N] [--images N] [--batch N] [--seed S]");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "info" => {
+            info();
+            Ok(())
+        }
+        "classify" => classify(&args),
+        "benchmark" => benchmark(&args),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

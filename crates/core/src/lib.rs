@@ -1,0 +1,36 @@
+//! NCSw — the Neural Compute Stick Wrapper.
+//!
+//! This crate is the paper's primary software contribution (§III): a
+//! small inference framework over pluggable *sources* and *targets*,
+//! mirroring the class diagram of Fig. 3:
+//!
+//! ```text
+//! Application ── SourceImage ──┬─ ImageFolder
+//!              │               └─ MpiStream
+//!              └─ TargetDevice ─┬─ IntelCpu   (Caffe-MKL model)
+//!                               ├─ NvGpu      (Caffe-cuDNN model)
+//!                               └─ IntelVpu   (NCAPI, multi-stick)
+//! ```
+//!
+//! The multi-VPU target implements the paper's Fig. 4 execution pipeline:
+//! one (virtual) host thread per stick, round-robin image assignment,
+//! FIFO-depth-2 pipelining, and result collection in queueing order —
+//! overlapping USB transfers with on-device execution across sticks.
+//!
+//! Throughput numbers come from the discrete-event simulation (virtual
+//! time); classification outputs come from real arithmetic (f32 on the
+//! host targets, software binary16 on the VPU target). The [`runner`]
+//! module glues both into the experiment-shaped reports the figures use.
+
+pub mod metrics;
+pub mod model;
+pub mod multivpu;
+pub mod runner;
+pub mod source;
+pub mod target;
+
+pub use metrics::{AccuracyReport, ConfidenceDiffReport, ThroughputReport};
+pub use model::ModelBundle;
+pub use multivpu::MultiVpu;
+pub use source::{ImageFolder, MpiStream, SourceImage};
+pub use target::{IntelCpu, IntelVpu, NvGpu, TargetDevice};

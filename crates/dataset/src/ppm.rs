@@ -1,0 +1,211 @@
+//! Binary PPM (P6) image codec.
+//!
+//! The real NCSw decodes ILSVRC JPEGs through OpenCV. JPEG is out of
+//! scope here, but a dataset that exists only in memory would skip the
+//! decode-and-preprocess stage entirely, so the synthetic images can be
+//! materialized to disk as PPM — a complete, standard, dependency-free
+//! raster format — and read back through the same preprocessing path
+//! (u8 RGB → f32 → mean-centred NCHW) that OpenCV feeds Caffe.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use vpu_tensor::{Shape, Tensor};
+
+/// Decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PpmError {
+    NotP6,
+    Malformed(String),
+    UnsupportedDepth(u32),
+}
+
+impl std::fmt::Display for PpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpmError::NotP6 => write!(f, "not a binary PPM (P6) file"),
+            PpmError::Malformed(m) => write!(f, "malformed PPM: {m}"),
+            PpmError::UnsupportedDepth(d) => write!(f, "unsupported max value {d}"),
+        }
+    }
+}
+
+impl std::error::Error for PpmError {}
+
+/// Encode a 3-channel pixel-space tensor (values in `[0,1]`, NCHW, n=1)
+/// as binary PPM bytes.
+pub fn encode(image: &Tensor<f32>) -> Vec<u8> {
+    let s = image.shape();
+    assert_eq!(s.n, 1, "one image at a time");
+    assert_eq!(s.c, 3, "PPM is RGB");
+    let mut out = Vec::with_capacity(s.h * s.w * 3 + 32);
+    let _ = write!(out, "P6\n{} {}\n255\n", s.w, s.h);
+    for y in 0..s.h {
+        for x in 0..s.w {
+            for c in 0..3 {
+                let v = (image.at(0, c, y, x).clamp(0.0, 1.0) * 255.0).round() as u8;
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Decode binary PPM bytes into a `[0,1]` pixel-space tensor (3×H×W).
+pub fn decode(bytes: &[u8]) -> Result<Tensor<f32>, PpmError> {
+    // Header: "P6" <ws> width <ws> height <ws> maxval <single ws> data.
+    fn next_token(bytes: &[u8], pos: &mut usize) -> Result<(usize, usize), PpmError> {
+        let mut start = *pos;
+        // Skip whitespace and comments.
+        loop {
+            while start < bytes.len() && bytes[start].is_ascii_whitespace() {
+                start += 1;
+            }
+            if start < bytes.len() && bytes[start] == b'#' {
+                while start < bytes.len() && bytes[start] != b'\n' {
+                    start += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let mut end = start;
+        while end < bytes.len() && !bytes[end].is_ascii_whitespace() {
+            end += 1;
+        }
+        if start == end {
+            return Err(PpmError::Malformed("unexpected end of header".into()));
+        }
+        *pos = end;
+        Ok((start, end))
+    }
+
+    let mut pos = 0usize;
+    let (s, e) = next_token(bytes, &mut pos)?;
+    if &bytes[s..e] != b"P6" {
+        return Err(PpmError::NotP6);
+    }
+    let mut dims = [0u32; 3];
+    for d in &mut dims {
+        let (s, e) = next_token(bytes, &mut pos)?;
+        let text = std::str::from_utf8(&bytes[s..e])
+            .map_err(|_| PpmError::Malformed("non-ASCII header".into()))?;
+        *d = text
+            .parse()
+            .map_err(|_| PpmError::Malformed(format!("bad number '{text}'")))?;
+    }
+    let (w, h, maxval) = (dims[0] as usize, dims[1] as usize, dims[2]);
+    if maxval != 255 {
+        return Err(PpmError::UnsupportedDepth(maxval));
+    }
+    // Exactly one whitespace byte separates header and data.
+    pos += 1;
+    let need = w * h * 3;
+    if bytes.len() < pos + need {
+        return Err(PpmError::Malformed(format!(
+            "pixel data truncated: need {need}, have {}",
+            bytes.len().saturating_sub(pos)
+        )));
+    }
+    let data = &bytes[pos..pos + need];
+    Ok(Tensor::from_fn(Shape::chw(3, h, w), |_, c, y, x| {
+        data[(y * w + x) * 3 + c] as f32 / 255.0
+    }))
+}
+
+/// Write one image to disk.
+pub fn save(image: &Tensor<f32>, path: &Path) -> io::Result<()> {
+    fs::write(path, encode(image))
+}
+
+/// Read one image from disk.
+pub fn load(path: &Path) -> io::Result<Tensor<f32>> {
+    let bytes = fs::read(path)?;
+    decode(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(h: usize, w: usize) -> Tensor<f32> {
+        Tensor::from_fn(Shape::chw(3, h, w), |_, c, y, x| {
+            ((c * 37 + y * 11 + x * 3) % 256) as f32 / 255.0
+        })
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_exact_at_8_bits() {
+        let img = sample(7, 5);
+        let back = decode(&encode(&img)).unwrap();
+        assert_eq!(back.shape(), img.shape());
+        for (a, b) in img.as_slice().iter().zip(back.as_slice()) {
+            // Values were exact multiples of 1/255, so lossless.
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantizes_to_8_bits() {
+        let img = Tensor::from_fn(Shape::chw(3, 1, 1), |_, _, _, _| 0.5001);
+        let back = decode(&encode(&img)).unwrap();
+        assert!((back.as_slice()[0] - 128.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn header_is_standard() {
+        let bytes = encode(&sample(2, 3));
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 2 * 3 * 3);
+    }
+
+    #[test]
+    fn accepts_comments_and_flexible_whitespace() {
+        let mut bytes = b"P6 # comment\n# another\n 2\t1 \n255\n".to_vec();
+        bytes.extend_from_slice(&[0, 0, 0, 255, 255, 255]);
+        let img = decode(&bytes).unwrap();
+        assert_eq!(img.shape(), Shape::chw(3, 1, 2));
+        assert_eq!(img.at(0, 0, 0, 1), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(decode(b"P5\n1 1\n255\n\0").unwrap_err(), PpmError::NotP6);
+        assert!(matches!(
+            decode(b"P6\n2 2\n65535\n").unwrap_err(),
+            PpmError::UnsupportedDepth(65535)
+        ));
+        assert!(matches!(
+            decode(b"P6\n4 4\n255\n\0\0").unwrap_err(),
+            PpmError::Malformed(_)
+        ));
+        assert!(matches!(decode(b"P6\n").unwrap_err(), PpmError::Malformed(_)));
+    }
+
+    #[test]
+    fn disk_round_trip() {
+        let dir = std::env::temp_dir().join("vpu-ppm-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.ppm");
+        let img = sample(4, 4);
+        save(&img, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.shape(), img.shape());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn synthetic_dataset_survives_the_disk_pipeline() {
+        use crate::image::{ImageGen, ImageGenConfig};
+        // Generate -> clamp to pixel space -> PPM -> decode -> centre:
+        // classification-relevant content must survive 8-bit quantization.
+        let gen = ImageGen::new(ImageGenConfig::new(4, Shape::chw(3, 16, 16), 3));
+        let proto = gen.prototype(2);
+        let back = decode(&encode(proto)).unwrap();
+        let mut max_err = 0.0f32;
+        for (a, b) in proto.as_slice().iter().zip(back.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err <= 0.5 / 255.0 + 1e-6, "8-bit error {max_err}");
+    }
+}

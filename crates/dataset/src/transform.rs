@@ -1,0 +1,174 @@
+//! Caffe-style input preprocessing: resize and crop.
+//!
+//! The real NCSw path decodes an arbitrary-sized JPEG with OpenCV,
+//! resizes the short side to 256, center-crops 224×224 and subtracts the
+//! channel means. The generator in [`crate::image`] produces images at
+//! the network geometry directly, but these transforms make the on-disk
+//! pipeline (PPM files of any size) exercise the same path as the real
+//! tool — and they are reused for augmentation (mirroring) in
+//! pseudo-training experiments.
+
+use vpu_tensor::{Shape, Tensor};
+
+/// Bilinear resize of a pixel-space image (NCHW, n=1) to `out_h × out_w`.
+pub fn resize_bilinear(image: &Tensor<f32>, out_h: usize, out_w: usize) -> Tensor<f32> {
+    let s = image.shape();
+    assert_eq!(s.n, 1, "one image at a time");
+    assert!(out_h > 0 && out_w > 0, "empty target");
+    Tensor::from_fn(Shape::chw(s.c, out_h, out_w), |_, c, y, x| {
+        // Map output pixel centres onto input pixel centres.
+        let fy = if out_h == 1 {
+            0.0
+        } else {
+            y as f32 * (s.h - 1) as f32 / (out_h - 1) as f32
+        };
+        let fx = if out_w == 1 {
+            0.0
+        } else {
+            x as f32 * (s.w - 1) as f32 / (out_w - 1) as f32
+        };
+        let (y0, x0) = (fy.floor() as usize, fx.floor() as usize);
+        let (y1, x1) = ((y0 + 1).min(s.h - 1), (x0 + 1).min(s.w - 1));
+        let (wy, wx) = (fy - y0 as f32, fx - x0 as f32);
+        image.at(0, c, y0, x0) * (1.0 - wy) * (1.0 - wx)
+            + image.at(0, c, y0, x1) * (1.0 - wy) * wx
+            + image.at(0, c, y1, x0) * wy * (1.0 - wx)
+            + image.at(0, c, y1, x1) * wy * wx
+    })
+}
+
+/// Resize so the *short side* equals `short` (aspect preserved, as the
+/// Caffe transformer does before cropping).
+pub fn resize_short_side(image: &Tensor<f32>, short: usize) -> Tensor<f32> {
+    let s = image.shape();
+    let (h, w) = if s.h <= s.w {
+        let w = (s.w as f64 * short as f64 / s.h as f64).round() as usize;
+        (short, w.max(1))
+    } else {
+        let h = (s.h as f64 * short as f64 / s.w as f64).round() as usize;
+        (h.max(1), short)
+    };
+    resize_bilinear(image, h, w)
+}
+
+/// Center crop to `crop_h × crop_w` (panics if the image is smaller).
+pub fn center_crop(image: &Tensor<f32>, crop_h: usize, crop_w: usize) -> Tensor<f32> {
+    let s = image.shape();
+    assert!(s.h >= crop_h && s.w >= crop_w, "crop {crop_h}x{crop_w} larger than {s}");
+    let oy = (s.h - crop_h) / 2;
+    let ox = (s.w - crop_w) / 2;
+    Tensor::from_fn(Shape::chw(s.c, crop_h, crop_w), |_, c, y, x| {
+        image.at(0, c, oy + y, ox + x)
+    })
+}
+
+/// Horizontal mirror (the classic training augmentation).
+pub fn mirror(image: &Tensor<f32>) -> Tensor<f32> {
+    let s = image.shape();
+    Tensor::from_fn(s.with_batch(1), |_, c, y, x| image.at(0, c, y, s.w - 1 - x))
+}
+
+/// The full Caffe deploy transform: short side → 256, center crop to the
+/// network geometry.
+pub fn caffe_deploy(image: &Tensor<f32>, target: Shape) -> Tensor<f32> {
+    let resized = resize_short_side(image, 256.max(target.h.max(target.w)));
+    center_crop(&resized, target.h, target.w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(h: usize, w: usize) -> Tensor<f32> {
+        Tensor::from_fn(Shape::chw(3, h, w), |_, c, y, x| {
+            c as f32 * 0.1 + y as f32 / h as f32 + x as f32 / w as f32 * 0.5
+        })
+    }
+
+    #[test]
+    fn identity_resize_is_exact() {
+        let img = gradient(9, 7);
+        let out = resize_bilinear(&img, 9, 7);
+        for (a, b) in img.as_slice().iter().zip(out.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resize_preserves_corners() {
+        let img = gradient(8, 8);
+        let out = resize_bilinear(&img, 17, 5);
+        assert!((out.at(0, 0, 0, 0) - img.at(0, 0, 0, 0)).abs() < 1e-6);
+        assert!((out.at(0, 2, 16, 4) - img.at(0, 2, 7, 7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resize_is_bounded_by_input_range() {
+        let img = gradient(6, 11);
+        let lo = img.as_slice().iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = img.as_slice().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let out = resize_bilinear(&img, 23, 3);
+        for &v in out.as_slice() {
+            assert!(v >= lo - 1e-6 && v <= hi + 1e-6);
+        }
+    }
+
+    #[test]
+    fn short_side_logic() {
+        // Landscape 100x200 -> short side 50 -> 50x100.
+        let img = gradient(100, 200);
+        let out = resize_short_side(&img, 50);
+        assert_eq!((out.shape().h, out.shape().w), (50, 100));
+        // Portrait 200x100 -> 100x50.
+        let img = gradient(200, 100);
+        let out = resize_short_side(&img, 50);
+        assert_eq!((out.shape().h, out.shape().w), (100, 50));
+    }
+
+    #[test]
+    fn center_crop_takes_the_middle() {
+        let img = Tensor::from_fn(Shape::chw(1, 5, 5), |_, _, y, x| (y * 5 + x) as f32);
+        let out = center_crop(&img, 3, 3);
+        assert_eq!(out.at(0, 0, 0, 0), 6.0);
+        assert_eq!(out.at(0, 0, 2, 2), 18.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than")]
+    fn oversized_crop_rejected() {
+        center_crop(&gradient(4, 4), 5, 5);
+    }
+
+    #[test]
+    fn mirror_is_involutive() {
+        let img = gradient(6, 9);
+        let twice = mirror(&mirror(&img));
+        assert_eq!(twice, img);
+        let once = mirror(&img);
+        assert_eq!(once.at(0, 0, 0, 0), img.at(0, 0, 0, 8));
+    }
+
+    #[test]
+    fn caffe_deploy_hits_network_geometry() {
+        // An odd-sized "photo" lands exactly on 224x224.
+        let photo = gradient(300, 467);
+        let out = caffe_deploy(&photo, Shape::chw(3, 224, 224));
+        assert_eq!(out.shape(), Shape::chw(3, 224, 224));
+        // And on the mini geometry (short side rule still uses >=256).
+        let out = caffe_deploy(&photo, Shape::chw(3, 64, 64));
+        assert_eq!(out.shape(), Shape::chw(3, 64, 64));
+    }
+
+    #[test]
+    fn disk_pipeline_composes_with_ppm() {
+        // PPM save -> load -> deploy transform -> quantize: the full
+        // "OpenCV" path of the real NCSw, end to end.
+        let photo = gradient(70, 90);
+        let bytes = crate::ppm::encode(&photo);
+        let loaded = crate::ppm::decode(&bytes).unwrap();
+        let net_input = caffe_deploy(&loaded, Shape::chw(3, 64, 64));
+        assert_eq!(net_input.shape(), Shape::chw(3, 64, 64));
+        let fp16 = net_input.quantize_fp16();
+        assert!(!fp16.widen().has_nan());
+    }
+}

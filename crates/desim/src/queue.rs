@@ -1,0 +1,176 @@
+//! Deterministic time-ordered event queue.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, breaking
+        // ties by insertion order so same-time events pop FIFO.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of timed events with FIFO tie-breaking — the core dispatch
+/// structure of an event-driven simulation.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`. Scheduling in the past
+    /// (before the last popped event) panics — it would violate causality.
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        assert!(at >= self.now, "cannot schedule at {at} before now {}", self.now);
+        self.heap.push(Entry { time: at, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| {
+            self.now = e.time;
+            (e.time, e.payload)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Drain every event in time order.
+    pub fn drain_ordered(&mut self) -> Vec<(SimTime, T)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        let order: Vec<&str> = q.drain_ordered().into_iter().map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime(5), i);
+        }
+        let order: Vec<i32> = q.drain_ordered().into_iter().map(|(_, p)| p).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), ());
+        q.schedule(SimTime(200), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(100));
+        q.pop();
+        assert_eq!(q.now(), SimTime(200));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), SimTime(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), ());
+        q.pop();
+        q.schedule(SimTime(50), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime(7), 1);
+        q.schedule(SimTime(3), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        // An event handler scheduling follow-up events — the standard DES
+        // pattern — must stay causal and ordered.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), 0u32);
+        let mut fired = Vec::new();
+        while let Some((t, ev)) = q.pop() {
+            fired.push((t, ev));
+            if ev < 3 {
+                q.schedule(t + crate::time::Duration(10), ev + 1);
+            }
+        }
+        assert_eq!(fired, vec![
+            (SimTime(10), 0),
+            (SimTime(20), 1),
+            (SimTime(30), 2),
+            (SimTime(40), 3),
+        ]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Execution traces: busy spans per lane, with an ASCII Gantt renderer
+//! that reproduces the paper's Fig. 4 multi-VPU timeline.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One busy interval on a named lane (device, bus, or thread).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Lane the span belongs to, e.g. `"vpu0"` or `"usb"`.
+    pub lane: String,
+    /// What happened, e.g. `"load"`, `"exec"`, `"read"`.
+    pub label: String,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl Span {
+    pub fn new(lane: impl Into<String>, label: impl Into<String>, start: SimTime, end: SimTime) -> Self {
+        let (start_v, end_v) = (start, end);
+        assert!(end_v >= start_v, "span ends before it starts");
+        Span { lane: lane.into(), label: label.into(), start: start_v, end: end_v }
+    }
+}
+
+/// An append-only collection of spans.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    spans: Vec<Span>,
+}
+
+impl TraceLog {
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    pub fn record(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    pub fn push(&mut self, lane: impl Into<String>, label: impl Into<String>, start: SimTime, end: SimTime) {
+        self.record(Span::new(lane, label, start, end));
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Merge another log (e.g. from a different device thread).
+    pub fn merge(&mut self, other: TraceLog) {
+        self.spans.extend(other.spans);
+    }
+
+    /// Latest end time across all spans.
+    pub fn horizon(&self) -> SimTime {
+        self.spans.iter().map(|s| s.end).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Earliest start time across all spans.
+    pub fn origin(&self) -> SimTime {
+        self.spans.iter().map(|s| s.start).min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// A copy with all spans shifted so `origin` becomes t=0 (spans
+    /// starting before `origin` are clipped to it). Used to render a
+    /// pipeline window without the setup dead time in front.
+    pub fn shifted(&self, origin: SimTime) -> TraceLog {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let start = SimTime(s.start.nanos().saturating_sub(origin.nanos()));
+                let end = SimTime(s.end.nanos().saturating_sub(origin.nanos()));
+                Span { lane: s.lane.clone(), label: s.label.clone(), start, end }
+            })
+            .collect();
+        TraceLog { spans }
+    }
+
+    /// Distinct lane names in first-appearance order.
+    pub fn lanes(&self) -> Vec<String> {
+        let mut lanes = Vec::new();
+        for s in &self.spans {
+            if !lanes.contains(&s.lane) {
+                lanes.push(s.lane.clone());
+            }
+        }
+        lanes
+    }
+
+    /// Spans on one lane, sorted by start.
+    pub fn lane_spans(&self, lane: &str) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.lane == lane).collect();
+        v.sort_by_key(|s| (s.start, s.end));
+        v
+    }
+
+    /// Render an ASCII Gantt chart, `width` characters across the full
+    /// horizon. Each span paints the first letter of its label; overlaps
+    /// within one lane paint `#`.
+    pub fn render_gantt(&self, width: usize) -> String {
+        assert!(width >= 10, "gantt width too small");
+        let horizon = self.horizon();
+        if horizon == SimTime::ZERO {
+            return String::from("(empty trace)\n");
+        }
+        let lanes = self.lanes();
+        let name_w = lanes.iter().map(|l| l.len()).max().unwrap_or(4).max(4);
+        let scale = width as f64 / horizon.nanos() as f64;
+        let mut out = String::new();
+        for lane in &lanes {
+            let mut row = vec![b'.'; width];
+            for s in self.lane_spans(lane) {
+                let a = (s.start.nanos() as f64 * scale).floor() as usize;
+                let b = ((s.end.nanos() as f64 * scale).ceil() as usize).min(width).max(a + 1);
+                let ch = s.label.bytes().next().unwrap_or(b'?');
+                for cell in &mut row[a..b.min(width)] {
+                    *cell = if *cell == b'.' { ch } else { b'#' };
+                }
+            }
+            out.push_str(&format!("{lane:>name_w$} |{}|\n", String::from_utf8_lossy(&row)));
+        }
+        out.push_str(&format!(
+            "{:>name_w$} 0{:>w$}\n",
+            "t",
+            format!("{horizon}"),
+            w = width
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut log = TraceLog::new();
+        log.push("vpu0", "load", SimTime(0), SimTime(10));
+        log.push("vpu1", "load", SimTime(5), SimTime(15));
+        log.push("vpu0", "exec", SimTime(10), SimTime(100));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.horizon(), SimTime(100));
+        assert_eq!(log.lanes(), vec!["vpu0".to_string(), "vpu1".to_string()]);
+        assert_eq!(log.lane_spans("vpu0").len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn rejects_inverted_span() {
+        Span::new("x", "y", SimTime(10), SimTime(5));
+    }
+
+    #[test]
+    fn merge_combines_lanes() {
+        let mut a = TraceLog::new();
+        a.push("usb", "xfer", SimTime(0), SimTime(5));
+        let mut b = TraceLog::new();
+        b.push("vpu0", "exec", SimTime(5), SimTime(50));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.lanes().len(), 2);
+    }
+
+    #[test]
+    fn gantt_renders_labels_in_position() {
+        let mut log = TraceLog::new();
+        log.push("vpu0", "load", SimTime(0), SimTime(50));
+        log.push("vpu0", "exec", SimTime(50), SimTime(100));
+        let g = log.render_gantt(20);
+        // First half 'l's, second half 'e's.
+        let row = g.lines().next().unwrap();
+        assert!(row.contains("vpu0"));
+        let cells: String = row.chars().skip_while(|&c| c != '|').collect();
+        assert!(cells.starts_with("|lllllllll"), "{g}");
+        assert!(cells.contains("eeeeeeee"), "{g}");
+    }
+
+    #[test]
+    fn gantt_empty_trace() {
+        assert_eq!(TraceLog::new().render_gantt(40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn gantt_marks_lane_overlap() {
+        let mut log = TraceLog::new();
+        log.push("x", "a", SimTime(0), SimTime(100));
+        log.push("x", "b", SimTime(0), SimTime(100));
+        let g = log.render_gantt(10);
+        assert!(g.contains('#'), "{g}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut log = TraceLog::new();
+        log.push("vpu0", "exec", SimTime(1), SimTime(2));
+        let json = serde_json::to_string(&log).unwrap();
+        let back: TraceLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use desim::{Duration, EventQueue, FifoResource, ServerPool, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// A FIFO resource never overlaps two busy intervals and never runs
+    /// a request before it is ready.
+    #[test]
+    fn fifo_never_overlaps(reqs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..60)) {
+        let mut r = FifoResource::new("p");
+        let mut prev_end = SimTime::ZERO;
+        for &(ready, service) in &reqs {
+            let busy = r.acquire(SimTime(ready), Duration(service));
+            prop_assert!(busy.start >= SimTime(ready), "started before ready");
+            prop_assert!(busy.start >= prev_end, "overlapped previous request");
+            prop_assert_eq!(busy.end - busy.start, Duration(service));
+            prev_end = busy.end;
+        }
+        // Busy total equals the sum of services.
+        let total: u64 = reqs.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(r.busy_total(), Duration(total));
+    }
+
+    /// A server pool never runs more than `k` jobs at once.
+    #[test]
+    fn pool_respects_capacity(
+        servers in 1usize..6,
+        reqs in proptest::collection::vec((0u64..2_000, 1u64..300), 1..50),
+    ) {
+        let mut p = ServerPool::new("pool", servers);
+        let mut intervals = Vec::new();
+        for &(ready, service) in &reqs {
+            let (_, busy) = p.acquire(SimTime(ready), Duration(service));
+            intervals.push((busy.start.nanos(), busy.end.nanos()));
+        }
+        // Sample concurrency at every interval start.
+        for &(t, _) in &intervals {
+            let busy_at = intervals.iter().filter(|&&(a, b)| a <= t && t < b).count();
+            prop_assert!(busy_at <= servers, "{busy_at} > {servers} at t={t}");
+        }
+        // Utilization over the horizon never exceeds 1.
+        let horizon = intervals.iter().map(|&(_, b)| b).max().unwrap();
+        prop_assert!(p.utilization(SimTime(horizon)) <= 1.0 + 1e-12);
+    }
+
+    /// Fork-join wall time is bounded below by work/k and above by the
+    /// serial time.
+    #[test]
+    fn fork_join_bounds(
+        servers in 1usize..8,
+        work in 1u64..100_000,
+        parts in 1usize..32,
+    ) {
+        let mut p = ServerPool::new("pool", servers);
+        let busy = p.acquire_parallel(SimTime::ZERO, Duration(work), parts);
+        let wall = (busy.end - busy.start).nanos();
+        let per_part = work.div_ceil(parts as u64);
+        let rounds = (parts as u64).div_ceil(servers as u64);
+        prop_assert_eq!(wall, per_part * rounds, "wall {} per_part {} rounds {}", wall, per_part, rounds);
+        prop_assert!(wall >= work / servers as u64, "beat the ideal bound");
+    }
+
+    /// The event queue pops every scheduled event exactly once, in
+    /// nondecreasing time order.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let popped = q.drain_ordered();
+        prop_assert_eq!(popped.len(), times.len());
+        // Time order.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            // FIFO among equals.
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+        // Every payload exactly once.
+        let mut seen: Vec<usize> = popped.iter().map(|&(_, p)| p).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,30 @@
+//! MDK — general-purpose computing on the simulated Myriad 2.
+//!
+//! The paper notes (§II-B) that "fine-grained general-purpose computing
+//! using C/C++ is also possible through the Movidius Development Kit
+//! (MDK) … and provides several optimized libraries designed for the
+//! Myriad 2 VPU chip (e.g., LAMA, a linear algebra library)", and its
+//! future work (§VII) is exactly "integrating the VPU chip as a
+//! conventional vector processor for general-purpose computing". The
+//! related work it builds on — Ionica & Gregg's Myriad 1 study — measures
+//! a custom GEMM with CMX tiling in Gflops and Gflops/W.
+//!
+//! This crate implements that path on the simulator:
+//!
+//! * [`tiling`] — the CMX tiling planner: blocks A/B/C panels into the
+//!   16 × 128 KB scratchpad so each SHAVE streams its tile without
+//!   touching DDR in the inner loop;
+//! * [`gemm`] — LAMA-style `sgemm`/`hgemm`: a timing model built from the
+//!   tiling plan (DDR panel traffic + VAU issue cycles) plus real
+//!   numerics via `vpu-tensor` for validation;
+//! * [`offload`] — the host-side context mirroring the NCSw target API:
+//!   submit a GEMM, overlap host work, collect the result with measured
+//!   Gflops and Gflops/W.
+
+pub mod gemm;
+pub mod offload;
+pub mod tiling;
+
+pub use gemm::{GemmPrecision, GemmRun};
+pub use offload::MdkContext;
+pub use tiling::TilingPlan;

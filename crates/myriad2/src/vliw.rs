@@ -1,0 +1,284 @@
+//! VLIW software-pipelining micro-model.
+//!
+//! The chip-level cost model uses two sustained-efficiency constants —
+//! ~0.30 of VAU peak for NCSDK convolution kernels and ~0.55 for the
+//! hand-tuned MDK GEMM. This module derives those numbers from the
+//! machine itself instead of leaving them as magic: a SHAVE issues one
+//! Variable-Length Long Instruction Word per cycle, steering at most one
+//! operation to each functional unit (VAU, SAU, IAU, CMU, two LSUs, PEU,
+//! BRU — paper Fig. 1). For a software-pipelined inner loop the steady
+//! state initiation interval (II) is bounded by
+//!
+//! * **resources** — the busiest unit's operations per iteration, and
+//! * **recurrences** — cyclic dependency latency / distance,
+//!
+//! and the sustained VAU efficiency of a whole kernel is the VAU's
+//! occupancy within the II, discounted by the prologue/epilogue cycles
+//! that bracket every (finite) loop.
+
+use serde::{Deserialize, Serialize};
+
+/// SHAVE functional units that can each accept one op per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    Vau,
+    Sau,
+    Iau,
+    Cmu,
+    Lsu0,
+    Lsu1,
+    Peu,
+    Bru,
+}
+
+pub const ALL_UNITS: [Unit; 8] = [
+    Unit::Vau,
+    Unit::Sau,
+    Unit::Iau,
+    Unit::Cmu,
+    Unit::Lsu0,
+    Unit::Lsu1,
+    Unit::Peu,
+    Unit::Bru,
+];
+
+/// One operation of a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    pub unit: Unit,
+    /// Result latency in cycles (pipelined: the unit is busy one cycle).
+    pub latency: u32,
+}
+
+/// A software-pipelined inner loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopBody {
+    pub ops: Vec<Op>,
+    /// Loop-carried dependency: (latency around the cycle, iteration
+    /// distance). `None` if fully parallel across iterations.
+    pub recurrence: Option<(u32, u32)>,
+    /// Average memory stall cycles per iteration (CMX bank conflicts,
+    /// DMA synchronization) — the part static scheduling cannot hide.
+    pub stall: u32,
+}
+
+impl LoopBody {
+    /// Ops steered at each unit per iteration.
+    pub fn unit_load(&self, unit: Unit) -> u32 {
+        self.ops.iter().filter(|o| o.unit == unit).count() as u32
+    }
+
+    /// Resource-constrained initiation interval.
+    pub fn resource_ii(&self) -> u32 {
+        ALL_UNITS.iter().map(|&u| self.unit_load(u)).max().unwrap_or(0).max(1)
+    }
+
+    /// Recurrence-constrained initiation interval.
+    pub fn recurrence_ii(&self) -> u32 {
+        match self.recurrence {
+            Some((lat, dist)) => lat.div_ceil(dist.max(1)),
+            None => 1,
+        }
+    }
+
+    /// Steady-state initiation interval, including unhidden stalls.
+    pub fn ii(&self) -> u32 {
+        self.resource_ii().max(self.recurrence_ii()) + self.stall
+    }
+
+    /// VAU slot occupancy in steady state (1.0 = a MAC every cycle).
+    pub fn vau_utilization(&self) -> f64 {
+        self.unit_load(Unit::Vau) as f64 / self.ii() as f64
+    }
+
+    /// Pipeline fill depth: the longest op latency (cycles before the
+    /// first iteration's results retire).
+    pub fn depth(&self) -> u32 {
+        self.ops.iter().map(|o| o.latency).max().unwrap_or(1)
+    }
+}
+
+/// A whole kernel: a pipelined inner loop plus the setup work around it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelModel {
+    pub body: LoopBody,
+    /// Cycles before the loop (address setup, coefficient preload) plus
+    /// pipeline fill.
+    pub prologue: u32,
+    /// Cycles after the loop (writeback, drain).
+    pub epilogue: u32,
+}
+
+impl KernelModel {
+    /// Total cycles for `trips` iterations of the inner loop, run
+    /// `invocations` times (e.g. once per output row).
+    pub fn cycles(&self, trips: u64, invocations: u64) -> u64 {
+        let per = self.prologue as u64 + self.body.depth() as u64
+            + trips * self.body.ii() as u64
+            + self.epilogue as u64;
+        per * invocations
+    }
+
+    /// Sustained VAU efficiency over the whole kernel: useful VAU ops
+    /// issued per cycle, relative to one per cycle.
+    pub fn effective_vau_efficiency(&self, trips: u64, invocations: u64) -> f64 {
+        let vau_ops = self.body.unit_load(Unit::Vau) as u64 * trips * invocations;
+        vau_ops as f64 / self.cycles(trips, invocations) as f64
+    }
+}
+
+/// The NCSDK convolution inner loop, reconstructed from the kernel shape
+/// the SDK documents: per 2 VAU MACs it issues 6 operand/patch loads
+/// (three per LSU — the im2col repack rides in the loop), 4
+/// address/index updates (IAU), 2 predicate compares (CMU) and a scalar
+/// fix-up (SAU); row-crossing bookkeeping forms an 8-cycle recurrence
+/// every 2 iterations, and about one stall cycle per iteration survives
+/// scheduling (CMX bank conflicts on the patch buffer).
+pub fn ncsdk_conv_kernel() -> KernelModel {
+    KernelModel {
+        body: LoopBody {
+            ops: vec![
+                Op { unit: Unit::Vau, latency: 4 },
+                Op { unit: Unit::Vau, latency: 4 },
+                Op { unit: Unit::Lsu0, latency: 3 },
+                Op { unit: Unit::Lsu0, latency: 3 },
+                Op { unit: Unit::Lsu0, latency: 3 },
+                Op { unit: Unit::Lsu1, latency: 3 },
+                Op { unit: Unit::Lsu1, latency: 3 },
+                Op { unit: Unit::Lsu1, latency: 3 },
+                Op { unit: Unit::Iau, latency: 1 },
+                Op { unit: Unit::Iau, latency: 1 },
+                Op { unit: Unit::Iau, latency: 1 },
+                Op { unit: Unit::Iau, latency: 1 },
+                Op { unit: Unit::Cmu, latency: 1 },
+                Op { unit: Unit::Cmu, latency: 1 },
+                Op { unit: Unit::Sau, latency: 2 },
+                Op { unit: Unit::Bru, latency: 1 },
+            ],
+            recurrence: Some((8, 2)),
+            stall: 1,
+        },
+        // im2col patch staging + coefficient preload per output row.
+        prologue: 34,
+        epilogue: 12,
+    }
+}
+
+/// The hand-scheduled MDK GEMM inner loop: 4 VAU MACs per iteration fed
+/// by 8 vector loads (four per LSU — A broadcast + B panel), pointer
+/// bumps on the IAU, accumulator chains broken by register rotation
+/// (recurrence 4 cycles / 4 iterations), and ~2 unhidden stall cycles
+/// from CMX bank conflicts between the two LSU streams.
+pub fn mdk_gemm_kernel() -> KernelModel {
+    KernelModel {
+        body: LoopBody {
+            ops: vec![
+                Op { unit: Unit::Vau, latency: 4 },
+                Op { unit: Unit::Vau, latency: 4 },
+                Op { unit: Unit::Vau, latency: 4 },
+                Op { unit: Unit::Vau, latency: 4 },
+                Op { unit: Unit::Lsu0, latency: 3 },
+                Op { unit: Unit::Lsu0, latency: 3 },
+                Op { unit: Unit::Lsu0, latency: 3 },
+                Op { unit: Unit::Lsu0, latency: 3 },
+                Op { unit: Unit::Lsu1, latency: 3 },
+                Op { unit: Unit::Lsu1, latency: 3 },
+                Op { unit: Unit::Lsu1, latency: 3 },
+                Op { unit: Unit::Lsu1, latency: 3 },
+                Op { unit: Unit::Iau, latency: 1 },
+                Op { unit: Unit::Iau, latency: 1 },
+                Op { unit: Unit::Bru, latency: 1 },
+            ],
+            recurrence: Some((4, 4)),
+            stall: 2,
+        },
+        prologue: 24,
+        epilogue: 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ii_is_bounded_by_busiest_unit() {
+        let body = LoopBody {
+            ops: vec![
+                Op { unit: Unit::Vau, latency: 4 },
+                Op { unit: Unit::Iau, latency: 1 },
+                Op { unit: Unit::Iau, latency: 1 },
+                Op { unit: Unit::Iau, latency: 1 },
+            ],
+            recurrence: None,
+            stall: 0,
+        };
+        assert_eq!(body.resource_ii(), 3);
+        assert_eq!(body.ii(), 3);
+        assert!((body.vau_utilization() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recurrence_can_dominate() {
+        let body = LoopBody {
+            ops: vec![Op { unit: Unit::Vau, latency: 4 }],
+            recurrence: Some((8, 1)),
+            stall: 0,
+        };
+        assert_eq!(body.resource_ii(), 1);
+        assert_eq!(body.recurrence_ii(), 8);
+        assert_eq!(body.ii(), 8);
+    }
+
+    #[test]
+    fn empty_body_is_sane() {
+        let body = LoopBody { ops: vec![], recurrence: None, stall: 0 };
+        assert_eq!(body.ii(), 1);
+        assert_eq!(body.vau_utilization(), 0.0);
+    }
+
+    #[test]
+    fn conv_kernel_derives_the_calibrated_efficiency() {
+        // GoogLeNet-like trip counts: ~28 output pixels per row chunk,
+        // one invocation per (output row × channel block) — the exact
+        // counts matter little once prologue amortization is modelled.
+        let k = ncsdk_conv_kernel();
+        let eff = k.effective_vau_efficiency(28, 1000);
+        assert!(
+            (0.25..0.36).contains(&eff),
+            "conv VLIW model gives {eff}, calibrated constant is 0.2955"
+        );
+    }
+
+    #[test]
+    fn gemm_kernel_derives_the_mdk_efficiency() {
+        // Long K strips (tile_k = 64) amortize the prologue.
+        let k = mdk_gemm_kernel();
+        let eff = k.effective_vau_efficiency(64, 1000);
+        assert!(
+            (0.48..0.65).contains(&eff),
+            "GEMM VLIW model gives {eff}, MDK constant is 0.55"
+        );
+    }
+
+    #[test]
+    fn gemm_beats_conv_because_of_leaner_bookkeeping() {
+        let conv = ncsdk_conv_kernel().effective_vau_efficiency(28, 100);
+        let gemm = mdk_gemm_kernel().effective_vau_efficiency(64, 100);
+        assert!(gemm > conv * 1.5, "gemm {gemm} vs conv {conv}");
+    }
+
+    #[test]
+    fn short_loops_pay_for_their_prologue() {
+        let k = ncsdk_conv_kernel();
+        let short = k.effective_vau_efficiency(4, 100);
+        let long = k.effective_vau_efficiency(112, 100);
+        assert!(short < long * 0.6, "short {short} vs long {long}");
+    }
+
+    #[test]
+    fn cycles_scale_linearly_in_invocations() {
+        let k = mdk_gemm_kernel();
+        assert_eq!(k.cycles(64, 10) * 10, k.cycles(64, 100));
+    }
+}

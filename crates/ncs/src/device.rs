@@ -1,0 +1,343 @@
+//! One Neural Compute Stick: firmware, RISC run queue, embedded Myriad 2.
+
+use crate::usb::UsbPort;
+use desim::{Duration, FifoResource, SimTime};
+use myriad2::exec::NetworkRun;
+use myriad2::{Myriad2, Myriad2Config};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use vpu_nn::cost::NetworkCost;
+use vpu_num::f16;
+use vpu_tensor::Tensor;
+
+/// Stick-level parameters (on top of the chip's own config).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NcsConfig {
+    pub chip: Myriad2Config,
+    /// Firmware upload + RTOS boot after `mvncOpenDevice` (~0.9 s).
+    pub firmware_boot: Duration,
+    /// LEON command processing per queue operation, ns. **Calibrated**
+    /// with the USB constants so one GoogLeNet inference totals 100.7 ms.
+    pub risc_cmd_overhead_ns: u64,
+    /// Maximum inferences in flight (NCSDK v1 allows 2).
+    pub fifo_depth: usize,
+    /// Stick peak power (USB interface + DDR + chip), Watts. The paper
+    /// quotes 2.5 W peak for the NCS versus 0.9 W chip TDP.
+    pub peak_power_w: f64,
+}
+
+impl Default for NcsConfig {
+    fn default() -> Self {
+        NcsConfig {
+            chip: Myriad2Config::default(),
+            firmware_boot: Duration::from_millis(900.0),
+            risc_cmd_overhead_ns: 550_000,
+            fifo_depth: 2,
+            peak_power_w: 2.5,
+        }
+    }
+}
+
+/// Device lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeviceState {
+    Closed,
+    Booting,
+    Ready,
+}
+
+/// An inference accepted by the stick but not yet collected by the host.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// Instant the result is ready for USB readback.
+    pub completion: SimTime,
+    pub run: NetworkRun,
+    /// Real FP16 output when the caller executes numerics.
+    pub output: Option<Tensor<f16>>,
+}
+
+/// Errors surfaced by the device (mirrors `mvncStatus` codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Operation on a closed/unbooted device.
+    NotOpen,
+    /// `load_tensor`/`get_result` without an allocated graph.
+    NoGraph,
+    /// `get_result` with nothing in flight.
+    NothingQueued,
+    /// Graph file exceeds device DDR.
+    GraphTooLarge,
+}
+
+/// One simulated stick.
+#[derive(Debug, Clone)]
+pub struct NcsDevice {
+    cfg: NcsConfig,
+    chip: Myriad2,
+    port: UsbPort,
+    state: DeviceState,
+    ready_at: SimTime,
+    graph: Option<Arc<NetworkCost>>,
+    risc: FifoResource,
+    pending: VecDeque<Pending>,
+    inferences: u64,
+}
+
+impl NcsDevice {
+    pub fn new(index: usize, port: UsbPort, cfg: NcsConfig) -> Self {
+        NcsDevice {
+            chip: Myriad2::with_lane(cfg.chip.clone(), format!("vpu{index}")),
+            risc: FifoResource::new(format!("risc{index}")),
+            cfg,
+            port,
+            state: DeviceState::Closed,
+            ready_at: SimTime::ZERO,
+            graph: None,
+            pending: VecDeque::new(),
+            inferences: 0,
+        }
+    }
+
+    pub fn port(&self) -> UsbPort {
+        self.port
+    }
+
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    pub fn config(&self) -> &NcsConfig {
+        &self.cfg
+    }
+
+    pub fn chip(&self) -> &Myriad2 {
+        &self.chip
+    }
+
+    pub fn chip_mut(&mut self) -> &mut Myriad2 {
+        &mut self.chip
+    }
+
+    pub fn inferences_completed(&self) -> u64 {
+        self.inferences
+    }
+
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Begin firmware boot (the USB transfer of the firmware image is
+    /// charged by the API layer); device is usable from the returned time.
+    pub fn boot(&mut self, at: SimTime) -> SimTime {
+        self.state = DeviceState::Ready;
+        self.ready_at = at + self.cfg.firmware_boot;
+        self.ready_at
+    }
+
+    /// Store the compiled graph (weights already transferred over USB by
+    /// the API layer). Graph swaps are allowed; the old one is dropped.
+    pub fn alloc_graph(&mut self, at: SimTime, cost: Arc<NetworkCost>) -> Result<SimTime, DeviceError> {
+        if self.state != DeviceState::Ready {
+            return Err(DeviceError::NotOpen);
+        }
+        if !self.chip.load_graph(cost.total_weight_bytes()) {
+            return Err(DeviceError::GraphTooLarge);
+        }
+        let done = SimTime::max_of(at, self.ready_at)
+            + Duration::from_nanos(self.cfg.risc_cmd_overhead_ns);
+        self.graph = Some(cost);
+        Ok(done)
+    }
+
+    /// Earliest time a new `load_tensor` may be accepted given the FIFO
+    /// depth: with the queue full, the host blocks until a slot frees.
+    pub fn accept_ready(&self, at: SimTime) -> SimTime {
+        let mut t = SimTime::max_of(at, self.ready_at);
+        if self.pending.len() >= self.cfg.fifo_depth {
+            let idx = self.pending.len() - self.cfg.fifo_depth;
+            t = SimTime::max_of(t, self.pending[idx].completion);
+        }
+        t
+    }
+
+    /// Input tensor arrived on-device at `arrival` (USB transfer done):
+    /// queue the inference through the RISC scheduler and the chip.
+    /// Returns the completion instant. `output` carries real numerics
+    /// when the caller executes them.
+    pub fn submit(
+        &mut self,
+        arrival: SimTime,
+        output: Option<Tensor<f16>>,
+    ) -> Result<SimTime, DeviceError> {
+        if self.state != DeviceState::Ready {
+            return Err(DeviceError::NotOpen);
+        }
+        let cost = self.graph.clone().ok_or(DeviceError::NoGraph)?;
+        let cmd = Duration::from_nanos(self.cfg.risc_cmd_overhead_ns);
+        let sched = self.risc.acquire(SimTime::max_of(arrival, self.ready_at), cmd);
+        let run = self.chip.run_cost(&cost, sched.end);
+        // Completion notification also crosses the RISC processors.
+        let notify = self.risc.acquire(run.end, cmd);
+        let completion = notify.end;
+        self.pending.push_back(Pending { completion, run, output });
+        self.inferences += 1;
+        Ok(completion)
+    }
+
+    /// Collect the oldest in-flight inference (FIFO order, as the NCSDK
+    /// returns results). The caller blocks until its completion.
+    pub fn collect(&mut self) -> Result<Pending, DeviceError> {
+        if self.state != DeviceState::Ready {
+            return Err(DeviceError::NotOpen);
+        }
+        self.pending.pop_front().ok_or(DeviceError::NothingQueued)
+    }
+
+    /// Per-layer profile of the most recent completed run, like
+    /// `mvncGetGraphOption(..., TIME_TAKEN)`.
+    pub fn last_run(&self) -> Option<&NetworkRun> {
+        self.pending.back().map(|p| &p.run)
+    }
+
+    /// Resize the inference FIFO (NCSDK v2 allows configurable depths;
+    /// v1 fixed it at 2). Applies to subsequent loads.
+    pub fn set_fifo_depth(&mut self, depth: usize) {
+        assert!(depth >= 1, "FIFO depth must be positive");
+        self.cfg.fifo_depth = depth;
+    }
+
+    /// Steady-state junction temperature at the chip's lifetime-average
+    /// power — the `NC_DEVICE_THERMAL_STATS` analogue. Ambient when the
+    /// device has not run yet.
+    pub fn thermal_c(&self) -> f64 {
+        let thermal = myriad2::thermal::ThermalModel::default();
+        let activity = self.chip.lifetime_activity();
+        if activity.span == Duration::ZERO {
+            return thermal.t_ambient;
+        }
+        thermal.steady_state_of(&activity, self.chip.power_model())
+    }
+
+    /// True if the stick is at or past the vendor throttle threshold.
+    pub fn thermal_throttled(&self) -> bool {
+        self.thermal_c() >= myriad2::thermal::ThermalModel::default().t_throttle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpu_nn::googlenet;
+
+    fn cost() -> Arc<NetworkCost> {
+        Arc::new(NetworkCost::of::<f16>(&googlenet::full()))
+    }
+
+    fn ready_device() -> NcsDevice {
+        let mut d = NcsDevice::new(0, UsbPort::Root, NcsConfig::default());
+        d.boot(SimTime::ZERO);
+        d.alloc_graph(SimTime::ZERO, cost()).unwrap();
+        d
+    }
+
+    #[test]
+    fn lifecycle_enforced() {
+        let mut d = NcsDevice::new(0, UsbPort::Root, NcsConfig::default());
+        assert_eq!(d.state(), DeviceState::Closed);
+        assert_eq!(d.alloc_graph(SimTime::ZERO, cost()), Err(DeviceError::NotOpen));
+        assert_eq!(d.submit(SimTime::ZERO, None), Err(DeviceError::NotOpen));
+        let up = d.boot(SimTime::ZERO);
+        assert_eq!(up, SimTime::ZERO + Duration::from_millis(900.0));
+        assert_eq!(d.state(), DeviceState::Ready);
+        // No graph yet.
+        assert_eq!(d.submit(up, None), Err(DeviceError::NoGraph));
+    }
+
+    #[test]
+    fn boot_delay_gates_first_inference() {
+        let mut d = NcsDevice::new(0, UsbPort::Root, NcsConfig::default());
+        d.boot(SimTime::ZERO);
+        d.alloc_graph(SimTime::ZERO, cost()).unwrap();
+        let done = d.submit(SimTime::ZERO, None).unwrap();
+        assert!(done > SimTime::ZERO + Duration::from_millis(900.0));
+    }
+
+    #[test]
+    fn single_inference_latency() {
+        let mut d = ready_device();
+        let t0 = SimTime::ZERO + Duration::from_secs(2.0);
+        let done = d.submit(t0, None).unwrap();
+        let ms = (done - t0).as_millis();
+        // Chip ~98.2 ms plus two RISC command hops.
+        assert!((98.0..101.5).contains(&ms), "device latency {ms} ms");
+    }
+
+    #[test]
+    fn fifo_order_and_collection() {
+        let mut d = ready_device();
+        let t0 = SimTime::ZERO + Duration::from_secs(2.0);
+        let c1 = d.submit(t0, None).unwrap();
+        let c2 = d.submit(t0, None).unwrap();
+        assert!(c2 > c1, "second inference completes later");
+        assert_eq!(d.in_flight(), 2);
+        let p1 = d.collect().unwrap();
+        assert_eq!(p1.completion, c1);
+        let p2 = d.collect().unwrap();
+        assert_eq!(p2.completion, c2);
+        assert_eq!(d.collect().unwrap_err(), DeviceError::NothingQueued);
+        assert_eq!(d.inferences_completed(), 2);
+    }
+
+    #[test]
+    fn fifo_depth_blocks_third_load() {
+        let d0 = ready_device();
+        let mut d = d0;
+        let t0 = SimTime::ZERO + Duration::from_secs(2.0);
+        assert_eq!(d.accept_ready(t0), t0);
+        let c1 = d.submit(t0, None).unwrap();
+        d.submit(t0, None).unwrap();
+        // Queue is full (depth 2): next load gated on the first completion.
+        assert_eq!(d.accept_ready(t0), c1);
+        d.collect().unwrap();
+        assert_eq!(d.accept_ready(t0), t0);
+    }
+
+    #[test]
+    fn graph_too_large_rejected() {
+        let mut d = NcsDevice::new(0, UsbPort::Root, NcsConfig::default());
+        d.boot(SimTime::ZERO);
+        let mut big = NetworkCost::of::<f16>(&googlenet::tiny());
+        big.total_params = 3 << 30; // 6 GB of fp16 weights
+        assert_eq!(
+            d.alloc_graph(SimTime::ZERO, Arc::new(big)),
+            Err(DeviceError::GraphTooLarge)
+        );
+    }
+
+    #[test]
+    fn thermal_stats_track_load() {
+        let mut d = ready_device();
+        let ambient = d.thermal_c();
+        assert_eq!(ambient, 25.0, "idle device reads ambient");
+        // Run back-to-back inferences: the chip is ~100% duty-cycled.
+        let t0 = SimTime::ZERO + Duration::from_secs(2.0);
+        let mut t = t0;
+        for _ in 0..4 {
+            t = d.submit(t, None).unwrap();
+            d.collect().unwrap();
+        }
+        let hot = d.thermal_c();
+        assert!(hot > ambient + 5.0, "busy stick must warm up: {hot}");
+        assert!(!d.thermal_throttled(), "inference load must not throttle ({hot} °C)");
+    }
+
+    #[test]
+    fn output_round_trips_through_pending() {
+        let mut d = ready_device();
+        let out = Tensor::<f16>::zeros(vpu_tensor::Shape::vector(1, 4));
+        d.submit(SimTime::ZERO + Duration::from_secs(2.0), Some(out.clone())).unwrap();
+        let p = d.collect().unwrap();
+        assert_eq!(p.output, Some(out));
+    }
+}

@@ -1,0 +1,171 @@
+//! Multi-stick testbeds: enumeration and USB topology construction.
+
+use crate::device::{NcsConfig, NcsDevice};
+use crate::usb::{UsbBus, UsbConfig, UsbPort};
+use serde::{Deserialize, Serialize};
+
+/// How sticks are attached to the host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every stick on its own root port (idealized).
+    AllRoot,
+    /// The paper's Fig. 5 testbed: the first two sticks on motherboard
+    /// root ports, the remainder packed three-per-hub on external hubs.
+    PaperTestbed,
+    /// Explicit port assignment.
+    Custom(Vec<UsbPort>),
+}
+
+impl Topology {
+    /// Port of device `i` out of `n`, and the number of hubs needed.
+    pub fn ports(&self, n: usize) -> (Vec<UsbPort>, usize) {
+        match self {
+            Topology::AllRoot => (vec![UsbPort::Root; n], 0),
+            Topology::PaperTestbed => {
+                let mut ports = Vec::with_capacity(n);
+                let mut hubs = 0usize;
+                for i in 0..n {
+                    if i < 2 {
+                        ports.push(UsbPort::Root);
+                    } else {
+                        let hub = (i - 2) / 3;
+                        hubs = hubs.max(hub + 1);
+                        ports.push(UsbPort::Hub(hub));
+                    }
+                }
+                (ports, hubs)
+            }
+            Topology::Custom(ports) => {
+                assert_eq!(ports.len(), n, "custom topology must list every device");
+                let hubs = ports
+                    .iter()
+                    .filter_map(|p| match p {
+                        UsbPort::Hub(h) => Some(h + 1),
+                        UsbPort::Root => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                (ports.clone(), hubs)
+            }
+        }
+    }
+}
+
+/// A set of sticks sharing one USB fabric.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    pub bus: UsbBus,
+    pub devices: Vec<NcsDevice>,
+}
+
+impl Fleet {
+    pub fn new(n: usize, topology: Topology, cfg: NcsConfig) -> Self {
+        Fleet::with_usb(n, topology, cfg, UsbConfig::default())
+    }
+
+    pub fn with_usb(n: usize, topology: Topology, cfg: NcsConfig, usb: UsbConfig) -> Self {
+        assert!(n > 0, "fleet needs at least one stick");
+        let (ports, hubs) = topology.ports(n);
+        let devices = ports
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| NcsDevice::new(i, p, cfg.clone()))
+            .collect();
+        Fleet { bus: UsbBus::new(usb, hubs), devices }
+    }
+
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// ASCII rendition of the USB topology — the textual Fig. 5.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("host root controller\n");
+        for (i, d) in self.devices.iter().enumerate() {
+            if d.port() == UsbPort::Root {
+                let _ = writeln!(out, "├── ncs{i} (root port)");
+            }
+        }
+        for h in 0..self.bus.hub_count() {
+            let _ = writeln!(out, "├── hub{h}");
+            for (i, d) in self.devices.iter().enumerate() {
+                if d.port() == UsbPort::Hub(h) {
+                    let _ = writeln!(out, "│   ├── ncs{i}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_layout() {
+        let (ports, hubs) = Topology::PaperTestbed.ports(8);
+        assert_eq!(hubs, 2);
+        assert_eq!(ports[0], UsbPort::Root);
+        assert_eq!(ports[1], UsbPort::Root);
+        assert_eq!(ports[2], UsbPort::Hub(0));
+        assert_eq!(ports[3], UsbPort::Hub(0));
+        assert_eq!(ports[4], UsbPort::Hub(0));
+        assert_eq!(ports[5], UsbPort::Hub(1));
+        assert_eq!(ports[7], UsbPort::Hub(1));
+    }
+
+    #[test]
+    fn paper_testbed_small_counts() {
+        let (ports, hubs) = Topology::PaperTestbed.ports(2);
+        assert_eq!(hubs, 0);
+        assert!(ports.iter().all(|&p| p == UsbPort::Root));
+        let (_, hubs4) = Topology::PaperTestbed.ports(4);
+        assert_eq!(hubs4, 1);
+    }
+
+    #[test]
+    fn all_root() {
+        let (ports, hubs) = Topology::AllRoot.ports(5);
+        assert_eq!(hubs, 0);
+        assert!(ports.iter().all(|&p| p == UsbPort::Root));
+    }
+
+    #[test]
+    fn custom_topology() {
+        let t = Topology::Custom(vec![UsbPort::Root, UsbPort::Hub(3)]);
+        let (ports, hubs) = t.ports(2);
+        assert_eq!(hubs, 4);
+        assert_eq!(ports[1], UsbPort::Hub(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "every device")]
+    fn custom_topology_length_checked() {
+        Topology::Custom(vec![UsbPort::Root]).ports(3);
+    }
+
+    #[test]
+    fn describe_renders_the_testbed() {
+        let f = Fleet::new(8, Topology::PaperTestbed, NcsConfig::default());
+        let d = f.describe();
+        assert!(d.contains("ncs0 (root port)"));
+        assert!(d.contains("ncs1 (root port)"));
+        assert!(d.contains("hub0"));
+        assert!(d.contains("hub1"));
+        assert!(d.contains("ncs7"));
+    }
+
+    #[test]
+    fn fleet_construction() {
+        let f = Fleet::new(8, Topology::PaperTestbed, NcsConfig::default());
+        assert_eq!(f.len(), 8);
+        assert_eq!(f.bus.hub_count(), 2);
+        assert_eq!(f.devices[7].port(), UsbPort::Hub(1));
+    }
+}

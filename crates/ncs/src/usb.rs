@@ -1,0 +1,245 @@
+//! USB 3.0 topology model.
+//!
+//! The paper's testbed (Fig. 5) connects 8 NCS devices: 2 on motherboard
+//! root ports and 6 through two external USB 3.0 hubs (3 each). Bulk
+//! transfers to hub-attached devices pass store-and-forward through the
+//! hub's uplink before crossing the root controller, so simultaneous
+//! loads to sticks on the same hub serialize twice — the "data
+//! transferring" penalty the paper observes in multi-VPU scaling.
+
+use desim::resource::Busy;
+use desim::{Duration, FifoResource, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Where a device is plugged in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UsbPort {
+    /// Directly on a root (motherboard) port.
+    Root,
+    /// Behind external hub `hub_index`.
+    Hub(usize),
+}
+
+/// Timing parameters of the bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsbConfig {
+    /// Effective bulk throughput of the root controller, bytes/s.
+    /// (5 Gb/s signalling lands near 450 MB/s of bulk payload.)
+    pub root_bandwidth: f64,
+    /// Effective bulk throughput of a hub uplink, bytes/s.
+    pub hub_bandwidth: f64,
+    /// Per-transfer protocol/command overhead on the root, ns.
+    pub command_overhead_ns: u64,
+    /// Extra per-transfer latency added by a hub hop, ns.
+    pub hub_latency_ns: u64,
+    /// Probability a bulk transfer hits a transient error and the driver
+    /// retries it (NCS sticks are known for these under hub contention).
+    /// 0 disables fault injection (the default).
+    pub error_rate: f64,
+    /// Driver backoff before a retry, ns.
+    pub retry_penalty_ns: u64,
+    /// Seed of the fault-injection stream.
+    pub fault_seed: u64,
+}
+
+impl Default for UsbConfig {
+    fn default() -> Self {
+        UsbConfig {
+            root_bandwidth: 450e6,
+            hub_bandwidth: 450e6,
+            command_overhead_ns: 100_000,
+            hub_latency_ns: 50_000,
+            error_rate: 0.0,
+            retry_penalty_ns: 2_000_000,
+            fault_seed: 2012,
+        }
+    }
+}
+
+/// The host's USB fabric: one root controller, any number of hubs.
+#[derive(Debug, Clone)]
+pub struct UsbBus {
+    cfg: UsbConfig,
+    root: FifoResource,
+    hubs: Vec<FifoResource>,
+    transfers: u64,
+    errors: u64,
+}
+
+impl UsbBus {
+    pub fn new(cfg: UsbConfig, hub_count: usize) -> Self {
+        UsbBus {
+            cfg,
+            root: FifoResource::new("usb-root"),
+            hubs: (0..hub_count).map(|i| FifoResource::new(format!("usb-hub{i}"))).collect(),
+            transfers: 0,
+            errors: 0,
+        }
+    }
+
+    /// Transfers completed (including retried ones, once).
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Transient errors injected so far.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    pub fn hub_count(&self) -> usize {
+        self.hubs.len()
+    }
+
+    pub fn config(&self) -> &UsbConfig {
+        &self.cfg
+    }
+
+    /// Move `bytes` between host and a device on `port`, starting no
+    /// earlier than `ready`. Returns the end-to-end busy interval.
+    ///
+    /// With fault injection enabled, a transfer may hit up to three
+    /// transient errors, each costing the retry backoff plus a second
+    /// pass over the wire — deterministic per `(fault_seed, transfer#)`.
+    pub fn transfer(&mut self, port: UsbPort, ready: SimTime, bytes: u64) -> Busy {
+        use rand::Rng;
+        let seq = self.transfers;
+        self.transfers += 1;
+        let mut busy = self.transfer_once(port, ready, bytes);
+        if self.cfg.error_rate > 0.0 {
+            let mut stream = vpu_num::rng::indexed_stream(self.cfg.fault_seed, "usb-fault", seq);
+            for _attempt in 0..3 {
+                if stream.gen::<f64>() >= self.cfg.error_rate {
+                    break;
+                }
+                self.errors += 1;
+                let retry_at = busy.end + Duration::from_nanos(self.cfg.retry_penalty_ns);
+                let retry = self.transfer_once(port, retry_at, bytes);
+                busy = Busy { start: busy.start, end: retry.end };
+            }
+        }
+        busy
+    }
+
+    fn transfer_once(&mut self, port: UsbPort, ready: SimTime, bytes: u64) -> Busy {
+        let mut t = ready;
+        let mut start = None;
+        if let UsbPort::Hub(h) = port {
+            assert!(h < self.hubs.len(), "hub {h} not present (have {})", self.hubs.len());
+            let service = Duration::from_nanos(self.cfg.hub_latency_ns)
+                + Duration::for_bytes(bytes, self.cfg.hub_bandwidth);
+            let busy = self.hubs[h].acquire(t, service);
+            start = Some(busy.start);
+            t = busy.end;
+        }
+        let service = Duration::from_nanos(self.cfg.command_overhead_ns)
+            + Duration::for_bytes(bytes, self.cfg.root_bandwidth);
+        let busy = self.root.acquire(t, service);
+        Busy { start: start.unwrap_or(busy.start), end: busy.end }
+    }
+
+    /// Total busy time on the root controller (utilization probe).
+    pub fn root_busy(&self) -> Duration {
+        self.root.busy_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> UsbBus {
+        UsbBus::new(UsbConfig::default(), 2)
+    }
+
+    #[test]
+    fn root_transfer_time() {
+        let mut b = bus();
+        // 450 KB at 450 MB/s = 1 ms, plus 0.1 ms command overhead.
+        let busy = b.transfer(UsbPort::Root, SimTime(0), 450_000);
+        assert_eq!(busy.end - busy.start, Duration::from_millis(1.1));
+    }
+
+    #[test]
+    fn hub_adds_store_and_forward() {
+        let mut direct = bus();
+        let mut hubbed = bus();
+        let d = direct.transfer(UsbPort::Root, SimTime(0), 450_000);
+        let h = hubbed.transfer(UsbPort::Hub(0), SimTime(0), 450_000);
+        assert!(h.end - h.start > d.end - d.start, "hub path must be slower");
+    }
+
+    #[test]
+    fn root_serializes_concurrent_loads() {
+        let mut b = bus();
+        let a = b.transfer(UsbPort::Root, SimTime(0), 450_000);
+        let c = b.transfer(UsbPort::Root, SimTime(0), 450_000);
+        assert!(c.start >= a.end, "second root transfer must queue");
+        let _ = Duration::from_nanos(1);
+    }
+
+    #[test]
+    fn same_hub_devices_contend_twice() {
+        let mut b = bus();
+        let a = b.transfer(UsbPort::Hub(0), SimTime(0), 450_000);
+        let c = b.transfer(UsbPort::Hub(0), SimTime(0), 450_000);
+        // Second transfer waits for the first's hub occupancy.
+        assert!(c.start >= a.start + Duration::from_millis(1.0));
+    }
+
+    #[test]
+    fn different_hubs_overlap_on_uplink() {
+        let mut b = bus();
+        let a = b.transfer(UsbPort::Hub(0), SimTime(0), 450_000);
+        let c = b.transfer(UsbPort::Hub(1), SimTime(0), 450_000);
+        // Hub stages overlap; only the root hop serializes.
+        assert!(c.end < a.end + Duration::from_millis(1.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn missing_hub_panics() {
+        bus().transfer(UsbPort::Hub(7), SimTime(0), 1);
+    }
+
+    #[test]
+    fn zero_byte_command_costs_only_overhead() {
+        let mut b = bus();
+        let busy = b.transfer(UsbPort::Root, SimTime(0), 0);
+        assert_eq!(busy.end - busy.start, Duration::from_nanos(100_000));
+    }
+
+    #[test]
+    fn fault_injection_slows_transfers_deterministically() {
+        let faulty = UsbConfig { error_rate: 0.5, ..UsbConfig::default() };
+        let mut a = UsbBus::new(faulty.clone(), 0);
+        let mut b = UsbBus::new(faulty, 0);
+        let mut clean = UsbBus::new(UsbConfig::default(), 0);
+        let mut slow_total = Duration::ZERO;
+        let mut clean_total = Duration::ZERO;
+        for i in 0..50u64 {
+            let t = SimTime(i * 10_000_000);
+            let fa = a.transfer(UsbPort::Root, t, 450_000);
+            let fb = b.transfer(UsbPort::Root, t, 450_000);
+            assert_eq!(fa, fb, "fault stream must be deterministic");
+            slow_total += fa.end - fa.start;
+            clean_total += {
+                let c = clean.transfer(UsbPort::Root, t, 450_000);
+                c.end - c.start
+            };
+        }
+        assert!(a.errors() > 5, "expected injected errors, got {}", a.errors());
+        assert!(slow_total > clean_total, "faults must cost time");
+        assert_eq!(clean.errors(), 0);
+    }
+
+    #[test]
+    fn fault_free_default() {
+        let mut b = bus();
+        for i in 0..100u64 {
+            b.transfer(UsbPort::Root, SimTime(i * 2_000_000), 450_000);
+        }
+        assert_eq!(b.errors(), 0);
+        assert_eq!(b.transfers(), 100);
+    }
+}

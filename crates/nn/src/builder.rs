@@ -1,0 +1,190 @@
+//! Fluent construction of network DAGs, including the inception module.
+
+use crate::graph::NetworkSpec;
+use crate::layer::{LayerKind, Node};
+use vpu_tensor::kernels::conv::ConvParams;
+use vpu_tensor::kernels::lrn::LrnParams;
+use vpu_tensor::kernels::pool::{PoolKind, PoolParams};
+use vpu_tensor::Shape;
+
+/// Incrementally builds a [`NetworkSpec`]; every method returns the index
+/// of the node it added so branches can fan out and join (concat).
+///
+/// ```
+/// use vpu_nn::NetBuilder;
+/// use vpu_tensor::Shape;
+/// let mut b = NetBuilder::new("demo", Shape::chw(3, 32, 32));
+/// let x = b.input();
+/// let c = b.conv("conv1", x, 8, 3, 1, 1, true);
+/// let out = b.inception("mix", c, 8, 8, 12, 2, 4, 4);
+/// b.softmax("prob", out);
+/// let spec = b.build();
+/// assert_eq!(spec.infer_shapes()[out].c, 8 + 12 + 4 + 4);
+/// ```
+pub struct NetBuilder {
+    name: String,
+    input_shape: Shape,
+    nodes: Vec<Node>,
+}
+
+impl NetBuilder {
+    pub fn new(name: impl Into<String>, input_shape: Shape) -> Self {
+        NetBuilder {
+            name: name.into(),
+            input_shape,
+            nodes: vec![Node { name: "input".into(), kind: LayerKind::Input, inputs: vec![] }],
+        }
+    }
+
+    /// Index of the input node (always 0).
+    pub fn input(&self) -> usize {
+        0
+    }
+
+    fn push(&mut self, name: impl Into<String>, kind: LayerKind, inputs: Vec<usize>) -> usize {
+        self.nodes.push(Node { name: name.into(), kind, inputs });
+        self.nodes.len() - 1
+    }
+
+    /// Convolution with optional fused ReLU.
+    pub fn conv(
+        &mut self,
+        name: impl Into<String>,
+        input: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+    ) -> usize {
+        self.push(
+            name,
+            LayerKind::Conv {
+                params: ConvParams::new(out_channels, kernel, stride, pad),
+                fused_relu: relu,
+            },
+            vec![input],
+        )
+    }
+
+    pub fn relu(&mut self, name: impl Into<String>, input: usize) -> usize {
+        self.push(name, LayerKind::Relu, vec![input])
+    }
+
+    pub fn max_pool(&mut self, name: impl Into<String>, input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+        self.push(name, LayerKind::Pool(PoolParams::new(PoolKind::Max, kernel, stride, pad)), vec![input])
+    }
+
+    pub fn avg_pool(&mut self, name: impl Into<String>, input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+        self.push(name, LayerKind::Pool(PoolParams::new(PoolKind::Avg, kernel, stride, pad)), vec![input])
+    }
+
+    pub fn lrn(&mut self, name: impl Into<String>, input: usize, params: LrnParams) -> usize {
+        self.push(name, LayerKind::Lrn(params), vec![input])
+    }
+
+    pub fn concat(&mut self, name: impl Into<String>, inputs: Vec<usize>) -> usize {
+        self.push(name, LayerKind::Concat, inputs)
+    }
+
+    pub fn dropout(&mut self, name: impl Into<String>, input: usize, ratio: f32) -> usize {
+        self.push(name, LayerKind::Dropout { ratio }, vec![input])
+    }
+
+    pub fn dense(&mut self, name: impl Into<String>, input: usize, out_features: usize) -> usize {
+        self.push(name, LayerKind::Dense { out_features }, vec![input])
+    }
+
+    pub fn softmax(&mut self, name: impl Into<String>, input: usize) -> usize {
+        self.push(name, LayerKind::Softmax, vec![input])
+    }
+
+    /// GoogLeNet inception module (Szegedy et al., Fig. 2b): four parallel
+    /// branches — 1×1, 1×1→3×3, 1×1→5×5, 3×3 maxpool→1×1 — concatenated
+    /// along channels. All convolutions carry fused ReLU.
+    #[allow(clippy::too_many_arguments)]
+    pub fn inception(
+        &mut self,
+        name: &str,
+        input: usize,
+        c1: usize,
+        c3_reduce: usize,
+        c3: usize,
+        c5_reduce: usize,
+        c5: usize,
+        pool_proj: usize,
+    ) -> usize {
+        let b1 = self.conv(format!("{name}/1x1"), input, c1, 1, 1, 0, true);
+        let r3 = self.conv(format!("{name}/3x3_reduce"), input, c3_reduce, 1, 1, 0, true);
+        let b3 = self.conv(format!("{name}/3x3"), r3, c3, 3, 1, 1, true);
+        let r5 = self.conv(format!("{name}/5x5_reduce"), input, c5_reduce, 1, 1, 0, true);
+        let b5 = self.conv(format!("{name}/5x5"), r5, c5, 5, 1, 2, true);
+        let pp = self.max_pool(format!("{name}/pool"), input, 3, 1, 1);
+        let bp = self.conv(format!("{name}/pool_proj"), pp, pool_proj, 1, 1, 0, true);
+        self.concat(format!("{name}/output"), vec![b1, b3, b5, bp])
+    }
+
+    /// Finalize; validates the graph by running shape inference.
+    pub fn build(self) -> NetworkSpec {
+        let spec = NetworkSpec { name: self.name, input_shape: self.input_shape, nodes: self.nodes };
+        spec.infer_shapes();
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain() {
+        let mut b = NetBuilder::new("chain", Shape::chw(3, 16, 16));
+        let x = b.input();
+        let c = b.conv("c1", x, 8, 3, 1, 1, true);
+        let p = b.max_pool("p1", c, 2, 2, 0);
+        let d = b.dense("fc", p, 10);
+        b.softmax("prob", d);
+        let spec = b.build();
+        assert_eq!(spec.nodes.len(), 5);
+        assert_eq!(spec.output_shape(), Shape::vector(1, 10));
+    }
+
+    #[test]
+    fn inception_module_structure() {
+        let mut b = NetBuilder::new("inc", Shape::chw(192, 28, 28));
+        let x = b.input();
+        let out = b.inception("inception_3a", x, 64, 96, 128, 16, 32, 32);
+        let spec = NetworkSpec {
+            name: "inc".into(),
+            input_shape: Shape::chw(192, 28, 28),
+            nodes: b.nodes.clone(),
+        };
+        let shapes = spec.infer_shapes();
+        // 64 + 128 + 32 + 32 = 256 channels out, spatial preserved.
+        assert_eq!(shapes[out], Shape::new(1, 256, 28, 28));
+        // 8 nodes added: 6 convs + 1 pool + 1 concat.
+        assert_eq!(spec.nodes.len(), 9);
+    }
+
+    #[test]
+    fn branch_names_are_cafe_style() {
+        let mut b = NetBuilder::new("inc", Shape::chw(192, 28, 28));
+        let x = b.input();
+        b.inception("inception_3a", x, 64, 96, 128, 16, 32, 32);
+        let spec = b.build();
+        assert!(spec.node_index("inception_3a/5x5_reduce").is_some());
+        assert!(spec.node_index("inception_3a/pool_proj").is_some());
+        assert!(spec.node_index("inception_3a/output").is_some());
+    }
+
+    #[test]
+    fn dropout_and_lrn() {
+        let mut b = NetBuilder::new("x", Shape::chw(4, 4, 4));
+        let x = b.input();
+        let l = b.lrn("norm1", x, LrnParams::googlenet());
+        let d = b.dropout("drop", l, 0.4);
+        b.relu("r", d);
+        let spec = b.build();
+        assert_eq!(spec.output_shape(), Shape::chw(4, 4, 4).with_batch(1));
+    }
+}

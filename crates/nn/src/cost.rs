@@ -1,0 +1,161 @@
+//! Static work/traffic accounting per layer.
+//!
+//! Device timing models consume these numbers: multiply-accumulates drive
+//! the compute term, activation/weight bytes drive the memory and
+//! host-transfer terms. Counts are per batch item; devices scale by their
+//! own batching behaviour.
+
+use crate::graph::NetworkSpec;
+use serde::{Deserialize, Serialize};
+use vpu_tensor::{Element, Shape};
+
+/// Work profile of one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    pub name: String,
+    pub mnemonic: String,
+    /// Multiply-accumulates per batch item.
+    pub macs: u64,
+    /// Non-MAC arithmetic per batch item.
+    pub aux_ops: u64,
+    /// Learnable parameters.
+    pub params: u64,
+    /// Bytes read from input activations (at element width).
+    pub in_bytes: u64,
+    /// Bytes written to the output activation.
+    pub out_bytes: u64,
+    /// Bytes of weights streamed in.
+    pub weight_bytes: u64,
+    pub out_shape: Shape,
+}
+
+/// Whole-network cost profile at a given element width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    pub network: String,
+    pub element_width: usize,
+    pub layers: Vec<LayerCost>,
+    pub total_macs: u64,
+    pub total_aux_ops: u64,
+    pub total_params: u64,
+    /// Peak single-layer output activation, in bytes (scratch sizing).
+    pub peak_activation_bytes: u64,
+}
+
+impl NetworkCost {
+    /// Profile `spec` for element type `E` (f32 host / f16 device).
+    pub fn of<E: Element>(spec: &NetworkSpec) -> NetworkCost {
+        let shapes = spec.infer_shapes();
+        let width = E::width() as u64;
+        let mut layers = Vec::with_capacity(spec.nodes.len());
+        for (i, node) in spec.nodes.iter().enumerate() {
+            let out_shape = shapes[i];
+            let in_elems: u64 = node.inputs.iter().map(|&j| shapes[j].len() as u64).sum();
+            let input_shape = node.inputs.first().map(|&j| shapes[j]).unwrap_or(out_shape);
+            let macs = node.kind.macs(input_shape);
+            let aux = node.kind.aux_ops(input_shape);
+            let params = node.kind.param_count(input_shape);
+            layers.push(LayerCost {
+                name: node.name.clone(),
+                mnemonic: node.kind.mnemonic().to_string(),
+                macs,
+                aux_ops: aux,
+                params,
+                in_bytes: in_elems * width,
+                out_bytes: out_shape.len() as u64 * width,
+                weight_bytes: params * width,
+                out_shape,
+            });
+        }
+        let total_macs = layers.iter().map(|l| l.macs).sum();
+        let total_aux_ops = layers.iter().map(|l| l.aux_ops).sum();
+        let total_params = layers.iter().map(|l| l.params).sum();
+        let peak_activation_bytes = layers.iter().map(|l| l.out_bytes).max().unwrap_or(0);
+        NetworkCost {
+            network: spec.name.clone(),
+            element_width: E::width(),
+            layers,
+            total_macs,
+            total_aux_ops,
+            total_params,
+            peak_activation_bytes,
+        }
+    }
+
+    /// Total weight bytes (graph-file payload size).
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.total_params * self.element_width as u64
+    }
+
+    /// Sum of all activation output bytes (DDR traffic proxy).
+    pub fn total_activation_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.out_bytes).sum()
+    }
+
+    /// Input tensor bytes (the host→device transfer payload).
+    pub fn input_bytes(&self) -> u64 {
+        self.layers.first().map(|l| l.out_bytes).unwrap_or(0)
+    }
+
+    /// Output tensor bytes (the device→host result payload).
+    pub fn output_bytes(&self) -> u64 {
+        self.layers.last().map(|l| l.out_bytes).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use vpu_num::f16;
+
+    fn small() -> NetworkSpec {
+        let mut b = NetBuilder::new("small", Shape::chw(3, 8, 8));
+        let x = b.input();
+        let c = b.conv("c1", x, 4, 3, 1, 1, true);
+        let p = b.max_pool("p1", c, 2, 2, 0);
+        let f = b.dense("fc", p, 5);
+        b.softmax("prob", f);
+        b.build()
+    }
+
+    #[test]
+    fn per_layer_numbers() {
+        let cost = NetworkCost::of::<f32>(&small());
+        assert_eq!(cost.layers.len(), 5);
+        let conv = &cost.layers[1];
+        assert_eq!(conv.macs, (4 * 8 * 8 * 3 * 9) as u64);
+        assert_eq!(conv.params, (4 * 3 * 9 + 4) as u64);
+        assert_eq!(conv.out_bytes, (4 * 8 * 8 * 4) as u64);
+        assert_eq!(conv.weight_bytes, conv.params * 4);
+        let fc = &cost.layers[3];
+        assert_eq!(fc.macs, (4 * 4 * 4 * 5) as u64);
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let cost = NetworkCost::of::<f32>(&small());
+        assert_eq!(cost.total_macs, cost.layers.iter().map(|l| l.macs).sum::<u64>());
+        assert_eq!(cost.total_params, cost.layers.iter().map(|l| l.params).sum::<u64>());
+        assert!(cost.peak_activation_bytes >= cost.layers[1].out_bytes);
+    }
+
+    #[test]
+    fn fp16_halves_bytes_not_ops() {
+        let c32 = NetworkCost::of::<f32>(&small());
+        let c16 = NetworkCost::of::<f16>(&small());
+        assert_eq!(c32.total_macs, c16.total_macs);
+        assert_eq!(c32.total_params, c16.total_params);
+        assert_eq!(c32.total_weight_bytes(), 2 * c16.total_weight_bytes());
+        assert_eq!(c32.input_bytes(), 2 * c16.input_bytes());
+    }
+
+    #[test]
+    fn io_payloads() {
+        let cost = NetworkCost::of::<f16>(&small());
+        // Input: 3*8*8 fp16.
+        assert_eq!(cost.input_bytes(), 3 * 8 * 8 * 2);
+        // Output: 5 probabilities fp16.
+        assert_eq!(cost.output_bytes(), 10);
+    }
+}

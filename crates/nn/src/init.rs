@@ -1,0 +1,94 @@
+//! Deterministic weight initialization.
+//!
+//! Xavier/Glorot-uniform weights from a named RNG stream per layer: the
+//! same `(spec, seed)` pair always produces identical weights, regardless
+//! of build flags or thread count. The pseudo-training step that turns
+//! these into a usable classifier lives in the `ilsvrc-sim` crate (it
+//! needs the dataset's class prototypes).
+
+use crate::graph::NetworkSpec;
+use crate::layer::LayerKind;
+use crate::weights::Weights;
+use rand::Rng;
+use vpu_num::rng;
+
+/// Xavier-uniform initialization for every weighted layer; biases zero.
+pub fn xavier(spec: &NetworkSpec, seed: u64) -> Weights {
+    let shapes = spec.infer_shapes();
+    let mut weights = Weights::new();
+    for node in spec.nodes.iter().filter(|n| n.kind.has_weights()) {
+        let idx = spec.node_index(&node.name).expect("node exists");
+        let in_shape = shapes[spec.nodes[idx].inputs[0]];
+        let (wlen, blen, fan_in, fan_out) = match &node.kind {
+            LayerKind::Conv { params, .. } => {
+                let fan_in = in_shape.c * params.kernel * params.kernel;
+                let fan_out = params.out_channels * params.kernel * params.kernel;
+                (params.weight_len(in_shape.c), params.out_channels, fan_in, fan_out)
+            }
+            LayerKind::Dense { out_features } => {
+                let fan_in = in_shape.item_len();
+                (fan_in * out_features, *out_features, fan_in, *out_features)
+            }
+            _ => unreachable!(),
+        };
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+        let mut stream = rng::stream(seed, &format!("xavier/{}", node.name));
+        let w: Vec<f32> = (0..wlen).map(|_| stream.gen_range(-limit..limit)).collect();
+        weights.insert(&node.name, w, vec![0.0; blen]);
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::googlenet;
+
+    #[test]
+    fn deterministic() {
+        let spec = googlenet::tiny();
+        let a = xavier(&spec, 5);
+        let b = xavier(&spec, 5);
+        assert_eq!(a, b);
+        let c = xavier(&spec, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn covers_every_weighted_layer() {
+        let spec = googlenet::tiny();
+        let w = xavier(&spec, 1);
+        assert_eq!(w.len(), spec.weighted_layers());
+        for node in spec.nodes.iter().filter(|n| n.kind.has_weights()) {
+            assert!(w.get(&node.name).is_some(), "missing {}", node.name);
+        }
+    }
+
+    #[test]
+    fn scale_respects_fan_in() {
+        let spec = googlenet::tiny();
+        let w = xavier(&spec, 2);
+        // A 3x3 conv over 3 channels has fan_in 27: limit ~ sqrt(6/(27+72)).
+        let conv1 = w.get("conv1/3x3_s2").unwrap();
+        let max = conv1.w.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let limit = (6.0f32 / (27.0 + 72.0)).sqrt();
+        assert!(max <= limit, "{max} > {limit}");
+        assert!(max > limit * 0.8, "suspiciously small weights");
+        assert!(conv1.b.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn compiles_and_runs() {
+        use crate::graph::CompiledNetwork;
+        use std::sync::Arc;
+        use vpu_tensor::kernels::gemm::AccumMode;
+        use vpu_tensor::{Shape, Tensor};
+        let spec = Arc::new(googlenet::tiny());
+        let w = xavier(&spec, 3);
+        let net = CompiledNetwork::<f32>::compile(spec, &w, AccumMode::Widened);
+        let out = net.forward(&Tensor::full(Shape::chw(3, 32, 32), 0.1));
+        assert!(!out.has_nan());
+        let sum: f32 = out.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+}

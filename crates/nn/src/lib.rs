@@ -1,0 +1,26 @@
+//! Convolutional-network graphs and inference execution.
+//!
+//! This crate is the Caffe stand-in of the reproduction: it describes a
+//! network as a DAG of layers ([`graph::NetworkSpec`]), infers shapes,
+//! counts work ([`cost`]), owns the master FP32 weights ([`weights::Weights`]),
+//! and executes inference at any precision through [`graph::CompiledNetwork`].
+//! The [`googlenet`] module builds the exact BVLC GoogLeNet topology the
+//! paper evaluates (plus reduced-geometry variants used where running the
+//! full 224×224 network for tens of thousands of images would be
+//! prohibitive on a laptop-scale reproduction).
+
+pub mod builder;
+pub mod cost;
+pub mod googlenet;
+pub mod graph;
+pub mod init;
+pub mod layer;
+pub mod optimize;
+pub mod prototxt;
+pub mod weights;
+pub mod zoo;
+
+pub use builder::NetBuilder;
+pub use graph::{CompiledNetwork, NetworkSpec};
+pub use layer::{LayerKind, Node};
+pub use weights::Weights;

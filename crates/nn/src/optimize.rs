@@ -1,0 +1,211 @@
+//! Graph-compiler optimization passes.
+//!
+//! The NCSDK compiler rewrites the Caffe graph before emitting a device
+//! graph file: activation layers are folded into their producers, and
+//! inference no-ops are dropped. The same passes run here so a deploy
+//! prototxt written with explicit `ReLU` layers compiles to the same
+//! device schedule as the fused topologies built by [`crate::builder`].
+//!
+//! Passes (applied in order by [`optimize`]):
+//! 1. **fuse-relu** — a `ReLU` whose only producer is a `Conv` with an
+//!    unfused activation folds into the convolution.
+//! 2. **drop-noop** — `Dropout` nodes (inference no-ops) are removed and
+//!    their consumers rewired.
+//!
+//! All passes preserve numerics exactly (ReLU-after-conv equals
+//! fused-ReLU conv by construction; dropout is the identity at
+//! inference), which the tests verify by comparing forward outputs.
+
+use crate::graph::NetworkSpec;
+use crate::layer::{LayerKind, Node};
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    pub relus_fused: usize,
+    pub dropouts_dropped: usize,
+}
+
+/// Apply all passes; returns the rewritten spec and what changed.
+pub fn optimize(spec: &NetworkSpec) -> (NetworkSpec, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let spec = fuse_relu(spec, &mut stats);
+    let spec = drop_noops(&spec, &mut stats);
+    spec.infer_shapes(); // validate the rewrite
+    (spec, stats)
+}
+
+/// How many consumers each node has.
+fn consumer_counts(spec: &NetworkSpec) -> Vec<usize> {
+    spec.consumer_counts()
+}
+
+/// Pass 1: fold eligible stand-alone ReLU nodes into their convolutions.
+fn fuse_relu(spec: &NetworkSpec, stats: &mut OptimizeStats) -> NetworkSpec {
+    let consumers = consumer_counts(spec);
+    // Identify fusable ReLUs: input is a Conv{fused_relu: false} whose
+    // only consumer is this ReLU (otherwise someone sees pre-activation
+    // values and fusing would change them).
+    let mut fused_into: Vec<Option<usize>> = vec![None; spec.nodes.len()];
+    for (i, node) in spec.nodes.iter().enumerate() {
+        if !matches!(node.kind, LayerKind::Relu) {
+            continue;
+        }
+        let src = node.inputs[0];
+        if consumers[src] != 1 {
+            continue;
+        }
+        if let LayerKind::Conv { fused_relu: false, .. } = spec.nodes[src].kind {
+            fused_into[i] = Some(src);
+        }
+    }
+
+    // Rebuild, skipping fused ReLUs and flipping their convs.
+    let mut remap: Vec<usize> = vec![usize::MAX; spec.nodes.len()];
+    let mut nodes: Vec<Node> = Vec::with_capacity(spec.nodes.len());
+    for (i, node) in spec.nodes.iter().enumerate() {
+        if let Some(src) = fused_into[i] {
+            // The ReLU disappears; its consumers read the conv instead.
+            remap[i] = remap[src];
+            stats.relus_fused += 1;
+            continue;
+        }
+        let mut n = node.clone();
+        if fused_into.iter().any(|&f| f == Some(i)) {
+            if let LayerKind::Conv { params, .. } = n.kind {
+                n.kind = LayerKind::Conv { params, fused_relu: true };
+            }
+        }
+        n.inputs = n.inputs.iter().map(|&j| remap[j]).collect();
+        remap[i] = nodes.len();
+        nodes.push(n);
+    }
+    NetworkSpec { name: spec.name.clone(), input_shape: spec.input_shape, nodes }
+}
+
+/// Pass 2: remove inference no-ops (Dropout), rewiring consumers.
+fn drop_noops(spec: &NetworkSpec, stats: &mut OptimizeStats) -> NetworkSpec {
+    let last = spec.nodes.len() - 1;
+    let mut remap: Vec<usize> = vec![usize::MAX; spec.nodes.len()];
+    let mut nodes: Vec<Node> = Vec::with_capacity(spec.nodes.len());
+    for (i, node) in spec.nodes.iter().enumerate() {
+        // Keep a trailing dropout (something must produce the output).
+        if matches!(node.kind, LayerKind::Dropout { .. }) && i != last {
+            remap[i] = remap[node.inputs[0]];
+            stats.dropouts_dropped += 1;
+            continue;
+        }
+        let mut n = node.clone();
+        n.inputs = n.inputs.iter().map(|&j| remap[j]).collect();
+        remap[i] = nodes.len();
+        nodes.push(n);
+    }
+    NetworkSpec { name: spec.name.clone(), input_shape: spec.input_shape, nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+    use crate::graph::CompiledNetwork;
+    use crate::init;
+    use std::sync::Arc;
+    use vpu_tensor::kernels::gemm::AccumMode;
+    use vpu_tensor::{Shape, Tensor};
+
+    /// A graph written the explicit-Caffe way: conv, then ReLU, then
+    /// dropout, then classifier.
+    fn unfused_net() -> NetworkSpec {
+        let mut b = NetBuilder::new("unfused", Shape::chw(3, 8, 8));
+        let x = b.input();
+        let c1 = b.conv("conv1", x, 4, 3, 1, 1, false);
+        let r1 = b.relu("relu1", c1);
+        let c2 = b.conv("conv2", r1, 4, 3, 1, 1, false);
+        let r2 = b.relu("relu2", c2);
+        let d = b.dropout("drop", r2, 0.4);
+        let fc = b.dense("fc", d, 5);
+        b.softmax("prob", fc);
+        b.build()
+    }
+
+    #[test]
+    fn passes_fuse_and_drop() {
+        let spec = unfused_net();
+        let (opt, stats) = optimize(&spec);
+        assert_eq!(stats.relus_fused, 2);
+        assert_eq!(stats.dropouts_dropped, 1);
+        // 8 nodes -> 5 (input, conv1+relu, conv2+relu, fc, prob).
+        assert_eq!(opt.nodes.len(), spec.nodes.len() - 3);
+        // Convs are now fused.
+        for node in &opt.nodes {
+            if let LayerKind::Conv { fused_relu, .. } = node.kind {
+                assert!(fused_relu, "{} not fused", node.name);
+            }
+            assert!(!matches!(node.kind, LayerKind::Relu | LayerKind::Dropout { .. }));
+        }
+    }
+
+    #[test]
+    fn optimization_preserves_numerics_exactly() {
+        let spec = Arc::new(unfused_net());
+        let weights = init::xavier(&spec, 3);
+        let (opt, _) = optimize(&spec);
+        let opt = Arc::new(opt);
+        let n_ref = CompiledNetwork::<f32>::compile(spec, &weights, AccumMode::Widened);
+        let n_opt = CompiledNetwork::<f32>::compile(opt, &weights, AccumMode::Widened);
+        let input = Tensor::<f32>::from_fn(Shape::chw(3, 8, 8), |_, c, h, w| {
+            ((c + 2 * h) as f32 - w as f32) * 0.1
+        });
+        let a = n_ref.forward(&input);
+        let b = n_opt.forward(&input);
+        assert_eq!(a, b, "optimization must be bit-exact");
+    }
+
+    #[test]
+    fn shared_preactivation_blocks_fusion() {
+        // A second consumer of the conv output (before ReLU) must keep
+        // the ReLU separate.
+        let mut b = NetBuilder::new("shared", Shape::chw(1, 4, 4));
+        let x = b.input();
+        let c = b.conv("c", x, 2, 3, 1, 1, false);
+        let r = b.relu("r", c);
+        // The concat also reads the *pre-activation* tensor.
+        let cat = b.concat("cat", vec![c, r]);
+        let fc = b.dense("fc", cat, 3);
+        b.softmax("p", fc);
+        let spec = b.build();
+        let (opt, stats) = optimize(&spec);
+        assert_eq!(stats.relus_fused, 0, "must not fuse a shared conv");
+        assert_eq!(opt.nodes.len(), spec.nodes.len());
+    }
+
+    #[test]
+    fn already_fused_graphs_are_untouched() {
+        let spec = crate::googlenet::tiny();
+        let (opt, stats) = optimize(&spec);
+        assert_eq!(stats.relus_fused, 0);
+        assert_eq!(stats.dropouts_dropped, 0); // tiny has no dropout
+        assert_eq!(opt, spec);
+    }
+
+    #[test]
+    fn googlenet_full_drops_only_its_dropout() {
+        let spec = crate::googlenet::full();
+        let (opt, stats) = optimize(&spec);
+        assert_eq!(stats.relus_fused, 0);
+        assert_eq!(stats.dropouts_dropped, 1);
+        assert_eq!(opt.nodes.len(), spec.nodes.len() - 1);
+        assert_eq!(opt.output_shape(), spec.output_shape());
+    }
+
+    #[test]
+    fn optimized_prototxt_round_trip() {
+        // An explicit deploy file parses, optimizes, and still runs.
+        let spec = unfused_net();
+        let text = crate::prototxt::emit(&spec);
+        let parsed = crate::prototxt::parse(&text).unwrap();
+        let (opt, stats) = optimize(&parsed);
+        assert_eq!(stats.relus_fused, 2);
+        opt.infer_shapes();
+    }
+}

@@ -1,0 +1,108 @@
+//! FP32 master weights, keyed by layer name.
+//!
+//! Mirrors a `.caffemodel`: the trained parameters live at full precision
+//! and are quantized per-target at compile time (f32 for the CPU/GPU
+//! devices, binary16 when the NCS graph file is produced).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parameters of one weighted layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerParams {
+    pub w: Vec<f32>,
+    pub b: Vec<f32>,
+}
+
+/// The full parameter set of a network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    layers: BTreeMap<String, LayerParams>,
+}
+
+impl Weights {
+    pub fn new() -> Self {
+        Weights::default()
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, w: Vec<f32>, b: Vec<f32>) {
+        self.layers.insert(name.into(), LayerParams { w, b });
+    }
+
+    pub fn get(&self, name: &str) -> Option<&LayerParams> {
+        self.layers.get(name)
+    }
+
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut LayerParams> {
+        self.layers.get_mut(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    pub fn layer_names(&self) -> impl Iterator<Item = &str> {
+        self.layers.keys().map(String::as_str)
+    }
+
+    /// Total parameter count across layers.
+    pub fn param_count(&self) -> u64 {
+        self.layers.values().map(|p| (p.w.len() + p.b.len()) as u64).sum()
+    }
+
+    /// Serialize to JSON (the repo's portable caffemodel substitute).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("weights serialize")
+    }
+
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut w = Weights::new();
+        assert!(w.is_empty());
+        w.insert("conv1", vec![1.0, 2.0], vec![0.5]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.get("conv1").unwrap().w, vec![1.0, 2.0]);
+        assert!(w.get("missing").is_none());
+        assert_eq!(w.param_count(), 3);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut w = Weights::new();
+        w.insert("fc", vec![0.0; 4], vec![0.0; 2]);
+        w.get_mut("fc").unwrap().b[1] = 9.0;
+        assert_eq!(w.get("fc").unwrap().b, vec![0.0, 9.0]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut w = Weights::new();
+        w.insert("a", vec![1.5, -2.5], vec![0.0]);
+        w.insert("b", vec![], vec![3.0]);
+        let json = w.to_json();
+        let back = Weights::from_json(&json).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut w = Weights::new();
+        w.insert("z", vec![], vec![]);
+        w.insert("a", vec![], vec![]);
+        let names: Vec<&str> = w.layer_names().collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+}

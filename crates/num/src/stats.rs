@@ -1,0 +1,301 @@
+//! Descriptive statistics for experiment reporting.
+//!
+//! Every figure in the paper shows the standard deviation of the samples as
+//! error bars; [`OnlineStats`] provides numerically stable (Welford) running
+//! moments, and [`Summary`] is the frozen result attached to each reported
+//! series point.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean/variance accumulator (Welford's method).
+///
+/// ```
+/// use vpu_num::OnlineStats;
+/// let s: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.variance(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator (parallel Welford / Chan et al.).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n-1 denominator); zero for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Freeze into a reportable summary.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            n: self.n,
+            mean: self.mean(),
+            stddev: self.stddev(),
+            min: if self.n == 0 { 0.0 } else { self.min },
+            max: if self.n == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// Frozen sample statistics: one point (with its error bar) in a figure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: u64,
+    pub mean: f64,
+    pub stddev: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Half-width of the 95% normal-approximation confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (stddev / |mean|); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean.abs()
+        }
+    }
+}
+
+/// Relative difference |a-b| / max(|a|,|b|), safe at zero.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// Arithmetic mean of a slice; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation of a slice; 0 for fewer than two elements.
+pub fn stddev(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<OnlineStats>().stddev()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.summary().min, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 denominator: 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: OnlineStats = data.iter().copied().collect();
+        let mut left: OnlineStats = data[..37].iter().copied().collect();
+        let right: OnlineStats = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn summary_ci() {
+        let s: OnlineStats = (0..100).map(|i| i as f64).collect();
+        let sum = s.summary();
+        assert!(sum.ci95_half_width() > 0.0);
+        assert!((sum.cv() - sum.stddev / sum.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_diff_cases() {
+        assert_eq!(rel_diff(0.0, 0.0), 0.0);
+        assert!((rel_diff(1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert!((rel_diff(-1.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Welford mean matches the naive mean.
+        #[test]
+        fn mean_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: OnlineStats = xs.iter().copied().collect();
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        }
+
+        /// Variance is non-negative and min <= mean <= max.
+        #[test]
+        fn invariants(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let s: OnlineStats = xs.iter().copied().collect();
+            prop_assert!(s.variance() >= 0.0);
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        /// Merging in any split position agrees with sequential accumulation.
+        #[test]
+        fn merge_any_split(xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+                           split_frac in 0.0f64..1.0) {
+            let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+            let whole: OnlineStats = xs.iter().copied().collect();
+            let mut l: OnlineStats = xs[..split].iter().copied().collect();
+            let r: OnlineStats = xs[split..].iter().copied().collect();
+            l.merge(&r);
+            prop_assert_eq!(l.count(), whole.count());
+            prop_assert!((l.mean() - whole.mean()).abs() < 1e-7);
+            prop_assert!((l.variance() - whole.variance()).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Element-wise activations and the softmax classifier head.
+
+use crate::element::Element;
+use crate::tensor::Tensor;
+
+/// In-place ReLU.
+pub fn relu_inplace<E: Element>(t: &mut Tensor<E>) {
+    for v in t.as_mut_slice() {
+        *v = v.maximum(E::ZERO);
+    }
+}
+
+/// ReLU into a new tensor.
+pub fn relu<E: Element>(t: &Tensor<E>) -> Tensor<E> {
+    let mut out = t.clone();
+    relu_inplace(&mut out);
+    out
+}
+
+/// Numerically-stable softmax over each batch item's flattened features.
+///
+/// Internally computed in f32 (max-subtraction + exp + normalize) with the
+/// output rounded to the element type — matching how FP16 inference stacks
+/// implement their final softmax to avoid exp overflow at |x| > 11.
+pub fn softmax<E: Element>(t: &Tensor<E>) -> Tensor<E> {
+    let shape = t.shape();
+    let mut out = Tensor::<E>::zeros(shape);
+    for n in 0..shape.n {
+        let x = t.item(n);
+        let dst = out.item_mut(n);
+        let max = x.iter().map(|v| v.to_f32()).fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let mut exps = vec![0.0f32; x.len()];
+        for (e, v) in exps.iter_mut().zip(x) {
+            *e = (v.to_f32() - max).exp();
+            sum += *e;
+        }
+        for (d, e) in dst.iter_mut().zip(exps) {
+            *d = E::from_f32(e / sum);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+    use vpu_num::f16;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::<f32>::from_f32_slice(Shape::vector(1, 4), &[-1., 0., 2., -0.5]);
+        assert_eq!(relu(&t).as_slice(), &[0., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn relu_fp16() {
+        let t = Tensor::<f16>::from_f32_slice(Shape::vector(1, 2), &[-3.0, 3.0]);
+        let r = relu(&t);
+        assert_eq!(r.as_slice()[0].to_f32(), 0.0);
+        assert_eq!(r.as_slice()[1].to_f32(), 3.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let t = Tensor::<f32>::from_f32_slice(Shape::vector(2, 3), &[1., 2., 3., -1., 0., 1.]);
+        let s = softmax(&t);
+        for n in 0..2 {
+            let sum: f32 = s.item(n).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone: higher logit -> higher probability.
+        assert!(s.item(0)[2] > s.item(0)[1]);
+        assert!(s.item(0)[1] > s.item(0)[0]);
+    }
+
+    #[test]
+    fn softmax_known_values() {
+        let t = Tensor::<f32>::from_f32_slice(Shape::vector(1, 2), &[0.0, 0.0]);
+        let s = softmax(&t);
+        assert!((s.as_slice()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::<f32>::from_f32_slice(Shape::vector(1, 3), &[1., 2., 3.]);
+        let b = Tensor::<f32>::from_f32_slice(Shape::vector(1, 3), &[101., 102., 103.]);
+        let sa = softmax(&a);
+        let sb = softmax(&b);
+        for (x, y) in sa.as_slice().iter().zip(sb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_fp16_logits() {
+        // exp(30) overflows fp16; max-subtraction keeps it finite.
+        let t = Tensor::<f16>::from_f32_slice(Shape::vector(1, 3), &[30.0, 29.0, -5.0]);
+        let s = softmax(&t);
+        assert!(!s.has_nan());
+        let sum: f32 = s.item(0).iter().map(|v| v.to_f32()).sum();
+        assert!((sum - 1.0).abs() < 1e-2);
+        assert!(s.as_slice()[0].to_f32() > s.as_slice()[1].to_f32());
+    }
+}

@@ -1,0 +1,300 @@
+//! General matrix multiply with selectable accumulation precision.
+//!
+//! `C[M×N] = A[M×K] · B[K×N]`, all row-major. This single kernel backs both
+//! the host reference devices (f32) and the simulated VPU (f16), so the
+//! accumulation behaviour is explicit:
+//!
+//! * [`AccumMode::Widened`] — products and the running sum are kept in f32
+//!   and rounded to the element type once at the end. This is what MKL and
+//!   cuDNN do for f32 (a no-op widening) and what the Myriad 2 VAU does
+//!   when configured for mixed FP16-in / FP32-accumulate arithmetic.
+//! * [`AccumMode::Native`] — every multiply and every add rounds to the
+//!   element type, modelling a pure-FP16 MAC chain. This is the
+//!   worst-case numerics the paper's FP16 experiments probe, and the
+//!   `ablation-accum` experiment compares the two.
+
+use crate::element::Element;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Accumulation precision for dot-product style kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccumMode {
+    /// Accumulate in f32, round once to the storage type at the end.
+    Widened,
+    /// Accumulate in the storage type with per-operation rounding.
+    Native,
+}
+
+impl Default for AccumMode {
+    fn default() -> Self {
+        AccumMode::Widened
+    }
+}
+
+/// Sequential reference GEMM (used by tests to validate the parallel path).
+pub fn gemm_seq<E: Element>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[E],
+    b: &[E],
+    c: &mut [E],
+    mode: AccumMode,
+) {
+    check_dims(m, k, n, a.len(), b.len(), c.len());
+    for i in 0..m {
+        gemm_row(i, k, n, a, b, &mut c[i * n..(i + 1) * n], mode);
+    }
+}
+
+/// Rayon-parallel GEMM over output rows.
+pub fn gemm<E: Element>(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[E],
+    b: &[E],
+    c: &mut [E],
+    mode: AccumMode,
+) {
+    check_dims(m, k, n, a.len(), b.len(), c.len());
+    // Row-parallel: each worker owns a disjoint slice of C, so the result
+    // is bit-identical to the sequential kernel regardless of scheduling.
+    c.par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, row)| gemm_row(i, k, n, a, b, row, mode));
+}
+
+#[inline]
+fn gemm_row<E: Element>(i: usize, k: usize, n: usize, a: &[E], b: &[E], row: &mut [E], mode: AccumMode) {
+    match mode {
+        AccumMode::Widened => {
+            let mut acc = vec![0.0f32; n];
+            for kk in 0..k {
+                let aik = a[i * k + kk].to_f32();
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..kk * n + n];
+                for (s, &bj) in acc.iter_mut().zip(brow) {
+                    *s += aik * bj.to_f32();
+                }
+            }
+            for (dst, s) in row.iter_mut().zip(acc) {
+                *dst = E::from_f32(s);
+            }
+        }
+        AccumMode::Native => {
+            for v in row.iter_mut() {
+                *v = E::ZERO;
+            }
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                let brow = &b[kk * n..kk * n + n];
+                for (s, &bj) in row.iter_mut().zip(brow) {
+                    // One rounding for the product, one for the add — a
+                    // classic non-fused FP16 MAC.
+                    *s += aik * bj;
+                }
+            }
+        }
+    }
+}
+
+fn check_dims(m: usize, k: usize, n: usize, la: usize, lb: usize, lc: usize) {
+    assert_eq!(la, m * k, "A must be {m}x{k}");
+    assert_eq!(lb, k * n, "B must be {k}x{n}");
+    assert_eq!(lc, m * n, "C must be {m}x{n}");
+}
+
+/// Dot product with the same accumulation-mode semantics as [`gemm`].
+pub fn dot<E: Element>(a: &[E], b: &[E], mode: AccumMode) -> E {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    match mode {
+        AccumMode::Widened => {
+            let mut s = 0.0f32;
+            for (&x, &y) in a.iter().zip(b) {
+                s += x.to_f32() * y.to_f32();
+            }
+            E::from_f32(s)
+        }
+        AccumMode::Native => {
+            let mut s = E::ZERO;
+            for (&x, &y) in a.iter().zip(b) {
+                s += x * y;
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpu_num::f16;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn rand_mat(len: usize, seed: u64) -> Vec<f32> {
+        use rand::Rng;
+        let mut rng = vpu_num::rng::seeded(seed);
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn identity_times_matrix() {
+        let n = 4;
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let b = rand_mat(n * n, 1);
+        let mut c = vec![0.0f32; n * n];
+        gemm(n, n, n, &a, &b, &mut c, AccumMode::Widened);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn matches_naive_f64_reference() {
+        let (m, k, n) = (7, 13, 9);
+        let a = rand_mat(m * k, 2);
+        let b = rand_mat(k * n, 3);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c, AccumMode::Widened);
+        let a64: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let b64: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        let expect = naive(m, k, n, &a64, &b64);
+        for (x, y) in c.iter().zip(expect) {
+            assert!((*x as f64 - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (m, k, n) = (33, 17, 21);
+        let a = rand_mat(m * k, 4);
+        let b = rand_mat(k * n, 5);
+        let mut cp = vec![0.0f32; m * n];
+        let mut cs = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut cp, AccumMode::Widened);
+        gemm_seq(m, k, n, &a, &b, &mut cs, AccumMode::Widened);
+        assert_eq!(cp, cs);
+    }
+
+    #[test]
+    fn fp16_native_vs_widened_differ_in_last_bits() {
+        let (m, k, n) = (4, 256, 4);
+        let a: Vec<f16> = rand_mat(m * k, 6).iter().map(|&x| f16::from_f32(x)).collect();
+        let b: Vec<f16> = rand_mat(k * n, 7).iter().map(|&x| f16::from_f32(x)).collect();
+        let mut cw = vec![f16::ZERO; m * n];
+        let mut cn = vec![f16::ZERO; m * n];
+        gemm(m, k, n, &a, &b, &mut cw, AccumMode::Widened);
+        gemm(m, k, n, &a, &b, &mut cn, AccumMode::Native);
+        // Results must agree coarsely but differ in low bits somewhere —
+        // proving per-op rounding actually happens.
+        let mut any_diff = false;
+        for (w, nn) in cw.iter().zip(&cn) {
+            assert!((w.to_f32() - nn.to_f32()).abs() < 0.2, "{w:?} vs {nn:?}");
+            if w.to_bits() != nn.to_bits() {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff, "expected rounding differences between accumulation modes");
+    }
+
+    #[test]
+    fn fp16_widened_matches_f32_then_round() {
+        let (m, k, n) = (3, 32, 5);
+        let af = rand_mat(m * k, 8);
+        let bf = rand_mat(k * n, 9);
+        let ah: Vec<f16> = af.iter().map(|&x| f16::from_f32(x)).collect();
+        let bh: Vec<f16> = bf.iter().map(|&x| f16::from_f32(x)).collect();
+        // f32 GEMM on the widened fp16 values, rounded once.
+        let aw: Vec<f32> = ah.iter().map(|h| h.to_f32()).collect();
+        let bw: Vec<f32> = bh.iter().map(|h| h.to_f32()).collect();
+        let mut cf = vec![0.0f32; m * n];
+        gemm(m, k, n, &aw, &bw, &mut cf, AccumMode::Widened);
+        let mut ch = vec![f16::ZERO; m * n];
+        gemm(m, k, n, &ah, &bh, &mut ch, AccumMode::Widened);
+        for (h, f) in ch.iter().zip(cf) {
+            assert_eq!(h.to_bits(), f16::from_f32(f).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_modes() {
+        let a: Vec<f16> = (0..100).map(|i| f16::from_f32(0.01 * i as f32)).collect();
+        let b: Vec<f16> = (0..100).map(|_| f16::from_f32(0.1)).collect();
+        let w = dot(&a, &b, AccumMode::Widened).to_f32();
+        let n = dot(&a, &b, AccumMode::Native).to_f32();
+        let exact: f32 = (0..100).map(|i| 0.01 * i as f32 * 0.1).sum();
+        assert!((w - exact).abs() < 0.05);
+        assert!((n - exact).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be")]
+    fn dimension_check() {
+        let mut c = vec![0.0f32; 4];
+        gemm(2, 2, 2, &[0.0; 3], &[0.0; 4], &mut c, AccumMode::Widened);
+    }
+
+    #[test]
+    fn empty_k_gives_zero() {
+        let mut c = vec![1.0f32; 4];
+        gemm(2, 0, 2, &[], &[], &mut c, AccumMode::Widened);
+        assert_eq!(c, vec![0.0; 4]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// GEMM is linear in A: gemm(2A, B) == 2 * gemm(A, B).
+        #[test]
+        fn linearity(m in 1usize..6, k in 1usize..8, n in 1usize..6, seed in 0u64..1000) {
+            use rand::Rng;
+            let mut rng = vpu_num::rng::seeded(seed);
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let a2: Vec<f32> = a.iter().map(|x| 2.0 * x).collect();
+            let mut c1 = vec![0.0f32; m * n];
+            let mut c2 = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut c1, AccumMode::Widened);
+            gemm(m, k, n, &a2, &b, &mut c2, AccumMode::Widened);
+            for (x, y) in c1.iter().zip(&c2) {
+                prop_assert!((2.0 * x - y).abs() < 1e-4);
+            }
+        }
+
+        /// Parallel and sequential kernels agree bit-for-bit for any size.
+        #[test]
+        fn par_seq_agree(m in 1usize..12, k in 0usize..16, n in 1usize..12, seed in 0u64..1000) {
+            use rand::Rng;
+            let mut rng = vpu_num::rng::seeded(seed);
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mut cp = vec![0.0f32; m * n];
+            let mut cs = vec![0.0f32; m * n];
+            gemm(m, k, n, &a, &b, &mut cp, AccumMode::Widened);
+            gemm_seq(m, k, n, &a, &b, &mut cs, AccumMode::Widened);
+            prop_assert_eq!(cp, cs);
+        }
+    }
+}

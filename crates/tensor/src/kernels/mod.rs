@@ -1,0 +1,9 @@
+//! Compute kernels: the full operator set GoogLeNet inference needs.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod gemm;
+pub mod im2col;
+pub mod lrn;
+pub mod pool;

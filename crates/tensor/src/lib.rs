@@ -1,0 +1,29 @@
+//! Tensor containers and compute kernels for the VPU reproduction.
+//!
+//! The crate is deliberately small and self-contained: NCHW dense tensors
+//! over a precision-generic [`Element`] type (f32 on the host devices, the
+//! software [`vpu_num::f16`] on the simulated Myriad 2), plus the exact set
+//! of kernels GoogLeNet needs — im2col + blocked GEMM convolution, max/avg
+//! pooling (with Caffe's ceil-mode), cross-channel LRN, fully-connected,
+//! ReLU and softmax.
+//!
+//! Two design points matter for the experiments:
+//!
+//! * **Precision honesty.** The FP16 path stores *and* computes in binary16
+//!   with per-operation rounding (the [`kernels::gemm::AccumMode`] ablation
+//!   exposes FP32 accumulation as the alternative the Myriad's VAU can also
+//!   do). The FP32-vs-FP16 deltas in the paper's Fig. 7 fall out of real
+//!   arithmetic, not injected noise.
+//! * **Host parallelism.** The f32 kernels are rayon-parallel blocked
+//!   implementations, which is what stands in for Caffe-MKL in the CPU
+//!   reference device.
+
+pub mod element;
+pub mod kernels;
+pub mod shape;
+pub mod tensor;
+
+pub use element::Element;
+pub use kernels::gemm::AccumMode;
+pub use shape::Shape;
+pub use tensor::Tensor;

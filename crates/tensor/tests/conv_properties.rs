@@ -1,0 +1,82 @@
+//! Property tests: the production im2col+GEMM convolution agrees with
+//! the naive direct reference for arbitrary geometries, and the kernel
+//! algebra holds (linearity, translation of identity kernels).
+
+use proptest::prelude::*;
+use rand::Rng;
+use vpu_tensor::kernels::conv::{conv2d, conv2d_direct_reference, ConvParams};
+use vpu_tensor::kernels::gemm::AccumMode;
+use vpu_tensor::{Shape, Tensor};
+
+fn rand_tensor(shape: Shape, seed: u64) -> Tensor<f32> {
+    let mut rng = vpu_num::rng::seeded(seed);
+    Tensor::from_fn(shape, |_, _, _, _| rng.gen_range(-1.0..1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// im2col+GEMM == direct convolution for every geometry.
+    #[test]
+    fn gemm_conv_matches_direct(
+        ic in 1usize..4,
+        oc in 1usize..5,
+        hw in 3usize..10,
+        k in prop::sample::select(vec![1usize, 3]),
+        stride in 1usize..3,
+        pad in 0usize..2,
+        batch in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let input = rand_tensor(Shape::new(batch, ic, hw, hw), seed);
+        let p = ConvParams::new(oc, k, stride, pad);
+        let w = rand_tensor(Shape::vector(1, p.weight_len(ic)), seed + 1).into_vec();
+        let b = rand_tensor(Shape::vector(1, oc), seed + 2).into_vec();
+        let fast = conv2d(&input, &w, &b, &p, AccumMode::Widened, false);
+        let slow = conv2d_direct_reference(&input, &w, &b, &p);
+        prop_assert_eq!(fast.shape(), slow.shape());
+        for (a, e) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((a - e).abs() < 1e-4, "{a} vs {e}");
+        }
+    }
+
+    /// Convolution is linear in the input: conv(2x) == 2*conv(x) with
+    /// zero bias.
+    #[test]
+    fn conv_is_linear_in_input(
+        ic in 1usize..3,
+        oc in 1usize..4,
+        hw in 4usize..8,
+        seed in 0u64..1000,
+    ) {
+        let input = rand_tensor(Shape::new(1, ic, hw, hw), seed);
+        let doubled = input.map(|v| v * 2.0);
+        let p = ConvParams::new(oc, 3, 1, 1);
+        let w = rand_tensor(Shape::vector(1, p.weight_len(ic)), seed + 9).into_vec();
+        let zero_bias = vec![0.0f32; oc];
+        let y1 = conv2d(&input, &w, &zero_bias, &p, AccumMode::Widened, false);
+        let y2 = conv2d(&doubled, &w, &zero_bias, &p, AccumMode::Widened, false);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Fused ReLU equals conv-then-clamp.
+    #[test]
+    fn fused_relu_equals_postclamp(
+        ic in 1usize..3,
+        hw in 4usize..8,
+        seed in 0u64..1000,
+    ) {
+        let input = rand_tensor(Shape::new(1, ic, hw, hw), seed);
+        let p = ConvParams::new(3, 3, 1, 1);
+        let w = rand_tensor(Shape::vector(1, p.weight_len(ic)), seed + 3).into_vec();
+        let b = rand_tensor(Shape::vector(1, 3), seed + 4).into_vec();
+        let fused = conv2d(&input, &w, &b, &p, AccumMode::Widened, true);
+        let raw = conv2d(&input, &w, &b, &p, AccumMode::Widened, false);
+        for (f, r) in fused.as_slice().iter().zip(raw.as_slice()) {
+            prop_assert_eq!(*f, r.max(0.0));
+        }
+    }
+}

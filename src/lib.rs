@@ -1,0 +1,28 @@
+//! Umbrella crate for the VPU co-processor reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests read naturally. See the README for the map:
+//!
+//! * [`num`] — software binary16, statistics, seeded RNG streams
+//! * [`tensor`] — NCHW tensors and CNN kernels
+//! * [`nn`] — network graphs, GoogLeNet topologies, execution
+//! * [`sim`] — the discrete-event simulation kernel
+//! * [`vpu`] — the Myriad 2 architecture model
+//! * [`platform`] — the Neural Compute Stick platform + NCAPI
+//! * [`hosts`] — the CPU/GPU reference device models
+//! * [`data`] — the synthetic ILSVRC-2012 pipeline
+//! * [`framework`] — NCSw: sources, targets, the multi-VPU pipeline
+//! * [`mdk`] — general-purpose offload (LAMA-style GEMM with CMX tiling)
+//! * [`experiments`] — the per-figure experiment harness
+
+pub use desim as sim;
+pub use mdk;
+pub use hostsim as hosts;
+pub use ilsvrc_sim as data;
+pub use myriad2 as vpu;
+pub use ncs_platform as platform;
+pub use ncsw as framework;
+pub use vpu_bench as experiments;
+pub use vpu_nn as nn;
+pub use vpu_num as num;
+pub use vpu_tensor as tensor;

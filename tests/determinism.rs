@@ -1,0 +1,83 @@
+//! Reproducibility: every experiment must be bit-identical across runs.
+//!
+//! The whole point of driving the devices from virtual time and seeded
+//! RNG streams is that `cargo run -- fig6a` prints the same numbers on
+//! every machine, every time. These tests re-run representative slices
+//! of the stack twice and require exact equality.
+
+use std::sync::Arc;
+use vpu_coprocessor::data::{pseudo_train, DatasetConfig, ValidationSet};
+use vpu_coprocessor::framework::multivpu::{MultiVpu, MultiVpuConfig};
+use vpu_coprocessor::framework::runner::predictions_fp16;
+use vpu_coprocessor::framework::{ImageFolder, IntelCpu, ModelBundle, TargetDevice};
+use vpu_coprocessor::nn::googlenet::Variant;
+
+#[test]
+fn dataset_and_training_are_bit_identical() {
+    let build = || {
+        let spec = Arc::new(Variant::Tiny.build());
+        let cfg = DatasetConfig::ilsvrc_like(10, 50, Variant::Tiny.input_shape(), 5);
+        let set = ValidationSet::new(cfg);
+        let w = pseudo_train(&spec, set.generator(), 5);
+        (set.image(17).pixels, w)
+    };
+    let (img_a, w_a) = build();
+    let (img_b, w_b) = build();
+    assert_eq!(img_a, img_b);
+    assert_eq!(w_a, w_b);
+}
+
+#[test]
+fn fp16_predictions_are_bit_identical_across_runs() {
+    let run = || {
+        let spec = Arc::new(Variant::Tiny.build());
+        let mut cfg = DatasetConfig::ilsvrc_like(10, 30, Variant::Tiny.input_shape(), 5);
+        cfg.sigma = 0.3;
+        let set = Arc::new(ValidationSet::new(cfg));
+        let w = pseudo_train(&spec, set.generator(), 5);
+        let model = ModelBundle::deploy(spec, w);
+        predictions_fp16(&model, &ImageFolder::new(set, 0))
+            .iter()
+            .map(|p| (p.predicted, p.confidence.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn pipeline_timing_is_bit_identical_across_runs() {
+    let run = || {
+        let model = ModelBundle::googlenet_untrained(Variant::Full, 3);
+        let mut mv = MultiVpu::new(MultiVpuConfig::paper_testbed(4), &model);
+        mv.run_pipeline(16).result_times
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn host_target_reports_are_bit_identical() {
+    let run = || {
+        let model = ModelBundle::googlenet_untrained(Variant::Full, 3);
+        let mut cpu = IntelCpu::new(model);
+        let r = cpu.run_throughput(32, 8);
+        (r.wall, r.samples.mean.to_bits(), r.samples.stddev.to_bits())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_change_results() {
+    let preds = |seed: u64| {
+        let spec = Arc::new(Variant::Tiny.build());
+        let mut cfg = DatasetConfig::ilsvrc_like(10, 30, Variant::Tiny.input_shape(), seed);
+        cfg.sigma = 0.3;
+        let set = Arc::new(ValidationSet::new(cfg));
+        let w = pseudo_train(&spec, set.generator(), seed);
+        let model = ModelBundle::deploy(spec, w);
+        predictions_fp16(&model, &ImageFolder::new(set, 0))
+            .iter()
+            .map(|p| p.confidence.to_bits())
+            .collect::<Vec<_>>()
+    };
+    assert_ne!(preds(1), preds(2), "seeds must matter");
+}

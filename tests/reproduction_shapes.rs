@@ -1,0 +1,100 @@
+//! Reproduction acceptance tests: the qualitative *shape* of every
+//! figure must hold at CI scale (DESIGN.md §5 fidelity targets).
+//!
+//! These run the actual experiment harness (tiny scale) and assert the
+//! relations the paper's conclusions rest on — who wins, by roughly what
+//! factor, where crossovers fall.
+
+use vpu_coprocessor::experiments::{ablations, anchors, fig6, fig7, fig8, timeline, Scale};
+
+#[test]
+fn headline_every_anchor_within_8_percent() {
+    let a = anchors::anchors(Scale::Tiny);
+    assert!(
+        a.worst_deviation() < 0.08,
+        "worst anchor deviation {:.1}%",
+        a.worst_deviation() * 100.0
+    );
+}
+
+#[test]
+fn fig6a_vpu_matches_gpu_and_beats_cpu() {
+    let r = fig6::fig6a(Scale::Tiny);
+    let get = |n: &str| {
+        r.series
+            .iter()
+            .find(|s| s.target == n)
+            .map(|s| s.mean_img_per_sec())
+            .unwrap()
+    };
+    let (cpu, gpu, vpu) = (get("cpu"), get("gpu"), get("vpu"));
+    // "a multi-VPU configuration provides similar performance compared to
+    // reference CPU and GPU implementations" — VPU ~ GPU, both >> CPU.
+    assert!((vpu - gpu).abs() / gpu < 0.15, "vpu {vpu} vs gpu {gpu}");
+    assert!(vpu / cpu > 1.4, "vpu {vpu} vs cpu {cpu}");
+}
+
+#[test]
+fn fig6b_scaling_ordering() {
+    let r = fig6::fig6b(Scale::Tiny);
+    let at8 = |n: &str| {
+        r.series
+            .iter()
+            .find(|s| s.target == n)
+            .map(|s| s.normalized.last().unwrap().1)
+            .unwrap()
+    };
+    // Near-ideal VPU scaling, GPU ~2x, CPU flat.
+    assert!(at8("vpu") > 6.8);
+    assert!(at8("gpu") < 2.2 && at8("gpu") > 1.6);
+    assert!(at8("cpu") < 1.3);
+}
+
+#[test]
+fn fig7_fp16_is_negligibly_different() {
+    let r = fig7::fig7(Scale::Tiny);
+    let gap = (r.mean_cpu_error() - r.mean_vpu_error()).abs();
+    assert!(gap < 0.05, "fp32/fp16 error gap {gap}");
+    let cd = r.mean_conf_diff();
+    assert!(cd > 0.0 && cd < 0.02, "confidence diff {cd}");
+}
+
+#[test]
+fn fig8a_power_efficiency_ordering() {
+    let r = fig8::fig8a(Scale::Tiny);
+    let vpu = r.series.iter().find(|s| s.target == "vpu").unwrap().points[0].2;
+    let gpu = r.series.iter().find(|s| s.target == "gpu").unwrap().points.last().unwrap().2;
+    let cpu = r.series.iter().find(|s| s.target == "cpu").unwrap().points.last().unwrap().2;
+    // "over 3x higher" throughput/W.
+    assert!(vpu / gpu > 3.0, "vpu/gpu {}", vpu / gpu);
+    assert!(vpu / cpu > 6.0, "vpu/cpu {}", vpu / cpu);
+}
+
+#[test]
+fn fig8b_projection_crossovers() {
+    let r = fig8::fig8b(Scale::Tiny);
+    let max = |n: &str| {
+        r.series
+            .iter()
+            .find(|s| s.target == n)
+            .map(|s| s.simulated.iter().map(|&(_, v)| v).fold(0.0, f64::max))
+            .unwrap()
+    };
+    // 16-stick VPU ≈ 3.4x CPU, ≈ 1.9x GPU (paper §V).
+    assert!((2.8..4.0).contains(&(max("vpu") / max("cpu"))));
+    assert!((1.6..2.2).contains(&(max("vpu") / max("gpu"))));
+}
+
+#[test]
+fn fig4_timeline_overlaps() {
+    let t = timeline::timeline_with(4, 8);
+    assert!(t.overlap_fraction > 0.6, "devices must overlap: {}", t.overlap_fraction);
+}
+
+#[test]
+fn ablations_tell_a_consistent_story() {
+    let usb = ablations::ablation_usb(Scale::Tiny);
+    assert!(usb.rows[0].1 >= usb.rows[2].1, "root ports can't be slower than one hub");
+    let shave = ablations::ablation_shave();
+    assert!(shave.rows.last().unwrap().2 / shave.rows[0].2 > 8.0, "SHAVE scaling");
+}

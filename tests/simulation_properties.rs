@@ -1,0 +1,114 @@
+//! Property-based tests over the cross-crate simulation invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vpu_coprocessor::framework::multivpu::{MultiVpu, MultiVpuConfig};
+use vpu_coprocessor::framework::ModelBundle;
+use vpu_coprocessor::nn::googlenet::Variant;
+use vpu_coprocessor::nn::graph::CompiledNetwork;
+use vpu_coprocessor::nn::{init, NetBuilder};
+use vpu_coprocessor::num::f16;
+use vpu_coprocessor::tensor::kernels::gemm::AccumMode;
+use vpu_coprocessor::tensor::{Shape, Tensor};
+
+/// Build a random small conv net from proptest-chosen parameters.
+fn random_net(oc1: usize, k: usize, classes: usize) -> Arc<vpu_coprocessor::nn::NetworkSpec> {
+    let mut b = NetBuilder::new("prop", Shape::chw(3, 12, 12));
+    let x = b.input();
+    let c = b.conv("c1", x, oc1, k, 1, k / 2, true);
+    let p = b.max_pool("p1", c, 2, 2, 0);
+    let d = b.dense("fc", p, classes);
+    b.softmax("prob", d);
+    Arc::new(b.build())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FP16 inference stays within a bounded distance of FP32 for any
+    /// small network and any bounded input — the Fig. 7 claim as an
+    /// invariant.
+    #[test]
+    fn fp16_drift_is_bounded(
+        oc1 in 2usize..6,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+        classes in 2usize..8,
+        fill in -0.5f32..0.5,
+        seed in 0u64..500,
+    ) {
+        let spec = random_net(oc1, k, classes);
+        let w = init::xavier(&spec, seed);
+        let n32 = CompiledNetwork::<f32>::compile(spec.clone(), &w, AccumMode::Widened);
+        let n16 = CompiledNetwork::<f16>::compile(spec, &w, AccumMode::Native);
+        let input = Tensor::<f32>::full(Shape::chw(3, 12, 12), fill);
+        let o32 = n32.forward(&input);
+        let o16 = n16.forward(&input.quantize_fp16());
+        prop_assert!(!o32.has_nan());
+        prop_assert!(!o16.has_nan());
+        let drift: f32 = o32
+            .as_slice()
+            .iter()
+            .zip(o16.as_slice())
+            .map(|(a, b)| (a - b.to_f32()).abs())
+            .fold(0.0, f32::max);
+        prop_assert!(drift < 0.05, "max probability drift {drift}");
+        // Probabilities stay a distribution at both precisions.
+        let s32: f32 = o32.as_slice().iter().sum();
+        prop_assert!((s32 - 1.0).abs() < 1e-4);
+    }
+
+    /// Softmax output is always a probability distribution, regardless
+    /// of the logits the trunk produced.
+    #[test]
+    fn outputs_are_distributions(
+        oc1 in 2usize..5,
+        classes in 2usize..6,
+        seed in 0u64..500,
+        pixel in -1.0f32..1.0,
+    ) {
+        let spec = random_net(oc1, 3, classes);
+        let w = init::xavier(&spec, seed);
+        let net = CompiledNetwork::<f32>::compile(spec, &w, AccumMode::Widened);
+        let out = net.forward(&Tensor::full(Shape::chw(3, 12, 12), pixel));
+        let sum: f32 = out.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Multi-VPU throughput is monotone in fleet size and never beats
+    /// ideal linear scaling.
+    #[test]
+    fn fleet_scaling_is_monotone_and_subideal(count in 2usize..5) {
+        let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
+        let single = {
+            let mut mv = MultiVpu::new(MultiVpuConfig::paper_testbed(1), &model);
+            mv.run_pipeline(6).images_per_sec()
+        };
+        let multi = {
+            let mut mv = MultiVpu::new(MultiVpuConfig::paper_testbed(count), &model);
+            mv.run_pipeline(6 * count).images_per_sec()
+        };
+        prop_assert!(multi > single * (count as f64) * 0.85, "poor scaling: {multi} vs {single}x{count}");
+        prop_assert!(multi <= single * (count as f64) * 1.02, "superlinear scaling is impossible");
+    }
+
+    /// Results always come back in per-device FIFO order, whatever the
+    /// fleet size and image count.
+    #[test]
+    fn fifo_order_always_holds(devices in 1usize..5, per_dev in 1usize..4) {
+        let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
+        let count = devices * per_dev;
+        let mut mv = MultiVpu::new(MultiVpuConfig::paper_testbed(devices), &model);
+        let run = mv.run_pipeline(count);
+        for d in 0..devices {
+            let times: Vec<_> = (d..count).step_by(devices).map(|i| run.result_times[i]).collect();
+            for w in times.windows(2) {
+                prop_assert!(w[1] > w[0], "device {d} results out of order");
+            }
+        }
+    }
+}

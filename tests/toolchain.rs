@@ -1,0 +1,79 @@
+//! Integration: the deployment toolchain — prototxt in, classified
+//! result out of a simulated stick, numerics preserved at every step.
+
+use std::sync::Arc;
+use vpu_coprocessor::framework::ModelBundle;
+use vpu_coprocessor::nn::graph::CompiledNetwork;
+use vpu_coprocessor::nn::{googlenet, init, optimize, prototxt};
+use vpu_coprocessor::num::f16;
+use vpu_coprocessor::platform::graphfile;
+use vpu_coprocessor::tensor::kernels::gemm::AccumMode;
+use vpu_coprocessor::tensor::{Shape, Tensor};
+
+#[test]
+fn prototxt_to_graphfile_preserves_numerics() {
+    // Emit GoogLeNet-tiny as prototxt, re-parse, optimize, compile to the
+    // binary graph format, reload — inference must match the fp16 result
+    // of the original spec bit for bit.
+    let spec = Arc::new(googlenet::tiny());
+    let weights = init::xavier(&spec, 5);
+    let input = Tensor::<f32>::full(Shape::chw(3, 32, 32), 0.15).quantize_fp16();
+    let reference = CompiledNetwork::<f16>::compile(spec.clone(), &weights, AccumMode::Native)
+        .forward(&input);
+
+    let text = prototxt::emit(&spec);
+    let parsed = prototxt::parse(&text).expect("parse");
+    let (opt, stats) = optimize::optimize(&parsed);
+    // The emitted graph was already fused; passes must be no-ops.
+    assert_eq!(stats.relus_fused, 0);
+    let opt = Arc::new(opt);
+    let blob = graphfile::compile(&opt, &weights);
+    let reloaded = graphfile::parse(&blob).expect("graph file").to_weights();
+    let out = CompiledNetwork::<f16>::compile(opt, &reloaded, AccumMode::Native).forward(&input);
+    assert_eq!(out, reference);
+}
+
+#[test]
+fn unfused_prototxt_optimizes_to_equivalent_network() {
+    let text = r#"
+name: "m"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 16
+input_dim: 16
+layer { name: "c1" type: "Convolution" bottom: "data" top: "c1"
+        convolution_param { num_output: 6 kernel_size: 3 pad: 1 } }
+layer { name: "r1" type: "ReLU" bottom: "c1" top: "c1" }
+layer { name: "p1" type: "Pooling" bottom: "r1" top: "p1"
+        pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+layer { name: "fc" type: "InnerProduct" bottom: "p1" top: "fc"
+        inner_product_param { num_output: 4 } }
+layer { name: "prob" type: "Softmax" bottom: "fc" top: "prob" }
+"#;
+    let spec = Arc::new(prototxt::parse(text).expect("parse"));
+    let weights = init::xavier(&spec, 9);
+    let (opt, stats) = optimize::optimize(&spec);
+    assert_eq!(stats.relus_fused, 1);
+    let opt = Arc::new(opt);
+    let input = Tensor::<f32>::from_fn(Shape::chw(3, 16, 16), |_, c, h, w| {
+        (c as f32 - h as f32 * 0.1 + w as f32 * 0.05) * 0.2
+    });
+    let a = CompiledNetwork::<f32>::compile(spec, &weights, AccumMode::Widened).forward(&input);
+    let b = CompiledNetwork::<f32>::compile(opt, &weights, AccumMode::Widened).forward(&input);
+    assert_eq!(a, b, "compiler passes must be numerically exact");
+}
+
+#[test]
+fn graph_file_size_drives_device_memory_accounting() {
+    // The ModelBundle's fp16 cost and the actual compiled blob agree on
+    // the payload the USB link and DDR see.
+    let spec = Arc::new(googlenet::tiny());
+    let weights = init::xavier(&spec, 2);
+    let blob = graphfile::compile(&spec, &weights);
+    let model = ModelBundle::deploy(spec, weights);
+    let payload = model.cost16.total_weight_bytes() as usize;
+    // Blob = payload + header/metadata (< 2 KB for this net) + checksum.
+    assert!(blob.len() > payload);
+    assert!(blob.len() < payload + 2048, "metadata overhead too large");
+}
