@@ -1,0 +1,200 @@
+//! Offline stand-in for the `bytes` crate: just enough of `Bytes` /
+//! `BytesMut` / `Buf` / `BufMut` for the NCS graph-file codec. `Bytes` is a
+//! plain `Vec<u8>` plus a read cursor (no refcounted slices — callers here
+//! never share buffers).
+
+/// Read-side cursor operations.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off and return the first `at` unread bytes, advancing `self`
+    /// past them.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to past end of buffer");
+        let head = self.data[self.pos..self.pos + at].to_vec();
+        self.pos += at;
+        Bytes::from_vec(head)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes::from_vec(data)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        self.pos += cnt;
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut w = BytesMut::new();
+        w.put_u16_le(0xBEEF);
+        w.put_u32_le(0xDEAD_CAFE);
+        w.put_u64_le(42);
+        w.put_slice(b"xyz");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 2 + 4 + 8 + 3);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_CAFE);
+        assert_eq!(r.get_u64_le(), 42);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+}

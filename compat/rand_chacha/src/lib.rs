@@ -1,0 +1,153 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha stream cipher used as
+//! a deterministic RNG. Only the generators the workspace uses are provided
+//! (`ChaCha8Rng`, plus `ChaCha12Rng`/`ChaCha20Rng` for completeness). The
+//! keystream is genuine RFC-7539-layout ChaCha; it is deterministic per seed
+//! but not guaranteed bit-identical to upstream `rand_chacha`.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// ChaCha quarter round.
+#[inline(always)]
+fn qr(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8, 12 or 20).
+fn block(input: &[u32; 16], rounds: u32) -> [u32; 16] {
+    let mut s = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        qr(&mut s, 0, 4, 8, 12);
+        qr(&mut s, 1, 5, 9, 13);
+        qr(&mut s, 2, 6, 10, 14);
+        qr(&mut s, 3, 7, 11, 15);
+        // Diagonal round.
+        qr(&mut s, 0, 5, 10, 15);
+        qr(&mut s, 1, 6, 11, 12);
+        qr(&mut s, 2, 7, 8, 13);
+        qr(&mut s, 3, 4, 9, 14);
+    }
+    for (out, inp) in s.iter_mut().zip(input.iter()) {
+        *out = out.wrapping_add(*inp);
+    }
+    s
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            /// Cipher state: constants, 8 key words, 64-bit block counter,
+            /// 64-bit stream id (always 0 here).
+            state: [u32; 16],
+            /// Current keystream block.
+            buf: [u32; 16],
+            /// Next unread word index in `buf`; 16 forces a refill.
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buf = block(&self.state, $rounds);
+                // 64-bit counter in words 12..14.
+                let ctr = (self.state[12] as u64 | (self.state[13] as u64) << 32).wrapping_add(1);
+                self.state[12] = ctr as u32;
+                self.state[13] = (ctr >> 32) as u32;
+                self.idx = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CONSTANTS);
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name { state, buf: [0; 16], idx: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds: fast, used for simulation streams.");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds (full-strength).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn rfc7539_block_vector() {
+        // RFC 7539 §2.3.2 test vector (20 rounds, counter=1, nonce set).
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        for i in 0..8 {
+            let b = [4 * i as u8, 4 * i as u8 + 1, 4 * i as u8 + 2, 4 * i as u8 + 3];
+            input[4 + i] = u32::from_le_bytes(b);
+        }
+        input[12] = 1;
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let out = block(&input, 20);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "{same} collisions in 64 draws");
+    }
+
+    #[test]
+    fn floats_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.r#gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

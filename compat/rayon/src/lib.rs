@@ -1,0 +1,68 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The container building this workspace has no crates.io access, so the
+//! `par_*` entry points used by the kernels are provided here as *sequential*
+//! adapters: each returns the corresponding `std` iterator, so every
+//! downstream adapter chain (`.enumerate()`, `.map()`, `.for_each()`,
+//! `.collect()`, …) compiles and runs unchanged, just on one thread.
+//! Sequential execution is also bit-deterministic, which the reproduction
+//! prefers anyway; the real rayon can be restored by deleting this shim once
+//! a registry is reachable.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceOps};
+}
+
+/// `into_par_iter()` for owned collections and ranges — sequential fallback.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// Slice-level `par_*` entry points — sequential fallbacks.
+pub trait ParallelSliceOps {
+    type Item;
+
+    fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, Self::Item>;
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, Self::Item>;
+}
+
+impl<T> ParallelSliceOps for [T] {
+    type Item = T;
+
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(size)
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_compile_and_agree_with_sequential() {
+        let doubled: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+
+        let mut buf = [0u32; 8];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2, 3, 3]);
+
+        let sum: u32 = buf.par_iter().sum();
+        assert_eq!(sum, 12);
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace ships a
+//! self-contained (de)serialization facade under the same crate name. Instead
+//! of upstream serde's visitor architecture, everything round-trips through a
+//! JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] — `fn to_value(&self) -> Value`;
+//! * [`Deserialize`] — `fn from_value(&Value) -> Result<Self, Error>`;
+//! * `#[derive(Serialize, Deserialize)]` — provided by the sibling
+//!   `serde_derive` proc-macro crate (enabled via the `derive` feature),
+//!   covering named/tuple/unit structs, generics, `#[serde(transparent)]`,
+//!   and externally-tagged enums with unit/tuple/struct variants, i.e. the
+//!   serde JSON conventions this workspace relies on.
+//!
+//! The sibling `serde_json` crate prints/parses `Value` as real JSON text.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-like data model every type serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers parse into this variant.
+    U64(u64),
+    /// Negative integers parse into this variant.
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map — field order is preserved so serialized
+    /// output is stable and deterministic.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Map lookup by key (linear scan: maps here are field lists).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Short description of the variant for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// (De)serialization error: a message plus nothing else — good enough for
+/// the workspace's diagnostics.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch a required struct field out of a serialized map (derive helper).
+pub fn map_get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, Error> {
+    v.get(key).ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+fn wrong_type(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match *v {
+                    Value::U64(u) => u,
+                    Value::I64(i) if i >= 0 => i as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => f as u64,
+                    ref other => return Err(wrong_type("unsigned integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::U64(i as u64) } else { Value::I64(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match *v {
+                    Value::I64(i) => i,
+                    Value::U64(u) => i64::try_from(u).map_err(|_| Error::custom("integer out of range"))?,
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.3e18 => f as i64,
+                    ref other => return Err(wrong_type("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(u) => Ok(u as $t),
+                    Value::I64(i) => Ok(i as $t),
+                    // JSON has no NaN/Inf literal; serializers emit null.
+                    Value::Null => Ok(<$t>::NAN),
+                    ref other => Err(wrong_type("float", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(wrong_type("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| wrong_type("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| wrong_type("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq().ok_or_else(|| wrong_type("sequence", v))?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Deserialize::from_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|items| Error::custom(format!("expected {N} elements, found {}", items.len())))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident / $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            #[allow(non_snake_case)]
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_seq() {
+                    Some([$($t),+]) => Ok(($($t::from_value($t)?,)+)),
+                    _ => Err(wrong_type("fixed-size sequence", v)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| wrong_type("map", v))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<u8> = Deserialize::from_value(&vec![1u8, 2, 3].to_value()).unwrap();
+        assert_eq!(v, [1, 2, 3]);
+    }
+
+    #[test]
+    fn cross_variant_numerics() {
+        // Integers written as U64 must deserialize into signed/float slots.
+        assert_eq!(i64::from_value(&Value::U64(9)).unwrap(), 9);
+        assert_eq!(f32::from_value(&Value::U64(9)).unwrap(), 9.0);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+}

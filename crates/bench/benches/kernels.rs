@@ -37,15 +37,21 @@ fn bench_gemm(c: &mut Criterion) {
         g.throughput(Throughput::Elements((n * n * n) as u64));
         g.bench_with_input(BenchmarkId::new("f32-widened", n), &n, |bench, &n| {
             let mut out = vec![0.0f32; n * n];
-            bench.iter(|| gemm(n, n, n, black_box(&a32), black_box(&b32), &mut out, AccumMode::Widened));
+            bench.iter(|| {
+                gemm(n, n, n, black_box(&a32), black_box(&b32), &mut out, AccumMode::Widened)
+            });
         });
         g.bench_with_input(BenchmarkId::new("f16-native", n), &n, |bench, &n| {
             let mut out = vec![f16::ZERO; n * n];
-            bench.iter(|| gemm(n, n, n, black_box(&a16), black_box(&b16), &mut out, AccumMode::Native));
+            bench.iter(|| {
+                gemm(n, n, n, black_box(&a16), black_box(&b16), &mut out, AccumMode::Native)
+            });
         });
         g.bench_with_input(BenchmarkId::new("f16-widened", n), &n, |bench, &n| {
             let mut out = vec![f16::ZERO; n * n];
-            bench.iter(|| gemm(n, n, n, black_box(&a16), black_box(&b16), &mut out, AccumMode::Widened));
+            bench.iter(|| {
+                gemm(n, n, n, black_box(&a16), black_box(&b16), &mut out, AccumMode::Widened)
+            });
         });
     }
     g.finish();
@@ -54,11 +60,11 @@ fn bench_gemm(c: &mut Criterion) {
 fn bench_conv(c: &mut Criterion) {
     let mut g = c.benchmark_group("conv2d");
     // GoogLeNet-like geometries at reduced extents.
-    for &(ic, oc, hw, k, pad) in &[(3usize, 16usize, 32usize, 3usize, 1usize), (16, 32, 16, 3, 1), (32, 32, 16, 1, 0)] {
-        let input = Tensor::<f32>::from_f32_slice(
-            Shape::chw(ic, hw, hw),
-            &rand_vec(ic * hw * hw, 3),
-        );
+    for &(ic, oc, hw, k, pad) in
+        &[(3usize, 16usize, 32usize, 3usize, 1usize), (16, 32, 16, 3, 1), (32, 32, 16, 1, 0)]
+    {
+        let input =
+            Tensor::<f32>::from_f32_slice(Shape::chw(ic, hw, hw), &rand_vec(ic * hw * hw, 3));
         let p = ConvParams::new(oc, k, 1, pad);
         let w = rand_vec(p.weight_len(ic), 4);
         let b = rand_vec(oc, 5);

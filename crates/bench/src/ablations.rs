@@ -6,11 +6,11 @@ use desim::SimTime;
 use ilsvrc_sim::calibrate::calibrated_set;
 use ilsvrc_sim::DatasetConfig;
 use myriad2::{Myriad2, Myriad2Config};
+use ncs_platform::Topology;
 use ncsw::metrics::confidence_diff;
 use ncsw::multivpu::{MultiVpu, MultiVpuConfig};
 use ncsw::runner::{predictions_fp16, predictions_fp32};
 use ncsw::{ImageFolder, ModelBundle};
-use ncs_platform::Topology;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use vpu_nn::cost::NetworkCost;
@@ -44,7 +44,8 @@ pub fn ablation_accum(scale: Scale) -> AccumAblation {
     let set = Arc::new(set);
     let folder = ImageFolder::new(set, 0);
 
-    let native = ModelBundle::new(spec.clone(), (*Arc::new(weights.clone())).clone(), AccumMode::Native);
+    let native =
+        ModelBundle::new(spec.clone(), (*Arc::new(weights.clone())).clone(), AccumMode::Native);
     let widened = ModelBundle::new(spec, weights, AccumMode::Widened);
 
     let p32 = predictions_fp32(&native, &folder);
@@ -211,7 +212,11 @@ pub struct PrefetchAblation {
 }
 
 pub fn ablation_prefetch() -> PrefetchAblation {
-    let specs = [vpu_nn::googlenet::full(), vpu_nn::zoo::alexnet_one_tower(), vpu_nn::zoo::squeezenet_v10()];
+    let specs = [
+        vpu_nn::googlenet::full(),
+        vpu_nn::zoo::alexnet_one_tower(),
+        vpu_nn::zoo::squeezenet_v10(),
+    ];
     let rows = specs
         .iter()
         .map(|spec| {
@@ -288,9 +293,11 @@ impl BlobBatchAblation {
         for &(b, blob, multi) in &self.rows {
             println!("{b:>6} {blob:>14.1} {multi:>14.1} {:>9.2}x", blob / multi);
         }
-        println!("(resizing the blob only amortizes dispatch + weight streaming; the
+        println!(
+            "(resizing the blob only amortizes dispatch + weight streaming; the
  arithmetic still serializes on one chip — which is why NCSw batches
- across sticks instead)");
+ across sticks instead)"
+        );
     }
 }
 
@@ -344,8 +351,12 @@ mod tests {
         let a = ablation_accum(Scale::Tiny);
         // FP32-accumulate FP16 is numerically at least as close to the
         // FP32 reference as native FP16.
-        assert!(a.widened_conf_diff <= a.native_conf_diff + 1e-6,
-            "widened {} vs native {}", a.widened_conf_diff, a.native_conf_diff);
+        assert!(
+            a.widened_conf_diff <= a.native_conf_diff + 1e-6,
+            "widened {} vs native {}",
+            a.widened_conf_diff,
+            a.native_conf_diff
+        );
         assert!(a.native_conf_diff > 0.0);
         // All error rates in the same band.
         for e in [a.fp32_error, a.fp16_native_error, a.fp16_widened_error] {

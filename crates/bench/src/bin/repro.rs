@@ -1,23 +1,29 @@
 //! Experiment CLI: regenerate any figure of the paper.
 //!
 //! ```text
-//! cargo run -p vpu-bench --release -- <experiment> [--scale tiny|small|paper] [--json]
+//! cargo run -p vpu-bench --release -- <experiment> [--scale tiny|small|paper] [--json [PATH]] [--csv DIR]
 //!
 //! experiments:
 //!   fig6a fig6b fig7a fig7b fig8a fig8b   the paper's result figures
 //!   anchors                               §IV/§V scalar anchors
 //!   timeline                              Fig. 4 execution timeline
 //!   ablation-accum ablation-usb ablation-shave
+//!   serve                                 E15 online-serving load sweep
 //!   all                                   everything above
 //! ```
+//!
+//! `--json` alone prints the result as JSON to stdout; `--json PATH`
+//! writes the JSON to PATH (and keeps the human-readable report on
+//! stdout) so perf trajectories can be tracked as `BENCH_*.json` files.
 
 use std::process::ExitCode;
-use vpu_bench::{ablations, anchors, fig6, fig7, fig8, timeline, Scale};
+use vpu_bench::{ablations, anchors, fig6, fig7, fig8, serve_bench, timeline, Scale};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|all> [--scale tiny|small|paper] [--json] [--csv DIR]"
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|serve|all> \
+         [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware]"
     );
     ExitCode::from(2)
 }
@@ -27,8 +33,11 @@ fn main() -> ExitCode {
     let mut experiment: Option<String> = None;
     let mut scale = Scale::Small;
     let mut json = false;
+    let mut json_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
-    let mut it = args.iter();
+    let mut slo_ms = 500.0f64;
+    let mut policy = ncsw_serve::DispatchPolicy::CostAware;
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
@@ -39,10 +48,34 @@ fn main() -> ExitCode {
                 };
                 scale = s;
             }
-            "--json" => json = true,
+            "--json" => {
+                json = true;
+                // Optional operand: `--json results.json` writes to a file.
+                if let Some(v) = it.peek() {
+                    if !v.starts_with('-') && experiment.is_some() {
+                        json_path = Some(it.next().unwrap().clone());
+                    }
+                }
+            }
             "--csv" => {
                 let Some(v) = it.next() else { return usage() };
                 csv_dir = Some(v.clone());
+            }
+            "--slo-ms" => {
+                let Some(v) = it.next() else { return usage() };
+                let Ok(ms) = v.parse::<f64>() else {
+                    eprintln!("bad --slo-ms '{v}'");
+                    return usage();
+                };
+                slo_ms = ms;
+            }
+            "--policy" => {
+                let Some(v) = it.next() else { return usage() };
+                let Some(p) = ncsw_serve::DispatchPolicy::parse(v) else {
+                    eprintln!("unknown policy '{v}'");
+                    return usage();
+                };
+                policy = p;
             }
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
@@ -58,7 +91,15 @@ fn main() -> ExitCode {
     macro_rules! emit {
         ($result:expr) => {{
             let r = $result;
-            if json {
+            if let Some(path) = &json_path {
+                let s = serde_json::to_string_pretty(&r).expect("serialize");
+                if let Err(e) = std::fs::write(path, s + "\n") {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                eprintln!("wrote {path}");
+                r.print();
+            } else if json {
                 println!("{}", serde_json::to_string_pretty(&r).expect("serialize"));
             } else {
                 r.print();
@@ -68,9 +109,13 @@ fn main() -> ExitCode {
 
     let write_csv = |name: &str, content: String| {
         if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
             let path = format!("{dir}/{name}.csv");
-            std::fs::write(&path, content).expect("write csv");
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, content))
+            {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
             eprintln!("wrote {path}");
         }
     };
@@ -119,6 +164,15 @@ fn main() -> ExitCode {
             "stream" => emit!(vpu_bench::stream_bench::stream_bench()),
             "power" => emit!(vpu_bench::power_bench::power_bench(scale)),
             "future-work" => emit!(vpu_bench::future_work::future_work(scale)),
+            "serve" => {
+                let r = serve_bench::serve_exp_with(
+                    scale,
+                    desim::Duration::from_millis(slo_ms),
+                    policy,
+                );
+                write_csv("serve", vpu_bench::csv::serve_csv(&r));
+                emit!(r);
+            }
             other => {
                 eprintln!("unknown experiment '{other}'");
                 std::process::exit(2);
@@ -129,10 +183,26 @@ fn main() -> ExitCode {
 
     if exp == "all" {
         for name in [
-            "fig6a", "fig6b", "fig7", "fig8a", "fig8b", "anchors", "timeline",
-            "ablation-accum", "ablation-usb", "ablation-shave", "ablation-faults",
-            "ablation-prefetch", "ablation-blob",
-            "mdk-gemm", "layers", "zoo", "stream", "power", "future-work",
+            "fig6a",
+            "fig6b",
+            "fig7",
+            "fig8a",
+            "fig8b",
+            "anchors",
+            "timeline",
+            "ablation-accum",
+            "ablation-usb",
+            "ablation-shave",
+            "ablation-faults",
+            "ablation-prefetch",
+            "ablation-blob",
+            "mdk-gemm",
+            "layers",
+            "zoo",
+            "stream",
+            "power",
+            "future-work",
+            "serve",
         ] {
             run(name, json);
         }

@@ -1,7 +1,7 @@
 //! CSV export of figure data — the series a plotting tool needs to
 //! redraw each figure (gnuplot/matplotlib-ready, one file per panel).
 
-use crate::{fig6, fig7, fig8};
+use crate::{fig6, fig7, fig8, serve_bench};
 use std::fmt::Write as _;
 
 /// Fig. 6a: one row per (target, subset) with mean and stddev.
@@ -36,13 +36,7 @@ pub fn fig6b_csv(r: &fig6::Fig6b) -> String {
 /// Fig. 7: one row per subset with both errors and the confidence diff.
 pub fn fig7_csv(r: &fig7::Fig7) -> String {
     let mut out = String::from("subset,cpu_fp32_error,vpu_fp16_error,mean_abs_conf_diff\n");
-    for (i, ((c, v), d)) in r
-        .cpu_fp32
-        .iter()
-        .zip(&r.vpu_fp16)
-        .zip(&r.conf_diff)
-        .enumerate()
-    {
+    for (i, ((c, v), d)) in r.cpu_fp32.iter().zip(&r.vpu_fp16).zip(&r.conf_diff).enumerate() {
         let _ = writeln!(
             out,
             "{},{:.6},{:.6},{:.6}",
@@ -76,6 +70,39 @@ pub fn fig8b_csv(r: &fig8::Fig8b) -> String {
         }
         for &(b, ips) in &s.projected {
             let _ = writeln!(out, "{},{},{:.4},projected", s.target, b, ips);
+        }
+    }
+    out
+}
+
+/// E15: one row per (fleet, load point) of the latency–throughput sweep.
+pub fn serve_csv(r: &serve_bench::ServeExp) -> String {
+    let mut out = String::from(
+        "fleet,capacity_rps,offered_frac,offered_rps,p50_ms,p95_ms,p99_ms,p999_ms,\
+         goodput_rps,completed_rps,shed_rate,mean_utilization,slo_attained\n",
+    );
+    for f in &r.fleets {
+        for p in &f.points {
+            let rep = &p.report;
+            let util = rep.workers.iter().map(|w| w.utilization).sum::<f64>()
+                / rep.workers.len().max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{},{:.4},{:.2},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.6},{:.6},{}",
+                f.fleet,
+                f.capacity_rps,
+                p.offered_frac,
+                p.offered_rps,
+                rep.latency.p50_ms,
+                rep.latency.p95_ms,
+                rep.latency.p99_ms,
+                rep.latency.p999_ms,
+                rep.goodput_rps,
+                rep.completed_rps,
+                rep.shed_rate,
+                util,
+                rep.slo_attained
+            );
         }
     }
     out

@@ -66,13 +66,10 @@ impl Fig6a {
             self.scale.throughput_images_per_subset(),
             self.scale.name()
         ));
-        println!("{:<6} {}  mean (vs paper)", "target", "set-1    set-2    set-3    set-4    set-5");
+        println!("{:<6} set-1    set-2    set-3    set-4    set-5  mean (vs paper)", "target");
         for s in &self.series {
-            let cells: Vec<String> = s
-                .subsets
-                .iter()
-                .map(|r| report::pm(r.samples.mean, r.samples.stddev, 1))
-                .collect();
+            let cells: Vec<String> =
+                s.subsets.iter().map(|r| report::pm(r.samples.mean, r.samples.stddev, 1)).collect();
             println!(
                 "{:<6} {}  {}",
                 s.target,
@@ -104,13 +101,16 @@ pub struct Fig6b {
 /// Run Fig. 6b: batch ∈ {1,2,4,8}; the number of active VPUs is coupled
 /// to the batch size, each device type normalized to its own batch-1
 /// latency.
+/// A named per-batch latency curve with its paper reference scalar.
+type LatencyCurve = (String, Vec<(usize, f64)>, f64);
+
 pub fn fig6b(scale: Scale) -> Fig6b {
     let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
     let batches = vec![1usize, 2, 4, 8];
     let images = scale.sweep_images();
     let mut series = Vec::new();
 
-    let curves: Vec<(String, Vec<(usize, f64)>, f64)> = vec![
+    let curves: Vec<LatencyCurve> = vec![
         (
             "cpu".into(),
             latency_curve(|_| Box::new(IntelCpu::new(model.clone())), &batches, images),
@@ -123,11 +123,7 @@ pub fn fig6b(scale: Scale) -> Fig6b {
         ),
         (
             "vpu".into(),
-            latency_curve(
-                |b| Box::new(IntelVpu::new(model.clone(), b)),
-                &batches,
-                images,
-            ),
+            latency_curve(|b| Box::new(IntelVpu::new(model.clone(), b)), &batches, images),
             PAPER_6B[2].1,
         ),
     ];
@@ -147,7 +143,8 @@ impl Fig6b {
         ));
         println!("{:<6} {:>7} {:>7} {:>7} {:>7}   at-8 vs paper", "target", 1, 2, 4, 8);
         for s in &self.series {
-            let cells: Vec<String> = s.normalized.iter().map(|&(_, v)| format!("{v:>7.2}")).collect();
+            let cells: Vec<String> =
+                s.normalized.iter().map(|&(_, v)| format!("{v:>7.2}")).collect();
             let at8 = s.normalized.last().unwrap().1;
             println!(
                 "{:<6} {}   {}",
@@ -158,7 +155,8 @@ impl Fig6b {
         }
         println!("\nper-image latency (ms):");
         for s in &self.series {
-            let cells: Vec<String> = s.latency_ms.iter().map(|&(_, v)| format!("{v:>7.1}")).collect();
+            let cells: Vec<String> =
+                s.latency_ms.iter().map(|&(_, v)| format!("{v:>7.1}")).collect();
             println!("{:<6} {}", s.target, cells.join(" "));
         }
     }
@@ -172,11 +170,8 @@ mod tests {
     fn fig6a_shape_holds() {
         let r = fig6a(Scale::Tiny);
         assert_eq!(r.series.len(), 3);
-        let by: std::collections::HashMap<&str, f64> = r
-            .series
-            .iter()
-            .map(|s| (s.target.as_str(), s.mean_img_per_sec()))
-            .collect();
+        let by: std::collections::HashMap<&str, f64> =
+            r.series.iter().map(|s| (s.target.as_str(), s.mean_img_per_sec())).collect();
         // Paper shape: VPU ≈ GPU > CPU; VPU ~40% over CPU.
         assert!(by["vpu"] > by["cpu"] * 1.3, "vpu {} cpu {}", by["vpu"], by["cpu"]);
         assert!((by["vpu"] - by["gpu"]).abs() / by["gpu"] < 0.15);
@@ -199,11 +194,8 @@ mod tests {
     #[test]
     fn fig6b_scaling_shape() {
         let r = fig6b(Scale::Tiny);
-        let by: std::collections::HashMap<&str, f64> = r
-            .series
-            .iter()
-            .map(|s| (s.target.as_str(), s.normalized.last().unwrap().1))
-            .collect();
+        let by: std::collections::HashMap<&str, f64> =
+            r.series.iter().map(|s| (s.target.as_str(), s.normalized.last().unwrap().1)).collect();
         assert!((1.05..1.25).contains(&by["cpu"]), "cpu {}", by["cpu"]);
         assert!((1.75..2.1).contains(&by["gpu"]), "gpu {}", by["gpu"]);
         assert!((6.8..8.0).contains(&by["vpu"]), "vpu {}", by["vpu"]);

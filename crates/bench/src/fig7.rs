@@ -103,13 +103,12 @@ impl Fig7 {
         let delta = (self.mean_cpu_error() - self.mean_vpu_error()).abs();
         println!("|fp32 − fp16| top-1 gap: {delta:.4} (paper 0.0009)");
 
-        report::header("Fig. 7b — absolute confidence difference per subset (top-1 misses filtered)");
+        report::header(
+            "Fig. 7b — absolute confidence difference per subset (top-1 misses filtered)",
+        );
         println!("{:<10} set-1    set-2    set-3    set-4    set-5    mean (vs paper)", "pair");
-        let cells: Vec<String> = self
-            .conf_diff
-            .iter()
-            .map(|r| format!("{:>7.4}", r.mean_abs_diff))
-            .collect();
+        let cells: Vec<String> =
+            self.conf_diff.iter().map(|r| format!("{:>7.4}", r.mean_abs_diff)).collect();
         println!(
             "{:<10} {}  {}",
             "cpu-vpu",

@@ -37,10 +37,13 @@ fn tdp(target: &str, batch: usize) -> f64 {
     }
 }
 
+/// A named per-batch latency curve with its paper reference scalar.
+type LatencyCurve = (String, Vec<(usize, f64)>, f64);
+
 fn power_series(scale: Scale, batches: &[usize]) -> Vec<PowerSeries> {
     let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
     let images = scale.sweep_images();
-    let curves: Vec<(String, Vec<(usize, f64)>, f64)> = vec![
+    let curves: Vec<LatencyCurve> = vec![
         (
             "cpu".into(),
             latency_curve(|_| Box::new(IntelCpu::new(model.clone())), batches, images),
@@ -88,11 +91,8 @@ impl Fig8a {
             let cells: Vec<String> =
                 s.points.iter().map(|&(_, _, ipw)| format!("{ipw:>8.2}")).collect();
             // Paper's quoted point: batch-8 for hosts, batch-1 for VPU.
-            let ref_point = if s.target == "vpu" {
-                s.points[0].2
-            } else {
-                s.points.last().unwrap().2
-            };
+            let ref_point =
+                if s.target == "vpu" { s.points[0].2 } else { s.points.last().unwrap().2 };
             println!(
                 "{:<6} {}   {}",
                 s.target,
@@ -154,11 +154,8 @@ pub fn fig8b(scale: Scale) -> Fig8b {
     let simulated: Vec<(usize, f64)> = lat.iter().map(|&(b, ms)| (b, 1000.0 / ms)).collect();
     // Paper-style projection: linear continuation of the 8-stick point.
     let at8 = simulated.iter().find(|&&(b, _)| b == 8).expect("batch 8 present").1;
-    let projected = batches
-        .iter()
-        .filter(|&&b| b > 8)
-        .map(|&b| (b, at8 / 8.0 * b as f64))
-        .collect();
+    let projected =
+        batches.iter().filter(|&&b| b > 8).map(|&b| (b, at8 / 8.0 * b as f64)).collect();
     series.push(Fig8bSeries {
         target: "vpu".into(),
         simulated,

@@ -96,10 +96,7 @@ pub fn future_work(scale: Scale) -> FutureWork {
 impl FutureWork {
     pub fn print(&self) {
         report::header("E14 — §VII future-work comparison: VPU fleets vs V100 / KNL");
-        println!(
-            "{:<10} {:>6} {:>10} {:>8} {:>9}",
-            "device", "batch", "img/s", "TDP W", "img/W"
-        );
+        println!("{:<10} {:>6} {:>10} {:>8} {:>9}", "device", "batch", "img/s", "TDP W", "img/W");
         for r in &self.rows {
             println!(
                 "{:<10} {:>6} {:>10.1} {:>8.0} {:>9.2}",

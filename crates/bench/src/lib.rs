@@ -19,10 +19,11 @@ pub mod future_work;
 pub mod layers;
 pub mod mdk_gemm;
 pub mod power_bench;
-pub mod stream_bench;
-pub mod zoo_bench;
 pub mod report;
 pub mod scale;
+pub mod serve_bench;
+pub mod stream_bench;
 pub mod timeline;
+pub mod zoo_bench;
 
 pub use scale::Scale;

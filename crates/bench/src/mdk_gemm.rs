@@ -81,11 +81,7 @@ mod tests {
         // Throughput grows with size (amortized overheads) and fp16
         // beats fp32 at every size.
         let at = |size: usize, prec: &str| {
-            r.points
-                .iter()
-                .find(|p| p.size == size && p.precision == prec)
-                .unwrap()
-                .gflops
+            r.points.iter().find(|p| p.size == size && p.precision == prec).unwrap().gflops
         };
         assert!(at(2048, "fp16") > at(128, "fp16"));
         for &s in &[128usize, 512, 2048] {

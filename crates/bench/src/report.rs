@@ -14,11 +14,7 @@ pub fn num(v: f64, prec: usize) -> String {
 /// Format `measured` next to a paper reference value with the relative
 /// deviation, e.g. `77.4 (paper 77.2, +0.3%)`.
 pub fn vs_paper(measured: f64, paper: f64, prec: usize) -> String {
-    let dev = if paper != 0.0 {
-        (measured - paper) / paper * 100.0
-    } else {
-        0.0
-    };
+    let dev = if paper != 0.0 { (measured - paper) / paper * 100.0 } else { 0.0 };
     format!("{measured:.prec$} (paper {paper:.prec$}, {dev:+.1}%)")
 }
 

@@ -118,7 +118,13 @@ mod tests {
 
     #[test]
     fn scales_are_ordered() {
-        assert!(Scale::Tiny.throughput_images_per_subset() < Scale::Small.throughput_images_per_subset());
-        assert!(Scale::Small.throughput_images_per_subset() < Scale::Paper.throughput_images_per_subset());
+        assert!(
+            Scale::Tiny.throughput_images_per_subset()
+                < Scale::Small.throughput_images_per_subset()
+        );
+        assert!(
+            Scale::Small.throughput_images_per_subset()
+                < Scale::Paper.throughput_images_per_subset()
+        );
     }
 }

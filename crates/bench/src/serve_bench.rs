@@ -1,0 +1,203 @@
+//! E15 — online serving: latency–throughput curves per fleet.
+//!
+//! Sweeps open-loop offered load (Poisson) as a fraction of each fleet's
+//! estimated capacity and reports the latency percentiles, goodput, shed
+//! rate and utilization at every point, plus the maximum load each fleet
+//! sustains while attaining the p99 SLO with nothing shed. The paper
+//! never measures serving (its Fig. 6/8 protocol is closed-loop batch
+//! throughput); this experiment is the online extension of those
+//! figures on the same calibrated devices, so the capacity numbers line
+//! up with Fig. 6a (CPU 44, GPU 74.2, 8×VPU 77.2 img/s).
+
+use crate::report;
+use crate::scale::Scale;
+use desim::Duration;
+use ncsw::ModelBundle;
+use ncsw_serve::{serve, ArrivalProcess, DispatchPolicy, FleetSpec, ServeConfig, ServeReport};
+use serde::{Deserialize, Serialize};
+use vpu_nn::googlenet::Variant;
+
+/// Fleet configurations the experiment compares.
+pub const FLEETS: [&str; 4] = ["1xvpu", "8xvpu", "cpu+gpu", "cpu+gpu+8xvpu"];
+
+/// Offered load as a fraction of estimated fleet capacity.
+pub const LOAD_FRACTIONS: [f64; 9] = [0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0, 1.2, 2.0];
+
+/// One point of a fleet's latency–throughput curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadPoint {
+    pub offered_frac: f64,
+    pub offered_rps: f64,
+    pub report: ServeReport,
+}
+
+/// One fleet's sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetCurve {
+    pub fleet: String,
+    /// Capacity estimate from the calibrated cost models (requests/s).
+    pub capacity_rps: f64,
+    /// Batcher limit used for this fleet (its largest preferred batch).
+    pub max_batch: usize,
+    pub points: Vec<LoadPoint>,
+    /// Highest offered load (requests/s) with p99 <= SLO and zero shed.
+    pub max_slo_rps: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeExp {
+    pub scale: Scale,
+    pub requests_per_point: usize,
+    pub slo_ms: f64,
+    pub policy: String,
+    pub fleets: Vec<FleetCurve>,
+}
+
+fn requests_per_point(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 160,
+        Scale::Small => 1_500,
+        Scale::Paper => 10_000,
+    }
+}
+
+/// Run E15 with the default SLO (500 ms) and cost-aware dispatch.
+pub fn serve_exp(scale: Scale) -> ServeExp {
+    serve_exp_with(scale, Duration::from_millis(500.0), DispatchPolicy::CostAware)
+}
+
+pub fn serve_exp_with(scale: Scale, slo: Duration, policy: DispatchPolicy) -> ServeExp {
+    let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
+    let n = requests_per_point(scale);
+    let mut fleets = Vec::new();
+    for fleet in FLEETS {
+        let spec = FleetSpec::parse(fleet).expect("valid fleet spec");
+        // Probe capacity and preferred batch on a throwaway build.
+        let probe = spec.build(&model);
+        let capacity_rps = spec.capacity_rps(&probe);
+        let max_batch = spec.preferred_batch(&probe);
+        drop(probe);
+
+        let mut points = Vec::new();
+        for &frac in &LOAD_FRACTIONS {
+            let cfg = ServeConfig { max_batch, slo, policy, ..ServeConfig::default() };
+            // Fresh workers per point: each point is an independent run
+            // from a cold (but booted) fleet.
+            let mut workers = spec.build(&model);
+            let rate = capacity_rps * frac;
+            let load = ArrivalProcess::Poisson { rate_per_sec: rate };
+            let outcome = serve(&mut workers, &cfg, &load, n);
+            points.push(LoadPoint {
+                offered_frac: frac,
+                offered_rps: rate,
+                report: ServeReport::of(&outcome, &cfg),
+            });
+        }
+        let max_slo_rps = points
+            .iter()
+            .filter(|p| p.report.slo_attained)
+            .map(|p| p.offered_rps)
+            .fold(0.0, f64::max);
+        fleets.push(FleetCurve {
+            fleet: fleet.to_string(),
+            capacity_rps,
+            max_batch,
+            points,
+            max_slo_rps,
+        });
+    }
+    ServeExp {
+        scale,
+        requests_per_point: n,
+        slo_ms: slo.as_millis(),
+        policy: policy.name().to_string(),
+        fleets,
+    }
+}
+
+impl ServeExp {
+    /// `max_slo_rps` of a fleet by name (0.0 when absent or never met).
+    pub fn max_slo_rps(&self, fleet: &str) -> f64 {
+        self.fleets.iter().find(|f| f.fleet == fleet).map(|f| f.max_slo_rps).unwrap_or(0.0)
+    }
+
+    pub fn print(&self) {
+        report::header(&format!(
+            "E15 — online serving sweep ({} req/point, p99 SLO {} ms, {} dispatch, scale {})",
+            self.requests_per_point,
+            self.slo_ms,
+            self.policy,
+            self.scale.name()
+        ));
+        for f in &self.fleets {
+            println!(
+                "\nfleet {}  (capacity est {:.1} req/s, max_batch {})",
+                f.fleet, f.capacity_rps, f.max_batch
+            );
+            println!(
+                "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}  slo",
+                "load", "offered", "p50 ms", "p99 ms", "p99.9 ms", "goodput", "shed%", "util%"
+            );
+            for p in &f.points {
+                let r = &p.report;
+                let util =
+                    r.workers.iter().map(|w| w.utilization).sum::<f64>() / r.workers.len() as f64;
+                println!(
+                    "{:>5.2} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7.1} {:>6.1}  {}",
+                    p.offered_frac,
+                    p.offered_rps,
+                    r.latency.p50_ms,
+                    r.latency.p99_ms,
+                    r.latency.p999_ms,
+                    r.goodput_rps,
+                    r.shed_rate * 100.0,
+                    util * 100.0,
+                    if r.slo_attained { "ok" } else { "-" }
+                );
+            }
+            println!("  max SLO-compliant load: {:.1} req/s", f.max_slo_rps);
+        }
+        let one = self.max_slo_rps("1xvpu");
+        let eight = self.max_slo_rps("8xvpu");
+        if one > 0.0 {
+            println!(
+                "\n8xVPU sustains {:.1}x the SLO-compliant load of 1xVPU ({:.1} vs {:.1} req/s)",
+                eight / one,
+                eight,
+                one
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_has_expected_shape() {
+        let e = serve_exp(Scale::Tiny);
+        assert_eq!(e.fleets.len(), FLEETS.len());
+        for f in &e.fleets {
+            assert_eq!(f.points.len(), LOAD_FRACTIONS.len());
+            // Low load attains the SLO; the hockey stick shows up as a
+            // strictly worse p99 at 2.0x than at 0.2x.
+            let lo = &f.points[0].report;
+            let hi = f.points.last().unwrap().report.clone();
+            assert!(lo.slo_attained, "{}: SLO must hold at 0.2x", f.fleet);
+            assert!(
+                hi.latency.p99_ms > lo.latency.p99_ms,
+                "{}: p99 must degrade under overload",
+                f.fleet
+            );
+            // Graceful overload: at 2x capacity the bounded queue sheds,
+            // and what is admitted still completes with bounded latency.
+            assert!(hi.shed_rate > 0.0, "{}: 2x load must shed", f.fleet);
+            assert!(hi.completed > 0, "{}: overload must not starve", f.fleet);
+            assert!(f.max_slo_rps > 0.0, "{}: some load must meet the SLO", f.fleet);
+        }
+        // Fleet scaling: 8 sticks sustain >= ~3x the SLO load of 1 stick.
+        let ratio = e.max_slo_rps("8xvpu") / e.max_slo_rps("1xvpu");
+        assert!(ratio >= 3.0, "8xvpu/1xvpu SLO-load ratio {ratio}");
+    }
+}

@@ -114,10 +114,7 @@ mod tests {
     fn fleet_size_sets_sustainable_rate() {
         let b = stream_bench();
         let get = |d: usize, fps: f64| {
-            b.points
-                .iter()
-                .find(|p| p.devices == d && (p.offered_fps - fps).abs() < 0.5)
-                .unwrap()
+            b.points.iter().find(|p| p.devices == d && (p.offered_fps - fps).abs() < 0.5).unwrap()
         };
         // 1 stick sustains 10 img/s but not 20.
         assert!(get(1, 10.0).sustained, "1 stick @10/s should hold");
@@ -131,11 +128,7 @@ mod tests {
     #[test]
     fn falling_behind_grows_the_backlog() {
         let b = stream_bench();
-        let p = b
-            .points
-            .iter()
-            .find(|p| p.devices == 1 && p.offered_fps > 75.0)
-            .unwrap();
+        let p = b.points.iter().find(|p| p.devices == 1 && p.offered_fps > 75.0).unwrap();
         // Over-offered stream: the last image lags far more than the first.
         assert!(p.last_latency_ms > p.first_latency_ms + 1000.0, "{p:?}");
     }

@@ -42,10 +42,7 @@ pub fn timeline_with(devices: usize, images: usize) -> Timeline {
     let mut overlapped = 0u64;
     for k in 0..steps {
         let t = t0 + (t1 - t0) * k / steps;
-        let busy = lanes
-            .iter()
-            .filter(|spans| spans.iter().any(|&(a, b)| a <= t && t < b))
-            .count();
+        let busy = lanes.iter().filter(|spans| spans.iter().any(|&(a, b)| a <= t && t < b)).count();
         if busy >= 2 {
             overlapped += 1;
         }

@@ -45,9 +45,15 @@ fn parse_args() -> Result<Args, String> {
         };
         match a.as_str() {
             "--target" => args.target = take("--target")?,
-            "--devices" => args.devices = take("--devices")?.parse().map_err(|e| format!("--devices: {e}"))?,
-            "--images" => args.images = take("--images")?.parse().map_err(|e| format!("--images: {e}"))?,
-            "--batch" => args.batch = take("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--devices" => {
+                args.devices = take("--devices")?.parse().map_err(|e| format!("--devices: {e}"))?
+            }
+            "--images" => {
+                args.images = take("--images")?.parse().map_err(|e| format!("--images: {e}"))?
+            }
+            "--batch" => {
+                args.batch = take("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?
+            }
             "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             other if args.command.is_empty() && !other.starts_with('-') => {
                 args.command = other.to_string();
@@ -78,7 +84,11 @@ fn info() {
     println!("  chip:    Myriad 2 MA2450 — 12 SHAVEs @ 600 MHz, 2 MB CMX, 4 GB LPDDR3");
     println!("  anchors: 26.0 / 25.9 / 100.7 ms batch-1 latency (cpu/gpu/vpu)");
     println!("\npaper testbed topology (Fig. 5):");
-    let fleet = ncs_platform::Fleet::new(8, ncs_platform::Topology::PaperTestbed, ncs_platform::NcsConfig::default());
+    let fleet = ncs_platform::Fleet::new(
+        8,
+        ncs_platform::Topology::PaperTestbed,
+        ncs_platform::NcsConfig::default(),
+    );
     print!("{}", fleet.describe());
 }
 

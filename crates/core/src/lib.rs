@@ -26,11 +26,13 @@ pub mod metrics;
 pub mod model;
 pub mod multivpu;
 pub mod runner;
+pub mod service;
 pub mod source;
 pub mod target;
 
 pub use metrics::{AccuracyReport, ConfidenceDiffReport, ThroughputReport};
 pub use model::ModelBundle;
 pub use multivpu::MultiVpu;
+pub use service::{BatchRun, ServiceHook};
 pub use source::{ImageFolder, MpiStream, SourceImage};
 pub use target::{IntelCpu, IntelVpu, NvGpu, TargetDevice};

@@ -24,10 +24,8 @@ impl ThroughputReport {
         window_durations: &[Duration],
     ) -> Self {
         assert!(!window_durations.is_empty(), "need at least one window");
-        let stats: OnlineStats = window_durations
-            .iter()
-            .map(|d| window as f64 / d.as_secs())
-            .collect();
+        let stats: OnlineStats =
+            window_durations.iter().map(|d| window as f64 / d.as_secs()).collect();
         let wall: Duration = window_durations.iter().copied().sum();
         ThroughputReport {
             target: target.into(),
@@ -173,8 +171,7 @@ impl ConfusionMatrix {
 pub fn accuracy_report(target: impl Into<String>, preds: &[Prediction]) -> AccuracyReport {
     assert!(!preds.is_empty(), "no predictions");
     let wrong = preds.iter().filter(|p| !p.correct()).count();
-    let mean_conf =
-        preds.iter().map(|p| p.confidence as f64).sum::<f64>() / preds.len() as f64;
+    let mean_conf = preds.iter().map(|p| p.confidence as f64).sum::<f64>() / preds.len() as f64;
     AccuracyReport {
         target: target.into(),
         images: preds.len(),
@@ -266,12 +263,7 @@ mod tests {
 
     #[test]
     fn images_per_watt_eq1() {
-        let r = ThroughputReport::from_window_times(
-            "vpu",
-            1,
-            10,
-            &[Duration::from_secs(1.0)],
-        );
+        let r = ThroughputReport::from_window_times("vpu", 1, 10, &[Duration::from_secs(1.0)]);
         assert!((r.images_per_watt(2.5) - 4.0).abs() < 1e-9);
     }
 

@@ -29,7 +29,8 @@ impl ModelBundle {
     /// native accumulation (the Myriad's pure-FP16 MAC path); the
     /// `accum16` parameter exists for the accumulation ablation.
     pub fn new(spec: Arc<NetworkSpec>, weights: Weights, accum16: AccumMode) -> Self {
-        let net32 = Arc::new(CompiledNetwork::<f32>::compile(spec.clone(), &weights, AccumMode::Widened));
+        let net32 =
+            Arc::new(CompiledNetwork::<f32>::compile(spec.clone(), &weights, AccumMode::Widened));
         let net16 = Arc::new(CompiledNetwork::<f16>::compile(spec.clone(), &weights, accum16));
         let cost32 = Arc::new(NetworkCost::of::<f32>(&spec));
         let cost16 = Arc::new(NetworkCost::of::<f16>(&spec));

@@ -96,15 +96,15 @@ impl MultiVpu {
     /// Open `cfg.devices` sticks, upload the model's FP16 graph to each.
     pub fn new(cfg: MultiVpuConfig, model: &ModelBundle) -> Self {
         assert!(cfg.devices > 0, "need at least one device");
-        let fleet = Fleet::with_usb(cfg.devices, cfg.topology.clone(), cfg.ncs.clone(), cfg.usb.clone());
+        let fleet =
+            Fleet::with_usb(cfg.devices, cfg.topology.clone(), cfg.ncs.clone(), cfg.usb.clone());
         let mut api = Ncapi::new(fleet);
         let mut handles = Vec::with_capacity(cfg.devices);
         let mut ready = SimTime::ZERO;
         for d in 0..cfg.devices {
             api.open_device(d, SimTime::ZERO).expect("open device");
-            let (h, t) = api
-                .alloc_graph(d, model.cost16.clone(), SimTime::ZERO)
-                .expect("alloc graph");
+            let (h, t) =
+                api.alloc_graph(d, model.cost16.clone(), SimTime::ZERO).expect("alloc graph");
             handles.push(h);
             ready = SimTime::max_of(ready, t);
         }
@@ -124,9 +124,26 @@ impl MultiVpu {
         &self.api
     }
 
+    /// Instant all previously submitted pipeline work completes (equals
+    /// [`Self::ready_at`] before the first run).
+    pub fn busy_until(&self) -> SimTime {
+        self.last_end
+    }
+
+    pub fn config(&self) -> &MultiVpuConfig {
+        &self.cfg
+    }
+
     /// Run `count` inferences with no numerics (timing only).
     pub fn run_pipeline(&mut self, count: usize) -> PipelineReport {
         self.run_pipeline_with(count, |_| None)
+    }
+
+    /// Timing-only run whose host threads start no earlier than
+    /// `not_before` — the incremental entry point an online batcher uses
+    /// to submit a formed batch at its (virtual) dispatch instant.
+    pub fn run_pipeline_at(&mut self, count: usize, not_before: SimTime) -> PipelineReport {
+        self.run_pipeline_with_at(count, not_before, |_| None)
     }
 
     /// Run `count` inferences; `numerics(i)` may supply the real FP16
@@ -135,6 +152,16 @@ impl MultiVpu {
     pub fn run_pipeline_with(
         &mut self,
         count: usize,
+        numerics: impl FnMut(usize) -> Option<Tensor<f16>>,
+    ) -> PipelineReport {
+        self.run_pipeline_with_at(count, SimTime::ZERO, numerics)
+    }
+
+    /// The general form: numerics plus an earliest-start bound.
+    pub fn run_pipeline_with_at(
+        &mut self,
+        count: usize,
+        not_before: SimTime,
         mut numerics: impl FnMut(usize) -> Option<Tensor<f16>>,
     ) -> PipelineReport {
         assert!(count > 0, "need at least one image");
@@ -160,7 +187,7 @@ impl MultiVpu {
                 images: (d..count).step_by(n).collect(),
                 next_load: 0,
                 next_get: 0,
-                cursor: SimTime::max_of(self.ready, self.last_end)
+                cursor: SimTime::max_of(not_before, SimTime::max_of(self.ready, self.last_end))
                     + self.cfg.thread_spawn * (d as u64 + 1),
             })
             .collect();
@@ -185,16 +212,13 @@ impl MultiVpu {
             let h = self.handles[t.device];
             // Keep the device FIFO full: load while slots remain and
             // images remain; otherwise collect the oldest result.
-            let want_load =
-                t.next_load < t.images.len() && t.next_load - t.next_get < depth;
+            let want_load = t.next_load < t.images.len() && t.next_load - t.next_get < depth;
             if want_load {
                 let img = t.images[t.next_load];
                 let j = Duration::from_nanos(jitter.gen_range(0..=self.cfg.host_jitter.nanos()));
                 let call_at = t.cursor + j;
-                let returned = self
-                    .api
-                    .load_tensor(h, call_at, numerics(img))
-                    .expect("load_tensor");
+                let returned =
+                    self.api.load_tensor(h, call_at, numerics(img)).expect("load_tensor");
                 trace.push(format!("host{}", t.device), "load", call_at, returned);
                 t.cursor = returned;
                 t.next_load += 1;

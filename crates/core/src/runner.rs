@@ -16,9 +16,7 @@ pub fn throughput_per_subset(
     images_per_subset: usize,
     batch: usize,
 ) -> Vec<ThroughputReport> {
-    (0..subsets)
-        .map(|_| target.run_throughput(images_per_subset, batch))
-        .collect()
+    (0..subsets).map(|_| target.run_throughput(images_per_subset, batch)).collect()
 }
 
 /// Fig. 6b shape: per-image latency (ms) at each batch size, normalized
@@ -85,11 +83,7 @@ pub fn accuracy_per_subset(
     folders
         .iter()
         .map(|f| {
-            let preds = if fp16 {
-                predictions_fp16(model, f)
-            } else {
-                predictions_fp32(model, f)
-            };
+            let preds = if fp16 { predictions_fp16(model, f) } else { predictions_fp32(model, f) };
             accuracy_report(if fp16 { "vpu-fp16" } else { "cpu-fp32" }, &preds)
         })
         .collect()
@@ -172,19 +166,12 @@ mod tests {
     #[test]
     fn latency_curve_shapes() {
         let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
-        let cpu_curve = latency_curve(
-            |_| Box::new(IntelCpu::new(model.clone())),
-            &[1, 2, 4, 8],
-            16,
-        );
+        let cpu_curve =
+            latency_curve(|_| Box::new(IntelCpu::new(model.clone())), &[1, 2, 4, 8], 16);
         let t1 = cpu_curve[0].1;
         let t8 = cpu_curve[3].1;
         assert!((1.05..1.25).contains(&(t1 / t8)), "CPU scaling {}", t1 / t8);
-        let gpu_curve = latency_curve(
-            |_| Box::new(NvGpu::new(model.clone())),
-            &[1, 8],
-            16,
-        );
+        let gpu_curve = latency_curve(|_| Box::new(NvGpu::new(model.clone())), &[1, 8], 16);
         let g = gpu_curve[0].1 / gpu_curve[1].1;
         assert!((1.75..2.1).contains(&g), "GPU scaling {g}");
     }

@@ -1,0 +1,211 @@
+//! Incremental per-batch service hooks over the target devices.
+//!
+//! The throughput experiments drive each target through one closed
+//! `run_throughput` loop; an *online* serving layer instead needs to
+//! submit one formed batch at a time, at an arbitrary virtual instant,
+//! and learn when each image's result returns to the host. This module
+//! exposes that contract as [`ServiceHook`]:
+//!
+//! * every device **self-serializes**: a submission at `ready` queues
+//!   behind the device's earlier work (`FifoResource` timelines on the
+//!   hosts, the `last_end` sequencing of [`MultiVpu`]);
+//! * [`ServiceHook::estimate`] is the calibrated, jitter-free cost model
+//!   a dispatcher can plan with (host devices: the analytic
+//!   `batch_duration`; the VPU fleet: a wave-latency model measured at
+//!   construction);
+//! * [`ServiceHook::busy_until`] exposes the device's backlog horizon so
+//!   least-outstanding-work routing needs no bookkeeping of its own.
+//!
+//! [`MultiVpu`]: crate::multivpu::MultiVpu
+
+use crate::target::{IntelCpu, IntelVpu, NvGpu};
+use desim::{Duration, SimTime};
+
+/// Timing record of one served batch.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Instant the device actually began (>= the submission instant).
+    pub start: SimTime,
+    /// Instant the last result returned to the host.
+    pub end: SimTime,
+    /// Per-image host-return instants, in submission order
+    /// (`done.len() == batch`; host devices return the whole batch at
+    /// once, the VPU pipeline streams results back per image).
+    pub done: Vec<SimTime>,
+}
+
+/// A device a dynamic batcher can drive one batch at a time.
+pub trait ServiceHook {
+    /// Display label, e.g. `cpu`, `gpu`, `vpu x8`.
+    fn label(&self) -> String;
+
+    /// Submit `batch` images no earlier than `ready`; the device
+    /// serializes with its own prior work and returns when each image's
+    /// result lands back on the host.
+    fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun;
+
+    /// Jitter-free service-time estimate for a batch of this size (the
+    /// calibrated cost model dispatch policies plan with).
+    fn estimate(&self, batch: usize) -> Duration;
+
+    /// Instant all previously submitted work completes (a fresh device
+    /// reports its boot/allocation completion).
+    fn busy_until(&self) -> SimTime;
+
+    /// Batch size this device amortizes best (the paper's batch-8 sweet
+    /// spot on the hosts; `devices` on the VPU fleet, whose sticks run
+    /// one image each per pipeline wave).
+    fn preferred_batch(&self) -> usize;
+
+    /// Hard upper bound on a single submission, if any (GPU memory).
+    fn max_batch(&self) -> Option<usize> {
+        None
+    }
+}
+
+impl ServiceHook for IntelCpu {
+    fn label(&self) -> String {
+        "cpu".to_string()
+    }
+
+    fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun {
+        let cost = self.model().cost32.clone();
+        let run = self.device_mut().run_batch(&cost, batch, ready);
+        BatchRun { start: run.start, end: run.end, done: vec![run.end; batch] }
+    }
+
+    fn estimate(&self, batch: usize) -> Duration {
+        self.device().batch_duration(&self.model().cost32, batch)
+    }
+
+    fn busy_until(&self) -> SimTime {
+        self.device().now()
+    }
+
+    fn preferred_batch(&self) -> usize {
+        8
+    }
+}
+
+impl ServiceHook for NvGpu {
+    fn label(&self) -> String {
+        "gpu".to_string()
+    }
+
+    fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun {
+        let cost = self.model().cost32.clone();
+        let run = self.device_mut().run_batch(&cost, batch, ready);
+        BatchRun { start: run.start, end: run.end, done: vec![run.end; batch] }
+    }
+
+    fn estimate(&self, batch: usize) -> Duration {
+        self.device().batch_duration(&self.model().cost32, batch)
+    }
+
+    fn busy_until(&self) -> SimTime {
+        self.device().now()
+    }
+
+    fn preferred_batch(&self) -> usize {
+        8
+    }
+
+    fn max_batch(&self) -> Option<usize> {
+        let cost = &self.model().cost32;
+        let mut b = 1;
+        while b < 4096 && self.device().batch_fits(cost, b + 1) {
+            b += 1;
+        }
+        Some(b)
+    }
+}
+
+impl ServiceHook for IntelVpu {
+    fn label(&self) -> String {
+        format!("vpu x{}", self.devices())
+    }
+
+    fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun {
+        let report = self.pipeline_mut().run_pipeline_at(batch, ready);
+        BatchRun { start: report.start, end: report.end, done: report.result_times }
+    }
+
+    fn estimate(&self, batch: usize) -> Duration {
+        let (first, per) = self.service_latency_model();
+        let waves = batch.div_ceil(self.devices()) as u64;
+        first + per * waves.saturating_sub(1)
+    }
+
+    fn busy_until(&self) -> SimTime {
+        self.pipeline().busy_until()
+    }
+
+    fn preferred_batch(&self) -> usize {
+        self.devices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelBundle;
+    use vpu_nn::googlenet::Variant;
+
+    fn model() -> ModelBundle {
+        ModelBundle::googlenet_untrained(Variant::Full, 1)
+    }
+
+    #[test]
+    fn hosts_serialize_consecutive_batches() {
+        let mut cpu = IntelCpu::new(model());
+        let a = cpu.serve(4, SimTime::ZERO);
+        let b = cpu.serve(4, SimTime::ZERO);
+        assert!(b.start >= a.end, "second batch must queue behind the first");
+        assert_eq!(a.done.len(), 4);
+        assert_eq!(cpu.busy_until(), b.end);
+    }
+
+    #[test]
+    fn host_estimate_matches_nominal_latency() {
+        let cpu = IntelCpu::new(model());
+        // Paper anchor: 26.0 ms at batch 1.
+        let ms = ServiceHook::estimate(&cpu, 1).as_millis();
+        assert!((25.2..26.8).contains(&ms), "cpu estimate {ms} ms");
+    }
+
+    #[test]
+    fn vpu_serves_incrementally_with_per_image_completions() {
+        let mut vpu = IntelVpu::new(model(), 4);
+        let boot = vpu.busy_until();
+        let late = boot + Duration::from_millis(500.0);
+        let run = vpu.serve(8, late);
+        assert!(run.start >= late, "batch must not start before dispatch");
+        assert_eq!(run.done.len(), 8);
+        assert!(run.done.iter().all(|&t| t > run.start && t <= run.end));
+        // Two waves on four sticks: completions are staggered, not
+        // all-at-end like the host devices.
+        assert!(run.done.iter().any(|&t| t < run.end));
+    }
+
+    #[test]
+    fn vpu_estimate_tracks_wave_count() {
+        let vpu = IntelVpu::new(model(), 4);
+        let one = vpu.estimate(4);
+        let three = vpu.estimate(12);
+        // Paper anchor: one wave ~ a single-stick inference (~100.7 ms).
+        let ms = one.as_millis();
+        assert!((90.0..115.0).contains(&ms), "first wave {ms} ms");
+        assert!(three > one * 2, "extra waves must add cost");
+        // Steady state approaches the 8-stick per-image anchor shape:
+        // marginal wave cost well below two serial inferences.
+        assert!((three - one).as_millis() < 2.5 * ms);
+    }
+
+    #[test]
+    fn gpu_max_batch_bounded_by_memory() {
+        let gpu = NvGpu::new(model());
+        let cap = gpu.max_batch().expect("gpu reports a bound");
+        assert!(cap >= 8, "paper sweeps to batch 8, must fit: {cap}");
+        assert!(!gpu.device().batch_fits(&gpu.model().cost32, cap + 1));
+    }
+}

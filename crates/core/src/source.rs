@@ -108,12 +108,7 @@ mod tests {
     use vpu_tensor::Shape;
 
     fn set() -> Arc<ValidationSet> {
-        Arc::new(ValidationSet::new(DatasetConfig::ilsvrc_like(
-            10,
-            50,
-            Shape::chw(3, 16, 16),
-            4,
-        )))
+        Arc::new(ValidationSet::new(DatasetConfig::ilsvrc_like(10, 50, Shape::chw(3, 16, 16), 4)))
     }
 
     #[test]

@@ -41,6 +41,18 @@ impl IntelCpu {
     pub fn with_config(model: ModelBundle, cfg: CpuConfig) -> Self {
         IntelCpu { dev: CpuDevice::new(cfg), model }
     }
+
+    pub fn device(&self) -> &CpuDevice {
+        &self.dev
+    }
+
+    pub fn device_mut(&mut self) -> &mut CpuDevice {
+        &mut self.dev
+    }
+
+    pub fn model(&self) -> &ModelBundle {
+        &self.model
+    }
 }
 
 impl TargetDevice for IntelCpu {
@@ -78,6 +90,18 @@ impl NvGpu {
     pub fn with_config(model: ModelBundle, cfg: GpuConfig) -> Self {
         NvGpu { dev: GpuDevice::new(cfg), model }
     }
+
+    pub fn device(&self) -> &GpuDevice {
+        &self.dev
+    }
+
+    pub fn device_mut(&mut self) -> &mut GpuDevice {
+        &mut self.dev
+    }
+
+    pub fn model(&self) -> &ModelBundle {
+        &self.model
+    }
 }
 
 impl TargetDevice for NvGpu {
@@ -109,6 +133,11 @@ impl TargetDevice for NvGpu {
 pub struct IntelVpu {
     mv: MultiVpu,
     model: ModelBundle,
+    /// Calibrated latency model for online dispatch: makespan of one
+    /// pipeline wave (`devices` images) and the marginal cost of each
+    /// further wave, measured on a throwaway pipeline at construction.
+    svc_first_wave: Duration,
+    svc_per_wave: Duration,
 }
 
 impl IntelVpu {
@@ -117,8 +146,16 @@ impl IntelVpu {
     }
 
     pub fn with_config(model: ModelBundle, cfg: MultiVpuConfig) -> Self {
+        let n = cfg.devices;
+        // Calibrate the dispatch-time estimate on throwaway pipelines so
+        // the served instance's virtual clock stays untouched: one wave
+        // gives the fill latency, three waves give the steady-state
+        // marginal wave cost.
+        let one = MultiVpu::new(cfg.clone(), &model).run_pipeline(n).makespan();
+        let three = MultiVpu::new(cfg.clone(), &model).run_pipeline(3 * n).makespan();
+        let per_wave = if three > one { (three - one) / 2 } else { one };
         let mv = MultiVpu::new(cfg, &model);
-        IntelVpu { mv, model }
+        IntelVpu { mv, model, svc_first_wave: one, svc_per_wave: per_wave }
     }
 
     pub fn devices(&self) -> usize {
@@ -127,6 +164,15 @@ impl IntelVpu {
 
     pub fn pipeline_mut(&mut self) -> &mut MultiVpu {
         &mut self.mv
+    }
+
+    pub fn pipeline(&self) -> &MultiVpu {
+        &self.mv
+    }
+
+    /// `(first_wave, per_wave)` of the calibrated latency model.
+    pub fn service_latency_model(&self) -> (Duration, Duration) {
+        (self.svc_first_wave, self.svc_per_wave)
     }
 }
 
@@ -152,10 +198,8 @@ impl TargetDevice for IntelVpu {
         let mut window_start = report.start;
         let mut i = 0;
         while i + batch <= images {
-            let end = (i..i + batch)
-                .map(|k| report.result_times[k])
-                .max()
-                .expect("non-empty window");
+            let end =
+                (i..i + batch).map(|k| report.result_times[k]).max().expect("non-empty window");
             windows.push(end - window_start);
             window_start = end;
             i += batch;
@@ -168,13 +212,7 @@ impl TargetDevice for IntelVpu {
 
     fn classify(&self, image: &Tensor<f32>) -> Vec<f32> {
         let input = image.quantize_fp16();
-        self.model
-            .net16
-            .forward(&input)
-            .as_slice()
-            .iter()
-            .map(|v| v.to_f32())
-            .collect()
+        self.model.net16.forward(&input).as_slice().iter().map(|v| v.to_f32()).collect()
     }
 }
 

@@ -89,7 +89,7 @@ pub fn calibrate_sigma(
         let (_, weights) = train_at_sigma(spec, base, mid);
         let err = probe_error(spec, &weights, base, mid, probe_images);
         let gap = (err - target_error).abs();
-        let better = best.as_ref().map_or(true, |(g, ..)| gap < *g);
+        let better = best.as_ref().is_none_or(|(g, ..)| gap < *g);
         if better {
             best = Some((gap, mid, err, weights));
         }
@@ -103,15 +103,7 @@ pub fn calibrate_sigma(
         }
     }
     let (_, sigma, err, weights) = best.expect("at least one iteration");
-    (
-        Calibration {
-            sigma,
-            achieved_error: err,
-            iterations,
-            probe_images,
-        },
-        weights,
-    )
+    (Calibration { sigma, achieved_error: err, iterations, probe_images }, weights)
 }
 
 /// Build a fully calibrated validation set + weights for an experiment:
@@ -146,10 +138,7 @@ mod tests {
         let e_low = probe_error(&spec, &w_low, &cfg, 0.05, 60);
         let (_, w_high) = train_at_sigma(&spec, &cfg, 1.6);
         let e_high = probe_error(&spec, &w_high, &cfg, 1.6, 60);
-        assert!(
-            e_high > e_low + 0.05,
-            "noise must hurt accuracy: {e_low} vs {e_high}"
-        );
+        assert!(e_high > e_low + 0.05, "noise must hurt accuracy: {e_low} vs {e_high}");
     }
 
     #[test]

@@ -68,7 +68,7 @@ impl ValidationSet {
     pub fn new(cfg: DatasetConfig) -> Self {
         assert!(cfg.subsets > 0, "need at least one subset");
         assert!(
-            cfg.total_images % cfg.subsets == 0,
+            cfg.total_images.is_multiple_of(cfg.subsets),
             "total_images must divide evenly into subsets"
         );
         let synsets = SynsetTable::generate(cfg.classes);

@@ -34,14 +34,7 @@ pub struct ImageGenConfig {
 
 impl ImageGenConfig {
     pub fn new(classes: usize, shape: Shape, seed: u64) -> Self {
-        ImageGenConfig {
-            classes,
-            shape,
-            lattice: 8,
-            sigma: 0.35,
-            distractor_mix: 0.25,
-            seed,
-        }
+        ImageGenConfig { classes, shape, lattice: 8, sigma: 0.35, distractor_mix: 0.25, seed }
     }
 }
 
@@ -234,13 +227,9 @@ mod tests {
         let noisy = ImageGen::new(cfg);
         let c = clean.sample(1, 0);
         let n = noisy.sample(1, 0);
-        let dev: f32 = c
-            .as_slice()
-            .iter()
-            .zip(n.as_slice())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
-            / c.len() as f32;
+        let dev: f32 =
+            c.as_slice().iter().zip(n.as_slice()).map(|(a, b)| (a - b).abs()).sum::<f32>()
+                / c.len() as f32;
         assert!(dev > 0.1, "sigma had no effect: {dev}");
         // Zero-sigma, zero-mix sample equals the centred prototype.
         let proto_centred = clean.prototype_input(1);

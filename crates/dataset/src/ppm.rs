@@ -90,9 +90,7 @@ pub fn decode(bytes: &[u8]) -> Result<Tensor<f32>, PpmError> {
         let (s, e) = next_token(bytes, &mut pos)?;
         let text = std::str::from_utf8(&bytes[s..e])
             .map_err(|_| PpmError::Malformed("non-ASCII header".into()))?;
-        *d = text
-            .parse()
-            .map_err(|_| PpmError::Malformed(format!("bad number '{text}'")))?;
+        *d = text.parse().map_err(|_| PpmError::Malformed(format!("bad number '{text}'")))?;
     }
     let (w, h, maxval) = (dims[0] as usize, dims[1] as usize, dims[2]);
     if maxval != 255 {
@@ -108,9 +106,7 @@ pub fn decode(bytes: &[u8]) -> Result<Tensor<f32>, PpmError> {
         )));
     }
     let data = &bytes[pos..pos + need];
-    Ok(Tensor::from_fn(Shape::chw(3, h, w), |_, c, y, x| {
-        data[(y * w + x) * 3 + c] as f32 / 255.0
-    }))
+    Ok(Tensor::from_fn(Shape::chw(3, h, w), |_, c, y, x| data[(y * w + x) * 3 + c] as f32 / 255.0))
 }
 
 /// Write one image to disk.
@@ -175,10 +171,7 @@ mod tests {
             decode(b"P6\n2 2\n65535\n").unwrap_err(),
             PpmError::UnsupportedDepth(65535)
         ));
-        assert!(matches!(
-            decode(b"P6\n4 4\n255\n\0\0").unwrap_err(),
-            PpmError::Malformed(_)
-        ));
+        assert!(matches!(decode(b"P6\n4 4\n255\n\0\0").unwrap_err(), PpmError::Malformed(_)));
         assert!(matches!(decode(b"P6\n").unwrap_err(), PpmError::Malformed(_)));
     }
 

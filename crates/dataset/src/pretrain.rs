@@ -119,16 +119,11 @@ pub fn pseudo_train_with(
         }
     }
 
-    let centred: Vec<Vec<f32>> = features
-        .iter()
-        .map(|f| f.iter().zip(&mean).map(|(x, m)| x - m).collect())
-        .collect();
+    let centred: Vec<Vec<f32>> =
+        features.iter().map(|f| f.iter().zip(&mean).map(|(x, m)| x - m).collect()).collect();
     // Gain normalizes the logit scale to the typical centroid energy so
     // confidences are comparable across network variants.
-    let msd: f32 = centred
-        .iter()
-        .map(|psi| psi.iter().map(|x| x * x).sum::<f32>())
-        .sum::<f32>()
+    let msd: f32 = centred.iter().map(|psi| psi.iter().map(|x| x * x).sum::<f32>()).sum::<f32>()
         / classes as f32;
     assert!(msd > 1e-12, "degenerate prototype features");
     let gain = TARGET_LOGIT_SPREAD / msd;

@@ -33,8 +33,8 @@ const STEMS: [&str; 20] = [
 ];
 
 const MODIFIERS: [&str; 10] = [
-    "common", "lesser", "greater", "northern", "southern", "striped", "spotted", "dwarf",
-    "giant", "alpine",
+    "common", "lesser", "greater", "northern", "southern", "striped", "spotted", "dwarf", "giant",
+    "alpine",
 ];
 
 impl SynsetTable {

@@ -17,16 +17,8 @@ pub fn resize_bilinear(image: &Tensor<f32>, out_h: usize, out_w: usize) -> Tenso
     assert!(out_h > 0 && out_w > 0, "empty target");
     Tensor::from_fn(Shape::chw(s.c, out_h, out_w), |_, c, y, x| {
         // Map output pixel centres onto input pixel centres.
-        let fy = if out_h == 1 {
-            0.0
-        } else {
-            y as f32 * (s.h - 1) as f32 / (out_h - 1) as f32
-        };
-        let fx = if out_w == 1 {
-            0.0
-        } else {
-            x as f32 * (s.w - 1) as f32 / (out_w - 1) as f32
-        };
+        let fy = if out_h == 1 { 0.0 } else { y as f32 * (s.h - 1) as f32 / (out_h - 1) as f32 };
+        let fx = if out_w == 1 { 0.0 } else { x as f32 * (s.w - 1) as f32 / (out_w - 1) as f32 };
         let (y0, x0) = (fy.floor() as usize, fx.floor() as usize);
         let (y1, x1) = ((y0 + 1).min(s.h - 1), (x0 + 1).min(s.w - 1));
         let (wy, wx) = (fy - y0 as f32, fx - x0 as f32);
@@ -57,9 +49,7 @@ pub fn center_crop(image: &Tensor<f32>, crop_h: usize, crop_w: usize) -> Tensor<
     assert!(s.h >= crop_h && s.w >= crop_w, "crop {crop_h}x{crop_w} larger than {s}");
     let oy = (s.h - crop_h) / 2;
     let ox = (s.w - crop_w) / 2;
-    Tensor::from_fn(Shape::chw(s.c, crop_h, crop_w), |_, c, y, x| {
-        image.at(0, c, oy + y, ox + x)
-    })
+    Tensor::from_fn(Shape::chw(s.c, crop_h, crop_w), |_, c, y, x| image.at(0, c, oy + y, ox + x))
 }
 
 /// Horizontal mirror (the classic training augmentation).

@@ -166,11 +166,9 @@ mod tests {
                 q.schedule(t + crate::time::Duration(10), ev + 1);
             }
         }
-        assert_eq!(fired, vec![
-            (SimTime(10), 0),
-            (SimTime(20), 1),
-            (SimTime(30), 2),
-            (SimTime(40), 3),
-        ]);
+        assert_eq!(
+            fired,
+            vec![(SimTime(10), 0), (SimTime(20), 1), (SimTime(30), 2), (SimTime(40), 3),]
+        );
     }
 }

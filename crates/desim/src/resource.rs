@@ -36,7 +36,12 @@ pub struct FifoResource {
 
 impl FifoResource {
     pub fn new(name: impl Into<String>) -> Self {
-        FifoResource { name: name.into(), available_at: SimTime::ZERO, busy_total: Duration::ZERO, requests: 0 }
+        FifoResource {
+            name: name.into(),
+            available_at: SimTime::ZERO,
+            busy_total: Duration::ZERO,
+            requests: 0,
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -118,12 +123,8 @@ impl ServerPool {
 
     /// Acquire one server; returns `(server_index, busy_interval)`.
     pub fn acquire(&mut self, ready: SimTime, service: Duration) -> (usize, Busy) {
-        let (idx, &free) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &t)| (t, i))
-            .expect("non-empty pool");
+        let (idx, &free) =
+            self.free_at.iter().enumerate().min_by_key(|&(i, &t)| (t, i)).expect("non-empty pool");
         let start = SimTime::max_of(ready, free);
         let end = start + service;
         self.free_at[idx] = end;

@@ -16,7 +16,12 @@ pub struct Span {
 }
 
 impl Span {
-    pub fn new(lane: impl Into<String>, label: impl Into<String>, start: SimTime, end: SimTime) -> Self {
+    pub fn new(
+        lane: impl Into<String>,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
         let (start_v, end_v) = (start, end);
         assert!(end_v >= start_v, "span ends before it starts");
         Span { lane: lane.into(), label: label.into(), start: start_v, end: end_v }
@@ -38,7 +43,13 @@ impl TraceLog {
         self.spans.push(span);
     }
 
-    pub fn push(&mut self, lane: impl Into<String>, label: impl Into<String>, start: SimTime, end: SimTime) {
+    pub fn push(
+        &mut self,
+        lane: impl Into<String>,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
         self.record(Span::new(lane, label, start, end));
     }
 
@@ -128,12 +139,7 @@ impl TraceLog {
             }
             out.push_str(&format!("{lane:>name_w$} |{}|\n", String::from_utf8_lossy(&row)));
         }
-        out.push_str(&format!(
-            "{:>name_w$} 0{:>w$}\n",
-            "t",
-            format!("{horizon}"),
-            w = width
-        ));
+        out.push_str(&format!("{:>name_w$} 0{:>w$}\n", "t", format!("{horizon}"), w = width));
         out
     }
 }

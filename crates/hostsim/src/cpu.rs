@@ -98,7 +98,8 @@ impl CpuDevice {
     /// batch counter), modelling OS/framework timing noise.
     pub fn run_batch(&mut self, cost: &NetworkCost, batch: usize, ready: SimTime) -> HostRun {
         let nominal = self.batch_duration(cost, batch);
-        let mut stream = vpu_num::rng::indexed_stream(self.cfg.jitter_seed, "cpu-jitter", self.batches);
+        let mut stream =
+            vpu_num::rng::indexed_stream(self.cfg.jitter_seed, "cpu-jitter", self.batches);
         let z = vpu_num::rng::normal(&mut stream);
         let scale = (1.0 + self.cfg.jitter_cv * z).max(0.5);
         let busy = self.timeline.acquire(ready, nominal * scale);

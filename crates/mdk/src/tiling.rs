@@ -42,7 +42,7 @@ impl TilingPlan {
             (c + strips) * elem_bytes <= slice_bytes
         };
         let mut tile = 8;
-        while tile * 2 <= m.max(8).min(512) && fits(tile * 2) {
+        while tile * 2 <= m.clamp(8, 512) && fits(tile * 2) {
             tile *= 2;
         }
         assert!(fits(tile), "even the minimal tile does not fit CMX");
@@ -97,7 +97,9 @@ mod tests {
 
     #[test]
     fn tile_fits_slice() {
-        for &(m, k, n, e) in &[(512usize, 512usize, 512usize, 2usize), (1024, 1024, 1024, 4), (64, 64, 64, 2)] {
+        for &(m, k, n, e) in
+            &[(512usize, 512usize, 512usize, 2usize), (1024, 1024, 1024, 4), (64, 64, 64, 2)]
+        {
             let p = TilingPlan::plan(m, k, n, e, SLICE);
             let bytes = (p.tile * p.tile + 4 * p.tile * p.tile_k) * e;
             assert!(bytes <= SLICE, "{m}x{k}x{n}@{e}: {bytes} > slice");

@@ -25,9 +25,9 @@ pub mod ddr;
 pub mod exec;
 pub mod power;
 pub mod roofline;
-pub mod thermal;
 pub mod shave;
 pub mod sipp;
+pub mod thermal;
 pub mod vliw;
 
 pub use arch::Myriad2Config;

@@ -56,19 +56,10 @@ impl Roofline {
     /// Place a kernel with `macs` of work and `ddr_bytes` of compulsory
     /// traffic.
     pub fn classify(&self, macs: u64, ddr_bytes: u64) -> RooflinePoint {
-        let intensity = if ddr_bytes == 0 {
-            f64::INFINITY
-        } else {
-            macs as f64 / ddr_bytes as f64
-        };
+        let intensity = if ddr_bytes == 0 { f64::INFINITY } else { macs as f64 / ddr_bytes as f64 };
         let attainable = (intensity * self.memory_roof).min(self.compute_roof);
         let bound = if intensity >= self.ridge() { Bound::Compute } else { Bound::Memory };
-        RooflinePoint {
-            intensity,
-            attainable,
-            bound,
-            seconds: macs as f64 / attainable,
-        }
+        RooflinePoint { intensity, attainable, bound, seconds: macs as f64 / attainable }
     }
 }
 
@@ -119,13 +110,8 @@ mod tests {
         let cost = NetworkCost::of::<f16>(&vpu_nn::googlenet::full());
         let mut chip = Myriad2::new(Myriad2Config::default());
         let run = chip.run_cost(&cost, SimTime::ZERO);
-        let conv2_sim = run
-            .layers
-            .iter()
-            .find(|l| l.name == "conv2/3x3")
-            .unwrap()
-            .duration()
-            .as_secs();
+        let conv2_sim =
+            run.layers.iter().find(|l| l.name == "conv2/3x3").unwrap().duration().as_secs();
         let conv2 = cost.layers.iter().find(|l| l.name == "conv2/3x3").unwrap();
         let p = roof().classify(conv2.macs, conv2.weight_bytes + conv2.in_bytes + conv2.out_bytes);
         let ratio = conv2_sim / p.seconds;

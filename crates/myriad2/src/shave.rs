@@ -98,10 +98,7 @@ mod tests {
     #[test]
     fn mac_cycles_scale_with_efficiency() {
         let c = cfg();
-        let ideal = mac_cycles(
-            &Myriad2Config { issue_efficiency: 1.0, ..c.clone() },
-            8_000,
-        );
+        let ideal = mac_cycles(&Myriad2Config { issue_efficiency: 1.0, ..c.clone() }, 8_000);
         assert_eq!(ideal, 1_000);
         let real = mac_cycles(&c, 8_000);
         assert!(real > ideal);

@@ -77,11 +77,8 @@ impl ThermalModel {
             }
             samples.push((clock, t));
         }
-        let avg_power = if clock > 0.0 {
-            phases.iter().map(|&(p, s)| p * s).sum::<f64>() / clock
-        } else {
-            0.0
-        };
+        let avg_power =
+            if clock > 0.0 { phases.iter().map(|&(p, s)| p * s).sum::<f64>() / clock } else { 0.0 };
         ThermalTrace {
             samples,
             peak_c: peak,
@@ -92,7 +89,11 @@ impl ThermalModel {
 
     /// Convenience: temperature after running one activity summary in a
     /// loop indefinitely (steady state at its average power).
-    pub fn steady_state_of(&self, activity: &ActivitySummary, power_model: &crate::power::PowerModel) -> f64 {
+    pub fn steady_state_of(
+        &self,
+        activity: &ActivitySummary,
+        power_model: &crate::power::PowerModel,
+    ) -> f64 {
         self.steady_state(power_model.avg_power(activity))
     }
 }

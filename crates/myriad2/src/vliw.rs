@@ -31,16 +31,8 @@ pub enum Unit {
     Bru,
 }
 
-pub const ALL_UNITS: [Unit; 8] = [
-    Unit::Vau,
-    Unit::Sau,
-    Unit::Iau,
-    Unit::Cmu,
-    Unit::Lsu0,
-    Unit::Lsu1,
-    Unit::Peu,
-    Unit::Bru,
-];
+pub const ALL_UNITS: [Unit; 8] =
+    [Unit::Vau, Unit::Sau, Unit::Iau, Unit::Cmu, Unit::Lsu0, Unit::Lsu1, Unit::Peu, Unit::Bru];
 
 /// One operation of a loop body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,7 +105,8 @@ impl KernelModel {
     /// Total cycles for `trips` iterations of the inner loop, run
     /// `invocations` times (e.g. once per output row).
     pub fn cycles(&self, trips: u64, invocations: u64) -> u64 {
-        let per = self.prologue as u64 + self.body.depth() as u64
+        let per = self.prologue as u64
+            + self.body.depth() as u64
             + trips * self.body.ii() as u64
             + self.epilogue as u64;
         per * invocations
@@ -255,10 +248,7 @@ mod tests {
         // Long K strips (tile_k = 64) amortize the prologue.
         let k = mdk_gemm_kernel();
         let eff = k.effective_vau_efficiency(64, 1000);
-        assert!(
-            (0.48..0.65).contains(&eff),
-            "GEMM VLIW model gives {eff}, MDK constant is 0.55"
-        );
+        assert!((0.48..0.65).contains(&eff), "GEMM VLIW model gives {eff}, MDK constant is 0.55");
     }
 
     #[test]

@@ -196,7 +196,11 @@ impl Ncapi {
 
     /// `mvncGetResult`: block until the oldest in-flight inference on the
     /// graph's device finishes, read the output back, return it.
-    pub fn get_result(&mut self, graph: GraphHandle, at: SimTime) -> Result<InferenceResult, NcsError> {
+    pub fn get_result(
+        &mut self,
+        graph: GraphHandle,
+        at: SimTime,
+    ) -> Result<InferenceResult, NcsError> {
         let dev = graph.device;
         let port = self.device(dev)?.port();
         let (_, out_bytes) = self.io_bytes[dev].ok_or(NcsError::NoGraph)?;
@@ -292,10 +296,7 @@ mod tests {
         let mut api = api(2);
         assert_eq!(api.open_device(9, SimTime::ZERO), Err(NcsError::BadDevice));
         // Graph before open.
-        assert_eq!(
-            api.alloc_graph(0, cost(), SimTime::ZERO).unwrap_err(),
-            NcsError::NotOpen
-        );
+        assert_eq!(api.alloc_graph(0, cost(), SimTime::ZERO).unwrap_err(), NcsError::NotOpen);
         api.open_device(0, SimTime::ZERO).unwrap();
         let (h, t) = api.alloc_graph(0, cost(), SimTime::ZERO).unwrap();
         // get_result with empty queue.

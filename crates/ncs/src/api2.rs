@@ -73,10 +73,7 @@ impl Ncapi2 {
     ) -> Result<(Graph2Handle, SimTime), NcsError> {
         assert!(in_depth >= 1 && out_depth >= 1, "FIFO depths must be positive");
         let (inner, done) = self.inner.alloc_graph(device, cost, at)?;
-        self.inner
-            .fleet_mut()
-            .devices[device]
-            .set_fifo_depth(in_depth);
+        self.inner.fleet_mut().devices[device].set_fifo_depth(in_depth);
         Ok((Graph2Handle { inner, in_depth, out_depth }, done))
     }
 
@@ -120,9 +117,7 @@ mod tests {
     fn v2_round_trip_matches_v1_latency() {
         let mut v2 = api2();
         v2.device_open(0, SimTime::ZERO).unwrap();
-        let (g, ready) = v2
-            .graph_allocate_with_fifos(0, cost(), SimTime::ZERO, 2, 2)
-            .unwrap();
+        let (g, ready) = v2.graph_allocate_with_fifos(0, cost(), SimTime::ZERO, 2, 2).unwrap();
         let loaded = v2.fifo_write_elem(g, ready, None).unwrap();
         let res = v2.fifo_read_elem(g, loaded).unwrap();
         let ms = (res.returned_at - ready).as_millis();
@@ -135,9 +130,7 @@ mod tests {
     fn deeper_input_fifo_admits_more_in_flight() {
         let mut v2 = api2();
         v2.device_open(0, SimTime::ZERO).unwrap();
-        let (g, ready) = v2
-            .graph_allocate_with_fifos(0, cost(), SimTime::ZERO, 4, 4)
-            .unwrap();
+        let (g, ready) = v2.graph_allocate_with_fifos(0, cost(), SimTime::ZERO, 4, 4).unwrap();
         // Four writes go through without blocking on a completion …
         let mut t = ready;
         for _ in 0..4 {
@@ -153,9 +146,7 @@ mod tests {
     fn depth_one_serializes_fully() {
         let mut v2 = api2();
         v2.device_open(0, SimTime::ZERO).unwrap();
-        let (g, ready) = v2
-            .graph_allocate_with_fifos(0, cost(), SimTime::ZERO, 1, 1)
-            .unwrap();
+        let (g, ready) = v2.graph_allocate_with_fifos(0, cost(), SimTime::ZERO, 1, 1).unwrap();
         let t1 = v2.fifo_write_elem(g, ready, None).unwrap();
         // Second write waits for the first completion: no overlap at all.
         let t2 = v2.fifo_write_elem(g, t1, None).unwrap();

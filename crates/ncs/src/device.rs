@@ -137,7 +137,11 @@ impl NcsDevice {
 
     /// Store the compiled graph (weights already transferred over USB by
     /// the API layer). Graph swaps are allowed; the old one is dropped.
-    pub fn alloc_graph(&mut self, at: SimTime, cost: Arc<NetworkCost>) -> Result<SimTime, DeviceError> {
+    pub fn alloc_graph(
+        &mut self,
+        at: SimTime,
+        cost: Arc<NetworkCost>,
+    ) -> Result<SimTime, DeviceError> {
         if self.state != DeviceState::Ready {
             return Err(DeviceError::NotOpen);
         }
@@ -309,10 +313,7 @@ mod tests {
         d.boot(SimTime::ZERO);
         let mut big = NetworkCost::of::<f16>(&googlenet::tiny());
         big.total_params = 3 << 30; // 6 GB of fp16 weights
-        assert_eq!(
-            d.alloc_graph(SimTime::ZERO, Arc::new(big)),
-            Err(DeviceError::GraphTooLarge)
-        );
+        assert_eq!(d.alloc_graph(SimTime::ZERO, Arc::new(big)), Err(DeviceError::GraphTooLarge));
     }
 
     #[test]

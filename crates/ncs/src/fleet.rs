@@ -66,11 +66,8 @@ impl Fleet {
     pub fn with_usb(n: usize, topology: Topology, cfg: NcsConfig, usb: UsbConfig) -> Self {
         assert!(n > 0, "fleet needs at least one stick");
         let (ports, hubs) = topology.ports(n);
-        let devices = ports
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| NcsDevice::new(i, p, cfg.clone()))
-            .collect();
+        let devices =
+            ports.iter().enumerate().map(|(i, &p)| NcsDevice::new(i, p, cfg.clone())).collect();
         Fleet { bus: UsbBus::new(usb, hubs), devices }
     }
 

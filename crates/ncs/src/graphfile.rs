@@ -108,9 +108,8 @@ pub fn compile(spec: &NetworkSpec, weights: &Weights) -> Bytes {
         spec.nodes.iter().filter(|n| n.kind.has_weights()).collect();
     buf.put_u32_le(weighted.len() as u32);
     for node in weighted {
-        let lp = weights
-            .get(&node.name)
-            .unwrap_or_else(|| panic!("missing weights for {}", node.name));
+        let lp =
+            weights.get(&node.name).unwrap_or_else(|| panic!("missing weights for {}", node.name));
         put_string(&mut buf, &node.name);
         buf.put_u32_le(lp.w.len() as u32);
         buf.put_u32_le(lp.b.len() as u32);
@@ -271,10 +270,6 @@ mod tests {
         let w = init::xavier(&spec, 1);
         let blob = compile(&spec, &w);
         // The real BVLC GoogLeNet .graph is ~13.5 MB.
-        assert!(
-            (13_000_000..15_000_000).contains(&blob.len()),
-            "graph file {} bytes",
-            blob.len()
-        );
+        assert!((13_000_000..15_000_000).contains(&blob.len()), "graph file {} bytes", blob.len());
     }
 }

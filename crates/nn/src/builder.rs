@@ -47,6 +47,7 @@ impl NetBuilder {
     }
 
     /// Convolution with optional fused ReLU.
+    #[allow(clippy::too_many_arguments)]
     pub fn conv(
         &mut self,
         name: impl Into<String>,
@@ -71,12 +72,34 @@ impl NetBuilder {
         self.push(name, LayerKind::Relu, vec![input])
     }
 
-    pub fn max_pool(&mut self, name: impl Into<String>, input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
-        self.push(name, LayerKind::Pool(PoolParams::new(PoolKind::Max, kernel, stride, pad)), vec![input])
+    pub fn max_pool(
+        &mut self,
+        name: impl Into<String>,
+        input: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> usize {
+        self.push(
+            name,
+            LayerKind::Pool(PoolParams::new(PoolKind::Max, kernel, stride, pad)),
+            vec![input],
+        )
     }
 
-    pub fn avg_pool(&mut self, name: impl Into<String>, input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
-        self.push(name, LayerKind::Pool(PoolParams::new(PoolKind::Avg, kernel, stride, pad)), vec![input])
+    pub fn avg_pool(
+        &mut self,
+        name: impl Into<String>,
+        input: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> usize {
+        self.push(
+            name,
+            LayerKind::Pool(PoolParams::new(PoolKind::Avg, kernel, stride, pad)),
+            vec![input],
+        )
     }
 
     pub fn lrn(&mut self, name: impl Into<String>, input: usize, params: LrnParams) -> usize {
@@ -126,7 +149,8 @@ impl NetBuilder {
 
     /// Finalize; validates the graph by running shape inference.
     pub fn build(self) -> NetworkSpec {
-        let spec = NetworkSpec { name: self.name, input_shape: self.input_shape, nodes: self.nodes };
+        let spec =
+            NetworkSpec { name: self.name, input_shape: self.input_shape, nodes: self.nodes };
         spec.infer_shapes();
         spec
     }

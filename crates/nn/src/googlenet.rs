@@ -296,10 +296,7 @@ mod tests {
         use crate::cost::NetworkCost;
         let pd = NetworkCost::of::<f32>(&deploy).total_params;
         let pt = NetworkCost::of::<f32>(&train).total_params;
-        assert!(
-            (12_500_000..14_500_000).contains(&pt),
-            "training-graph params {pt}"
-        );
+        assert!((12_500_000..14_500_000).contains(&pt), "training-graph params {pt}");
         assert!(pt > pd + 5_000_000);
     }
 
@@ -329,11 +326,7 @@ mod tests {
     #[test]
     fn nine_inception_modules_in_full() {
         let spec = full();
-        let concats = spec
-            .nodes
-            .iter()
-            .filter(|n| n.name.ends_with("/output"))
-            .count();
+        let concats = spec.nodes.iter().filter(|n| n.name.ends_with("/output")).count();
         assert_eq!(concats, 9);
     }
 }

@@ -33,10 +33,7 @@ impl NetworkSpec {
     /// duplicate names, forward references, or shape inference failures.
     pub fn infer_shapes(&self) -> Vec<Shape> {
         assert!(!self.nodes.is_empty(), "network has no nodes");
-        assert!(
-            matches!(self.nodes[0].kind, LayerKind::Input),
-            "node 0 must be the input layer"
-        );
+        assert!(matches!(self.nodes[0].kind, LayerKind::Input), "node 0 must be the input layer");
         assert_eq!(self.input_shape.n, 1, "input_shape describes one item");
         let mut seen = std::collections::HashSet::new();
         let mut shapes: Vec<Shape> = Vec::with_capacity(self.nodes.len());
@@ -197,11 +194,7 @@ impl<E: Element> CompiledNetwork<E> {
 
     /// Total bytes of weights at this precision (graph-file size proxy).
     pub fn weight_bytes(&self) -> usize {
-        self.params
-            .iter()
-            .flatten()
-            .map(|(w, b)| (w.len() + b.len()) * E::width())
-            .sum()
+        self.params.iter().flatten().map(|(w, b)| (w.len() + b.len()) * E::width()).sum()
     }
 
     /// Run inference on a batch; returns the output node's activation.
@@ -345,12 +338,8 @@ mod tests {
         let o16 = n16.forward(&input16);
         // Same argmax (tiny net, mild values), slightly different mass.
         assert_eq!(o32.argmax_item(0).0, o16.argmax_item(0).0);
-        let diff: f32 = o32
-            .as_slice()
-            .iter()
-            .zip(o16.as_slice())
-            .map(|(a, b)| (a - b.to_f32()).abs())
-            .sum();
+        let diff: f32 =
+            o32.as_slice().iter().zip(o16.as_slice()).map(|(a, b)| (a - b.to_f32()).abs()).sum();
         assert!(diff > 0.0, "fp16 must differ from fp32 somewhere");
         assert!(diff < 0.05, "fp16 drift too large: {diff}");
     }
@@ -384,8 +373,11 @@ mod tests {
 
     #[test]
     fn eval_node_concat_batched() {
-        let a = Tensor::<f32>::from_fn(Shape::new(2, 1, 2, 2), |n, _, h, w| (n * 100 + h * 2 + w) as f32);
-        let b = Tensor::<f32>::from_fn(Shape::new(2, 2, 2, 2), |n, c, _, _| (n * 100 + 10 + c) as f32);
+        let a = Tensor::<f32>::from_fn(Shape::new(2, 1, 2, 2), |n, _, h, w| {
+            (n * 100 + h * 2 + w) as f32
+        });
+        let b =
+            Tensor::<f32>::from_fn(Shape::new(2, 2, 2, 2), |n, c, _, _| (n * 100 + 10 + c) as f32);
         let out = eval_node(&LayerKind::Concat, &[&a, &b], None, AccumMode::Widened);
         assert_eq!(out.shape(), Shape::new(2, 3, 2, 2));
         assert_eq!(out.at(0, 0, 1, 1), 3.0);

@@ -99,9 +99,7 @@ impl LayerKind {
     pub fn macs(&self, input: Shape) -> u64 {
         match self {
             LayerKind::Conv { params, .. } => params.macs(input.with_batch(1)),
-            LayerKind::Dense { out_features } => {
-                (input.item_len() * out_features) as u64
-            }
+            LayerKind::Dense { out_features } => (input.item_len() * out_features) as u64,
             _ => 0,
         }
     }
@@ -114,9 +112,7 @@ impl LayerKind {
             LayerKind::Pool(p) => p.ops(item),
             LayerKind::Lrn(p) => p.ops(item),
             LayerKind::Softmax => 3 * item.len() as u64,
-            LayerKind::Conv { fused_relu: true, params } => {
-                params.out_shape(item).len() as u64
-            }
+            LayerKind::Conv { fused_relu: true, params } => params.out_shape(item).len() as u64,
             _ => 0,
         }
     }
@@ -221,16 +217,14 @@ mod tests {
     #[test]
     fn mnemonics() {
         assert_eq!(LayerKind::Input.mnemonic(), "input");
-        assert_eq!(
-            LayerKind::Pool(PoolParams::new(PoolKind::Avg, 7, 1, 0)).mnemonic(),
-            "avgpool"
-        );
+        assert_eq!(LayerKind::Pool(PoolParams::new(PoolKind::Avg, 7, 1, 0)).mnemonic(), "avgpool");
         assert_eq!(LayerKind::Concat.mnemonic(), "concat");
     }
 
     #[test]
     fn weights_flag() {
-        assert!(LayerKind::Conv { params: ConvParams::new(1, 1, 1, 0), fused_relu: false }.has_weights());
+        assert!(LayerKind::Conv { params: ConvParams::new(1, 1, 1, 0), fused_relu: false }
+            .has_weights());
         assert!(LayerKind::Dense { out_features: 10 }.has_weights());
         assert!(!LayerKind::Relu.has_weights());
         assert!(!LayerKind::Concat.has_weights());

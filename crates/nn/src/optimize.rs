@@ -71,7 +71,7 @@ fn fuse_relu(spec: &NetworkSpec, stats: &mut OptimizeStats) -> NetworkSpec {
             continue;
         }
         let mut n = node.clone();
-        if fused_into.iter().any(|&f| f == Some(i)) {
+        if fused_into.contains(&Some(i)) {
             if let LayerKind::Conv { params, .. } = n.kind {
                 n.kind = LayerKind::Conv { params, fused_relu: true };
             }

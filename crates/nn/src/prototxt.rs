@@ -41,7 +41,8 @@ pub fn emit(spec: &NetworkSpec) -> String {
     let _ = writeln!(out, "name: \"{}\"", spec.name);
     let s = spec.input_shape;
     let _ = writeln!(out, "input: \"input\"");
-    let _ = writeln!(out, "input_dim: 1\ninput_dim: {}\ninput_dim: {}\ninput_dim: {}", s.c, s.h, s.w);
+    let _ =
+        writeln!(out, "input_dim: 1\ninput_dim: {}\ninput_dim: {}\ninput_dim: {}", s.c, s.h, s.w);
     for node in spec.nodes.iter().skip(1) {
         let _ = writeln!(out, "layer {{");
         let _ = writeln!(out, "  name: \"{}\"", node.name);
@@ -180,7 +181,9 @@ fn tokenize(text: &str) -> Result<Vec<Event>, ParseError> {
                                 i += 1;
                             }
                             if i >= n {
-                                return Err(ParseError(format!("line {line}: unterminated string")));
+                                return Err(ParseError(format!(
+                                    "line {line}: unterminated string"
+                                )));
                             }
                             let v: String = bytes[vstart..i].iter().collect();
                             i += 1;
@@ -195,7 +198,9 @@ fn tokenize(text: &str) -> Result<Vec<Event>, ParseError> {
                                 i += 1;
                             }
                             if i == vstart {
-                                return Err(ParseError(format!("line {line}: missing value for '{ident}'")));
+                                return Err(ParseError(format!(
+                                    "line {line}: missing value for '{ident}'"
+                                )));
                             }
                             bytes[vstart..i].iter().collect()
                         };
@@ -221,7 +226,8 @@ pub fn parse(text: &str) -> Result<NetworkSpec, ParseError> {
     let events = tokenize(text)?;
     let mut name = String::from("network");
     let mut input_dims: Vec<usize> = Vec::new();
-    let mut nodes: Vec<Node> = vec![Node { name: "input".into(), kind: LayerKind::Input, inputs: vec![] }];
+    let mut nodes: Vec<Node> =
+        vec![Node { name: "input".into(), kind: LayerKind::Input, inputs: vec![] }];
     let mut by_name: HashMap<String, usize> = HashMap::new();
     by_name.insert("input".into(), 0);
 
@@ -263,7 +269,10 @@ pub fn parse(text: &str) -> Result<NetworkSpec, ParseError> {
 
 /// Parse one `layer { ... }` body; returns the node and the number of
 /// events consumed (including the final Close).
-fn parse_layer(events: &[Event], by_name: &HashMap<String, usize>) -> Result<(Node, usize), ParseError> {
+fn parse_layer(
+    events: &[Event],
+    by_name: &HashMap<String, usize>,
+) -> Result<(Node, usize), ParseError> {
     let mut lname = String::new();
     let mut ltype = String::new();
     let mut bottoms: Vec<usize> = Vec::new();
@@ -318,7 +327,12 @@ fn parse_layer(events: &[Event], by_name: &HashMap<String, usize>) -> Result<(No
     };
     let kind = match ltype.as_str() {
         "Convolution" => LayerKind::Conv {
-            params: ConvParams::new(get("num_output")?, get("kernel_size")?, get_or("stride", 1), get_or("pad", 0)),
+            params: ConvParams::new(
+                get("num_output")?,
+                get("kernel_size")?,
+                get_or("stride", 1),
+                get_or("pad", 0),
+            ),
             fused_relu,
         },
         "ReLU" => LayerKind::Relu,
@@ -328,7 +342,12 @@ fn parse_layer(events: &[Event], by_name: &HashMap<String, usize>) -> Result<(No
                 Some("AVE") => PoolKind::Avg,
                 Some(other) => return Err(ParseError(format!("unknown pool kind '{other}'"))),
             };
-            LayerKind::Pool(PoolParams::new(kind, get("kernel_size")?, get_or("stride", 1), get_or("pad", 0)))
+            LayerKind::Pool(PoolParams::new(
+                kind,
+                get("kernel_size")?,
+                get_or("stride", 1),
+                get_or("pad", 0),
+            ))
         }
         "LRN" => LayerKind::Lrn(LrnParams {
             local_size: get_or("local_size", 5),

@@ -136,8 +136,8 @@ mod tests {
         use vpu_tensor::{Shape, Tensor};
         // Reduced-class variants keep the test fast but execute the
         // real topologies end to end.
-        for spec in [squeezenet_v10_with_classes(10)] {
-            let spec = Arc::new(spec);
+        {
+            let spec = Arc::new(squeezenet_v10_with_classes(10));
             let w = crate::init::xavier(&spec, 1);
             let net = CompiledNetwork::<f32>::compile(spec.clone(), &w, AccumMode::Widened);
             let out = net.forward(&Tensor::full(Shape::chw(3, 224, 224), 0.1));

@@ -78,7 +78,7 @@ impl f16 {
     /// Convert from `f32` with round-to-nearest-even.
     pub fn from_f32(value: f32) -> Self {
         let x = value.to_bits();
-        let sign = ((x >> 16) & 0x8000) as u32;
+        let sign = (x >> 16) & 0x8000;
         let exp = x & 0x7F80_0000;
         let man = x & 0x007F_FFFF;
 
@@ -536,6 +536,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN incomparability is what's under test
     fn comparisons() {
         assert!(f16::ONE < f16::TWO);
         assert!(f16::NEG_ONE < f16::ZERO);

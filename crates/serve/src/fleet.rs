@@ -1,0 +1,118 @@
+//! Fleet construction: turn a spec like `cpu+gpu+8xvpu` into boxed
+//! [`ServiceHook`] workers over one shared [`ModelBundle`].
+
+use ncsw::service::ServiceHook;
+use ncsw::{IntelCpu, IntelVpu, ModelBundle, NvGpu};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One worker slot of a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerSpec {
+    Cpu,
+    Gpu,
+    /// A multi-stick VPU pipeline with this many NCS devices.
+    Vpu {
+        devices: usize,
+    },
+}
+
+/// An ordered set of workers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSpec(pub Vec<WorkerSpec>);
+
+impl FleetSpec {
+    /// Parse `cpu+gpu+8xvpu` / `1xvpu` / `cpu` style specs.
+    pub fn parse(s: &str) -> Option<FleetSpec> {
+        let mut out = Vec::new();
+        for part in s.split('+') {
+            match part {
+                "cpu" => out.push(WorkerSpec::Cpu),
+                "gpu" => out.push(WorkerSpec::Gpu),
+                "vpu" => out.push(WorkerSpec::Vpu { devices: 1 }),
+                other => {
+                    let (n, rest) = other.split_once('x')?;
+                    if rest != "vpu" {
+                        return None;
+                    }
+                    let devices: usize = n.parse().ok()?;
+                    if devices == 0 {
+                        return None;
+                    }
+                    out.push(WorkerSpec::Vpu { devices });
+                }
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(FleetSpec(out))
+        }
+    }
+
+    /// Instantiate the workers (each gets its own simulated device; the
+    /// model bundle is shared — it is `Arc`s inside).
+    pub fn build(&self, model: &ModelBundle) -> Vec<Box<dyn ServiceHook>> {
+        self.0
+            .iter()
+            .map(|w| -> Box<dyn ServiceHook> {
+                match *w {
+                    WorkerSpec::Cpu => Box::new(IntelCpu::new(model.clone())),
+                    WorkerSpec::Gpu => Box::new(NvGpu::new(model.clone())),
+                    WorkerSpec::Vpu { devices } => Box::new(IntelVpu::new(model.clone(), devices)),
+                }
+            })
+            .collect()
+    }
+
+    /// Largest batch any worker prefers — a sensible `max_batch` for the
+    /// batcher serving this fleet.
+    pub fn preferred_batch(&self, workers: &[Box<dyn ServiceHook>]) -> usize {
+        workers.iter().map(|w| w.preferred_batch()).max().unwrap_or(1)
+    }
+
+    /// Estimated aggregate capacity in requests per second: each worker
+    /// at its preferred batch size, back to back.
+    pub fn capacity_rps(&self, workers: &[Box<dyn ServiceHook>]) -> f64 {
+        workers
+            .iter()
+            .map(|w| {
+                let b = w.preferred_batch();
+                b as f64 / w.estimate(b).as_secs()
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for FleetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "+")?;
+            }
+            match w {
+                WorkerSpec::Cpu => write!(f, "cpu")?,
+                WorkerSpec::Gpu => write!(f, "gpu")?,
+                WorkerSpec::Vpu { devices } => write!(f, "{devices}xvpu")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["cpu", "gpu", "1xvpu", "8xvpu", "cpu+gpu+8xvpu"] {
+            let spec = FleetSpec::parse(s).expect(s);
+            assert_eq!(spec.to_string(), s);
+        }
+        assert_eq!(FleetSpec::parse("vpu"), Some(FleetSpec(vec![WorkerSpec::Vpu { devices: 1 }])));
+        assert!(FleetSpec::parse("tpu").is_none());
+        assert!(FleetSpec::parse("0xvpu").is_none());
+        assert!(FleetSpec::parse("").is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! `ncsw-serve` — deterministic online inference serving over the
+//! simulated CPU/GPU/multi-VPU fleet.
+//!
+//! The paper's NCSw framework is batch/throughput-oriented (run 10 000
+//! images, report img/s). This crate adds the online story the ROADMAP
+//! north star asks for: open-loop request arrivals, admission control
+//! with load shedding, deadline-aware dynamic batching, and SLO-aware
+//! dispatch across heterogeneous workers — all running on the `desim`
+//! virtual clock, so every run is deterministic, machine-independent,
+//! and finishes in milliseconds of real time.
+//!
+//! ```text
+//!  ArrivalProcess ──> admission (bounded queue, shed) ──> batcher
+//!  (Poisson/MMPP/      │                                  (max_batch
+//!   trace, seeded)     └─ ShedPolicy                       or max_wait)
+//!                                                            │
+//!                  DispatchPolicy (rr / least-outstanding / cost-aware)
+//!                                                            │
+//!            ServiceHook workers: IntelCpu · NvGpu · IntelVpu (n sticks)
+//! ```
+//!
+//! Quick start:
+//!
+//! ```
+//! use ncsw_serve::{serve, ArrivalProcess, FleetSpec, ServeConfig, ServeReport};
+//! use ncsw::ModelBundle;
+//! use vpu_nn::googlenet::Variant;
+//!
+//! let model = ModelBundle::googlenet_untrained(Variant::Tiny, 1);
+//! let spec = FleetSpec::parse("cpu+gpu").unwrap();
+//! let mut workers = spec.build(&model);
+//! let cfg = ServeConfig::default();
+//! let load = ArrivalProcess::Poisson { rate_per_sec: 50.0 };
+//! let outcome = serve(&mut workers, &cfg, &load, 200);
+//! let report = ServeReport::of(&outcome, &cfg);
+//! assert_eq!(report.completed + report.shed, 200);
+//! ```
+
+pub mod fleet;
+pub mod histogram;
+pub mod metrics;
+pub mod server;
+pub mod workload;
+
+pub use fleet::{FleetSpec, WorkerSpec};
+pub use histogram::LogHistogram;
+pub use metrics::{Percentiles, ServeReport, WorkerReport};
+pub use server::{
+    serve, DispatchPolicy, RequestRecord, ServeConfig, ServeOutcome, ShedPolicy, ShedRecord,
+};
+pub use workload::ArrivalProcess;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Duration;
+    use ncsw::ModelBundle;
+    use std::sync::OnceLock;
+    use vpu_nn::googlenet::Variant;
+
+    /// Shared tiny model: properties here are structural, not anchored to
+    /// the paper's latencies, so the small cost profile is fine (and keeps
+    /// the suite fast).
+    fn model() -> &'static ModelBundle {
+        static MODEL: OnceLock<ModelBundle> = OnceLock::new();
+        MODEL.get_or_init(|| ModelBundle::googlenet_untrained(Variant::Tiny, 1))
+    }
+
+    fn run(fleet: &str, cfg: &ServeConfig, rate: f64, n: usize) -> (ServeOutcome, ServeReport) {
+        let spec = FleetSpec::parse(fleet).unwrap();
+        let mut workers = spec.build(model());
+        let load = ArrivalProcess::Poisson { rate_per_sec: rate };
+        let outcome = serve(&mut workers, cfg, &load, n);
+        let report = ServeReport::of(&outcome, cfg);
+        (outcome, report)
+    }
+
+    #[test]
+    fn requests_are_conserved() {
+        let cfg = ServeConfig { queue_capacity: 4, ..ServeConfig::default() };
+        let (outcome, report) = run("cpu", &cfg, 5_000.0, 400);
+        assert_eq!(outcome.completed.len() + outcome.shed.len(), 400);
+        assert!(report.shed > 0, "overload must shed");
+    }
+
+    #[test]
+    fn timestamps_are_causally_ordered() {
+        let (outcome, _) = run("cpu+gpu+2xvpu", &ServeConfig::default(), 2_000.0, 300);
+        for r in &outcome.completed {
+            assert!(r.arrival <= r.dispatched, "dispatch before arrival: {r:?}");
+            assert!(r.dispatched <= r.service_start, "start before dispatch: {r:?}");
+            assert!(r.service_start < r.completed, "done before start: {r:?}");
+        }
+    }
+
+    #[test]
+    fn per_worker_completions_are_monotone() {
+        let (outcome, _) = run("cpu+gpu", &ServeConfig::default(), 3_000.0, 300);
+        let workers = outcome.workers.len();
+        for w in 0..workers {
+            let mut last = None;
+            for r in outcome.completed.iter().filter(|r| r.worker == w) {
+                if let Some(prev) = last {
+                    assert!(r.completed >= prev, "worker {w} went backwards");
+                }
+                last = Some(r.completed);
+            }
+        }
+    }
+
+    #[test]
+    fn formation_wait_respects_deadline() {
+        let cfg = ServeConfig {
+            max_wait: Duration::from_millis(5.0),
+            max_batch: 64,
+            queue_capacity: 1_000,
+            ..ServeConfig::default()
+        };
+        let (outcome, _) = run("gpu", &cfg, 300.0, 300);
+        for r in &outcome.completed {
+            // A batch closes by deadline or earlier by fill; formation
+            // wait can only exceed max_wait by worker-busy stalls, which
+            // show up in queue_wait, not here... except when no worker
+            // was free at the deadline. Bound it by deadline + one
+            // service time.
+            assert!(
+                r.formation_wait() <= cfg.max_wait + r.service_time() * 4,
+                "formation wait unbounded: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_oldest_sheds_stalest_first() {
+        let cfg = ServeConfig {
+            queue_capacity: 2,
+            shed: ShedPolicy::DropOldest,
+            ..ServeConfig::default()
+        };
+        let (outcome, _) = run("cpu", &cfg, 5_000.0, 200);
+        assert!(!outcome.shed.is_empty());
+        for s in &outcome.shed {
+            assert!(s.shed_at >= s.arrival, "evicted before arriving: {s:?}");
+        }
+        // Evicted requests were older than the eviction instant implies.
+        assert!(outcome.shed.iter().any(|s| s.shed_at > s.arrival));
+    }
+
+    #[test]
+    fn policies_are_deterministic_and_distinct() {
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastOutstanding,
+            DispatchPolicy::CostAware,
+        ] {
+            let cfg = ServeConfig { policy, ..ServeConfig::default() };
+            let (a, _) = run("cpu+gpu+2xvpu", &cfg, 2_000.0, 250);
+            let (b, _) = run("cpu+gpu+2xvpu", &cfg, 2_000.0, 250);
+            let key = |o: &ServeOutcome| -> Vec<(u64, u64, usize)> {
+                o.completed.iter().map(|r| (r.id, r.completed.nanos(), r.worker)).collect()
+            };
+            assert_eq!(key(&a), key(&b), "{policy:?} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn cost_aware_beats_round_robin_on_heterogeneous_fleet() {
+        let mk = |policy| ServeConfig { policy, ..ServeConfig::default() };
+        // The 1-stick VPU is far slower than the hosts; round-robin gives
+        // it an equal share and pays for it in the tail.
+        let (_, rr) = run("cpu+gpu+1xvpu", &mk(DispatchPolicy::RoundRobin), 1_500.0, 400);
+        let (_, ca) = run("cpu+gpu+1xvpu", &mk(DispatchPolicy::CostAware), 1_500.0, 400);
+        assert!(
+            ca.latency.p99_ms <= rr.latency.p99_ms,
+            "cost-aware p99 {} > round-robin p99 {}",
+            ca.latency.p99_ms,
+            rr.latency.p99_ms
+        );
+    }
+}

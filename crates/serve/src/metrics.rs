@@ -1,0 +1,116 @@
+//! Aggregation of a serving run into a serializable report.
+
+use crate::histogram::LogHistogram;
+use crate::server::{ServeConfig, ServeOutcome};
+use desim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Latency percentiles in milliseconds (log-bucketed histogram, so the
+/// quantiles carry ~3% bucket error and never under-state).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    pub max_ms: f64,
+}
+
+impl Percentiles {
+    pub fn of(h: &LogHistogram) -> Percentiles {
+        Percentiles {
+            mean_ms: h.mean().as_millis(),
+            p50_ms: h.quantile(0.50).as_millis(),
+            p95_ms: h.quantile(0.95).as_millis(),
+            p99_ms: h.quantile(0.99).as_millis(),
+            p999_ms: h.quantile(0.999).as_millis(),
+            max_ms: h.max().as_millis(),
+        }
+    }
+}
+
+/// Per-worker share of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerReport {
+    pub label: String,
+    pub batches: u64,
+    pub images: u64,
+    pub mean_batch: f64,
+    /// Busy time over the serving horizon.
+    pub utilization: f64,
+}
+
+/// One serving run, aggregated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests the open-loop generator produced.
+    pub generated: usize,
+    pub completed: usize,
+    pub shed: usize,
+    pub shed_rate: f64,
+    /// Mean offered load over the run (generated / horizon).
+    pub offered_rps: f64,
+    /// Completions per second over the horizon.
+    pub completed_rps: f64,
+    /// SLO-compliant completions per second (latency <= SLO).
+    pub goodput_rps: f64,
+    pub slo_ms: f64,
+    /// p99 within SLO and nothing shed.
+    pub slo_attained: bool,
+    /// End-to-end latency (arrival -> result) of completed requests.
+    pub latency: Percentiles,
+    /// Decomposition means: batch-formation, dispatch-queue, service.
+    pub formation_wait_mean_ms: f64,
+    pub queue_wait_mean_ms: f64,
+    pub service_time_mean_ms: f64,
+    pub workers: Vec<WorkerReport>,
+}
+
+impl ServeReport {
+    pub fn of(outcome: &ServeOutcome, cfg: &ServeConfig) -> ServeReport {
+        let horizon = (outcome.end() - outcome.epoch).as_secs().max(1e-12);
+        let mut latency = LogHistogram::new();
+        let mut formation = Duration::ZERO;
+        let mut queue = Duration::ZERO;
+        let mut service = Duration::ZERO;
+        let mut good = 0usize;
+        for r in &outcome.completed {
+            latency.record(r.latency());
+            formation += r.formation_wait();
+            queue += r.queue_wait();
+            service += r.service_time();
+            if r.latency() <= cfg.slo {
+                good += 1;
+            }
+        }
+        let n = outcome.completed.len().max(1) as u64;
+        let pct = Percentiles::of(&latency);
+        ServeReport {
+            generated: outcome.generated,
+            completed: outcome.completed.len(),
+            shed: outcome.shed.len(),
+            shed_rate: outcome.shed.len() as f64 / outcome.generated.max(1) as f64,
+            offered_rps: outcome.generated as f64 / horizon,
+            completed_rps: outcome.completed.len() as f64 / horizon,
+            goodput_rps: good as f64 / horizon,
+            slo_ms: cfg.slo.as_millis(),
+            slo_attained: outcome.shed.is_empty() && pct.p99_ms <= cfg.slo.as_millis(),
+            latency: pct,
+            formation_wait_mean_ms: (formation / n).as_millis(),
+            queue_wait_mean_ms: (queue / n).as_millis(),
+            service_time_mean_ms: (service / n).as_millis(),
+            workers: outcome
+                .workers
+                .iter()
+                .map(|w| WorkerReport {
+                    label: w.label.clone(),
+                    batches: w.batches,
+                    images: w.images,
+                    mean_batch: w.images as f64 / w.batches.max(1) as f64,
+                    utilization: w.busy.as_secs() / horizon,
+                })
+                .collect(),
+        }
+    }
+}

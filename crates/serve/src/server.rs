@@ -1,0 +1,335 @@
+//! The serving loop: admission control, deadline-aware dynamic batching,
+//! and heterogeneous dispatch — all on the `desim` virtual clock.
+//!
+//! The simulation is event-driven but needs no explicit event queue:
+//! arrivals are known up front (open loop), and every worker
+//! self-serializes through its own timeline, so at any instant the only
+//! two candidate events are *the next arrival* and *the earliest batch
+//! dispatch the policy can plan* for the current queue. The loop always
+//! executes the earlier of the two (arrivals win ties, so a request
+//! landing exactly at a dispatch instant still joins the batch).
+//!
+//! A batch closes when the queue holds `max_batch` requests **or** the
+//! oldest queued request has waited `max_wait`, whichever comes first —
+//! and is handed to a worker no earlier than the policy allows, so under
+//! overload the bounded queue fills and the admission controller sheds.
+
+use crate::workload::ArrivalProcess;
+use desim::{Duration, SimTime};
+use ncsw::service::ServiceHook;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What to do with an arrival when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedPolicy {
+    /// Refuse the arriving request (classic tail drop).
+    Reject,
+    /// Admit the newcomer and evict the oldest queued request — the one
+    /// that has burned most of its latency budget already.
+    DropOldest,
+}
+
+impl ShedPolicy {
+    pub fn parse(s: &str) -> Option<ShedPolicy> {
+        match s {
+            "reject" => Some(ShedPolicy::Reject),
+            "drop-oldest" => Some(ShedPolicy::DropOldest),
+            _ => None,
+        }
+    }
+}
+
+/// How formed batches are routed across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Cycle through the workers regardless of their backlog.
+    RoundRobin,
+    /// Route to the worker whose outstanding work drains earliest.
+    LeastOutstanding,
+    /// Route to the worker with the earliest *estimated completion*
+    /// (backlog + calibrated cost model) — fast devices absorb bursts
+    /// even while briefly busy, slow ones serve steady load.
+    CostAware,
+}
+
+impl DispatchPolicy {
+    pub fn parse(s: &str) -> Option<DispatchPolicy> {
+        match s {
+            "round-robin" => Some(DispatchPolicy::RoundRobin),
+            "least-outstanding" => Some(DispatchPolicy::LeastOutstanding),
+            "cost-aware" => Some(DispatchPolicy::CostAware),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastOutstanding => "least-outstanding",
+            DispatchPolicy::CostAware => "cost-aware",
+        }
+    }
+}
+
+/// Serving-loop parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Bounded request-queue capacity (admission control).
+    pub queue_capacity: usize,
+    pub shed: ShedPolicy,
+    /// A batch closes at this many requests...
+    pub max_batch: usize,
+    /// ...or once the oldest member has waited this long.
+    pub max_wait: Duration,
+    pub policy: DispatchPolicy,
+    /// Latency objective used for goodput accounting (p99 target).
+    pub slo: Duration,
+    /// Seed of the arrival streams.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            shed: ShedPolicy::Reject,
+            max_batch: 8,
+            max_wait: Duration::from_millis(40.0),
+            policy: DispatchPolicy::LeastOutstanding,
+            slo: Duration::from_millis(500.0),
+            seed: vpu_num::rng::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Fate of one generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    pub id: u64,
+    pub arrival: SimTime,
+    /// Instant the batch containing this request closed and was routed.
+    pub dispatched: SimTime,
+    /// Instant the device began serving the batch.
+    pub service_start: SimTime,
+    /// Instant this request's result returned to the host.
+    pub completed: SimTime,
+    pub worker: usize,
+    pub batch: usize,
+}
+
+impl RequestRecord {
+    /// Deadline-aware batching delay: arrival -> batch close.
+    pub fn formation_wait(&self) -> Duration {
+        self.dispatched - self.arrival
+    }
+
+    /// Dispatch -> device start (worker backlog the policy accepted).
+    pub fn queue_wait(&self) -> Duration {
+        self.service_start - self.dispatched
+    }
+
+    pub fn service_time(&self) -> Duration {
+        self.completed - self.service_start
+    }
+
+    pub fn latency(&self) -> Duration {
+        self.completed - self.arrival
+    }
+}
+
+/// A request shed by the admission controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShedRecord {
+    pub id: u64,
+    pub arrival: SimTime,
+    /// Instant the decision was made (eviction can happen after arrival).
+    pub shed_at: SimTime,
+}
+
+/// Per-worker accounting of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerStats {
+    pub label: String,
+    pub batches: u64,
+    pub images: u64,
+    /// Virtual time the device spent busy (sum of service spans).
+    pub busy: Duration,
+    /// Boot/allocation completion of the device at epoch.
+    pub ready_at: SimTime,
+}
+
+/// Raw outcome of one serving run (aggregate with [`crate::metrics`]).
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Fleet-ready instant the arrival clock started from.
+    pub epoch: SimTime,
+    pub generated: usize,
+    pub completed: Vec<RequestRecord>,
+    pub shed: Vec<ShedRecord>,
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ServeOutcome {
+    /// Last completion (or the epoch when nothing completed).
+    pub fn end(&self) -> SimTime {
+        self.completed.iter().map(|r| r.completed).max().unwrap_or(self.epoch)
+    }
+}
+
+struct Pending {
+    id: u64,
+    arrival: SimTime,
+}
+
+/// Dispatch plan: worker index plus the instant the batch is handed over.
+/// Pure — the round-robin cursor only advances when a plan is executed.
+fn choose_worker(
+    policy: DispatchPolicy,
+    ready: SimTime,
+    batch: usize,
+    workers: &[Box<dyn ServiceHook>],
+    rr_cursor: usize,
+) -> (usize, SimTime) {
+    match policy {
+        DispatchPolicy::RoundRobin => {
+            let w = rr_cursor % workers.len();
+            (w, SimTime::max_of(ready, workers[w].busy_until()))
+        }
+        DispatchPolicy::LeastOutstanding => {
+            let w = (0..workers.len())
+                .min_by_key(|&i| (workers[i].busy_until(), i))
+                .expect("non-empty fleet");
+            (w, SimTime::max_of(ready, workers[w].busy_until()))
+        }
+        DispatchPolicy::CostAware => {
+            let w = (0..workers.len())
+                .min_by_key(|&i| {
+                    let b = clamp_batch(batch, workers[i].as_ref());
+                    let start = SimTime::max_of(ready, workers[i].busy_until());
+                    (start + workers[i].estimate(b), i)
+                })
+                .expect("non-empty fleet");
+            (w, SimTime::max_of(ready, workers[w].busy_until()))
+        }
+    }
+}
+
+fn clamp_batch(batch: usize, worker: &dyn ServiceHook) -> usize {
+    let cap = worker.max_batch().unwrap_or(usize::MAX).min(worker.preferred_batch());
+    batch.min(cap).max(1)
+}
+
+/// Run the serving loop: `n` open-loop arrivals from `process` against
+/// `workers`, under `cfg`. Arrivals start at the fleet-ready epoch (the
+/// latest worker boot instant), so cold-start time is not billed to the
+/// first requests.
+pub fn serve(
+    workers: &mut [Box<dyn ServiceHook>],
+    cfg: &ServeConfig,
+    process: &ArrivalProcess,
+    n: usize,
+) -> ServeOutcome {
+    assert!(!workers.is_empty(), "need at least one worker");
+    assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+    assert!(cfg.max_batch > 0, "max_batch must be positive");
+
+    let epoch = workers.iter().map(|w| w.busy_until()).max().unwrap();
+    let arrivals = process.arrivals(n, epoch, cfg.seed);
+
+    let mut stats: Vec<WorkerStats> = workers
+        .iter()
+        .map(|w| WorkerStats {
+            label: w.label(),
+            batches: 0,
+            images: 0,
+            busy: Duration::ZERO,
+            ready_at: w.busy_until(),
+        })
+        .collect();
+
+    let mut queue: VecDeque<Pending> = VecDeque::new();
+    let mut completed: Vec<RequestRecord> = Vec::with_capacity(n);
+    let mut shed: Vec<ShedRecord> = Vec::new();
+    let mut next = 0usize; // next arrival index
+    let mut rr_cursor = 0usize;
+
+    loop {
+        // Earliest instant the current queue head could be dispatched:
+        // batch-full close (the arrival that filled it) or the oldest
+        // member's deadline, whichever fires first.
+        let plan = if queue.is_empty() {
+            None
+        } else {
+            let deadline = queue.front().unwrap().arrival + cfg.max_wait;
+            // Full-close fires at the arrival that filled the batch.
+            let ready = if queue.len() >= cfg.max_batch {
+                queue[cfg.max_batch - 1].arrival.min(deadline)
+            } else {
+                deadline
+            };
+            let hint = queue.len().min(cfg.max_batch);
+            Some(choose_worker(cfg.policy, ready, hint, workers, rr_cursor))
+        };
+
+        match (arrivals.get(next), plan) {
+            // Admit the next arrival when it precedes (or ties) the
+            // planned dispatch.
+            (Some(&at), p) if p.is_none() || at <= p.unwrap().1 => {
+                let id = next as u64;
+                next += 1;
+                if queue.len() == cfg.queue_capacity {
+                    match cfg.shed {
+                        ShedPolicy::Reject => {
+                            shed.push(ShedRecord { id, arrival: at, shed_at: at });
+                            continue;
+                        }
+                        ShedPolicy::DropOldest => {
+                            let old = queue.pop_front().unwrap();
+                            shed.push(ShedRecord { id: old.id, arrival: old.arrival, shed_at: at });
+                        }
+                    }
+                }
+                queue.push_back(Pending { id, arrival: at });
+            }
+            (_, Some((w, t))) => {
+                if cfg.policy == DispatchPolicy::RoundRobin {
+                    rr_cursor += 1;
+                }
+                // Replanning can move the dispatch instant *earlier* than a
+                // previously admitted arrival (e.g. cost-aware estimates
+                // shift as the queue grows), so a batch closing at `t` may
+                // only take members that had arrived by `t`. The front
+                // always qualifies: every close instant is >= its arrival.
+                let mut eligible = 0;
+                while eligible < queue.len().min(cfg.max_batch) && queue[eligible].arrival <= t {
+                    eligible += 1;
+                }
+                debug_assert!(eligible >= 1, "batch closed before its oldest member arrived");
+                let size = clamp_batch(eligible, workers[w].as_ref());
+                let members: Vec<Pending> = queue.drain(..size).collect();
+                let run = workers[w].serve(size, t);
+                debug_assert!(run.start >= t && run.done.len() == size);
+                stats[w].batches += 1;
+                stats[w].images += size as u64;
+                stats[w].busy += run.end - run.start;
+                for (m, &done) in members.iter().zip(&run.done) {
+                    completed.push(RequestRecord {
+                        id: m.id,
+                        arrival: m.arrival,
+                        dispatched: t,
+                        service_start: run.start,
+                        completed: done,
+                        worker: w,
+                        batch: size,
+                    });
+                }
+            }
+            (None, None) => break,
+            // The first arm's guard always accepts (Some, None).
+            (Some(_), None) => unreachable!(),
+        }
+    }
+
+    ServeOutcome { epoch, generated: n, completed, shed, workers: stats }
+}

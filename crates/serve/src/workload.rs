@@ -1,0 +1,173 @@
+//! Open-loop request generation.
+//!
+//! Arrivals are generated up front as a sorted list of virtual instants —
+//! open-loop means the generator never waits for the system, so overload
+//! manifests as queue growth and shedding rather than as a slowed-down
+//! client. All randomness draws from [`vpu_num::rng`] streams, so a
+//! `(process, seed)` pair always replays the identical trace.
+
+use desim::{Duration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vpu_num::rng;
+
+/// Arrival process of the open-loop generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at a constant rate (requests per second).
+    Poisson { rate_per_sec: f64 },
+    /// Markov-modulated Poisson process: alternates between a low-rate
+    /// and a high-rate phase with exponentially distributed dwell times —
+    /// the standard bursty-traffic model.
+    Mmpp {
+        rate_lo_per_sec: f64,
+        rate_hi_per_sec: f64,
+        /// Mean dwell time in each phase.
+        mean_dwell: Duration,
+    },
+    /// Replay a recorded trace of inter-arrival gaps verbatim (cycled if
+    /// more requests are asked for than the trace holds).
+    Trace { interarrivals: Vec<Duration> },
+}
+
+impl ArrivalProcess {
+    /// Mean offered load in requests per second.
+    pub fn offered_rps(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec } => *rate_per_sec,
+            // Symmetric dwell times: the two phases each carry half the time.
+            ArrivalProcess::Mmpp { rate_lo_per_sec, rate_hi_per_sec, .. } => {
+                (rate_lo_per_sec + rate_hi_per_sec) / 2.0
+            }
+            ArrivalProcess::Trace { interarrivals } => {
+                let total: Duration = interarrivals.iter().copied().sum();
+                if total.nanos() == 0 {
+                    0.0
+                } else {
+                    interarrivals.len() as f64 / total.as_secs()
+                }
+            }
+        }
+    }
+
+    /// Generate `n` arrival instants starting at `epoch`, sorted.
+    pub fn arrivals(&self, n: usize, epoch: SimTime, seed: u64) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = epoch;
+        match self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                assert!(*rate_per_sec > 0.0, "rate must be positive");
+                let mut r = rng::stream(seed, "serve-poisson");
+                for _ in 0..n {
+                    t += exp_gap(&mut r, *rate_per_sec);
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Mmpp { rate_lo_per_sec, rate_hi_per_sec, mean_dwell } => {
+                assert!(*rate_lo_per_sec > 0.0 && *rate_hi_per_sec > 0.0, "rates must be positive");
+                assert!(mean_dwell.nanos() > 0, "dwell must be positive");
+                let mut r = rng::stream(seed, "serve-mmpp");
+                let mut hi = false;
+                // Phase switches are drawn lazily: next_switch is the end
+                // of the current dwell period.
+                let dwell_rate = 1.0 / mean_dwell.as_secs();
+                let mut next_switch = t + exp_gap(&mut r, dwell_rate);
+                for _ in 0..n {
+                    loop {
+                        let rate = if hi { *rate_hi_per_sec } else { *rate_lo_per_sec };
+                        let cand = t + exp_gap(&mut r, rate);
+                        if cand <= next_switch {
+                            t = cand;
+                            break;
+                        }
+                        // The gap crosses a phase boundary: restart the
+                        // draw from the switch instant in the new phase
+                        // (memorylessness makes this exact).
+                        t = next_switch;
+                        hi = !hi;
+                        next_switch = t + exp_gap(&mut r, dwell_rate);
+                    }
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::Trace { interarrivals } => {
+                assert!(!interarrivals.is_empty(), "trace must be non-empty");
+                for i in 0..n {
+                    t += interarrivals[i % interarrivals.len()];
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Exponentially distributed gap with the given rate (events/sec).
+fn exp_gap<R: Rng>(r: &mut R, rate_per_sec: f64) -> Duration {
+    let u: f64 = r.gen::<f64>();
+    let secs = -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate_per_sec;
+    // Clamp to >= 1 ns so arrivals are strictly increasing.
+    Duration::from_nanos((secs * 1e9).ceil().max(1.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 100.0 };
+        let a = p.arrivals(10_000, SimTime::ZERO, 7);
+        let span = a.last().unwrap().as_secs();
+        let rate = a.len() as f64 / span;
+        assert!((90.0..110.0).contains(&rate), "poisson rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_replayable() {
+        for p in [
+            ArrivalProcess::Poisson { rate_per_sec: 50.0 },
+            ArrivalProcess::Mmpp {
+                rate_lo_per_sec: 20.0,
+                rate_hi_per_sec: 200.0,
+                mean_dwell: Duration::from_millis(100.0),
+            },
+            ArrivalProcess::Trace {
+                interarrivals: vec![Duration::from_millis(3.0), Duration::from_millis(7.0)],
+            },
+        ] {
+            let a = p.arrivals(500, SimTime::ZERO, 3);
+            let b = p.arrivals(500, SimTime::ZERO, 3);
+            assert_eq!(a, b, "same seed must replay");
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "must be increasing");
+        }
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        let rate = 100.0;
+        let pois = ArrivalProcess::Poisson { rate_per_sec: rate };
+        let mmpp = ArrivalProcess::Mmpp {
+            rate_lo_per_sec: 20.0,
+            rate_hi_per_sec: 180.0,
+            mean_dwell: Duration::from_millis(200.0),
+        };
+        let cv2 = |a: &[SimTime]| {
+            let gaps: Vec<f64> = a.windows(2).map(|w| (w[1] - w[0]).as_secs()).collect();
+            let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - m) * (g - m)).sum::<f64>() / gaps.len() as f64;
+            var / (m * m)
+        };
+        let a = pois.arrivals(5_000, SimTime::ZERO, 11);
+        let b = mmpp.arrivals(5_000, SimTime::ZERO, 11);
+        assert!(cv2(&b) > cv2(&a) * 1.3, "MMPP must have higher gap variability");
+    }
+
+    #[test]
+    fn trace_cycles_and_reports_rate() {
+        let p = ArrivalProcess::Trace { interarrivals: vec![Duration::from_millis(10.0)] };
+        let a = p.arrivals(3, SimTime::ZERO, 0);
+        assert_eq!(a[2] - a[0], Duration::from_millis(20.0));
+        assert!((p.offered_rps() - 100.0).abs() < 1e-9);
+    }
+}

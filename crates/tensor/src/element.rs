@@ -135,6 +135,7 @@ impl Element for f16 {
 mod tests {
     use super::*;
 
+    #[allow(clippy::eq_op)] // x/x and x*x are the point of the smoke test
     fn generic_smoke<E: Element>() {
         let two = E::ONE + E::ONE;
         assert_eq!(two.to_f32(), 2.0);

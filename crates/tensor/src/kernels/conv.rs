@@ -58,7 +58,8 @@ pub fn conv2d<E: Element>(
     assert_eq!(weights.len(), params.weight_len(ishape.c), "weight length");
     assert_eq!(bias.len(), params.out_channels, "bias length");
     let oshape = params.out_shape(ishape);
-    let geom = Im2ColGeom::new(ishape.c, ishape.h, ishape.w, params.kernel, params.pad, params.stride);
+    let geom =
+        Im2ColGeom::new(ishape.c, ishape.h, ishape.w, params.kernel, params.pad, params.stride);
     let (rows, cols) = (geom.rows(), geom.cols());
 
     let mut out = Tensor::<E>::zeros(oshape);
@@ -103,10 +104,15 @@ pub fn conv2d_direct_reference<E: Element>(
                             for kx in 0..k {
                                 let iy = (oy * params.stride + ky) as isize - params.pad as isize;
                                 let ix = (ox * params.stride + kx) as isize - params.pad as isize;
-                                if iy < 0 || ix < 0 || iy >= ishape.h as isize || ix >= ishape.w as isize {
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= ishape.h as isize
+                                    || ix >= ishape.w as isize
+                                {
                                     continue;
                                 }
-                                let w = weights[((oc * ishape.c + ic) * k + ky) * k + kx].to_f32() as f64;
+                                let w = weights[((oc * ishape.c + ic) * k + ky) * k + kx].to_f32()
+                                    as f64;
                                 let x = input.at(n, ic, iy as usize, ix as usize).to_f32() as f64;
                                 acc += w * x;
                             }

@@ -18,18 +18,13 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Accumulation precision for dot-product style kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AccumMode {
     /// Accumulate in f32, round once to the storage type at the end.
+    #[default]
     Widened,
     /// Accumulate in the storage type with per-operation rounding.
     Native,
-}
-
-impl Default for AccumMode {
-    fn default() -> Self {
-        AccumMode::Widened
-    }
 }
 
 /// Sequential reference GEMM (used by tests to validate the parallel path).
@@ -61,13 +56,19 @@ pub fn gemm<E: Element>(
     check_dims(m, k, n, a.len(), b.len(), c.len());
     // Row-parallel: each worker owns a disjoint slice of C, so the result
     // is bit-identical to the sequential kernel regardless of scheduling.
-    c.par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, row)| gemm_row(i, k, n, a, b, row, mode));
+    c.par_chunks_mut(n).enumerate().for_each(|(i, row)| gemm_row(i, k, n, a, b, row, mode));
 }
 
 #[inline]
-fn gemm_row<E: Element>(i: usize, k: usize, n: usize, a: &[E], b: &[E], row: &mut [E], mode: AccumMode) {
+fn gemm_row<E: Element>(
+    i: usize,
+    k: usize,
+    n: usize,
+    a: &[E],
+    b: &[E],
+    row: &mut [E],
+    mode: AccumMode,
+) {
     match mode {
         AccumMode::Widened => {
             let mut acc = vec![0.0f32; n];

@@ -25,7 +25,14 @@ pub struct Im2ColGeom {
 
 impl Im2ColGeom {
     /// Derive the output geometry (floor mode, as Caffe convolution does).
-    pub fn new(channels: usize, in_h: usize, in_w: usize, kernel: usize, pad: usize, stride: usize) -> Self {
+    pub fn new(
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        pad: usize,
+        stride: usize,
+    ) -> Self {
         let out_h = Shape::conv_extent(in_h, kernel, pad, stride, false);
         let out_w = Shape::conv_extent(in_w, kernel, pad, stride, false);
         Im2ColGeom {
@@ -121,7 +128,7 @@ mod tests {
         let mut out = vec![0.0f32; g.rows() * g.cols()];
         im2col(&g, &input, &mut out);
         // Row for (ky=1, kx=1) — the kernel centre — must equal the input.
-        let centre = 1 * 3 + 1;
+        let centre = 4; // ky * 3 + kx with ky = kx = 1
         assert_eq!(&out[centre * 9..(centre + 1) * 9], input.as_slice());
         // Row for (ky=0, kx=0): the up-left shifted image, zero padded.
         assert_eq!(&out[0..9], &[0., 0., 0., 0., 1., 2., 0., 4., 5.]);

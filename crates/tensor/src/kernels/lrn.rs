@@ -109,7 +109,8 @@ mod tests {
     fn matches_naive_reference() {
         use rand::Rng;
         let mut rng = vpu_num::rng::seeded(77);
-        let t = Tensor::<f32>::from_fn(Shape::new(2, 7, 3, 3), |_, _, _, _| rng.gen_range(-2.0..2.0));
+        let t =
+            Tensor::<f32>::from_fn(Shape::new(2, 7, 3, 3), |_, _, _, _| rng.gen_range(-2.0..2.0));
         let p = LrnParams::googlenet();
         let fast = lrn(&t, &p);
         let slow = naive_lrn(&t, &p);

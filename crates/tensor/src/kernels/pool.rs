@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn avg_pool_values() {
-        let t = Tensor::<f32>::from_f32_slice(
-            Shape::new(1, 1, 2, 2),
-            &[1., 3., 5., 7.],
-        );
+        let t = Tensor::<f32>::from_f32_slice(Shape::new(1, 1, 2, 2), &[1., 3., 5., 7.]);
         let p = PoolParams::new(PoolKind::Avg, 2, 2, 0);
         let out = pool2d(&t, &p);
         assert_eq!(out.as_slice(), &[4.0]);
@@ -172,7 +169,9 @@ mod tests {
 
     #[test]
     fn channels_pool_independently() {
-        let t = Tensor::<f32>::from_fn(Shape::new(1, 2, 2, 2), |_, c, h, w| (c * 100 + h * 2 + w) as f32);
+        let t = Tensor::<f32>::from_fn(Shape::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 100 + h * 2 + w) as f32
+        });
         let p = PoolParams::new(PoolKind::Max, 2, 2, 0);
         let out = pool2d(&t, &p);
         assert_eq!(out.as_slice(), &[3.0, 103.0]);

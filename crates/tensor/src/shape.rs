@@ -47,8 +47,10 @@ impl Shape {
     /// Flat offset of (n, c, h, w).
     #[inline]
     pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
-        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w,
-            "index ({n},{c},{h},{w}) out of {self}");
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of {self}"
+        );
         ((n * self.c + c) * self.h + h) * self.w + w
     }
 
@@ -62,7 +64,13 @@ impl Shape {
     /// Caffe uses floor for convolution and ceil for pooling; both layers
     /// in this repo call through here so the two modes share one tested
     /// implementation.
-    pub fn conv_extent(input: usize, kernel: usize, pad: usize, stride: usize, ceil: bool) -> usize {
+    pub fn conv_extent(
+        input: usize,
+        kernel: usize,
+        pad: usize,
+        stride: usize,
+        ceil: bool,
+    ) -> usize {
         assert!(stride > 0, "stride must be positive");
         let padded = input + 2 * pad;
         assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");

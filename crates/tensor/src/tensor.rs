@@ -34,7 +34,13 @@ impl<E: Element> Tensor<E> {
 
     /// Wrap an existing buffer; length must match the shape.
     pub fn from_vec(shape: Shape, data: Vec<E>) -> Self {
-        assert_eq!(shape.len(), data.len(), "shape {shape} needs {} elements, got {}", shape.len(), data.len());
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "shape {shape} needs {} elements, got {}",
+            shape.len(),
+            data.len()
+        );
         Tensor { shape, data }
     }
 
@@ -142,7 +148,10 @@ impl<E: Element> Tensor<E> {
 
     /// Convert to another element precision (rounds when narrowing).
     pub fn cast<T: Element>(&self) -> Tensor<T> {
-        Tensor { shape: self.shape, data: self.data.iter().map(|&v| T::from_f32(v.to_f32())).collect() }
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| T::from_f32(v.to_f32())).collect(),
+        }
     }
 
     /// Largest |x| in the tensor (0 for empty).
@@ -208,7 +217,9 @@ mod tests {
 
     #[test]
     fn from_fn_layout() {
-        let t = Tensor::<f32>::from_fn(Shape::new(1, 2, 2, 2), |_, c, h, w| (c * 100 + h * 10 + w) as f32);
+        let t = Tensor::<f32>::from_fn(Shape::new(1, 2, 2, 2), |_, c, h, w| {
+            (c * 100 + h * 10 + w) as f32
+        });
         assert_eq!(t.as_slice(), &[0., 1., 10., 11., 100., 101., 110., 111.]);
     }
 
@@ -247,7 +258,8 @@ mod tests {
 
     #[test]
     fn argmax_and_max_abs() {
-        let t = Tensor::<f32>::from_f32_slice(Shape::vector(2, 3), &[0.1, -5.0, 2.0, 9.0, 1.0, 9.0]);
+        let t =
+            Tensor::<f32>::from_f32_slice(Shape::vector(2, 3), &[0.1, -5.0, 2.0, 9.0, 1.0, 9.0]);
         assert_eq!(t.argmax_item(0), (2, 2.0));
         // first maximum wins on ties
         assert_eq!(t.argmax_item(1), (0, 9.0));

@@ -40,9 +40,7 @@ fn main() {
         }
     }
     let cpu = MdkContext::cpu_reference_gflops_per_watt();
-    println!(
-        "\nXeon E5-2609v2 reference (MKL-class SGEMM against 80 W TDP): {cpu:.1} Gflop/s/W"
-    );
+    println!("\nXeon E5-2609v2 reference (MKL-class SGEMM against 80 W TDP): {cpu:.1} Gflop/s/W");
 
     // ---- Validate one offloaded multiply for real ----------------------
     let (m, k, n) = (32, 64, 32);
@@ -51,11 +49,7 @@ fn main() {
     let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let (_, c32) = ctx.gemm_with_numerics(m, k, n, &a, &b, GemmPrecision::Fp32);
     let (_, c16) = ctx.gemm_with_numerics(m, k, n, &a, &b, GemmPrecision::Fp16);
-    let max_err = c32
-        .iter()
-        .zip(&c16)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0f32, f32::max);
+    let max_err = c32.iter().zip(&c16).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
     println!(
         "\nnumerics check on a {m}x{k}x{n} multiply: max |fp32 − fp16| = {max_err:.5}\n\
          (genuine binary16 rounding — the same arithmetic the inference path uses)"

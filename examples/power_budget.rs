@@ -25,7 +25,9 @@ fn main() {
         let mut t = NvGpu::new(model.clone());
         t.run_throughput(64, 16).images_per_sec()
     };
-    println!("references at batch 16:  CPU {cpu_ips:.1} img/s (80 W), GPU {gpu_ips:.1} img/s (80 W)\n");
+    println!(
+        "references at batch 16:  CPU {cpu_ips:.1} img/s (80 W), GPU {gpu_ips:.1} img/s (80 W)\n"
+    );
 
     println!(
         "{:>6} {:>9} {:>9} {:>10} {:>12} {:>9}",

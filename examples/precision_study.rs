@@ -43,10 +43,7 @@ fn main() {
     );
 
     let diff = confidence_diff(&p32, &p16);
-    println!(
-        "\nconfidence agreement (both-correct images, n={}):",
-        diff.images_compared
-    );
+    println!("\nconfidence agreement (both-correct images, n={}):", diff.images_compared);
     println!("  mean |Δconfidence| = {:.5}", diff.mean_abs_diff);
     println!("  max  |Δconfidence| = {:.5}", diff.max_abs_diff);
     println!("  top-1 label disagreements: {} / {}", diff.disagreements, p32.len());

@@ -12,16 +12,18 @@
 //! * [`hosts`] — the CPU/GPU reference device models
 //! * [`data`] — the synthetic ILSVRC-2012 pipeline
 //! * [`framework`] — NCSw: sources, targets, the multi-VPU pipeline
+//! * [`serving`] — online inference serving over the simulated fleet
 //! * [`mdk`] — general-purpose offload (LAMA-style GEMM with CMX tiling)
 //! * [`experiments`] — the per-figure experiment harness
 
 pub use desim as sim;
-pub use mdk;
 pub use hostsim as hosts;
 pub use ilsvrc_sim as data;
+pub use mdk;
 pub use myriad2 as vpu;
 pub use ncs_platform as platform;
 pub use ncsw as framework;
+pub use ncsw_serve as serving;
 pub use vpu_bench as experiments;
 pub use vpu_nn as nn;
 pub use vpu_num as num;

@@ -66,6 +66,36 @@ fn host_target_reports_are_bit_identical() {
 }
 
 #[test]
+fn e15_serve_report_is_byte_identical_across_runs() {
+    // The serving subsystem is pure virtual time + seeded streams, so
+    // the whole E15 sweep must serialize to the exact same JSON.
+    let run = || {
+        let exp = vpu_coprocessor::experiments::serve_bench::serve_exp(
+            vpu_coprocessor::experiments::Scale::Tiny,
+        );
+        serde_json::to_string(&exp).expect("serialize")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn serve_outcome_is_bit_identical_across_runs() {
+    use vpu_coprocessor::serving::{serve, ArrivalProcess, FleetSpec, ServeConfig};
+    let run = || {
+        let model = ModelBundle::googlenet_untrained(Variant::Tiny, 1);
+        let mut workers = FleetSpec::parse("cpu+gpu+2xvpu").unwrap().build(&model);
+        let load = ArrivalProcess::Mmpp {
+            rate_lo_per_sec: 50.0,
+            rate_hi_per_sec: 400.0,
+            mean_dwell: vpu_coprocessor::sim::Duration::from_millis(80.0),
+        };
+        let outcome = serve(&mut workers, &ServeConfig::default(), &load, 200);
+        outcome.completed.iter().map(|r| (r.id, r.completed, r.worker)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
 fn different_seeds_change_results() {
     let preds = |seed: u64| {
         let spec = Arc::new(Variant::Tiny.build());

@@ -20,13 +20,8 @@ fn headline_every_anchor_within_8_percent() {
 #[test]
 fn fig6a_vpu_matches_gpu_and_beats_cpu() {
     let r = fig6::fig6a(Scale::Tiny);
-    let get = |n: &str| {
-        r.series
-            .iter()
-            .find(|s| s.target == n)
-            .map(|s| s.mean_img_per_sec())
-            .unwrap()
-    };
+    let get =
+        |n: &str| r.series.iter().find(|s| s.target == n).map(|s| s.mean_img_per_sec()).unwrap();
     let (cpu, gpu, vpu) = (get("cpu"), get("gpu"), get("vpu"));
     // "a multi-VPU configuration provides similar performance compared to
     // reference CPU and GPU implementations" — VPU ~ GPU, both >> CPU.
@@ -38,11 +33,7 @@ fn fig6a_vpu_matches_gpu_and_beats_cpu() {
 fn fig6b_scaling_ordering() {
     let r = fig6::fig6b(Scale::Tiny);
     let at8 = |n: &str| {
-        r.series
-            .iter()
-            .find(|s| s.target == n)
-            .map(|s| s.normalized.last().unwrap().1)
-            .unwrap()
+        r.series.iter().find(|s| s.target == n).map(|s| s.normalized.last().unwrap().1).unwrap()
     };
     // Near-ideal VPU scaling, GPU ~2x, CPU flat.
     assert!(at8("vpu") > 6.8);

@@ -18,8 +18,8 @@ fn prototxt_to_graphfile_preserves_numerics() {
     let spec = Arc::new(googlenet::tiny());
     let weights = init::xavier(&spec, 5);
     let input = Tensor::<f32>::full(Shape::chw(3, 32, 32), 0.15).quantize_fp16();
-    let reference = CompiledNetwork::<f16>::compile(spec.clone(), &weights, AccumMode::Native)
-        .forward(&input);
+    let reference =
+        CompiledNetwork::<f16>::compile(spec.clone(), &weights, AccumMode::Native).forward(&input);
 
     let text = prototxt::emit(&spec);
     let parsed = prototxt::parse(&text).expect("parse");
