@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-8e6016a700396230.d: compat/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-8e6016a700396230.rmeta: compat/bytes/src/lib.rs Cargo.toml
+
+compat/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-b04c767eebda4746.d: compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b04c767eebda4746.rlib: compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-b04c767eebda4746.rmeta: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-ed5823ef1ed88a90.d: compat/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-ed5823ef1ed88a90.rmeta: compat/bytes/src/lib.rs Cargo.toml
+
+compat/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conv_properties-db214e743c20a83c.d: crates/tensor/tests/conv_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconv_properties-db214e743c20a83c.rmeta: crates/tensor/tests/conv_properties.rs Cargo.toml
+
+crates/tensor/tests/conv_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

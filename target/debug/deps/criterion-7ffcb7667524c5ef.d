@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-7ffcb7667524c5ef.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-7ffcb7667524c5ef.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/desim-6ab7a3030447fbb1.d: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+/root/repo/target/debug/deps/libdesim-6ab7a3030447fbb1.rlib: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+/root/repo/target/debug/deps/libdesim-6ab7a3030447fbb1.rmeta: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/queue.rs:
+crates/desim/src/resource.rs:
+crates/desim/src/time.rs:
+crates/desim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/desim-6cfdfa9eadb645ae.d: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesim-6cfdfa9eadb645ae.rmeta: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs Cargo.toml
+
+crates/desim/src/lib.rs:
+crates/desim/src/queue.rs:
+crates/desim/src/resource.rs:
+crates/desim/src/time.rs:
+crates/desim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

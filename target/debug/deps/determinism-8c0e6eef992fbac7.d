@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-8c0e6eef992fbac7.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-8c0e6eef992fbac7.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-96320c9deae12c32.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-96320c9deae12c32: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f012d18b3ed619af.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f012d18b3ed619af: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-468f8b243031fd47.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-468f8b243031fd47: tests/end_to_end.rs
+
+tests/end_to_end.rs:

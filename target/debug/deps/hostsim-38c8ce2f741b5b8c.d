@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hostsim-38c8ce2f741b5b8c.d: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs
+
+/root/repo/target/debug/deps/libhostsim-38c8ce2f741b5b8c.rlib: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs
+
+/root/repo/target/debug/deps/libhostsim-38c8ce2f741b5b8c.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/accel.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/gpu.rs:
+crates/hostsim/src/power.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hostsim-885016214fe37bfe.d: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostsim-885016214fe37bfe.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs Cargo.toml
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/accel.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/gpu.rs:
+crates/hostsim/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hostsim-d77199e5935b44bf.d: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhostsim-d77199e5935b44bf.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs Cargo.toml
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/accel.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/gpu.rs:
+crates/hostsim/src/power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ilsvrc_sim-16fb419f3d10dfe8.d: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libilsvrc_sim-16fb419f3d10dfe8.rmeta: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs Cargo.toml
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/calibrate.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/image.rs:
+crates/dataset/src/ppm.rs:
+crates/dataset/src/pretrain.rs:
+crates/dataset/src/synset.rs:
+crates/dataset/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ilsvrc_sim-c70a99ab333ff6f9.d: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs
+
+/root/repo/target/debug/deps/libilsvrc_sim-c70a99ab333ff6f9.rlib: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs
+
+/root/repo/target/debug/deps/libilsvrc_sim-c70a99ab333ff6f9.rmeta: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/calibrate.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/image.rs:
+crates/dataset/src/ppm.rs:
+crates/dataset/src/pretrain.rs:
+crates/dataset/src/synset.rs:
+crates/dataset/src/transform.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mdk-676809c4e89cb067.d: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdk-676809c4e89cb067.rmeta: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs Cargo.toml
+
+crates/mdk/src/lib.rs:
+crates/mdk/src/gemm.rs:
+crates/mdk/src/offload.rs:
+crates/mdk/src/tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

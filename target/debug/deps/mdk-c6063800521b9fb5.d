@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mdk-c6063800521b9fb5.d: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs
+
+/root/repo/target/debug/deps/libmdk-c6063800521b9fb5.rlib: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs
+
+/root/repo/target/debug/deps/libmdk-c6063800521b9fb5.rmeta: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs
+
+crates/mdk/src/lib.rs:
+crates/mdk/src/gemm.rs:
+crates/mdk/src/offload.rs:
+crates/mdk/src/tiling.rs:

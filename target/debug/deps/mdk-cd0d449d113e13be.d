@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mdk-cd0d449d113e13be.d: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmdk-cd0d449d113e13be.rmeta: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs Cargo.toml
+
+crates/mdk/src/lib.rs:
+crates/mdk/src/gemm.rs:
+crates/mdk/src/offload.rs:
+crates/mdk/src/tiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/myriad2-0cbcda2ef906f798.d: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmyriad2-0cbcda2ef906f798.rmeta: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs Cargo.toml
+
+crates/myriad2/src/lib.rs:
+crates/myriad2/src/arch.rs:
+crates/myriad2/src/cmx.rs:
+crates/myriad2/src/ddr.rs:
+crates/myriad2/src/exec.rs:
+crates/myriad2/src/power.rs:
+crates/myriad2/src/roofline.rs:
+crates/myriad2/src/shave.rs:
+crates/myriad2/src/sipp.rs:
+crates/myriad2/src/thermal.rs:
+crates/myriad2/src/vliw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/myriad2-310b1972623b7dba.d: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs
+
+/root/repo/target/debug/deps/libmyriad2-310b1972623b7dba.rlib: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs
+
+/root/repo/target/debug/deps/libmyriad2-310b1972623b7dba.rmeta: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs
+
+crates/myriad2/src/lib.rs:
+crates/myriad2/src/arch.rs:
+crates/myriad2/src/cmx.rs:
+crates/myriad2/src/ddr.rs:
+crates/myriad2/src/exec.rs:
+crates/myriad2/src/power.rs:
+crates/myriad2/src/roofline.rs:
+crates/myriad2/src/shave.rs:
+crates/myriad2/src/sipp.rs:
+crates/myriad2/src/thermal.rs:
+crates/myriad2/src/vliw.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ncs_platform-07e364790acf06b9.d: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libncs_platform-07e364790acf06b9.rmeta: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs Cargo.toml
+
+crates/ncs/src/lib.rs:
+crates/ncs/src/api.rs:
+crates/ncs/src/api2.rs:
+crates/ncs/src/device.rs:
+crates/ncs/src/fleet.rs:
+crates/ncs/src/graphfile.rs:
+crates/ncs/src/usb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

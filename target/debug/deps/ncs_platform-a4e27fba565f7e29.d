@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ncs_platform-a4e27fba565f7e29.d: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs
+
+/root/repo/target/debug/deps/libncs_platform-a4e27fba565f7e29.rlib: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs
+
+/root/repo/target/debug/deps/libncs_platform-a4e27fba565f7e29.rmeta: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs
+
+crates/ncs/src/lib.rs:
+crates/ncs/src/api.rs:
+crates/ncs/src/api2.rs:
+crates/ncs/src/device.rs:
+crates/ncs/src/fleet.rs:
+crates/ncs/src/graphfile.rs:
+crates/ncs/src/usb.rs:

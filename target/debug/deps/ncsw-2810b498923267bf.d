@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ncsw-2810b498923267bf.d: crates/core/src/bin/ncsw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libncsw-2810b498923267bf.rmeta: crates/core/src/bin/ncsw.rs Cargo.toml
+
+crates/core/src/bin/ncsw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ncsw-79b02bc646f8102b.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs Cargo.toml
+
+/root/repo/target/debug/deps/libncsw-79b02bc646f8102b.rmeta: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/multivpu.rs:
+crates/core/src/runner.rs:
+crates/core/src/service.rs:
+crates/core/src/source.rs:
+crates/core/src/target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

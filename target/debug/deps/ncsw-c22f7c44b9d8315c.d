@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ncsw-c22f7c44b9d8315c.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs
+
+/root/repo/target/debug/deps/libncsw-c22f7c44b9d8315c.rlib: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs
+
+/root/repo/target/debug/deps/libncsw-c22f7c44b9d8315c.rmeta: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/multivpu.rs:
+crates/core/src/runner.rs:
+crates/core/src/service.rs:
+crates/core/src/source.rs:
+crates/core/src/target.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ncsw-ca1e67b6031c45d0.d: crates/core/src/bin/ncsw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libncsw-ca1e67b6031c45d0.rmeta: crates/core/src/bin/ncsw.rs Cargo.toml
+
+crates/core/src/bin/ncsw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

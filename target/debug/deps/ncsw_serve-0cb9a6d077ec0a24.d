@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ncsw_serve-0cb9a6d077ec0a24.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/debug/deps/libncsw_serve-0cb9a6d077ec0a24.rlib: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/debug/deps/libncsw_serve-0cb9a6d077ec0a24.rmeta: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/fleet.rs:
+crates/serve/src/histogram.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ncsw_serve-9bcea4ecee2a9da9.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libncsw_serve-9bcea4ecee2a9da9.rmeta: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/fleet.rs:
+crates/serve/src/histogram.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

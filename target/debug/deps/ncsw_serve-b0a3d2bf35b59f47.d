@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ncsw_serve-b0a3d2bf35b59f47.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libncsw_serve-b0a3d2bf35b59f47.rmeta: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/fleet.rs:
+crates/serve/src/histogram.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

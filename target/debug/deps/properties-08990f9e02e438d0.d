@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-08990f9e02e438d0.d: crates/serve/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-08990f9e02e438d0.rmeta: crates/serve/tests/properties.rs Cargo.toml
+
+crates/serve/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

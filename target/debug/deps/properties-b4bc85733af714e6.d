@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b4bc85733af714e6.d: crates/serve/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b4bc85733af714e6: crates/serve/tests/properties.rs
+
+crates/serve/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cce08cd4476da359.d: crates/desim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cce08cd4476da359.rmeta: crates/desim/tests/properties.rs Cargo.toml
+
+crates/desim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

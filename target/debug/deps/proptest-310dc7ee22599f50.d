@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-310dc7ee22599f50.d: compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-310dc7ee22599f50.rmeta: compat/proptest/src/lib.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

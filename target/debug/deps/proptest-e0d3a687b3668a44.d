@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-e0d3a687b3668a44.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e0d3a687b3668a44.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e0d3a687b3668a44.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

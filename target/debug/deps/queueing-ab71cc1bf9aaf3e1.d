@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queueing-ab71cc1bf9aaf3e1.d: crates/serve/tests/queueing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueueing-ab71cc1bf9aaf3e1.rmeta: crates/serve/tests/queueing.rs Cargo.toml
+
+crates/serve/tests/queueing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queueing-e2fc5c4105c19e0c.d: crates/serve/tests/queueing.rs
+
+/root/repo/target/debug/deps/queueing-e2fc5c4105c19e0c: crates/serve/tests/queueing.rs
+
+crates/serve/tests/queueing.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-481cf3b5b2a48c9e.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-481cf3b5b2a48c9e.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-481cf3b5b2a48c9e.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-d4ea06490dadc275.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d4ea06490dadc275.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-1cd1e662fd00b899.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-1cd1e662fd00b899.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-1cd1e662fd00b899.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

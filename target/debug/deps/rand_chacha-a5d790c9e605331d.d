@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-a5d790c9e605331d.d: compat/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-a5d790c9e605331d.rmeta: compat/rand_chacha/src/lib.rs Cargo.toml
+
+compat/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

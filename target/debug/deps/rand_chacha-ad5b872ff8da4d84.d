@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-ad5b872ff8da4d84.d: compat/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-ad5b872ff8da4d84.rmeta: compat/rand_chacha/src/lib.rs Cargo.toml
+
+compat/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-a92fcea80528a849.d: compat/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-a92fcea80528a849.rmeta: compat/rayon/src/lib.rs Cargo.toml
+
+compat/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

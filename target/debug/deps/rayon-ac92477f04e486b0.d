@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-ac92477f04e486b0.d: compat/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-ac92477f04e486b0.rmeta: compat/rayon/src/lib.rs Cargo.toml
+
+compat/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

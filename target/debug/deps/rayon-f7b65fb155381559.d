@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-f7b65fb155381559.d: compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-f7b65fb155381559.rlib: compat/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-f7b65fb155381559.rmeta: compat/rayon/src/lib.rs
+
+compat/rayon/src/lib.rs:

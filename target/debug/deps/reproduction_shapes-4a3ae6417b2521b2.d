@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction_shapes-4a3ae6417b2521b2.d: tests/reproduction_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction_shapes-4a3ae6417b2521b2.rmeta: tests/reproduction_shapes.rs Cargo.toml
+
+tests/reproduction_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_shapes-69c64aefa30e3503.d: tests/reproduction_shapes.rs
+
+/root/repo/target/debug/deps/reproduction_shapes-69c64aefa30e3503: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

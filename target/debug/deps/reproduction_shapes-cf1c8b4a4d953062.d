@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_shapes-cf1c8b4a4d953062.d: tests/reproduction_shapes.rs
+
+/root/repo/target/debug/deps/reproduction_shapes-cf1c8b4a4d953062: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

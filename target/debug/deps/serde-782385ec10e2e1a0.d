@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-782385ec10e2e1a0.d: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-782385ec10e2e1a0.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-782385ec10e2e1a0.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-8b53f4cd5e4605e9.d: compat/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-8b53f4cd5e4605e9.rmeta: compat/serde/src/lib.rs Cargo.toml
+
+compat/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-85e455aec2f6c93e.d: compat/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-85e455aec2f6c93e.rmeta: compat/serde_derive/src/lib.rs Cargo.toml
+
+compat/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

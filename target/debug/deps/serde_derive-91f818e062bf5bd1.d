@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-91f818e062bf5bd1.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-91f818e062bf5bd1.so: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

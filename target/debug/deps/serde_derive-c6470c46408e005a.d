@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-c6470c46408e005a.d: compat/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-c6470c46408e005a.so: compat/serde_derive/src/lib.rs Cargo.toml
+
+compat/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-3de55861412dabf7.d: compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3de55861412dabf7.rlib: compat/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3de55861412dabf7.rmeta: compat/serde_json/src/lib.rs
+
+compat/serde_json/src/lib.rs:

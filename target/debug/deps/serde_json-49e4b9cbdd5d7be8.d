@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-49e4b9cbdd5d7be8.d: compat/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-49e4b9cbdd5d7be8.rmeta: compat/serde_json/src/lib.rs Cargo.toml
+
+compat/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

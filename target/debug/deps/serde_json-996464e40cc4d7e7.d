@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-996464e40cc4d7e7.d: compat/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-996464e40cc4d7e7.rmeta: compat/serde_json/src/lib.rs Cargo.toml
+
+compat/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation-119b116bba324c64.d: crates/bench/benches/simulation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation-119b116bba324c64.rmeta: crates/bench/benches/simulation.rs Cargo.toml
+
+crates/bench/benches/simulation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

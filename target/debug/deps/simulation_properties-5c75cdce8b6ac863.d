@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_properties-5c75cdce8b6ac863.d: tests/simulation_properties.rs
+
+/root/repo/target/debug/deps/simulation_properties-5c75cdce8b6ac863: tests/simulation_properties.rs
+
+tests/simulation_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation_properties-7af091c92f1c02e7.d: tests/simulation_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation_properties-7af091c92f1c02e7.rmeta: tests/simulation_properties.rs Cargo.toml
+
+tests/simulation_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

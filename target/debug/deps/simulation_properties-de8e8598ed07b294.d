@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_properties-de8e8598ed07b294.d: tests/simulation_properties.rs
+
+/root/repo/target/debug/deps/simulation_properties-de8e8598ed07b294: tests/simulation_properties.rs
+
+tests/simulation_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/toolchain-073cc6c1dde9dc01.d: tests/toolchain.rs
+
+/root/repo/target/debug/deps/toolchain-073cc6c1dde9dc01: tests/toolchain.rs
+
+tests/toolchain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/toolchain-7735882ee583b82e.d: tests/toolchain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtoolchain-7735882ee583b82e.rmeta: tests/toolchain.rs Cargo.toml
+
+tests/toolchain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/toolchain-e70937ea9d514f97.d: tests/toolchain.rs
+
+/root/repo/target/debug/deps/toolchain-e70937ea9d514f97: tests/toolchain.rs
+
+tests/toolchain.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/vpu_bench-0431d5a95f6d2bbb.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/serve_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/timeline.rs crates/bench/src/zoo_bench.rs
+
+/root/repo/target/debug/deps/libvpu_bench-0431d5a95f6d2bbb.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/serve_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/timeline.rs crates/bench/src/zoo_bench.rs
+
+/root/repo/target/debug/deps/libvpu_bench-0431d5a95f6d2bbb.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/serve_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/timeline.rs crates/bench/src/zoo_bench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/anchors.rs:
+crates/bench/src/csv.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/future_work.rs:
+crates/bench/src/layers.rs:
+crates/bench/src/mdk_gemm.rs:
+crates/bench/src/power_bench.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/serve_bench.rs:
+crates/bench/src/stream_bench.rs:
+crates/bench/src/timeline.rs:
+crates/bench/src/zoo_bench.rs:

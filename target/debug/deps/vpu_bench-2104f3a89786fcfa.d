@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/vpu_bench-2104f3a89786fcfa.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/zoo_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/timeline.rs
+
+/root/repo/target/debug/deps/libvpu_bench-2104f3a89786fcfa.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/zoo_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/timeline.rs
+
+/root/repo/target/debug/deps/libvpu_bench-2104f3a89786fcfa.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/zoo_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/timeline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/anchors.rs:
+crates/bench/src/csv.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/future_work.rs:
+crates/bench/src/layers.rs:
+crates/bench/src/mdk_gemm.rs:
+crates/bench/src/power_bench.rs:
+crates/bench/src/stream_bench.rs:
+crates/bench/src/zoo_bench.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/timeline.rs:

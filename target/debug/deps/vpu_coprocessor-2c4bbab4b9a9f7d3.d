@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vpu_coprocessor-2c4bbab4b9a9f7d3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpu_coprocessor-2c4bbab4b9a9f7d3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpu_coprocessor-5fad95574e717822.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvpu_coprocessor-5fad95574e717822.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libvpu_coprocessor-5fad95574e717822.rmeta: src/lib.rs
+
+src/lib.rs:

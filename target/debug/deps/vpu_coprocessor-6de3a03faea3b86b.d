@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpu_coprocessor-6de3a03faea3b86b.d: src/lib.rs
+
+/root/repo/target/debug/deps/vpu_coprocessor-6de3a03faea3b86b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vpu_coprocessor-96d8ecf2e7eddc1f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvpu_coprocessor-96d8ecf2e7eddc1f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libvpu_coprocessor-96d8ecf2e7eddc1f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vpu_coprocessor-d73b2e2e6212124e.d: src/lib.rs
+
+/root/repo/target/debug/deps/vpu_coprocessor-d73b2e2e6212124e: src/lib.rs
+
+src/lib.rs:

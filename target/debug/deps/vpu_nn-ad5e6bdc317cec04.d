@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/vpu_nn-ad5e6bdc317cec04.d: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpu_nn-ad5e6bdc317cec04.rmeta: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/builder.rs:
+crates/nn/src/cost.rs:
+crates/nn/src/googlenet.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/optimize.rs:
+crates/nn/src/prototxt.rs:
+crates/nn/src/weights.rs:
+crates/nn/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

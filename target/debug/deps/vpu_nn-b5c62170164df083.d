@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/vpu_nn-b5c62170164df083.d: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpu_nn-b5c62170164df083.rmeta: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/builder.rs:
+crates/nn/src/cost.rs:
+crates/nn/src/googlenet.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/optimize.rs:
+crates/nn/src/prototxt.rs:
+crates/nn/src/weights.rs:
+crates/nn/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vpu_num-0ea932df5d7d813a.d: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpu_num-0ea932df5d7d813a.rmeta: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs Cargo.toml
+
+crates/num/src/lib.rs:
+crates/num/src/half.rs:
+crates/num/src/rng.rs:
+crates/num/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

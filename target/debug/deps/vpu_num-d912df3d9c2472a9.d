@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vpu_num-d912df3d9c2472a9.d: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/debug/deps/libvpu_num-d912df3d9c2472a9.rlib: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/debug/deps/libvpu_num-d912df3d9c2472a9.rmeta: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+crates/num/src/lib.rs:
+crates/num/src/half.rs:
+crates/num/src/rng.rs:
+crates/num/src/stats.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/vpu_tensor-c7f5e2477347cb4c.d: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvpu_tensor-c7f5e2477347cb4c.rmeta: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/element.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/activation.rs:
+crates/tensor/src/kernels/conv.rs:
+crates/tensor/src/kernels/dense.rs:
+crates/tensor/src/kernels/gemm.rs:
+crates/tensor/src/kernels/im2col.rs:
+crates/tensor/src/kernels/lrn.rs:
+crates/tensor/src/kernels/pool.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

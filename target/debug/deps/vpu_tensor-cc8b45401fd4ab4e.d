@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/vpu_tensor-cc8b45401fd4ab4e.d: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libvpu_tensor-cc8b45401fd4ab4e.rlib: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libvpu_tensor-cc8b45401fd4ab4e.rmeta: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/element.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/activation.rs:
+crates/tensor/src/kernels/conv.rs:
+crates/tensor/src/kernels/dense.rs:
+crates/tensor/src/kernels/gemm.rs:
+crates/tensor/src/kernels/im2col.rs:
+crates/tensor/src/kernels/lrn.rs:
+crates/tensor/src/kernels/pool.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

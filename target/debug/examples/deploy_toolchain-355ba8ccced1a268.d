@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deploy_toolchain-355ba8ccced1a268.d: examples/deploy_toolchain.rs
+
+/root/repo/target/debug/examples/deploy_toolchain-355ba8ccced1a268: examples/deploy_toolchain.rs
+
+examples/deploy_toolchain.rs:

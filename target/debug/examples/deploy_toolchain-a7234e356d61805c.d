@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deploy_toolchain-a7234e356d61805c.d: examples/deploy_toolchain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeploy_toolchain-a7234e356d61805c.rmeta: examples/deploy_toolchain.rs Cargo.toml
+
+examples/deploy_toolchain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

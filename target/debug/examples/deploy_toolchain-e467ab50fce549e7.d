@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deploy_toolchain-e467ab50fce549e7.d: examples/deploy_toolchain.rs
+
+/root/repo/target/debug/examples/deploy_toolchain-e467ab50fce549e7: examples/deploy_toolchain.rs
+
+examples/deploy_toolchain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/general_purpose_offload-88fe5dfc861634aa.d: examples/general_purpose_offload.rs
+
+/root/repo/target/debug/examples/general_purpose_offload-88fe5dfc861634aa: examples/general_purpose_offload.rs
+
+examples/general_purpose_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/general_purpose_offload-e2987cc1c726a1fe.d: examples/general_purpose_offload.rs
+
+/root/repo/target/debug/examples/general_purpose_offload-e2987cc1c726a1fe: examples/general_purpose_offload.rs
+
+examples/general_purpose_offload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/general_purpose_offload-eed542bf739944f1.d: examples/general_purpose_offload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgeneral_purpose_offload-eed542bf739944f1.rmeta: examples/general_purpose_offload.rs Cargo.toml
+
+examples/general_purpose_offload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

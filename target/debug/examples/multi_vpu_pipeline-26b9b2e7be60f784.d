@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_vpu_pipeline-26b9b2e7be60f784.d: examples/multi_vpu_pipeline.rs
+
+/root/repo/target/debug/examples/multi_vpu_pipeline-26b9b2e7be60f784: examples/multi_vpu_pipeline.rs
+
+examples/multi_vpu_pipeline.rs:

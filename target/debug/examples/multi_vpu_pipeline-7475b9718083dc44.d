@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_vpu_pipeline-7475b9718083dc44.d: examples/multi_vpu_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_vpu_pipeline-7475b9718083dc44.rmeta: examples/multi_vpu_pipeline.rs Cargo.toml
+
+examples/multi_vpu_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

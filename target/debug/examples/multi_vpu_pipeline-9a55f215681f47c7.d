@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_vpu_pipeline-9a55f215681f47c7.d: examples/multi_vpu_pipeline.rs
+
+/root/repo/target/debug/examples/multi_vpu_pipeline-9a55f215681f47c7: examples/multi_vpu_pipeline.rs
+
+examples/multi_vpu_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/offload_overlap-20b0192a94decd7b.d: examples/offload_overlap.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboffload_overlap-20b0192a94decd7b.rmeta: examples/offload_overlap.rs Cargo.toml
+
+examples/offload_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

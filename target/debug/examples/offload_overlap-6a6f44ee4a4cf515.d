@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offload_overlap-6a6f44ee4a4cf515.d: examples/offload_overlap.rs
+
+/root/repo/target/debug/examples/offload_overlap-6a6f44ee4a4cf515: examples/offload_overlap.rs
+
+examples/offload_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/offload_overlap-8a839ba64cfd6d26.d: examples/offload_overlap.rs
+
+/root/repo/target/debug/examples/offload_overlap-8a839ba64cfd6d26: examples/offload_overlap.rs
+
+examples/offload_overlap.rs:

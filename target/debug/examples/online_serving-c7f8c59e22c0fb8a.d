@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/online_serving-c7f8c59e22c0fb8a.d: examples/online_serving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libonline_serving-c7f8c59e22c0fb8a.rmeta: examples/online_serving.rs Cargo.toml
+
+examples/online_serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

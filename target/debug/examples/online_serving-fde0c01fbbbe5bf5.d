@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_serving-fde0c01fbbbe5bf5.d: examples/online_serving.rs
+
+/root/repo/target/debug/examples/online_serving-fde0c01fbbbe5bf5: examples/online_serving.rs
+
+examples/online_serving.rs:

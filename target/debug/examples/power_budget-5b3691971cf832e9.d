@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_budget-5b3691971cf832e9.d: examples/power_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_budget-5b3691971cf832e9.rmeta: examples/power_budget.rs Cargo.toml
+
+examples/power_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

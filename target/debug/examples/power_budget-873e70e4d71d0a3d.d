@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_budget-873e70e4d71d0a3d.d: examples/power_budget.rs
+
+/root/repo/target/debug/examples/power_budget-873e70e4d71d0a3d: examples/power_budget.rs
+
+examples/power_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_budget-94fc2def9b163fd5.d: examples/power_budget.rs
+
+/root/repo/target/debug/examples/power_budget-94fc2def9b163fd5: examples/power_budget.rs
+
+examples/power_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/precision_study-6a211aa74d36ff20.d: examples/precision_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprecision_study-6a211aa74d36ff20.rmeta: examples/precision_study.rs Cargo.toml
+
+examples/precision_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

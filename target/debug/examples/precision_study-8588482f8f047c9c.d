@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precision_study-8588482f8f047c9c.d: examples/precision_study.rs
+
+/root/repo/target/debug/examples/precision_study-8588482f8f047c9c: examples/precision_study.rs
+
+examples/precision_study.rs:

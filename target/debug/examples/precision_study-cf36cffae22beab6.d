@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precision_study-cf36cffae22beab6.d: examples/precision_study.rs
+
+/root/repo/target/debug/examples/precision_study-cf36cffae22beab6: examples/precision_study.rs
+
+examples/precision_study.rs:

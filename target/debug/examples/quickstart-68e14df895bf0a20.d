@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-68e14df895bf0a20.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-68e14df895bf0a20: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9f7f7ab67a5914a3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9f7f7ab67a5914a3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-f81bb72307fb2f88.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-f81bb72307fb2f88.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

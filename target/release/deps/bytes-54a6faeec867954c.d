@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-54a6faeec867954c.d: compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-54a6faeec867954c: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

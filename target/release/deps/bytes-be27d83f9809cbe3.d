@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-be27d83f9809cbe3.d: compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-be27d83f9809cbe3.rlib: compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-be27d83f9809cbe3.rmeta: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conv_properties-19207fc8b9628e74.d: crates/tensor/tests/conv_properties.rs
+
+/root/repo/target/release/deps/conv_properties-19207fc8b9628e74: crates/tensor/tests/conv_properties.rs
+
+crates/tensor/tests/conv_properties.rs:

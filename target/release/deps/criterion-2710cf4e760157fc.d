@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-2710cf4e760157fc.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2710cf4e760157fc.rlib: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-2710cf4e760157fc.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-e00a9b4657023818.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-e00a9b4657023818: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

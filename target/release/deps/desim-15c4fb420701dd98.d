@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/desim-15c4fb420701dd98.d: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+/root/repo/target/release/deps/desim-15c4fb420701dd98: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/queue.rs:
+crates/desim/src/resource.rs:
+crates/desim/src/time.rs:
+crates/desim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/desim-c295529f456c3d68.d: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+/root/repo/target/release/deps/libdesim-c295529f456c3d68.rlib: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+/root/repo/target/release/deps/libdesim-c295529f456c3d68.rmeta: crates/desim/src/lib.rs crates/desim/src/queue.rs crates/desim/src/resource.rs crates/desim/src/time.rs crates/desim/src/trace.rs
+
+crates/desim/src/lib.rs:
+crates/desim/src/queue.rs:
+crates/desim/src/resource.rs:
+crates/desim/src/time.rs:
+crates/desim/src/trace.rs:

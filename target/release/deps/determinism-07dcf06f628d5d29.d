@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-07dcf06f628d5d29.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-07dcf06f628d5d29: tests/determinism.rs
+
+tests/determinism.rs:

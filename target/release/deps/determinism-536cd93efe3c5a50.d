@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-536cd93efe3c5a50.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-536cd93efe3c5a50: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-74f2c42fddd8cc24.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-74f2c42fddd8cc24: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-d587836c92d2815a.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-d587836c92d2815a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

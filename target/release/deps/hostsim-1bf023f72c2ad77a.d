@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hostsim-1bf023f72c2ad77a.d: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs
+
+/root/repo/target/release/deps/libhostsim-1bf023f72c2ad77a.rlib: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs
+
+/root/repo/target/release/deps/libhostsim-1bf023f72c2ad77a.rmeta: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/accel.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/gpu.rs:
+crates/hostsim/src/power.rs:

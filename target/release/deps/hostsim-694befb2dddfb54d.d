@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hostsim-694befb2dddfb54d.d: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs
+
+/root/repo/target/release/deps/hostsim-694befb2dddfb54d: crates/hostsim/src/lib.rs crates/hostsim/src/accel.rs crates/hostsim/src/cpu.rs crates/hostsim/src/gpu.rs crates/hostsim/src/power.rs
+
+crates/hostsim/src/lib.rs:
+crates/hostsim/src/accel.rs:
+crates/hostsim/src/cpu.rs:
+crates/hostsim/src/gpu.rs:
+crates/hostsim/src/power.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ilsvrc_sim-46c637669cfc3062.d: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs
+
+/root/repo/target/release/deps/libilsvrc_sim-46c637669cfc3062.rlib: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs
+
+/root/repo/target/release/deps/libilsvrc_sim-46c637669cfc3062.rmeta: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/calibrate.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/image.rs:
+crates/dataset/src/ppm.rs:
+crates/dataset/src/pretrain.rs:
+crates/dataset/src/synset.rs:
+crates/dataset/src/transform.rs:

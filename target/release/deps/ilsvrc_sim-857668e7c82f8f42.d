@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ilsvrc_sim-857668e7c82f8f42.d: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs
+
+/root/repo/target/release/deps/ilsvrc_sim-857668e7c82f8f42: crates/dataset/src/lib.rs crates/dataset/src/calibrate.rs crates/dataset/src/dataset.rs crates/dataset/src/image.rs crates/dataset/src/ppm.rs crates/dataset/src/pretrain.rs crates/dataset/src/synset.rs crates/dataset/src/transform.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/calibrate.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/image.rs:
+crates/dataset/src/ppm.rs:
+crates/dataset/src/pretrain.rs:
+crates/dataset/src/synset.rs:
+crates/dataset/src/transform.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mdk-074efba3e0943152.d: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs
+
+/root/repo/target/release/deps/libmdk-074efba3e0943152.rlib: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs
+
+/root/repo/target/release/deps/libmdk-074efba3e0943152.rmeta: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs
+
+crates/mdk/src/lib.rs:
+crates/mdk/src/gemm.rs:
+crates/mdk/src/offload.rs:
+crates/mdk/src/tiling.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mdk-8d82aa65e9bec5b8.d: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs
+
+/root/repo/target/release/deps/mdk-8d82aa65e9bec5b8: crates/mdk/src/lib.rs crates/mdk/src/gemm.rs crates/mdk/src/offload.rs crates/mdk/src/tiling.rs
+
+crates/mdk/src/lib.rs:
+crates/mdk/src/gemm.rs:
+crates/mdk/src/offload.rs:
+crates/mdk/src/tiling.rs:

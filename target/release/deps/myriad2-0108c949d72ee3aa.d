@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/myriad2-0108c949d72ee3aa.d: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs
+
+/root/repo/target/release/deps/libmyriad2-0108c949d72ee3aa.rlib: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs
+
+/root/repo/target/release/deps/libmyriad2-0108c949d72ee3aa.rmeta: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs
+
+crates/myriad2/src/lib.rs:
+crates/myriad2/src/arch.rs:
+crates/myriad2/src/cmx.rs:
+crates/myriad2/src/ddr.rs:
+crates/myriad2/src/exec.rs:
+crates/myriad2/src/power.rs:
+crates/myriad2/src/roofline.rs:
+crates/myriad2/src/shave.rs:
+crates/myriad2/src/sipp.rs:
+crates/myriad2/src/thermal.rs:
+crates/myriad2/src/vliw.rs:

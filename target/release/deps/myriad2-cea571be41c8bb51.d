@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/myriad2-cea571be41c8bb51.d: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs
+
+/root/repo/target/release/deps/myriad2-cea571be41c8bb51: crates/myriad2/src/lib.rs crates/myriad2/src/arch.rs crates/myriad2/src/cmx.rs crates/myriad2/src/ddr.rs crates/myriad2/src/exec.rs crates/myriad2/src/power.rs crates/myriad2/src/roofline.rs crates/myriad2/src/shave.rs crates/myriad2/src/sipp.rs crates/myriad2/src/thermal.rs crates/myriad2/src/vliw.rs
+
+crates/myriad2/src/lib.rs:
+crates/myriad2/src/arch.rs:
+crates/myriad2/src/cmx.rs:
+crates/myriad2/src/ddr.rs:
+crates/myriad2/src/exec.rs:
+crates/myriad2/src/power.rs:
+crates/myriad2/src/roofline.rs:
+crates/myriad2/src/shave.rs:
+crates/myriad2/src/sipp.rs:
+crates/myriad2/src/thermal.rs:
+crates/myriad2/src/vliw.rs:

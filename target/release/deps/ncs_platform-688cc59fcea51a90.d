@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ncs_platform-688cc59fcea51a90.d: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs
+
+/root/repo/target/release/deps/ncs_platform-688cc59fcea51a90: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs
+
+crates/ncs/src/lib.rs:
+crates/ncs/src/api.rs:
+crates/ncs/src/api2.rs:
+crates/ncs/src/device.rs:
+crates/ncs/src/fleet.rs:
+crates/ncs/src/graphfile.rs:
+crates/ncs/src/usb.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ncs_platform-e09b36ae1a5a2080.d: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs
+
+/root/repo/target/release/deps/libncs_platform-e09b36ae1a5a2080.rlib: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs
+
+/root/repo/target/release/deps/libncs_platform-e09b36ae1a5a2080.rmeta: crates/ncs/src/lib.rs crates/ncs/src/api.rs crates/ncs/src/api2.rs crates/ncs/src/device.rs crates/ncs/src/fleet.rs crates/ncs/src/graphfile.rs crates/ncs/src/usb.rs
+
+crates/ncs/src/lib.rs:
+crates/ncs/src/api.rs:
+crates/ncs/src/api2.rs:
+crates/ncs/src/device.rs:
+crates/ncs/src/fleet.rs:
+crates/ncs/src/graphfile.rs:
+crates/ncs/src/usb.rs:

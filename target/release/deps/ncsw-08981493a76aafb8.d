@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ncsw-08981493a76aafb8.d: crates/core/src/bin/ncsw.rs
+
+/root/repo/target/release/deps/ncsw-08981493a76aafb8: crates/core/src/bin/ncsw.rs
+
+crates/core/src/bin/ncsw.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ncsw-098c52de7c47f87c.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs
+
+/root/repo/target/release/deps/libncsw-098c52de7c47f87c.rlib: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs
+
+/root/repo/target/release/deps/libncsw-098c52de7c47f87c.rmeta: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/multivpu.rs:
+crates/core/src/runner.rs:
+crates/core/src/service.rs:
+crates/core/src/source.rs:
+crates/core/src/target.rs:

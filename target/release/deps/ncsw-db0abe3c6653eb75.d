@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ncsw-db0abe3c6653eb75.d: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs
+
+/root/repo/target/release/deps/ncsw-db0abe3c6653eb75: crates/core/src/lib.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/multivpu.rs crates/core/src/runner.rs crates/core/src/service.rs crates/core/src/source.rs crates/core/src/target.rs
+
+crates/core/src/lib.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/multivpu.rs:
+crates/core/src/runner.rs:
+crates/core/src/service.rs:
+crates/core/src/source.rs:
+crates/core/src/target.rs:

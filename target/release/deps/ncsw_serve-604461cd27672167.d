@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ncsw_serve-604461cd27672167.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/release/deps/libncsw_serve-604461cd27672167.rlib: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/release/deps/libncsw_serve-604461cd27672167.rmeta: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/fleet.rs:
+crates/serve/src/histogram.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/workload.rs:

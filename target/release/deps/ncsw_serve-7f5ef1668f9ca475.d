@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ncsw_serve-7f5ef1668f9ca475.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/release/deps/ncsw_serve-7f5ef1668f9ca475: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/histogram.rs crates/serve/src/metrics.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/fleet.rs:
+crates/serve/src/histogram.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/server.rs:
+crates/serve/src/workload.rs:

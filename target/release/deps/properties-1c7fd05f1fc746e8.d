@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-1c7fd05f1fc746e8.d: crates/desim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-1c7fd05f1fc746e8: crates/desim/tests/properties.rs
+
+crates/desim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-4279db0804367e67.d: crates/serve/tests/properties.rs
+
+/root/repo/target/release/deps/properties-4279db0804367e67: crates/serve/tests/properties.rs
+
+crates/serve/tests/properties.rs:

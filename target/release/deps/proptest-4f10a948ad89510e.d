@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-4f10a948ad89510e.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-4f10a948ad89510e: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

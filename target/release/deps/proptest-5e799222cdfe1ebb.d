@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-5e799222cdfe1ebb.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-5e799222cdfe1ebb.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-5e799222cdfe1ebb.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/queueing-772d5819013fe0a0.d: crates/serve/tests/queueing.rs
+
+/root/repo/target/release/deps/queueing-772d5819013fe0a0: crates/serve/tests/queueing.rs
+
+crates/serve/tests/queueing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-65515281646794f8.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-65515281646794f8: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

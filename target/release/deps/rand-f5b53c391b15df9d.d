@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f5b53c391b15df9d.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f5b53c391b15df9d.rlib: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f5b53c391b15df9d.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

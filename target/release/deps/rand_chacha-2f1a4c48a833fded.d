@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-2f1a4c48a833fded.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-2f1a4c48a833fded: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-908d6e433f82fd67.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-908d6e433f82fd67.rlib: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-908d6e433f82fd67.rmeta: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-35eca4c81bb6d639.d: compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-35eca4c81bb6d639: compat/rayon/src/lib.rs
+
+compat/rayon/src/lib.rs:

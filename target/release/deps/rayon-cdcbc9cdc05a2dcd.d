@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-cdcbc9cdc05a2dcd.d: compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-cdcbc9cdc05a2dcd.rlib: compat/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-cdcbc9cdc05a2dcd.rmeta: compat/rayon/src/lib.rs
+
+compat/rayon/src/lib.rs:

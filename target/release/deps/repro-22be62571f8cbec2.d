@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-22be62571f8cbec2.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-22be62571f8cbec2: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

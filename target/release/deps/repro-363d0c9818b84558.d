@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-363d0c9818b84558.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-363d0c9818b84558: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-58a83f1d37120ef0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-58a83f1d37120ef0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

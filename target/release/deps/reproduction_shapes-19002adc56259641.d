@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction_shapes-19002adc56259641.d: tests/reproduction_shapes.rs
+
+/root/repo/target/release/deps/reproduction_shapes-19002adc56259641: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduction_shapes-8414de5c53832d97.d: tests/reproduction_shapes.rs
+
+/root/repo/target/release/deps/reproduction_shapes-8414de5c53832d97: tests/reproduction_shapes.rs
+
+tests/reproduction_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-47856395d7365715.d: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-47856395d7365715: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-6535a1a8f3d299a5.d: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-6535a1a8f3d299a5.rlib: compat/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-6535a1a8f3d299a5.rmeta: compat/serde/src/lib.rs
+
+compat/serde/src/lib.rs:

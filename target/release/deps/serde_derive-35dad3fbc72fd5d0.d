@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-35dad3fbc72fd5d0.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-35dad3fbc72fd5d0: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

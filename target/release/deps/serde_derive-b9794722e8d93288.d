@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b9794722e8d93288.d: compat/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b9794722e8d93288.so: compat/serde_derive/src/lib.rs
+
+compat/serde_derive/src/lib.rs:

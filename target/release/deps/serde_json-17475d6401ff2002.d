@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-17475d6401ff2002.d: compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-17475d6401ff2002.rlib: compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-17475d6401ff2002.rmeta: compat/serde_json/src/lib.rs
+
+compat/serde_json/src/lib.rs:

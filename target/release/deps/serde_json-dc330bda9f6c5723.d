@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-dc330bda9f6c5723.d: compat/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-dc330bda9f6c5723: compat/serde_json/src/lib.rs
+
+compat/serde_json/src/lib.rs:

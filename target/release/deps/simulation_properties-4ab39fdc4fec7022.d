@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation_properties-4ab39fdc4fec7022.d: tests/simulation_properties.rs
+
+/root/repo/target/release/deps/simulation_properties-4ab39fdc4fec7022: tests/simulation_properties.rs
+
+tests/simulation_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation_properties-62e06aaf1ac556d3.d: tests/simulation_properties.rs
+
+/root/repo/target/release/deps/simulation_properties-62e06aaf1ac556d3: tests/simulation_properties.rs
+
+tests/simulation_properties.rs:

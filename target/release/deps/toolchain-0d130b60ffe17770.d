@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/toolchain-0d130b60ffe17770.d: tests/toolchain.rs
+
+/root/repo/target/release/deps/toolchain-0d130b60ffe17770: tests/toolchain.rs
+
+tests/toolchain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/toolchain-f2ac2a63c27eefaf.d: tests/toolchain.rs
+
+/root/repo/target/release/deps/toolchain-f2ac2a63c27eefaf: tests/toolchain.rs
+
+tests/toolchain.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/vpu_bench-a5571c564fd235da.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/zoo_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/timeline.rs
+
+/root/repo/target/release/deps/libvpu_bench-a5571c564fd235da.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/zoo_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/timeline.rs
+
+/root/repo/target/release/deps/libvpu_bench-a5571c564fd235da.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/zoo_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/timeline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/anchors.rs:
+crates/bench/src/csv.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/future_work.rs:
+crates/bench/src/layers.rs:
+crates/bench/src/mdk_gemm.rs:
+crates/bench/src/power_bench.rs:
+crates/bench/src/stream_bench.rs:
+crates/bench/src/zoo_bench.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/timeline.rs:

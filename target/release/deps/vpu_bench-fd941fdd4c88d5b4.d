@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/vpu_bench-fd941fdd4c88d5b4.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/serve_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/timeline.rs crates/bench/src/zoo_bench.rs
+
+/root/repo/target/release/deps/libvpu_bench-fd941fdd4c88d5b4.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/serve_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/timeline.rs crates/bench/src/zoo_bench.rs
+
+/root/repo/target/release/deps/libvpu_bench-fd941fdd4c88d5b4.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/anchors.rs crates/bench/src/csv.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/future_work.rs crates/bench/src/layers.rs crates/bench/src/mdk_gemm.rs crates/bench/src/power_bench.rs crates/bench/src/report.rs crates/bench/src/scale.rs crates/bench/src/serve_bench.rs crates/bench/src/stream_bench.rs crates/bench/src/timeline.rs crates/bench/src/zoo_bench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/anchors.rs:
+crates/bench/src/csv.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/future_work.rs:
+crates/bench/src/layers.rs:
+crates/bench/src/mdk_gemm.rs:
+crates/bench/src/power_bench.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/serve_bench.rs:
+crates/bench/src/stream_bench.rs:
+crates/bench/src/timeline.rs:
+crates/bench/src/zoo_bench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpu_coprocessor-03c89e4c0ddd3f3b.d: src/lib.rs
+
+/root/repo/target/release/deps/libvpu_coprocessor-03c89e4c0ddd3f3b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libvpu_coprocessor-03c89e4c0ddd3f3b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpu_coprocessor-26ddb2e23e5ba14a.d: src/lib.rs
+
+/root/repo/target/release/deps/libvpu_coprocessor-26ddb2e23e5ba14a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libvpu_coprocessor-26ddb2e23e5ba14a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vpu_coprocessor-7f951aed79351da3.d: src/lib.rs
+
+/root/repo/target/release/deps/vpu_coprocessor-7f951aed79351da3: src/lib.rs
+
+src/lib.rs:

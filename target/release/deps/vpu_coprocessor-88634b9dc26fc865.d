@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vpu_coprocessor-88634b9dc26fc865.d: src/lib.rs
+
+/root/repo/target/release/deps/vpu_coprocessor-88634b9dc26fc865: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vpu_coprocessor-ec0eb28415f06a67.d: src/lib.rs
+
+/root/repo/target/release/deps/libvpu_coprocessor-ec0eb28415f06a67.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libvpu_coprocessor-ec0eb28415f06a67.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/vpu_nn-e7c3c3e3bda8aed8.d: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs
+
+/root/repo/target/release/deps/libvpu_nn-e7c3c3e3bda8aed8.rlib: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs
+
+/root/repo/target/release/deps/libvpu_nn-e7c3c3e3bda8aed8.rmeta: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/builder.rs:
+crates/nn/src/cost.rs:
+crates/nn/src/googlenet.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/optimize.rs:
+crates/nn/src/prototxt.rs:
+crates/nn/src/weights.rs:
+crates/nn/src/zoo.rs:

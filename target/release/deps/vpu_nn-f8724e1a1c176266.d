@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vpu_nn-f8724e1a1c176266.d: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs
+
+/root/repo/target/release/deps/vpu_nn-f8724e1a1c176266: crates/nn/src/lib.rs crates/nn/src/builder.rs crates/nn/src/cost.rs crates/nn/src/googlenet.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/optimize.rs crates/nn/src/prototxt.rs crates/nn/src/weights.rs crates/nn/src/zoo.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/builder.rs:
+crates/nn/src/cost.rs:
+crates/nn/src/googlenet.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/optimize.rs:
+crates/nn/src/prototxt.rs:
+crates/nn/src/weights.rs:
+crates/nn/src/zoo.rs:

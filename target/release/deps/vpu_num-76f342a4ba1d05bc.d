@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vpu_num-76f342a4ba1d05bc.d: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/release/deps/vpu_num-76f342a4ba1d05bc: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+crates/num/src/lib.rs:
+crates/num/src/half.rs:
+crates/num/src/rng.rs:
+crates/num/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vpu_num-a450b90a0d31a37e.d: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/release/deps/libvpu_num-a450b90a0d31a37e.rlib: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+/root/repo/target/release/deps/libvpu_num-a450b90a0d31a37e.rmeta: crates/num/src/lib.rs crates/num/src/half.rs crates/num/src/rng.rs crates/num/src/stats.rs
+
+crates/num/src/lib.rs:
+crates/num/src/half.rs:
+crates/num/src/rng.rs:
+crates/num/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/vpu_tensor-2a2e1e02b529513c.d: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/vpu_tensor-2a2e1e02b529513c: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/element.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/activation.rs:
+crates/tensor/src/kernels/conv.rs:
+crates/tensor/src/kernels/dense.rs:
+crates/tensor/src/kernels/gemm.rs:
+crates/tensor/src/kernels/im2col.rs:
+crates/tensor/src/kernels/lrn.rs:
+crates/tensor/src/kernels/pool.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

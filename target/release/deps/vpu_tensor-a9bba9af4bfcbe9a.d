@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/vpu_tensor-a9bba9af4bfcbe9a.d: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libvpu_tensor-a9bba9af4bfcbe9a.rlib: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libvpu_tensor-a9bba9af4bfcbe9a.rmeta: crates/tensor/src/lib.rs crates/tensor/src/element.rs crates/tensor/src/kernels/mod.rs crates/tensor/src/kernels/activation.rs crates/tensor/src/kernels/conv.rs crates/tensor/src/kernels/dense.rs crates/tensor/src/kernels/gemm.rs crates/tensor/src/kernels/im2col.rs crates/tensor/src/kernels/lrn.rs crates/tensor/src/kernels/pool.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/element.rs:
+crates/tensor/src/kernels/mod.rs:
+crates/tensor/src/kernels/activation.rs:
+crates/tensor/src/kernels/conv.rs:
+crates/tensor/src/kernels/dense.rs:
+crates/tensor/src/kernels/gemm.rs:
+crates/tensor/src/kernels/im2col.rs:
+crates/tensor/src/kernels/lrn.rs:
+crates/tensor/src/kernels/pool.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/deploy_toolchain-390810135442cbba.d: examples/deploy_toolchain.rs
+
+/root/repo/target/release/examples/deploy_toolchain-390810135442cbba: examples/deploy_toolchain.rs
+
+examples/deploy_toolchain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/deploy_toolchain-d8964341d769918c.d: examples/deploy_toolchain.rs
+
+/root/repo/target/release/examples/deploy_toolchain-d8964341d769918c: examples/deploy_toolchain.rs
+
+examples/deploy_toolchain.rs:

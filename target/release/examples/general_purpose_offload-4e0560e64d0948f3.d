@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/general_purpose_offload-4e0560e64d0948f3.d: examples/general_purpose_offload.rs
+
+/root/repo/target/release/examples/general_purpose_offload-4e0560e64d0948f3: examples/general_purpose_offload.rs
+
+examples/general_purpose_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/general_purpose_offload-f23cb71c0cbb5430.d: examples/general_purpose_offload.rs
+
+/root/repo/target/release/examples/general_purpose_offload-f23cb71c0cbb5430: examples/general_purpose_offload.rs
+
+examples/general_purpose_offload.rs:

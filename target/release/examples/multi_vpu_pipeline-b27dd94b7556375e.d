@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_vpu_pipeline-b27dd94b7556375e.d: examples/multi_vpu_pipeline.rs
+
+/root/repo/target/release/examples/multi_vpu_pipeline-b27dd94b7556375e: examples/multi_vpu_pipeline.rs
+
+examples/multi_vpu_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_vpu_pipeline-f8361986fe332f09.d: examples/multi_vpu_pipeline.rs
+
+/root/repo/target/release/examples/multi_vpu_pipeline-f8361986fe332f09: examples/multi_vpu_pipeline.rs
+
+examples/multi_vpu_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/offload_overlap-544ba62574fe1d58.d: examples/offload_overlap.rs
+
+/root/repo/target/release/examples/offload_overlap-544ba62574fe1d58: examples/offload_overlap.rs
+
+examples/offload_overlap.rs:

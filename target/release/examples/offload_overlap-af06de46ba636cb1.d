@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/offload_overlap-af06de46ba636cb1.d: examples/offload_overlap.rs
+
+/root/repo/target/release/examples/offload_overlap-af06de46ba636cb1: examples/offload_overlap.rs
+
+examples/offload_overlap.rs:

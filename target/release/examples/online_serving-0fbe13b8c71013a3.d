@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/online_serving-0fbe13b8c71013a3.d: examples/online_serving.rs
+
+/root/repo/target/release/examples/online_serving-0fbe13b8c71013a3: examples/online_serving.rs
+
+examples/online_serving.rs:

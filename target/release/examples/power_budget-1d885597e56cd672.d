@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/power_budget-1d885597e56cd672.d: examples/power_budget.rs
+
+/root/repo/target/release/examples/power_budget-1d885597e56cd672: examples/power_budget.rs
+
+examples/power_budget.rs:

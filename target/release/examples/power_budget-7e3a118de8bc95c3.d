@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/power_budget-7e3a118de8bc95c3.d: examples/power_budget.rs
+
+/root/repo/target/release/examples/power_budget-7e3a118de8bc95c3: examples/power_budget.rs
+
+examples/power_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/precision_study-2ed9488d2f1db586.d: examples/precision_study.rs
+
+/root/repo/target/release/examples/precision_study-2ed9488d2f1db586: examples/precision_study.rs
+
+examples/precision_study.rs:

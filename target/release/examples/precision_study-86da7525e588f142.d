@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/precision_study-86da7525e588f142.d: examples/precision_study.rs
+
+/root/repo/target/release/examples/precision_study-86da7525e588f142: examples/precision_study.rs
+
+examples/precision_study.rs:

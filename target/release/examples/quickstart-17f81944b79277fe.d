@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-17f81944b79277fe.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-17f81944b79277fe: examples/quickstart.rs
+
+examples/quickstart.rs:

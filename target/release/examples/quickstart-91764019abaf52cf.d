@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-91764019abaf52cf.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-91764019abaf52cf: examples/quickstart.rs
+
+examples/quickstart.rs:
