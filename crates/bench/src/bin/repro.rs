@@ -9,12 +9,18 @@
 //!   timeline                              Fig. 4 execution timeline
 //!   ablation-accum ablation-usb ablation-shave
 //!   serve                                 E15 online-serving load sweep
+//!   validate-trace PATH                   check an exported Chrome trace
 //!   all                                   everything above
 //! ```
 //!
 //! `--json` alone prints the result as JSON to stdout; `--json PATH`
 //! writes the JSON to PATH (and keeps the human-readable report on
 //! stdout) so perf trajectories can be tracked as `BENCH_*.json` files.
+//!
+//! With `--trace PATH` and/or `--metrics-csv PATH`, `serve` runs one
+//! fully observed run (instead of the sweep) and writes the Chrome
+//! trace-event JSON / sampled time-series CSV; `--sample-ms` sets the
+//! sampling interval. Load the trace at <https://ui.perfetto.dev>.
 
 use std::process::ExitCode;
 use vpu_bench::{ablations, anchors, fig6, fig7, fig8, serve_bench, timeline, Scale};
@@ -23,7 +29,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
          ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|serve|all> \
-         [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware]"
+         [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
+         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS]\n\
+         \x20      repro validate-trace PATH"
     );
     ExitCode::from(2)
 }
@@ -37,6 +45,10 @@ fn main() -> ExitCode {
     let mut csv_dir: Option<String> = None;
     let mut slo_ms = 500.0f64;
     let mut policy = ncsw_serve::DispatchPolicy::CostAware;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_csv: Option<String> = None;
+    let mut sample_ms = 10.0f64;
+    let mut operand: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -77,8 +89,31 @@ fn main() -> ExitCode {
                 };
                 policy = p;
             }
+            "--trace" => {
+                let Some(v) = it.next() else { return usage() };
+                trace_path = Some(v.clone());
+            }
+            "--metrics-csv" => {
+                let Some(v) = it.next() else { return usage() };
+                metrics_csv = Some(v.clone());
+            }
+            "--sample-ms" => {
+                let Some(v) = it.next() else { return usage() };
+                let Ok(ms) = v.parse::<f64>() else {
+                    eprintln!("bad --sample-ms '{v}'");
+                    return usage();
+                };
+                sample_ms = ms;
+            }
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
+            }
+            other
+                if experiment.as_deref() == Some("validate-trace")
+                    && operand.is_none()
+                    && !other.starts_with('-') =>
+            {
+                operand = Some(other.to_string());
             }
             other => {
                 eprintln!("unexpected argument '{other}'");
@@ -164,6 +199,26 @@ fn main() -> ExitCode {
             "stream" => emit!(vpu_bench::stream_bench::stream_bench()),
             "power" => emit!(vpu_bench::power_bench::power_bench(scale)),
             "future-work" => emit!(vpu_bench::future_work::future_work(scale)),
+            "serve" if trace_path.is_some() || metrics_csv.is_some() => {
+                let r = serve_bench::traced_serve(
+                    scale,
+                    desim::Duration::from_millis(slo_ms),
+                    policy,
+                    desim::Duration::from_millis(sample_ms),
+                );
+                let write = |path: &Option<String>, content: &str| {
+                    if let Some(path) = path {
+                        if let Err(e) = std::fs::write(path, content) {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(2);
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                };
+                write(&trace_path, &r.chrome_json);
+                write(&metrics_csv, &r.series_csv);
+                emit!(r);
+            }
             "serve" => {
                 let r = serve_bench::serve_exp_with(
                     scale,
@@ -172,6 +227,29 @@ fn main() -> ExitCode {
                 );
                 write_csv("serve", vpu_bench::csv::serve_csv(&r));
                 emit!(r);
+            }
+            "validate-trace" => {
+                let Some(path) = &operand else {
+                    eprintln!("validate-trace needs a PATH");
+                    std::process::exit(2);
+                };
+                let json = match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(2);
+                    }
+                };
+                match vpu_bench::trace_check::validate(&json) {
+                    Ok(check) => println!(
+                        "{path}: ok — {} events, {} tracks, {} requests ({} fully chained)",
+                        check.events, check.tracks, check.requests, check.chained
+                    ),
+                    Err(e) => {
+                        eprintln!("{path}: INVALID trace: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

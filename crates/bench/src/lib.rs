@@ -24,6 +24,7 @@ pub mod scale;
 pub mod serve_bench;
 pub mod stream_bench;
 pub mod timeline;
+pub mod trace_check;
 pub mod zoo_bench;
 
 pub use scale::Scale;

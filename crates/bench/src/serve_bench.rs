@@ -13,7 +13,10 @@ use crate::report;
 use crate::scale::Scale;
 use desim::Duration;
 use ncsw::ModelBundle;
-use ncsw_serve::{serve, ArrivalProcess, DispatchPolicy, FleetSpec, ServeConfig, ServeReport};
+use ncsw_serve::{
+    serve, serve_observed, ArrivalProcess, DispatchPolicy, FleetSpec, ObsConfig, ServeConfig,
+    ServeReport,
+};
 use serde::{Deserialize, Serialize};
 use vpu_nn::googlenet::Variant;
 
@@ -112,6 +115,80 @@ pub fn serve_exp_with(scale: Scale, slo: Duration, policy: DispatchPolicy) -> Se
         slo_ms: slo.as_millis(),
         policy: policy.name().to_string(),
         fleets,
+    }
+}
+
+/// Fleet and load point used by [`traced_serve`]: the full
+/// heterogeneous fleet at 80% of estimated capacity — busy enough that
+/// batching, dispatch and USB contention all show up in the trace, calm
+/// enough that the timeline stays readable.
+pub const TRACED_FLEET: &str = "cpu+gpu+8xvpu";
+pub const TRACED_LOAD_FRACTION: f64 = 0.8;
+
+/// Exported artifacts of one fully observed serving run (the
+/// `--trace` / `--metrics-csv` path of the `serve` experiment).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TracedServe {
+    pub fleet: String,
+    pub requests: usize,
+    pub offered_rps: f64,
+    pub report: ServeReport,
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    pub chrome_json: String,
+    /// Sampled time series as CSV.
+    pub series_csv: String,
+    /// Human-readable metric summary.
+    pub summary: String,
+}
+
+/// One observed serving run on the heterogeneous fleet. Deterministic:
+/// the same scale/slo/policy/sample settings produce byte-identical
+/// `chrome_json` and `series_csv` on every machine.
+pub fn traced_serve(
+    scale: Scale,
+    slo: Duration,
+    policy: DispatchPolicy,
+    sample_every: Duration,
+) -> TracedServe {
+    let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
+    let n = requests_per_point(scale);
+    let spec = FleetSpec::parse(TRACED_FLEET).expect("valid fleet spec");
+    let probe = spec.build(&model);
+    let capacity_rps = spec.capacity_rps(&probe);
+    let max_batch = spec.preferred_batch(&probe);
+    drop(probe);
+
+    let cfg = ServeConfig { max_batch, slo, policy, ..ServeConfig::default() };
+    let mut workers = spec.build(&model);
+    let rate = capacity_rps * TRACED_LOAD_FRACTION;
+    let load = ArrivalProcess::Poisson { rate_per_sec: rate };
+    let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, n, &ObsConfig { sample_every });
+    TracedServe {
+        fleet: TRACED_FLEET.to_string(),
+        requests: n,
+        offered_rps: rate,
+        report: ServeReport::of(&outcome, &cfg),
+        chrome_json: ncsw_obs::chrome_trace(&obs.events),
+        series_csv: obs.series.csv(),
+        summary: obs.registry.summary(),
+    }
+}
+
+impl TracedServe {
+    pub fn print(&self) {
+        report::header(&format!(
+            "observed serving run — fleet {}, {} requests at {:.1} req/s",
+            self.fleet, self.requests, self.offered_rps
+        ));
+        print!("{}", self.summary);
+        println!(
+            "completed {} / shed {}  p50 {:.1} ms  p99 {:.1} ms  goodput {:.1} req/s",
+            self.report.completed,
+            self.report.shed,
+            self.report.latency.p50_ms,
+            self.report.latency.p99_ms,
+            self.report.goodput_rps
+        );
     }
 }
 

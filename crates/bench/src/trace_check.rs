@@ -1,0 +1,161 @@
+//! Structural validation of exported Chrome trace-event JSON.
+//!
+//! CI runs a tiny observed serving run, exports the trace, and feeds it
+//! back through [`validate`]: the document must parse, carry every
+//! expected phase at least once, name its tracks, and contain at least
+//! one request whose full Arrive→…→Complete chain appears with
+//! non-decreasing timestamps. This closes the loop on the exporter — a
+//! trace that renders in Perfetto but silently lost a phase fails here.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Phases every serving trace must contain at least once.
+pub const REQUIRED_PHASES: [&str; 8] =
+    ["Arrive", "Admit", "BatchClose", "Dispatch", "UsbWrite", "Exec", "UsbRead", "Complete"];
+
+/// What [`validate`] measured about a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Trace events excluding metadata records.
+    pub events: usize,
+    /// Named tracks (thread_name metadata records).
+    pub tracks: usize,
+    /// Distinct request ids seen in event args.
+    pub requests: usize,
+    /// Requests whose full phase chain is present and time-ordered.
+    pub chained: usize,
+}
+
+fn number(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(u) => Some(*u as f64),
+        Value::I64(i) => Some(*i as f64),
+        Value::F64(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Validate `json` as a serving trace. Returns what was found, or a
+/// description of the first structural problem.
+pub fn validate(json: &str) -> Result<TraceCheck, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_seq)
+        .ok_or("missing traceEvents array".to_string())?;
+
+    let mut tracks = 0usize;
+    let mut count = 0usize;
+    let mut phase_seen: BTreeMap<&str, usize> = BTreeMap::new();
+    // request id -> (phase name -> first ts)
+    let mut per_request: BTreeMap<u64, BTreeMap<String, f64>> = BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Value::as_str).ok_or(format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+                tracks += 1;
+            }
+            continue;
+        }
+        if ph != "X" && ph != "i" {
+            return Err(format!("event {i}: unexpected ph {ph:?}"));
+        }
+        count += 1;
+        let name =
+            ev.get("name").and_then(Value::as_str).ok_or(format!("event {i}: missing name"))?;
+        let ts = ev.get("ts").and_then(number).ok_or(format!("event {i}: missing numeric ts"))?;
+        if ph == "X" {
+            let dur =
+                ev.get("dur").and_then(number).ok_or(format!("event {i}: span without dur"))?;
+            if dur < 0.0 {
+                return Err(format!("event {i}: negative dur"));
+            }
+        }
+        if let Some(&p) = REQUIRED_PHASES.iter().find(|&&p| p == name) {
+            *phase_seen.entry(p).or_insert(0) += 1;
+        }
+        if let Some(id) = ev.get("args").and_then(|a| a.get("request_id")).and_then(number) {
+            let slot = per_request.entry(id as u64).or_default();
+            let entry = slot.entry(name.to_string()).or_insert(ts);
+            if ts < *entry {
+                *entry = ts;
+            }
+        }
+    }
+
+    for p in REQUIRED_PHASES {
+        if !phase_seen.contains_key(p) {
+            return Err(format!("phase {p} never appears in the trace"));
+        }
+    }
+    if tracks == 0 {
+        return Err("no thread_name metadata (unnamed tracks)".to_string());
+    }
+
+    let mut chained = 0usize;
+    for stamps in per_request.values() {
+        let mut last = f64::MIN;
+        let mut ok = true;
+        for p in REQUIRED_PHASES {
+            match stamps.get(p) {
+                Some(&ts) if ts >= last => last = ts,
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            chained += 1;
+        }
+    }
+    if chained == 0 {
+        return Err("no request exposes the full time-ordered phase chain".to_string());
+    }
+
+    Ok(TraceCheck { events: count, tracks, requests: per_request.len(), chained })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use crate::serve_bench::traced_serve;
+    use desim::Duration;
+    use ncsw_serve::DispatchPolicy;
+
+    fn tiny_trace() -> String {
+        traced_serve(
+            Scale::Tiny,
+            Duration::from_millis(500.0),
+            DispatchPolicy::CostAware,
+            Duration::from_millis(10.0),
+        )
+        .chrome_json
+    }
+
+    #[test]
+    fn tiny_observed_run_produces_a_valid_trace() {
+        let json = tiny_trace();
+        let check = validate(&json).expect("trace must validate");
+        assert!(check.events > 100, "{check:?}");
+        assert!(check.tracks >= 3, "{check:?}");
+        assert!(check.chained > 0, "{check:?}");
+    }
+
+    #[test]
+    fn validation_rejects_broken_traces() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        // A structurally fine document with no phases.
+        let empty = r#"{"traceEvents":[{"ph":"M","name":"thread_name","args":{"name":"t"}}]}"#;
+        let err = validate(empty).unwrap_err();
+        assert!(err.contains("never appears"), "{err}");
+        // Drop one phase from a real trace: must be caught.
+        let json = tiny_trace().replace("\"name\":\"Admit\"", "\"name\":\"Xdmit\"");
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("Admit"), "{err}");
+    }
+}

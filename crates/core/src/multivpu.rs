@@ -11,6 +11,7 @@ use crate::model::ModelBundle;
 use desim::{Duration, SimTime, TraceLog};
 use ncs_platform::usb::UsbConfig;
 use ncs_platform::{Fleet, GraphHandle, Ncapi, NcsConfig, Topology};
+use ncsw_obs::{BatchObs, Ctx, Event, GanttRecorder, Lane, Phase, Recorder};
 use rand::Rng;
 use vpu_num::{f16, rng};
 use vpu_tensor::Tensor;
@@ -162,9 +163,31 @@ impl MultiVpu {
         &mut self,
         count: usize,
         not_before: SimTime,
+        numerics: impl FnMut(usize) -> Option<Tensor<f16>>,
+    ) -> PipelineReport {
+        let mut null = ncsw_obs::NullRecorder;
+        self.run_pipeline_obs(count, not_before, numerics, &mut BatchObs::disabled(&mut null))
+    }
+
+    /// Instrumented form: identical timing, but every host `load`/`read`
+    /// span, on-chip `exec` span and USB-fabric leg is also emitted as a
+    /// structured [`Event`] (with `obs`'s request context) through
+    /// `obs.rec`. With a disabled recorder this path does no extra work
+    /// beyond the legacy trace it always built, so timing and RNG
+    /// consumption are bit-identical.
+    pub fn run_pipeline_obs(
+        &mut self,
+        count: usize,
+        not_before: SimTime,
         mut numerics: impl FnMut(usize) -> Option<Tensor<f16>>,
+        obs: &mut BatchObs<'_>,
     ) -> PipelineReport {
         assert!(count > 0, "need at least one image");
+        let recording = obs.enabled();
+        if recording {
+            self.api.fleet_mut().bus.set_tap(true);
+        }
+        let worker = obs.worker;
         let n = self.cfg.devices;
         let mut jitter = rng::stream(self.cfg.seed, "host-jitter");
         // Skip jitter state consumed by earlier runs on this pipeline so
@@ -195,9 +218,18 @@ impl MultiVpu {
         let start = threads.iter().map(|t| t.cursor).min().unwrap();
         let mut result_times = vec![SimTime::ZERO; count];
         let mut outputs: Vec<Option<Tensor<f16>>> = (0..count).map(|_| None).collect();
-        let mut trace = TraceLog::new();
+        // The legacy Fig. 4 trace is now rebuilt from the same events the
+        // recorder sees, via the Gantt adapter.
+        let mut gantt = GanttRecorder::new();
         let depth = self.cfg.ncs.fifo_depth;
         let mut energy = 0.0f64;
+
+        fn usb_lane(worker: u32, hub: Option<usize>) -> Lane {
+            match hub {
+                None => Lane::UsbRoot { worker },
+                Some(h) => Lane::UsbHub { worker, hub: h as u32 },
+            }
+        }
 
         // Event-driven interleaving: always advance the thread whose next
         // API call can begin earliest.
@@ -213,13 +245,34 @@ impl MultiVpu {
             // Keep the device FIFO full: load while slots remain and
             // images remain; otherwise collect the oldest result.
             let want_load = t.next_load < t.images.len() && t.next_load - t.next_get < depth;
+            let dev = t.device as u32;
             if want_load {
                 let img = t.images[t.next_load];
                 let j = Duration::from_nanos(jitter.gen_range(0..=self.cfg.host_jitter.nanos()));
                 let call_at = t.cursor + j;
                 let returned =
                     self.api.load_tensor(h, call_at, numerics(img)).expect("load_tensor");
-                trace.push(format!("host{}", t.device), "load", call_at, returned);
+                let ctx = if recording { obs.ctx(img) } else { Ctx::NONE };
+                let load = Event::span(
+                    Phase::UsbWrite,
+                    Lane::Host { worker, dev },
+                    call_at,
+                    returned,
+                    ctx,
+                );
+                gantt.record(load);
+                if recording {
+                    obs.rec.record(load);
+                    for s in self.api.fleet_mut().bus.take_tap() {
+                        obs.rec.record(Event::span(
+                            Phase::UsbWrite,
+                            usb_lane(worker, s.hub),
+                            s.start,
+                            s.end,
+                            ctx,
+                        ));
+                    }
+                }
                 t.cursor = returned;
                 t.next_load += 1;
                 self.images_issued += 1;
@@ -228,8 +281,36 @@ impl MultiVpu {
                 let j = Duration::from_nanos(jitter.gen_range(0..=self.cfg.host_jitter.nanos()));
                 let call_at = t.cursor + j;
                 let res = self.api.get_result(h, call_at).expect("get_result");
-                trace.push(format!("host{}", t.device), "read", res.completion, res.returned_at);
-                trace.push(format!("vpu{}", t.device), "exec", res.run.start, res.run.end);
+                let ctx = if recording { obs.ctx(img) } else { Ctx::NONE };
+                let read = Event::span(
+                    Phase::UsbRead,
+                    Lane::Host { worker, dev },
+                    res.completion,
+                    res.returned_at,
+                    ctx,
+                );
+                let exec = Event::span(
+                    Phase::Exec,
+                    Lane::Vpu { worker, dev },
+                    res.run.start,
+                    res.run.end,
+                    ctx,
+                );
+                gantt.record(read);
+                gantt.record(exec);
+                if recording {
+                    obs.rec.record(read);
+                    obs.rec.record(exec);
+                    for s in self.api.fleet_mut().bus.take_tap() {
+                        obs.rec.record(Event::span(
+                            Phase::UsbRead,
+                            usb_lane(worker, s.hub),
+                            s.start,
+                            s.end,
+                            ctx,
+                        ));
+                    }
+                }
                 energy += res.run.energy_j;
                 result_times[img] = res.returned_at;
                 outputs[img] = res.output;
@@ -238,6 +319,10 @@ impl MultiVpu {
             }
         }
 
+        if recording {
+            self.api.fleet_mut().bus.set_tap(false);
+        }
+        let trace = gantt.into_log();
         let end = *result_times.iter().max().unwrap();
         self.last_end = end;
         PipelineReport {
@@ -352,6 +437,36 @@ mod tests {
             let out = out.as_ref().expect("output present");
             assert_eq!(out.as_slice()[0].to_f32(), i as f32);
         }
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_emits_request_spans() {
+        let m = model();
+        let plain = MultiVpu::new(MultiVpuConfig::paper_testbed(4), &m).run_pipeline(8);
+        let mut log = ncsw_obs::EventLog::new();
+        let ids: Vec<u64> = (100..108).collect();
+        let mut obs = BatchObs { rec: &mut log, batch_id: 7, worker: 1, ids: &ids };
+        let observed = MultiVpu::new(MultiVpuConfig::paper_testbed(4), &m).run_pipeline_obs(
+            8,
+            SimTime::ZERO,
+            |_| None,
+            &mut obs,
+        );
+        assert_eq!(plain.result_times, observed.result_times, "instrumentation changed timing");
+        assert_eq!(plain.trace, observed.trace, "legacy Fig. 4 trace must be preserved");
+        // Every image gets a write/exec/read triple tagged with its id.
+        for id in 100..108u64 {
+            let evs = log.for_request(id);
+            assert!(!evs.is_empty(), "no events for request {id}");
+            for phase in [Phase::UsbWrite, Phase::Exec, Phase::UsbRead] {
+                assert!(evs.iter().any(|e| e.phase == phase), "request {id} missing {phase:?}");
+            }
+        }
+        // USB fabric occupancy surfaced: root always, hub at 4 sticks.
+        assert!(log.events().iter().any(|e| matches!(e.lane, Lane::UsbRoot { .. })));
+        assert!(log.events().iter().any(|e| matches!(e.lane, Lane::UsbHub { .. })));
+        // Batch context propagates to every event.
+        assert!(log.events().iter().all(|e| e.ctx.batch_id == Some(7) && e.ctx.worker == Some(1)));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::target::{IntelCpu, IntelVpu, NvGpu};
 use desim::{Duration, SimTime};
+use ncsw_obs::{BatchObs, Ctx, Event, Lane, Phase};
 
 /// Timing record of one served batch.
 #[derive(Debug, Clone)]
@@ -60,6 +61,27 @@ pub trait ServiceHook {
     /// Hard upper bound on a single submission, if any (GPU memory).
     fn max_batch(&self) -> Option<usize> {
         None
+    }
+
+    /// [`ServiceHook::serve`] with observability: identical timing, but
+    /// the device also emits its busy spans through `obs.rec` tagged
+    /// with `obs`'s batch/request context. Host devices report one
+    /// batch-level `Exec` span on their worker lane; the VPU fleet
+    /// overrides this to emit per-image host, chip and USB-fabric spans.
+    fn serve_obs(&mut self, batch: usize, ready: SimTime, obs: &mut BatchObs<'_>) -> BatchRun {
+        let run = self.serve(batch, ready);
+        if obs.enabled() {
+            let ctx =
+                Ctx { request_id: None, batch_id: Some(obs.batch_id), worker: Some(obs.worker) };
+            obs.rec.record(Event::span(
+                Phase::Exec,
+                Lane::Worker(obs.worker),
+                run.start,
+                run.end,
+                ctx,
+            ));
+        }
+        run
     }
 }
 
@@ -127,6 +149,11 @@ impl ServiceHook for IntelVpu {
 
     fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun {
         let report = self.pipeline_mut().run_pipeline_at(batch, ready);
+        BatchRun { start: report.start, end: report.end, done: report.result_times }
+    }
+
+    fn serve_obs(&mut self, batch: usize, ready: SimTime, obs: &mut BatchObs<'_>) -> BatchRun {
+        let report = self.pipeline_mut().run_pipeline_obs(batch, ready, |_| None, obs);
         BatchRun { start: report.start, end: report.end, done: report.result_times }
     }
 
@@ -199,6 +226,27 @@ mod tests {
         // Steady state approaches the 8-stick per-image anchor shape:
         // marginal wave cost well below two serial inferences.
         assert!((three - one).as_millis() < 2.5 * ms);
+    }
+
+    #[test]
+    fn host_serve_obs_matches_plain_timing_and_emits_batch_span() {
+        let mut plain = IntelCpu::new(model());
+        let mut observed = IntelCpu::new(model());
+        let a = plain.serve(4, SimTime::ZERO);
+        let mut log = ncsw_obs::EventLog::new();
+        let ids = [10u64, 11, 12, 13];
+        let b = observed.serve_obs(
+            4,
+            SimTime::ZERO,
+            &mut BatchObs { rec: &mut log, batch_id: 3, worker: 2, ids: &ids },
+        );
+        assert_eq!(a.done, b.done, "instrumentation changed timing");
+        assert_eq!(log.len(), 1, "hosts emit one batch-level span");
+        let ev = log.events()[0];
+        assert_eq!(ev.phase, Phase::Exec);
+        assert_eq!(ev.lane, Lane::Worker(2));
+        assert_eq!(ev.ctx.batch_id, Some(3));
+        assert_eq!((ev.start, ev.end), (b.start, Some(b.end)));
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod usb;
 pub use api::{GraphHandle, Ncapi, NcsError};
 pub use device::{NcsConfig, NcsDevice};
 pub use fleet::{Fleet, Topology};
-pub use usb::{UsbBus, UsbPort};
+pub use usb::{TapSpan, UsbBus, UsbPort};

@@ -56,6 +56,16 @@ impl Default for UsbConfig {
     }
 }
 
+/// One resource occupancy recorded by the bus tap: which leg of the
+/// fabric was held (`hub: None` = the root controller) over
+/// `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapSpan {
+    pub hub: Option<usize>,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
 /// The host's USB fabric: one root controller, any number of hubs.
 #[derive(Debug, Clone)]
 pub struct UsbBus {
@@ -64,6 +74,7 @@ pub struct UsbBus {
     hubs: Vec<FifoResource>,
     transfers: u64,
     errors: u64,
+    tap: Option<Vec<TapSpan>>,
 }
 
 impl UsbBus {
@@ -74,6 +85,22 @@ impl UsbBus {
             hubs: (0..hub_count).map(|i| FifoResource::new(format!("usb-hub{i}"))).collect(),
             transfers: 0,
             errors: 0,
+            tap: None,
+        }
+    }
+
+    /// Enable/disable the occupancy tap. Disabled (the default) costs
+    /// nothing; enabled, every hub/root leg of every transfer is
+    /// recorded until drained with [`UsbBus::take_tap`].
+    pub fn set_tap(&mut self, on: bool) {
+        self.tap = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drain spans recorded since the last call (empty if tap is off).
+    pub fn take_tap(&mut self) -> Vec<TapSpan> {
+        match &mut self.tap {
+            Some(spans) => std::mem::take(spans),
+            None => Vec::new(),
         }
     }
 
@@ -129,12 +156,18 @@ impl UsbBus {
             let service = Duration::from_nanos(self.cfg.hub_latency_ns)
                 + Duration::for_bytes(bytes, self.cfg.hub_bandwidth);
             let busy = self.hubs[h].acquire(t, service);
+            if let Some(tap) = &mut self.tap {
+                tap.push(TapSpan { hub: Some(h), start: busy.start, end: busy.end });
+            }
             start = Some(busy.start);
             t = busy.end;
         }
         let service = Duration::from_nanos(self.cfg.command_overhead_ns)
             + Duration::for_bytes(bytes, self.cfg.root_bandwidth);
         let busy = self.root.acquire(t, service);
+        if let Some(tap) = &mut self.tap {
+            tap.push(TapSpan { hub: None, start: busy.start, end: busy.end });
+        }
         Busy { start: start.unwrap_or(busy.start), end: busy.end }
     }
 
@@ -231,6 +264,37 @@ mod tests {
         assert!(a.errors() > 5, "expected injected errors, got {}", a.errors());
         assert!(slow_total > clean_total, "faults must cost time");
         assert_eq!(clean.errors(), 0);
+    }
+
+    #[test]
+    fn tap_records_hub_and_root_legs() {
+        let mut b = bus();
+        b.transfer(UsbPort::Root, SimTime(0), 450_000);
+        assert!(b.take_tap().is_empty(), "tap off by default");
+        b.set_tap(true);
+        let busy = b.transfer(UsbPort::Hub(1), SimTime(0), 450_000);
+        let spans = b.take_tap();
+        assert_eq!(spans.len(), 2, "hub leg + root leg");
+        assert_eq!(spans[0].hub, Some(1));
+        assert_eq!(spans[1].hub, None);
+        assert_eq!(spans[0].start, busy.start);
+        assert_eq!(spans[1].end, busy.end);
+        assert!(spans[1].start >= spans[0].end, "store-and-forward order");
+        assert!(b.take_tap().is_empty(), "drained");
+    }
+
+    #[test]
+    fn tap_does_not_change_timing() {
+        let mut plain = bus();
+        let mut tapped = bus();
+        tapped.set_tap(true);
+        for i in 0..10u64 {
+            let t = SimTime(i * 500_000);
+            assert_eq!(
+                plain.transfer(UsbPort::Hub(0), t, 200_000),
+                tapped.transfer(UsbPort::Hub(0), t, 200_000)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the JSON Array-with-metadata flavour of the [Trace Event
+//! Format] that both `chrome://tracing` and [Perfetto] load directly:
+//! one track (`tid`) per lane, complete spans as `ph:"X"` events,
+//! instants as `ph:"i"`, and the request context under `args` so the
+//! viewer's flow/search tools can follow one `request_id` across
+//! tracks. The output is built byte-by-byte from integers only, so two
+//! runs of the same seeded config serialize identically.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+use crate::event::Event;
+use crate::recorder::EventLog;
+use std::fmt::Write as _;
+
+/// Microseconds with fixed 3-decimal nanosecond remainder — exact and
+/// deterministic (no float formatting).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn args_of(ev: &Event) -> String {
+    let mut parts = Vec::with_capacity(3);
+    if let Some(r) = ev.ctx.request_id {
+        parts.push(format!("\"request_id\":{r}"));
+    }
+    if let Some(b) = ev.ctx.batch_id {
+        parts.push(format!("\"batch_id\":{b}"));
+    }
+    if let Some(w) = ev.ctx.worker {
+        parts.push(format!("\"worker\":{w}"));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Serialize `log` as a Chrome trace-event JSON document.
+pub fn chrome_trace(log: &EventLog) -> String {
+    let lanes = log.lanes();
+    let tid_of = |lane| lanes.iter().position(|&l| l == lane).unwrap();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"ncsw\"}}",
+    );
+    for (tid, lane) in lanes.iter().enumerate() {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            lane.name()
+        );
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+             \"args\":{{\"sort_index\":{}}}}}",
+            lane.sort_rank()
+        );
+    }
+    for ev in log.events() {
+        let tid = tid_of(ev.lane);
+        let name = ev.phase.name();
+        let ts = us(ev.start.nanos());
+        let args = args_of(ev);
+        match ev.end {
+            Some(end) => {
+                let dur = us(end.nanos() - ev.start.nanos());
+                let _ = write!(
+                    out,
+                    ",\n{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                     \"dur\":{dur},\"name\":\"{name}\",\"args\":{args}}}"
+                );
+            }
+            None => {
+                let _ = write!(
+                    out,
+                    ",\n{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                     \"s\":\"t\",\"name\":\"{name}\",\"args\":{args}}}"
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Ctx, Lane, Phase};
+    use crate::recorder::Recorder;
+    use desim::SimTime;
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::new();
+        log.record(Event::instant(Phase::Arrive, Lane::Server, SimTime(1_500), Ctx::request(0)));
+        log.record(Event::span(
+            Phase::Exec,
+            Lane::Vpu { worker: 0, dev: 2 },
+            SimTime(2_000),
+            SimTime(102_500),
+            Ctx::request(0).with_batch(1).with_worker(0),
+        ));
+        log
+    }
+
+    #[test]
+    fn exports_tracks_spans_and_instants() {
+        let json = chrome_trace(&sample_log());
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""), "{json}");
+        assert!(json.contains("\"thread_name\",\"args\":{\"name\":\"server\"}"), "{json}");
+        assert!(json.contains("\"thread_name\",\"args\":{\"name\":\"w0.vpu2\"}"), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"ts\":2.000,\"dur\":100.500"), "{json}");
+        assert!(json.contains("\"args\":{\"request_id\":0,\"batch_id\":1,\"worker\":0}"), "{json}");
+    }
+
+    #[test]
+    fn timestamps_are_exact_microseconds() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(12_345_678), "12345.678");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(chrome_trace(&sample_log()), chrome_trace(&sample_log()));
+    }
+}

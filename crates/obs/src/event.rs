@@ -1,0 +1,212 @@
+//! Structured, virtual-clock-stamped observability events.
+//!
+//! Every event carries the propagated request context ([`Ctx`]) so one
+//! request can be followed from arrival through queueing, batching, USB
+//! transfer, SHAVE execution and completion — the per-phase breakdown
+//! the paper's Fig. 4 timeline argues from. Events are `Copy` and hold
+//! no heap data, so emitting them through a disabled recorder costs a
+//! branch and nothing else.
+
+use desim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle phase of a request (or the lane activity serving it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// The open-loop generator produced the request.
+    Arrive,
+    /// Admission control accepted it.
+    Admit,
+    /// It entered the bounded request queue.
+    Enqueue,
+    /// The batch containing it closed (fill or deadline).
+    BatchClose,
+    /// The batch was handed to a worker.
+    Dispatch,
+    /// Host→device transfer of its input tensor.
+    UsbWrite,
+    /// On-device (SHAVE) execution.
+    Exec,
+    /// Device→host transfer of its result.
+    UsbRead,
+    /// Its result returned to the host.
+    Complete,
+    /// Admission control shed it (reject or eviction).
+    Shed,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 10] = [
+        Phase::Arrive,
+        Phase::Admit,
+        Phase::Enqueue,
+        Phase::BatchClose,
+        Phase::Dispatch,
+        Phase::UsbWrite,
+        Phase::Exec,
+        Phase::UsbRead,
+        Phase::Complete,
+        Phase::Shed,
+    ];
+
+    /// The happy-path phase sequence of one request on a VPU worker.
+    pub const REQUEST_CHAIN: [Phase; 8] = [
+        Phase::Arrive,
+        Phase::Admit,
+        Phase::BatchClose,
+        Phase::Dispatch,
+        Phase::UsbWrite,
+        Phase::Exec,
+        Phase::UsbRead,
+        Phase::Complete,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Arrive => "Arrive",
+            Phase::Admit => "Admit",
+            Phase::Enqueue => "Enqueue",
+            Phase::BatchClose => "BatchClose",
+            Phase::Dispatch => "Dispatch",
+            Phase::UsbWrite => "UsbWrite",
+            Phase::Exec => "Exec",
+            Phase::UsbRead => "UsbRead",
+            Phase::Complete => "Complete",
+            Phase::Shed => "Shed",
+        }
+    }
+}
+
+/// Track an event belongs to. One Chrome-trace track is emitted per
+/// distinct lane. `worker` is the fleet slot that owns a device-level
+/// lane, so two multi-stick pipelines in one fleet don't collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Lane {
+    /// The serving loop itself (arrivals, admission).
+    Server,
+    /// The bounded request queue.
+    Queue,
+    /// A whole fleet worker (host devices with no finer structure).
+    Worker(u32),
+    /// The host thread driving NCS device `dev` of worker `worker`.
+    Host { worker: u32, dev: u32 },
+    /// On-chip execution of NCS device `dev` of worker `worker`.
+    Vpu { worker: u32, dev: u32 },
+    /// The USB root controller of worker `worker`'s fabric.
+    UsbRoot { worker: u32 },
+    /// USB hub `hub` of worker `worker`'s fabric.
+    UsbHub { worker: u32, hub: u32 },
+}
+
+impl Lane {
+    /// Stable human-readable track name.
+    pub fn name(self) -> String {
+        match self {
+            Lane::Server => "server".to_string(),
+            Lane::Queue => "queue".to_string(),
+            Lane::Worker(w) => format!("worker{w}"),
+            Lane::Host { worker, dev } => format!("w{worker}.host{dev}"),
+            Lane::Vpu { worker, dev } => format!("w{worker}.vpu{dev}"),
+            Lane::UsbRoot { worker } => format!("w{worker}.usb-root"),
+            Lane::UsbHub { worker, hub } => format!("w{worker}.usb-hub{hub}"),
+        }
+    }
+
+    /// Display rank used to order tracks in the trace viewer: serving
+    /// loop first, then queue, workers, host threads, chips, USB lanes.
+    pub fn sort_rank(self) -> u32 {
+        match self {
+            Lane::Server => 0,
+            Lane::Queue => 1,
+            Lane::Worker(w) => 10 + w,
+            Lane::Host { worker, dev } => 1_000 + worker * 100 + dev,
+            Lane::Vpu { worker, dev } => 10_000 + worker * 100 + dev,
+            Lane::UsbRoot { worker } => 100_000 + worker * 100,
+            Lane::UsbHub { worker, hub } => 100_000 + worker * 100 + 1 + hub,
+        }
+    }
+}
+
+/// Propagated request context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ctx {
+    pub request_id: Option<u64>,
+    pub batch_id: Option<u64>,
+    pub worker: Option<u32>,
+}
+
+impl Ctx {
+    pub const NONE: Ctx = Ctx { request_id: None, batch_id: None, worker: None };
+
+    pub fn request(request_id: u64) -> Ctx {
+        Ctx { request_id: Some(request_id), ..Ctx::NONE }
+    }
+
+    pub fn with_batch(mut self, batch_id: u64) -> Ctx {
+        self.batch_id = Some(batch_id);
+        self
+    }
+
+    pub fn with_worker(mut self, worker: u32) -> Ctx {
+        self.worker = Some(worker);
+        self
+    }
+}
+
+/// One observability event: an instant (`end == None`) or a busy span.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    pub phase: Phase,
+    pub lane: Lane,
+    pub start: SimTime,
+    pub end: Option<SimTime>,
+    pub ctx: Ctx,
+}
+
+impl Event {
+    pub fn instant(phase: Phase, lane: Lane, at: SimTime, ctx: Ctx) -> Event {
+        Event { phase, lane, start: at, end: None, ctx }
+    }
+
+    pub fn span(phase: Phase, lane: Lane, start: SimTime, end: SimTime, ctx: Ctx) -> Event {
+        debug_assert!(end >= start, "span ends before it starts");
+        Event { phase, lane, start, end: Some(end), ctx }
+    }
+
+    /// Span end for spans, the instant itself otherwise.
+    pub fn finish(&self) -> SimTime {
+        self.end.unwrap_or(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_names_are_stable() {
+        assert_eq!(Lane::Server.name(), "server");
+        assert_eq!(Lane::Worker(3).name(), "worker3");
+        assert_eq!(Lane::Host { worker: 2, dev: 1 }.name(), "w2.host1");
+        assert_eq!(Lane::UsbHub { worker: 0, hub: 1 }.name(), "w0.usb-hub1");
+    }
+
+    #[test]
+    fn sort_ranks_group_by_category() {
+        assert!(Lane::Server.sort_rank() < Lane::Queue.sort_rank());
+        assert!(Lane::Queue.sort_rank() < Lane::Worker(0).sort_rank());
+        assert!(Lane::Worker(15).sort_rank() < Lane::Host { worker: 0, dev: 0 }.sort_rank());
+        assert!(
+            Lane::Vpu { worker: 0, dev: 7 }.sort_rank() < Lane::UsbRoot { worker: 0 }.sort_rank()
+        );
+    }
+
+    #[test]
+    fn ctx_builder_propagates() {
+        let c = Ctx::request(7).with_batch(3).with_worker(1);
+        assert_eq!(c.request_id, Some(7));
+        assert_eq!(c.batch_id, Some(3));
+        assert_eq!(c.worker, Some(1));
+        assert_eq!(Ctx::NONE, Ctx::default());
+    }
+}

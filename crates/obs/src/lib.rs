@@ -1,0 +1,38 @@
+//! # ncsw-obs — observability for the simulated NCS fleet
+//!
+//! Structured event tracing, metrics and time-series sampling over the
+//! virtual clock, shared by the serving loop (`ncsw-serve`), the
+//! multi-VPU pipeline (`ncsw`) and the USB/device models
+//! (`ncs-platform`).
+//!
+//! The pieces:
+//!
+//! - [`Event`]/[`Phase`]/[`Lane`]/[`Ctx`] — `Copy` virtual-clock-stamped
+//!   events with propagated request context, so one request can be
+//!   followed arrival→admission→batch→USB→SHAVE→completion.
+//! - [`Recorder`] — the sink trait; [`NullRecorder`] keeps
+//!   uninstrumented hot paths allocation-free, [`EventLog`] collects
+//!   for export, [`GanttRecorder`] adapts device events back into the
+//!   legacy [`desim::TraceLog`] shape the Fig. 4 ASCII Gantt renders,
+//!   [`Tee`] fans out to two sinks at once.
+//! - [`Registry`] — named counters, gauges and log-bucketed
+//!   [`LogHistogram`]s with typed handles.
+//! - [`TimeSeriesBuilder`]/[`TimeSeries`] — periodic samples of queue
+//!   depth, in-flight batches, per-worker utilization and SLO burn
+//!   rate, exported as CSV.
+//! - [`chrome_trace`] — deterministic Chrome trace-event JSON
+//!   (Perfetto-loadable), one track per lane.
+
+pub mod chrome;
+pub mod event;
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+pub mod series;
+
+pub use chrome::chrome_trace;
+pub use event::{Ctx, Event, Lane, Phase};
+pub use histogram::LogHistogram;
+pub use recorder::{BatchObs, EventLog, GanttRecorder, NullRecorder, Recorder, Tee};
+pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use series::{Sample, TimeSeries, TimeSeriesBuilder};

@@ -1,0 +1,268 @@
+//! The [`Recorder`] sink every instrumented layer writes to, plus the
+//! standard implementations: a no-op recorder for uninstrumented hot
+//! paths, an in-memory event log, and the Fig. 4 Gantt adapter that
+//! keeps [`desim::TraceLog`] rendering working on top of the new
+//! event stream.
+
+use crate::event::{Ctx, Event, Lane, Phase};
+use desim::{SimTime, TraceLog};
+use serde::{Deserialize, Serialize};
+
+/// A sink for observability events. Implementations must be cheap:
+/// instrumented hot paths guard event *construction* on
+/// [`Recorder::enabled`], so a disabled recorder costs one branch.
+pub trait Recorder {
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: Event);
+}
+
+/// Records nothing; [`Recorder::enabled`] is `false`, so call sites
+/// skip event construction entirely and the hot path stays
+/// allocation-free and bit-identical to an uninstrumented run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _ev: Event) {}
+}
+
+/// An append-only in-memory event log (the input to the exporters).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl Recorder for EventLog {
+    fn record(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Latest finish instant across all events.
+    pub fn horizon(&self) -> SimTime {
+        self.events.iter().map(|e| e.finish()).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Distinct lanes in first-appearance order.
+    pub fn lanes(&self) -> Vec<Lane> {
+        let mut lanes = Vec::new();
+        for e in &self.events {
+            if !lanes.contains(&e.lane) {
+                lanes.push(e.lane);
+            }
+        }
+        lanes
+    }
+
+    /// All events tagged with `request_id`, in record order.
+    pub fn for_request(&self, request_id: u64) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.ctx.request_id == Some(request_id)).collect()
+    }
+
+    /// The first-start instant of each [`Phase::REQUEST_CHAIN`] phase for
+    /// `request_id`, in chain order — `Some` only when every phase of the
+    /// chain is present (i.e. the request was served by a device with
+    /// USB-level detail) and the instants are non-decreasing.
+    pub fn request_chain(&self, request_id: u64) -> Option<Vec<(Phase, SimTime)>> {
+        let evs = self.for_request(request_id);
+        let mut chain = Vec::with_capacity(Phase::REQUEST_CHAIN.len());
+        for phase in Phase::REQUEST_CHAIN {
+            let first = evs.iter().filter(|e| e.phase == phase).map(|e| e.start).min()?;
+            chain.push((phase, first));
+        }
+        for pair in chain.windows(2) {
+            if pair[1].1 < pair[0].1 {
+                return None;
+            }
+        }
+        Some(chain)
+    }
+}
+
+/// Forwards each event to two recorders (e.g. the Fig. 4 adapter plus
+/// an external event log).
+pub struct Tee<'a> {
+    pub a: &'a mut dyn Recorder,
+    pub b: &'a mut dyn Recorder,
+}
+
+impl Recorder for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&mut self, ev: Event) {
+        if self.a.enabled() {
+            self.a.record(ev);
+        }
+        if self.b.enabled() {
+            self.b.record(ev);
+        }
+    }
+}
+
+/// Adapter: renders device-lane events into the [`TraceLog`] span shape
+/// the Fig. 4 ASCII Gantt (and its tests) consume — `host{d}` lanes with
+/// `load`/`read` spans, `vpu{d}` lanes with `exec` spans. Non-device
+/// lanes and instant events are ignored.
+#[derive(Debug, Default)]
+pub struct GanttRecorder {
+    log: TraceLog,
+}
+
+impl GanttRecorder {
+    pub fn new() -> Self {
+        GanttRecorder::default()
+    }
+
+    pub fn into_log(self) -> TraceLog {
+        self.log
+    }
+}
+
+impl Recorder for GanttRecorder {
+    fn record(&mut self, ev: Event) {
+        let Some(end) = ev.end else { return };
+        let (lane, label) = match (ev.lane, ev.phase) {
+            (Lane::Host { dev, .. }, Phase::UsbWrite) => (format!("host{dev}"), "load"),
+            (Lane::Host { dev, .. }, Phase::UsbRead) => (format!("host{dev}"), "read"),
+            (Lane::Vpu { dev, .. }, Phase::Exec) => (format!("vpu{dev}"), "exec"),
+            _ => return,
+        };
+        self.log.push(lane, label, ev.start, end);
+    }
+}
+
+/// Per-batch observability context a dispatcher hands to a device's
+/// `serve` path: the recorder, the batch id, the owning fleet slot and
+/// the request ids of the batch members in submission order.
+pub struct BatchObs<'a> {
+    pub rec: &'a mut dyn Recorder,
+    pub batch_id: u64,
+    pub worker: u32,
+    /// Request id per batch member; empty outside a serving context.
+    pub ids: &'a [u64],
+}
+
+impl<'a> BatchObs<'a> {
+    /// A context that records nothing (standalone pipeline runs).
+    pub fn disabled(rec: &'a mut NullRecorder) -> BatchObs<'a> {
+        BatchObs { rec, batch_id: 0, worker: 0, ids: &[] }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.rec.enabled()
+    }
+
+    /// Context for batch member `image` (request id when known).
+    pub fn ctx(&self, image: usize) -> Ctx {
+        Ctx {
+            request_id: self.ids.get(image).copied(),
+            batch_id: Some(self.batch_id),
+            worker: Some(self.worker),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(Event::instant(Phase::Arrive, Lane::Server, SimTime(5), Ctx::NONE));
+    }
+
+    #[test]
+    fn event_log_collects_and_indexes() {
+        let mut log = EventLog::new();
+        log.record(Event::instant(Phase::Arrive, Lane::Server, SimTime(1), Ctx::request(0)));
+        log.record(Event::span(
+            Phase::Exec,
+            Lane::Worker(0),
+            SimTime(2),
+            SimTime(9),
+            Ctx::request(0),
+        ));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.horizon(), SimTime(9));
+        assert_eq!(log.lanes(), vec![Lane::Server, Lane::Worker(0)]);
+        assert_eq!(log.for_request(0).len(), 2);
+        assert!(log.request_chain(0).is_none(), "partial chain must not validate");
+    }
+
+    #[test]
+    fn request_chain_requires_every_phase_in_order() {
+        let mut log = EventLog::new();
+        let lane = Lane::Host { worker: 0, dev: 0 };
+        for (i, phase) in Phase::REQUEST_CHAIN.iter().enumerate() {
+            log.record(Event::instant(*phase, lane, SimTime(i as u64), Ctx::request(4)));
+        }
+        let chain = log.request_chain(4).expect("full chain");
+        assert_eq!(chain.len(), Phase::REQUEST_CHAIN.len());
+        assert_eq!(chain[0], (Phase::Arrive, SimTime(0)));
+        assert_eq!(chain[7], (Phase::Complete, SimTime(7)));
+    }
+
+    #[test]
+    fn gantt_adapter_matches_legacy_tracelog_shape() {
+        let mut g = GanttRecorder::new();
+        let w = 0;
+        g.record(Event::span(
+            Phase::UsbWrite,
+            Lane::Host { worker: w, dev: 1 },
+            SimTime(0),
+            SimTime(10),
+            Ctx::NONE,
+        ));
+        g.record(Event::span(
+            Phase::Exec,
+            Lane::Vpu { worker: w, dev: 1 },
+            SimTime(10),
+            SimTime(90),
+            Ctx::NONE,
+        ));
+        g.record(Event::span(
+            Phase::UsbRead,
+            Lane::Host { worker: w, dev: 1 },
+            SimTime(90),
+            SimTime(95),
+            Ctx::NONE,
+        ));
+        // Queue events are not device lanes: ignored.
+        g.record(Event::instant(Phase::Arrive, Lane::Server, SimTime(0), Ctx::NONE));
+        let log = g.into_log();
+        let mut expect = TraceLog::new();
+        expect.push("host1", "load", SimTime(0), SimTime(10));
+        expect.push("vpu1", "exec", SimTime(10), SimTime(90));
+        expect.push("host1", "read", SimTime(90), SimTime(95));
+        assert_eq!(log, expect);
+    }
+}

@@ -1,0 +1,264 @@
+//! Periodic time-series sampling on the virtual clock.
+//!
+//! End-of-run percentiles hide the shape of a run: a queue that spikes
+//! and drains, a worker that saturates halfway through a burst. The
+//! [`TimeSeriesBuilder`] is fed by the serving loop as it processes
+//! events and emits one row per sampling interval: queue depth,
+//! in-flight batches, cumulative completions/sheds, the SLO burn rate
+//! over the window, and per-worker utilization since epoch.
+
+use desim::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One sampled row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    pub t: SimTime,
+    /// Requests waiting in the bounded queue.
+    pub queue_depth: usize,
+    /// Batches dispatched but not yet fully returned.
+    pub inflight_batches: usize,
+    /// Cumulative completions so far.
+    pub completed: u64,
+    /// Cumulative shed requests so far.
+    pub shed: u64,
+    /// Fraction of the window's completions that missed the SLO
+    /// (error-budget burn rate; 0 when the window saw no completions).
+    pub slo_burn: f64,
+    /// Per-worker busy fraction of the epoch→t interval.
+    pub worker_util: Vec<f64>,
+}
+
+/// A complete sampled series with its worker column labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    pub epoch: SimTime,
+    pub interval: Duration,
+    pub worker_labels: Vec<String>,
+    pub samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// CSV export: `time_ms,queue_depth,inflight_batches,completed,shed,
+    /// slo_burn,util_<worker>...`, times relative to the epoch.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("time_ms,queue_depth,inflight_batches,completed,shed,slo_burn");
+        for label in &self.worker_labels {
+            let _ = write!(out, ",util_{}", label.replace([' ', ','], "_"));
+        }
+        out.push('\n');
+        for s in &self.samples {
+            let _ = write!(
+                out,
+                "{:.3},{},{},{},{},{:.6}",
+                (s.t - self.epoch).as_millis(),
+                s.queue_depth,
+                s.inflight_batches,
+                s.completed,
+                s.shed,
+                s.slo_burn
+            );
+            for u in &s.worker_util {
+                let _ = write!(out, ",{u:.6}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Incremental builder the serving loop drives. `advance` must be
+/// called with non-decreasing instants (the loop's event times); each
+/// crossing of a sample boundary emits a row using the state as of
+/// that boundary.
+#[derive(Debug)]
+pub struct TimeSeriesBuilder {
+    epoch: SimTime,
+    interval: Duration,
+    slo: Duration,
+    labels: Vec<String>,
+    next: SimTime,
+    /// Per-worker service spans in dispatch order (each worker
+    /// self-serializes, so spans are non-overlapping and time-ordered).
+    spans: Vec<Vec<(SimTime, SimTime)>>,
+    /// Per-worker cursor + busy time of fully consumed spans.
+    cursor: Vec<usize>,
+    consumed: Vec<Duration>,
+    /// Outstanding batch spans (pruned as samples pass their end).
+    active: Vec<(SimTime, SimTime)>,
+    completed: u64,
+    shed: u64,
+    win_done: u64,
+    win_miss: u64,
+    samples: Vec<Sample>,
+}
+
+impl TimeSeriesBuilder {
+    pub fn new(labels: Vec<String>, epoch: SimTime, interval: Duration, slo: Duration) -> Self {
+        assert!(interval > Duration::ZERO, "sampling interval must be positive");
+        let n = labels.len();
+        TimeSeriesBuilder {
+            epoch,
+            interval,
+            slo,
+            labels,
+            next: epoch + interval,
+            spans: vec![Vec::new(); n],
+            cursor: vec![0; n],
+            consumed: vec![Duration::ZERO; n],
+            active: Vec::new(),
+            completed: 0,
+            shed: 0,
+            win_done: 0,
+            win_miss: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// A batch was dispatched to `worker`, occupying it over
+    /// `start..end`.
+    pub fn on_batch(&mut self, worker: usize, start: SimTime, end: SimTime) {
+        self.spans[worker].push((start, end));
+        self.active.push((start, end));
+    }
+
+    /// A request completed with end-to-end `latency`.
+    pub fn on_complete(&mut self, latency: Duration) {
+        self.completed += 1;
+        self.win_done += 1;
+        if latency > self.slo {
+            self.win_miss += 1;
+        }
+    }
+
+    /// A request was shed.
+    pub fn on_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Emit any samples whose boundary falls at or before `now`, using
+    /// `queue_depth` as the queue state (constant between loop events).
+    pub fn advance(&mut self, now: SimTime, queue_depth: usize) {
+        while self.next <= now {
+            let s = self.next;
+            self.next += self.interval;
+            self.emit(s, queue_depth);
+        }
+    }
+
+    fn emit(&mut self, s: SimTime, queue_depth: usize) {
+        let horizon = (s - self.epoch).as_secs();
+        let util: Vec<f64> = (0..self.labels.len())
+            .map(|w| {
+                let spans = &self.spans[w];
+                let (mut cur, mut busy) = (self.cursor[w], self.consumed[w]);
+                while cur < spans.len() && spans[cur].1 <= s {
+                    busy += spans[cur].1 - spans[cur].0;
+                    cur += 1;
+                }
+                self.cursor[w] = cur;
+                self.consumed[w] = busy;
+                // Partial credit for the span straddling the boundary.
+                if cur < spans.len() && spans[cur].0 < s {
+                    busy += s - spans[cur].0;
+                }
+                if horizon <= 0.0 {
+                    0.0
+                } else {
+                    busy.as_secs() / horizon
+                }
+            })
+            .collect();
+        self.active.retain(|&(_, end)| end > s);
+        let inflight = self.active.iter().filter(|&&(start, _)| start <= s).count();
+        let burn =
+            if self.win_done == 0 { 0.0 } else { self.win_miss as f64 / self.win_done as f64 };
+        self.win_done = 0;
+        self.win_miss = 0;
+        self.samples.push(Sample {
+            t: s,
+            queue_depth,
+            inflight_batches: inflight,
+            completed: self.completed,
+            shed: self.shed,
+            slo_burn: burn,
+            worker_util: util,
+        });
+    }
+
+    /// Sample through `end` and return the finished series.
+    pub fn finish(mut self, end: SimTime, queue_depth: usize) -> TimeSeries {
+        self.advance(end, queue_depth);
+        TimeSeries {
+            epoch: self.epoch,
+            interval: self.interval,
+            worker_labels: self.labels,
+            samples: self.samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn at(v: f64) -> SimTime {
+        SimTime::ZERO + ms(v)
+    }
+
+    #[test]
+    fn samples_fall_on_interval_boundaries() {
+        let mut b = TimeSeriesBuilder::new(vec!["cpu".into()], SimTime::ZERO, ms(10.0), ms(100.0));
+        b.advance(at(35.0), 2);
+        let ts = b.finish(at(50.0), 0);
+        let times: Vec<f64> = ts.samples.iter().map(|s| s.t.as_millis()).collect();
+        assert_eq!(times, vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(ts.samples[0].queue_depth, 2);
+        assert_eq!(ts.samples[4].queue_depth, 0);
+    }
+
+    #[test]
+    fn utilization_counts_busy_time_up_to_the_boundary() {
+        let mut b = TimeSeriesBuilder::new(vec!["w".into()], SimTime::ZERO, ms(10.0), ms(100.0));
+        // Busy 0..15 ms: util at 10 ms = 1.0, at 20 ms = 0.75.
+        b.on_batch(0, at(0.0), at(15.0));
+        let ts = b.finish(at(20.0), 0);
+        assert!((ts.samples[0].worker_util[0] - 1.0).abs() < 1e-9);
+        assert!((ts.samples[1].worker_util[0] - 0.75).abs() < 1e-9);
+        assert_eq!(ts.samples[0].inflight_batches, 1);
+        assert_eq!(ts.samples[1].inflight_batches, 0);
+    }
+
+    #[test]
+    fn burn_rate_is_windowed() {
+        let mut b = TimeSeriesBuilder::new(vec![], SimTime::ZERO, ms(10.0), ms(5.0));
+        b.on_complete(ms(2.0)); // within SLO
+        b.on_complete(ms(9.0)); // miss
+        b.advance(at(10.0), 0);
+        b.on_complete(ms(9.0)); // miss, second window
+        let ts = b.finish(at(20.0), 0);
+        assert!((ts.samples[0].slo_burn - 0.5).abs() < 1e-9);
+        assert!((ts.samples[1].slo_burn - 1.0).abs() < 1e-9);
+        assert_eq!(ts.samples[1].completed, 3);
+    }
+
+    #[test]
+    fn csv_has_stable_header_and_rows() {
+        let mut b =
+            TimeSeriesBuilder::new(vec!["vpu x8".into()], SimTime::ZERO, ms(10.0), ms(100.0));
+        b.on_batch(0, at(0.0), at(4.0));
+        let ts = b.finish(at(10.0), 3);
+        let csv = ts.csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "time_ms,queue_depth,inflight_batches,completed,shed,slo_burn,util_vpu_x8"
+        );
+        assert_eq!(lines.next().unwrap(), "10.000,3,0,0,0,0.000000,0.400000");
+    }
+}

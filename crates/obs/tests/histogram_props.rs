@@ -1,0 +1,76 @@
+//! Property tests for [`ncsw_obs::LogHistogram`] against exact
+//! quantiles of the sorted sample set.
+//!
+//! The histogram's contract: quantiles never under-state a latency
+//! (they report a bucket upper bound), and with 32 sub-buckets per
+//! octave the over-statement is bounded by ~3% (one bucket width,
+//! `exact/32`, plus 1 ns in the linear region).
+
+use desim::Duration;
+use ncsw_obs::LogHistogram;
+use proptest::prelude::*;
+
+/// Exact quantile matching the histogram's rank rule: the smallest
+/// value below which at least `ceil(q * n)` (min 1) samples fall.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
+fn build(samples: &[(u32, u64)]) -> (LogHistogram, Vec<u64>) {
+    let mut h = LogHistogram::new();
+    let mut ns: Vec<u64> = Vec::with_capacity(samples.len());
+    for &(exp, mantissa) in samples {
+        // mantissa << exp spans the full log range (up to ~2^50 ns,
+        // about 13 days) without overflow.
+        let v = mantissa << exp;
+        h.record(Duration::from_nanos(v));
+        ns.push(v);
+    }
+    ns.sort_unstable();
+    (h, ns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_bracket_the_exact_value(
+        samples in prop::collection::vec((0u32..40, 1u64..1024), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let (h, sorted) = build(&samples);
+        let exact = exact_quantile(&sorted, q);
+        let got = h.quantile(q).nanos();
+        prop_assert!(got >= exact, "q{q}: {got} understates exact {exact}");
+        prop_assert!(
+            got <= exact + exact / 32 + 1,
+            "q{q}: {got} overstates exact {exact} by more than a bucket"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_capped_at_max(
+        samples in prop::collection::vec((0u32..40, 1u64..1024), 1..100),
+    ) {
+        let (h, sorted) = build(&samples);
+        let mut last = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).nanos();
+            prop_assert!(v >= last, "quantile not monotone at q{q}");
+            last = v;
+        }
+        prop_assert_eq!(h.quantile(1.0).nanos(), *sorted.last().unwrap());
+        prop_assert_eq!(h.max().nanos(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn count_and_mean_are_exact(
+        samples in prop::collection::vec((0u32..40, 1u64..1024), 1..100),
+    ) {
+        let (h, sorted) = build(&samples);
+        prop_assert_eq!(h.len(), sorted.len() as u64);
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        prop_assert_eq!(h.mean().nanos(), (sum / sorted.len() as u128) as u64);
+    }
+}

@@ -37,16 +37,20 @@
 //! ```
 
 pub mod fleet;
-pub mod histogram;
 pub mod metrics;
 pub mod server;
 pub mod workload;
 
+/// The log-bucketed histogram now lives in `ncsw-obs`; re-exported so
+/// `ncsw_serve::histogram::LogHistogram` keeps resolving.
+pub use ncsw_obs::histogram;
+
 pub use fleet::{FleetSpec, WorkerSpec};
-pub use histogram::LogHistogram;
-pub use metrics::{Percentiles, ServeReport, WorkerReport};
+pub use metrics::{Percentiles, ServeReport, ShedBreakdown, WorkerReport};
+pub use ncsw_obs::LogHistogram;
 pub use server::{
-    serve, DispatchPolicy, RequestRecord, ServeConfig, ServeOutcome, ShedPolicy, ShedRecord,
+    serve, serve_observed, DispatchPolicy, ObsConfig, RequestRecord, ServeConfig, ServeObservation,
+    ServeOutcome, ShedCause, ShedPolicy, ShedRecord,
 };
 pub use workload::ArrivalProcess;
 
@@ -161,6 +165,86 @@ mod tests {
             };
             assert_eq!(key(&a), key(&b), "{policy:?} must be deterministic");
         }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_plain_run() {
+        let cfg = ServeConfig { queue_capacity: 8, ..ServeConfig::default() };
+        let (plain, _) = run("cpu+1xvpu", &cfg, 2_000.0, 200);
+        let spec = FleetSpec::parse("cpu+1xvpu").unwrap();
+        let mut workers = spec.build(model());
+        let load = ArrivalProcess::Poisson { rate_per_sec: 2_000.0 };
+        let (observed, _) =
+            serve_observed(&mut workers, &cfg, &load, 200, &server::ObsConfig::default());
+        assert_eq!(plain.completed, observed.completed, "instrumentation changed the outcome");
+        assert_eq!(plain.shed, observed.shed);
+    }
+
+    #[test]
+    fn observation_captures_chain_series_and_metrics() {
+        let cfg = ServeConfig { queue_capacity: 8, ..ServeConfig::default() };
+        let spec = FleetSpec::parse("cpu+2xvpu").unwrap();
+        let mut workers = spec.build(model());
+        let load = ArrivalProcess::Poisson { rate_per_sec: 2_000.0 };
+        let (outcome, obs) =
+            serve_observed(&mut workers, &cfg, &load, 200, &server::ObsConfig::default());
+
+        // At least one VPU-served request must expose the full
+        // Arrive→…→Complete phase chain with non-decreasing stamps.
+        let vpu_worker = 1; // cpu is worker 0
+        let chained = outcome
+            .completed
+            .iter()
+            .filter(|r| r.worker == vpu_worker)
+            .filter(|r| obs.events.request_chain(r.id).is_some())
+            .count();
+        assert!(chained > 0, "no request exposes the full phase chain");
+
+        // Shed requests carry a Shed event.
+        for s in &outcome.shed {
+            assert!(
+                obs.events.for_request(s.id).iter().any(|e| e.phase == ncsw_obs::Phase::Shed),
+                "shed request {} has no Shed event",
+                s.id
+            );
+        }
+
+        // Time series: sampled, with one utilization column per worker.
+        assert!(!obs.series.samples.is_empty(), "no samples");
+        assert_eq!(obs.series.worker_labels.len(), workers.len());
+        let csv = obs.series.csv();
+        assert!(csv.starts_with("time_ms,queue_depth,inflight_batches,completed,shed,slo_burn"));
+        assert!(csv.lines().next().unwrap().contains("util_cpu"), "{csv}");
+
+        // Registry: conservation + latency histogram populated.
+        let arrived = obs.registry.counter_value("requests.arrived").unwrap();
+        let done = obs.registry.counter_value("requests.completed").unwrap();
+        let rejected = obs.registry.counter_value("requests.shed.rejected").unwrap();
+        let evicted = obs.registry.counter_value("requests.shed.evicted").unwrap();
+        assert_eq!(arrived, 200);
+        assert_eq!(done + rejected + evicted, 200);
+        assert_eq!(done as usize, outcome.completed.len());
+        assert_eq!(obs.registry.histogram_of("latency.e2e").unwrap().len(), done);
+    }
+
+    #[test]
+    fn shed_breakdown_distinguishes_reject_from_eviction() {
+        let reject = ServeConfig { queue_capacity: 2, ..ServeConfig::default() };
+        let (_, rep) = run("cpu", &reject, 5_000.0, 200);
+        assert!(rep.shed_by_policy.rejected > 0);
+        assert_eq!(rep.shed_by_policy.evicted, 0);
+        assert_eq!(rep.shed_by_policy.rejected + rep.shed_by_policy.evicted, rep.shed);
+
+        let evict = ServeConfig {
+            queue_capacity: 2,
+            shed: ShedPolicy::DropOldest,
+            ..ServeConfig::default()
+        };
+        let (outcome, rep) = run("cpu", &evict, 5_000.0, 200);
+        assert!(rep.shed_by_policy.evicted > 0);
+        assert_eq!(rep.shed_by_policy.rejected, 0);
+        assert!(rep.shed_by_policy.evicted_wait_max_ms > 0.0, "evictions burn queue time");
+        assert!(outcome.shed.iter().all(|s| s.cause == ShedCause::Evicted));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Aggregation of a serving run into a serializable report.
 
 use crate::histogram::LogHistogram;
-use crate::server::{ServeConfig, ServeOutcome};
+use crate::server::{ServeConfig, ServeOutcome, ShedCause};
 use desim::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +30,38 @@ impl Percentiles {
     }
 }
 
+/// Shed requests split by the admission decision that dropped them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShedBreakdown {
+    /// Tail-dropped on arrival ([`crate::ShedPolicy::Reject`]).
+    pub rejected: usize,
+    /// Evicted after queueing ([`crate::ShedPolicy::DropOldest`]).
+    pub evicted: usize,
+    /// Queue time evicted requests burned before being dropped — work
+    /// the server admitted and then threw away.
+    pub evicted_wait_mean_ms: f64,
+    pub evicted_wait_max_ms: f64,
+}
+
+impl ShedBreakdown {
+    fn of(outcome: &ServeOutcome) -> ShedBreakdown {
+        let mut b = ShedBreakdown::default();
+        let mut total = Duration::ZERO;
+        for s in &outcome.shed {
+            match s.cause {
+                ShedCause::Rejected => b.rejected += 1,
+                ShedCause::Evicted => {
+                    b.evicted += 1;
+                    total += s.wait();
+                    b.evicted_wait_max_ms = b.evicted_wait_max_ms.max(s.wait().as_millis());
+                }
+            }
+        }
+        b.evicted_wait_mean_ms = (total / b.evicted.max(1) as u64).as_millis();
+        b
+    }
+}
+
 /// Per-worker share of one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkerReport {
@@ -49,6 +81,8 @@ pub struct ServeReport {
     pub completed: usize,
     pub shed: usize,
     pub shed_rate: f64,
+    /// How the shed requests were dropped (reject vs. eviction).
+    pub shed_by_policy: ShedBreakdown,
     /// Mean offered load over the run (generated / horizon).
     pub offered_rps: f64,
     /// Completions per second over the horizon.
@@ -91,6 +125,7 @@ impl ServeReport {
             completed: outcome.completed.len(),
             shed: outcome.shed.len(),
             shed_rate: outcome.shed.len() as f64 / outcome.generated.max(1) as f64,
+            shed_by_policy: ShedBreakdown::of(outcome),
             offered_rps: outcome.generated as f64 / horizon,
             completed_rps: outcome.completed.len() as f64 / horizon,
             goodput_rps: good as f64 / horizon,

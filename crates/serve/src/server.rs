@@ -17,8 +17,13 @@
 use crate::workload::ArrivalProcess;
 use desim::{Duration, SimTime};
 use ncsw::service::ServiceHook;
+use ncsw_obs::{
+    BatchObs, CounterId, Ctx, Event, EventLog, GaugeId, HistogramId, Lane, NullRecorder, Phase,
+    Recorder, Registry, TimeSeries, TimeSeriesBuilder,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// What to do with an arrival when the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -138,6 +143,16 @@ impl RequestRecord {
     }
 }
 
+/// Why the admission controller shed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedCause {
+    /// Tail-dropped on arrival (queue full under [`ShedPolicy::Reject`]).
+    Rejected,
+    /// Evicted from the queue by a newer arrival
+    /// ([`ShedPolicy::DropOldest`]).
+    Evicted,
+}
+
 /// A request shed by the admission controller.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ShedRecord {
@@ -145,6 +160,14 @@ pub struct ShedRecord {
     pub arrival: SimTime,
     /// Instant the decision was made (eviction can happen after arrival).
     pub shed_at: SimTime,
+    pub cause: ShedCause,
+}
+
+impl ShedRecord {
+    /// Queue time burned before the shedding decision (zero for rejects).
+    pub fn wait(&self) -> Duration {
+        self.shed_at - self.arrival
+    }
 }
 
 /// Per-worker accounting of one run.
@@ -180,6 +203,132 @@ impl ServeOutcome {
 struct Pending {
     id: u64,
     arrival: SimTime,
+}
+
+/// Observability options for [`serve_observed`].
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Time-series sampling interval (virtual time).
+    pub sample_every: Duration,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { sample_every: Duration::from_millis(10.0) }
+    }
+}
+
+/// Everything an observed run captured beyond the [`ServeOutcome`].
+#[derive(Debug)]
+pub struct ServeObservation {
+    /// Structured event stream (export with [`ncsw_obs::chrome_trace`]).
+    pub events: EventLog,
+    /// Periodic samples of queue/worker state (export with
+    /// [`TimeSeries::csv`]).
+    pub series: TimeSeries,
+    /// Counters, gauges and latency histograms of the run.
+    pub registry: Registry,
+}
+
+/// Registered metric handles of one observed run.
+struct Meters {
+    reg: Registry,
+    arrived: CounterId,
+    completed: CounterId,
+    rejected: CounterId,
+    evicted: CounterId,
+    batches: CounterId,
+    depth_peak: GaugeId,
+    evicted_wait: HistogramId,
+    latency: HistogramId,
+    formation: HistogramId,
+    queue_wait: HistogramId,
+    service: HistogramId,
+    peak: usize,
+}
+
+impl Meters {
+    fn new() -> Meters {
+        let mut reg = Registry::new();
+        Meters {
+            arrived: reg.counter("requests.arrived"),
+            completed: reg.counter("requests.completed"),
+            rejected: reg.counter("requests.shed.rejected"),
+            evicted: reg.counter("requests.shed.evicted"),
+            batches: reg.counter("batches.dispatched"),
+            depth_peak: reg.gauge("queue.depth.peak"),
+            evicted_wait: reg.histogram("shed.evicted.wait"),
+            latency: reg.histogram("latency.e2e"),
+            formation: reg.histogram("latency.formation_wait"),
+            queue_wait: reg.histogram("latency.queue_wait"),
+            service: reg.histogram("latency.service"),
+            peak: 0,
+            reg,
+        }
+    }
+
+    fn shed(&mut self, cause: ShedCause, wait: Duration) {
+        match cause {
+            ShedCause::Rejected => self.reg.inc(self.rejected),
+            ShedCause::Evicted => {
+                self.reg.inc(self.evicted);
+                self.reg.observe(self.evicted_wait, wait);
+            }
+        }
+    }
+
+    fn complete(&mut self, r: &RequestRecord) {
+        self.reg.inc(self.completed);
+        self.reg.observe(self.latency, r.latency());
+        self.reg.observe(self.formation, r.formation_wait());
+        self.reg.observe(self.queue_wait, r.queue_wait());
+        self.reg.observe(self.service, r.service_time());
+    }
+
+    fn finish(mut self) -> Registry {
+        self.reg.set(self.depth_peak, self.peak as f64);
+        self.reg
+    }
+}
+
+/// Drives the [`TimeSeriesBuilder`] from the serving loop's in-order
+/// events while re-ordering *completions*, which land after the batch
+/// dispatch that produced them, back into their true sample windows.
+struct SamplerDrive {
+    b: TimeSeriesBuilder,
+    /// Not-yet-sampled completions as `(completion ns, latency ns)`.
+    pending: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl SamplerDrive {
+    fn advance(&mut self, now: SimTime, queue_depth: usize) {
+        while let Some(&Reverse((done, lat))) = self.pending.peek() {
+            if done > now.nanos() {
+                break;
+            }
+            self.pending.pop();
+            self.b.advance(SimTime(done), queue_depth);
+            self.b.on_complete(Duration::from_nanos(lat));
+        }
+        self.b.advance(now, queue_depth);
+    }
+
+    fn complete_later(&mut self, done: SimTime, latency: Duration) {
+        self.pending.push(Reverse((done.nanos(), latency.nanos())));
+    }
+
+    fn finish(mut self, end: SimTime) -> TimeSeries {
+        // The queue is empty once the loop exits; only straggling
+        // completions remain.
+        self.advance(end, 0);
+        self.b.finish(end, 0)
+    }
+}
+
+/// Live observability state threaded through [`serve_core`].
+struct ObsAccum {
+    sampler: SamplerDrive,
+    meters: Meters,
 }
 
 /// Dispatch plan: worker index plus the instant the batch is handed over.
@@ -230,6 +379,45 @@ pub fn serve(
     process: &ArrivalProcess,
     n: usize,
 ) -> ServeOutcome {
+    let mut null = NullRecorder;
+    serve_core(workers, cfg, process, n, &mut null, None)
+}
+
+/// [`serve`] with observability: identical outcome (the recorder never
+/// influences timing or RNG state), plus the captured event stream,
+/// sampled time series and metric registry.
+pub fn serve_observed(
+    workers: &mut [Box<dyn ServiceHook>],
+    cfg: &ServeConfig,
+    process: &ArrivalProcess,
+    n: usize,
+    ocfg: &ObsConfig,
+) -> (ServeOutcome, ServeObservation) {
+    assert!(!workers.is_empty(), "need at least one worker");
+    let epoch = workers.iter().map(|w| w.busy_until()).max().unwrap();
+    let labels = workers.iter().map(|w| w.label()).collect();
+    let mut events = EventLog::new();
+    let mut obs = ObsAccum {
+        sampler: SamplerDrive {
+            b: TimeSeriesBuilder::new(labels, epoch, ocfg.sample_every, cfg.slo),
+            pending: BinaryHeap::new(),
+        },
+        meters: Meters::new(),
+    };
+    let outcome = serve_core(workers, cfg, process, n, &mut events, Some(&mut obs));
+    let series = obs.sampler.finish(outcome.end());
+    let registry = obs.meters.finish();
+    (outcome, ServeObservation { events, series, registry })
+}
+
+fn serve_core(
+    workers: &mut [Box<dyn ServiceHook>],
+    cfg: &ServeConfig,
+    process: &ArrivalProcess,
+    n: usize,
+    rec: &mut dyn Recorder,
+    mut obs: Option<&mut ObsAccum>,
+) -> ServeOutcome {
     assert!(!workers.is_empty(), "need at least one worker");
     assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
     assert!(cfg.max_batch > 0, "max_batch must be positive");
@@ -253,6 +441,7 @@ pub fn serve(
     let mut shed: Vec<ShedRecord> = Vec::new();
     let mut next = 0usize; // next arrival index
     let mut rr_cursor = 0usize;
+    let mut batch_seq = 0u64;
 
     loop {
         // Earliest instant the current queue head could be dispatched:
@@ -278,19 +467,72 @@ pub fn serve(
             (Some(&at), p) if p.is_none() || at <= p.unwrap().1 => {
                 let id = next as u64;
                 next += 1;
+                if let Some(o) = obs.as_deref_mut() {
+                    o.sampler.advance(at, queue.len());
+                    o.meters.reg.inc(o.meters.arrived);
+                }
+                if rec.enabled() {
+                    rec.record(Event::instant(Phase::Arrive, Lane::Server, at, Ctx::request(id)));
+                }
                 if queue.len() == cfg.queue_capacity {
                     match cfg.shed {
                         ShedPolicy::Reject => {
-                            shed.push(ShedRecord { id, arrival: at, shed_at: at });
+                            let r = ShedRecord {
+                                id,
+                                arrival: at,
+                                shed_at: at,
+                                cause: ShedCause::Rejected,
+                            };
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.sampler.b.on_shed();
+                                o.meters.shed(r.cause, r.wait());
+                            }
+                            if rec.enabled() {
+                                rec.record(Event::instant(
+                                    Phase::Shed,
+                                    Lane::Server,
+                                    at,
+                                    Ctx::request(id),
+                                ));
+                            }
+                            shed.push(r);
                             continue;
                         }
                         ShedPolicy::DropOldest => {
                             let old = queue.pop_front().unwrap();
-                            shed.push(ShedRecord { id: old.id, arrival: old.arrival, shed_at: at });
+                            let r = ShedRecord {
+                                id: old.id,
+                                arrival: old.arrival,
+                                shed_at: at,
+                                cause: ShedCause::Evicted,
+                            };
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.sampler.b.on_shed();
+                                o.meters.shed(r.cause, r.wait());
+                            }
+                            if rec.enabled() {
+                                // Span length = queue wait burned before
+                                // the eviction.
+                                rec.record(Event::span(
+                                    Phase::Shed,
+                                    Lane::Queue,
+                                    old.arrival,
+                                    at,
+                                    Ctx::request(old.id),
+                                ));
+                            }
+                            shed.push(r);
                         }
                     }
                 }
                 queue.push_back(Pending { id, arrival: at });
+                if let Some(o) = obs.as_deref_mut() {
+                    o.meters.peak = o.meters.peak.max(queue.len());
+                }
+                if rec.enabled() {
+                    rec.record(Event::instant(Phase::Admit, Lane::Server, at, Ctx::request(id)));
+                    rec.record(Event::instant(Phase::Enqueue, Lane::Queue, at, Ctx::request(id)));
+                }
             }
             (_, Some((w, t))) => {
                 if cfg.policy == DispatchPolicy::RoundRobin {
@@ -307,14 +549,36 @@ pub fn serve(
                 }
                 debug_assert!(eligible >= 1, "batch closed before its oldest member arrived");
                 let size = clamp_batch(eligible, workers[w].as_ref());
+                if let Some(o) = obs.as_deref_mut() {
+                    o.sampler.advance(t, queue.len());
+                }
                 let members: Vec<Pending> = queue.drain(..size).collect();
-                let run = workers[w].serve(size, t);
+                let bid = batch_seq;
+                batch_seq += 1;
+                let ids: Vec<u64> =
+                    if rec.enabled() { members.iter().map(|m| m.id).collect() } else { Vec::new() };
+                if rec.enabled() {
+                    for m in &members {
+                        let ctx = Ctx::request(m.id).with_batch(bid).with_worker(w as u32);
+                        rec.record(Event::instant(Phase::BatchClose, Lane::Queue, t, ctx));
+                        rec.record(Event::instant(Phase::Dispatch, Lane::Worker(w as u32), t, ctx));
+                    }
+                }
+                let run = workers[w].serve_obs(
+                    size,
+                    t,
+                    &mut BatchObs { rec: &mut *rec, batch_id: bid, worker: w as u32, ids: &ids },
+                );
                 debug_assert!(run.start >= t && run.done.len() == size);
                 stats[w].batches += 1;
                 stats[w].images += size as u64;
                 stats[w].busy += run.end - run.start;
+                if let Some(o) = obs.as_deref_mut() {
+                    o.meters.reg.inc(o.meters.batches);
+                    o.sampler.b.on_batch(w, run.start, run.end);
+                }
                 for (m, &done) in members.iter().zip(&run.done) {
-                    completed.push(RequestRecord {
+                    let record = RequestRecord {
                         id: m.id,
                         arrival: m.arrival,
                         dispatched: t,
@@ -322,7 +586,20 @@ pub fn serve(
                         completed: done,
                         worker: w,
                         batch: size,
-                    });
+                    };
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.meters.complete(&record);
+                        o.sampler.complete_later(done, record.latency());
+                    }
+                    if rec.enabled() {
+                        rec.record(Event::instant(
+                            Phase::Complete,
+                            Lane::Server,
+                            done,
+                            Ctx::request(m.id).with_batch(bid).with_worker(w as u32),
+                        ));
+                    }
+                    completed.push(record);
                 }
             }
             (None, None) => break,

@@ -13,6 +13,7 @@
 //! * [`data`] — the synthetic ILSVRC-2012 pipeline
 //! * [`framework`] — NCSw: sources, targets, the multi-VPU pipeline
 //! * [`serving`] — online inference serving over the simulated fleet
+//! * [`obs`] — observability: phase events, metrics, traces, time series
 //! * [`mdk`] — general-purpose offload (LAMA-style GEMM with CMX tiling)
 //! * [`experiments`] — the per-figure experiment harness
 
@@ -23,6 +24,7 @@ pub use mdk;
 pub use myriad2 as vpu;
 pub use ncs_platform as platform;
 pub use ncsw as framework;
+pub use ncsw_obs as obs;
 pub use ncsw_serve as serving;
 pub use vpu_bench as experiments;
 pub use vpu_nn as nn;

@@ -96,6 +96,35 @@ fn serve_outcome_is_bit_identical_across_runs() {
 }
 
 #[test]
+fn observed_serve_trace_is_byte_identical_across_runs() {
+    // The exporters format virtual-time stamps with fixed-precision
+    // integer arithmetic (no floats in the hot path), so a traced run is
+    // reproducible down to the byte: the Chrome JSON, the sampled CSV
+    // and the metric summary must all match exactly across runs.
+    use vpu_coprocessor::experiments::{serve_bench::traced_serve, Scale};
+    use vpu_coprocessor::serving::DispatchPolicy;
+    use vpu_coprocessor::sim::Duration;
+    let run = || {
+        let t = traced_serve(
+            Scale::Tiny,
+            Duration::from_millis(500.0),
+            DispatchPolicy::CostAware,
+            Duration::from_millis(10.0),
+        );
+        (t.chrome_json, t.series_csv, t.summary)
+    };
+    let (json_a, csv_a, sum_a) = run();
+    let (json_b, csv_b, sum_b) = run();
+    assert_eq!(json_a, json_b, "Chrome trace JSON must be byte-identical");
+    assert_eq!(csv_a, csv_b, "time-series CSV must be byte-identical");
+    assert_eq!(sum_a, sum_b, "metric summary must be byte-identical");
+    // Golden anchors: the document shape the exporter promises.
+    assert!(json_a.starts_with(r#"{"displayTimeUnit":"ms","traceEvents":["#));
+    assert!(json_a.contains(r#""ph":"M""#) && json_a.contains(r#""ph":"X""#));
+    assert!(csv_a.starts_with("time_ms,queue_depth,inflight_batches,"));
+}
+
+#[test]
 fn different_seeds_change_results() {
     let preds = |seed: u64| {
         let spec = Arc::new(Variant::Tiny.build());
