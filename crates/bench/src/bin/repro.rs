@@ -28,10 +28,12 @@ use vpu_bench::{ablations, anchors, fig6, fig7, fig8, serve_bench, timeline, Sca
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|serve|all> \
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|serve|failover|all> \
          [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
-         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS]\n\
-         \x20      repro validate-trace PATH"
+         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC]\n\
+         \x20      repro validate-trace PATH\n\
+         \x20      --faults SPEC: comma-separated faults, e.g. 'unplug@2s:reconnect@4s', \
+         'w0:throttle@1s:for@2s:slow@3', 'usb@0s:for@5s:factor@2', 'execerr@0.05'"
     );
     ExitCode::from(2)
 }
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
     let mut trace_path: Option<String> = None;
     let mut metrics_csv: Option<String> = None;
     let mut sample_ms = 10.0f64;
+    let mut faults: Option<ncsw_faults::FaultPlan> = None;
     let mut operand: Option<String> = None;
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -104,6 +107,16 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 sample_ms = ms;
+            }
+            "--faults" => {
+                let Some(v) = it.next() else { return usage() };
+                match ncsw_faults::FaultPlan::parse(v) {
+                    Ok(plan) => faults = Some(plan),
+                    Err(e) => {
+                        eprintln!("bad --faults '{v}': {e}");
+                        return usage();
+                    }
+                }
             }
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
@@ -199,12 +212,13 @@ fn main() -> ExitCode {
             "stream" => emit!(vpu_bench::stream_bench::stream_bench()),
             "power" => emit!(vpu_bench::power_bench::power_bench(scale)),
             "future-work" => emit!(vpu_bench::future_work::future_work(scale)),
-            "serve" if trace_path.is_some() || metrics_csv.is_some() => {
-                let r = serve_bench::traced_serve(
+            "serve" if trace_path.is_some() || metrics_csv.is_some() || faults.is_some() => {
+                let r = serve_bench::traced_serve_with_faults(
                     scale,
                     desim::Duration::from_millis(slo_ms),
                     policy,
                     desim::Duration::from_millis(sample_ms),
+                    faults.as_ref(),
                 );
                 let write = |path: &Option<String>, content: &str| {
                     if let Some(path) = path {
@@ -218,6 +232,12 @@ fn main() -> ExitCode {
                 write(&trace_path, &r.chrome_json);
                 write(&metrics_csv, &r.series_csv);
                 emit!(r);
+            }
+            "failover" => {
+                emit!(vpu_bench::fault_bench::failover_exp_with(
+                    scale,
+                    desim::Duration::from_millis(slo_ms),
+                ));
             }
             "serve" => {
                 let r = serve_bench::serve_exp_with(
@@ -242,8 +262,14 @@ fn main() -> ExitCode {
                 };
                 match vpu_bench::trace_check::validate(&json) {
                     Ok(check) => println!(
-                        "{path}: ok — {} events, {} tracks, {} requests ({} fully chained)",
-                        check.events, check.tracks, check.requests, check.chained
+                        "{path}: ok — {} events, {} tracks, {} requests ({} fully chained), \
+                         {} failovers, {} outage windows",
+                        check.events,
+                        check.tracks,
+                        check.requests,
+                        check.chained,
+                        check.failovers,
+                        check.outage_windows
                     ),
                     Err(e) => {
                         eprintln!("{path}: INVALID trace: {e}");
@@ -281,6 +307,7 @@ fn main() -> ExitCode {
             "power",
             "future-work",
             "serve",
+            "failover",
         ] {
             run(name, json);
         }

@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod anchors;
 pub mod csv;
+pub mod fault_bench;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

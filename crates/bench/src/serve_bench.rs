@@ -150,6 +150,19 @@ pub fn traced_serve(
     policy: DispatchPolicy,
     sample_every: Duration,
 ) -> TracedServe {
+    traced_serve_with_faults(scale, slo, policy, sample_every, None)
+}
+
+/// [`traced_serve`] with a fault plan injected into the fleet (the
+/// `repro serve --faults SPEC` path). `None` — or the empty plan — is
+/// byte-identical to the un-faulted run.
+pub fn traced_serve_with_faults(
+    scale: Scale,
+    slo: Duration,
+    policy: DispatchPolicy,
+    sample_every: Duration,
+    faults: Option<&ncsw_faults::FaultPlan>,
+) -> TracedServe {
     let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
     let n = requests_per_point(scale);
     let spec = FleetSpec::parse(TRACED_FLEET).expect("valid fleet spec");
@@ -160,6 +173,9 @@ pub fn traced_serve(
 
     let cfg = ServeConfig { max_batch, slo, policy, ..ServeConfig::default() };
     let mut workers = spec.build(&model);
+    if let Some(plan) = faults {
+        workers = plan.apply(workers, cfg.seed);
+    }
     let rate = capacity_rps * TRACED_LOAD_FRACTION;
     let load = ArrivalProcess::Poisson { rate_per_sec: rate };
     let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, n, &ObsConfig { sample_every });
@@ -189,6 +205,20 @@ impl TracedServe {
             self.report.latency.p99_ms,
             self.report.goodput_rps
         );
+        let f = &self.report.faults;
+        if f.injected > 0 {
+            println!(
+                "faults: {} injected, {} retries ({:.3}/req), {} exhausted, {} outages, \
+                 mttr {:.1} ms, p99 during failover {:.1} ms",
+                f.injected,
+                f.retries,
+                f.retries_per_request,
+                f.exhausted,
+                f.outages,
+                f.mttr_ms,
+                f.p99_during_failover_ms
+            );
+        }
     }
 }
 

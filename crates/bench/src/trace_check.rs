@@ -25,6 +25,11 @@ pub struct TraceCheck {
     pub requests: usize,
     /// Requests whose full phase chain is present and time-ordered.
     pub chained: usize,
+    /// Failover events (each verified against a prior Dispatch on the
+    /// same worker).
+    pub failovers: usize,
+    /// Circuit-breaker outage windows (each verified Exec-free).
+    pub outage_windows: usize,
 }
 
 fn number(v: &Value) -> Option<f64> {
@@ -50,6 +55,12 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
     let mut phase_seen: BTreeMap<&str, usize> = BTreeMap::new();
     // request id -> (phase name -> first ts)
     let mut per_request: BTreeMap<u64, BTreeMap<String, f64>> = BTreeMap::new();
+    // Failover structure: worker -> event timestamps, in log order.
+    let mut dispatches: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut execs: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut failovers: Vec<(u64, f64)> = Vec::new();
+    // worker -> (ts, is_open) circuit transitions.
+    let mut circuit: BTreeMap<u64, Vec<(f64, bool)>> = BTreeMap::new();
 
     for (i, ev) in events.iter().enumerate() {
         let ph = ev.get("ph").and_then(Value::as_str).ok_or(format!("event {i}: missing ph"))?;
@@ -83,6 +94,17 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
                 *entry = ts;
             }
         }
+        if let Some(w) = ev.get("args").and_then(|a| a.get("worker")).and_then(number) {
+            let w = w as u64;
+            match name {
+                "Dispatch" => dispatches.entry(w).or_default().push(ts),
+                "Exec" => execs.entry(w).or_default().push(ts),
+                "Failover" => failovers.push((w, ts)),
+                "CircuitOpen" => circuit.entry(w).or_default().push((ts, true)),
+                "CircuitClose" => circuit.entry(w).or_default().push((ts, false)),
+                _ => {}
+            }
+        }
     }
 
     for p in REQUIRED_PHASES {
@@ -92,6 +114,44 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
     }
     if tracks == 0 {
         return Err("no thread_name metadata (unnamed tracks)".to_string());
+    }
+
+    // Failover structure: a Failover must follow a Dispatch on the same
+    // worker — the batch it re-plans must actually have been routed.
+    for &(w, ts) in &failovers {
+        let dispatched_before = dispatches.get(&w).is_some_and(|d| d.iter().any(|&dt| dt <= ts));
+        if !dispatched_before {
+            return Err(format!("Failover on worker {w} at {ts} without a prior Dispatch"));
+        }
+    }
+    // Circuit windows: transitions alternate open/close in time order,
+    // and no Exec starts while a worker's circuit is open (the probe's
+    // Exec lands at/after the CircuitClose that re-admitted it).
+    let mut outage_windows = 0usize;
+    for (w, evs) in &circuit {
+        let mut last = f64::MIN;
+        for (i, &(ts, is_open)) in evs.iter().enumerate() {
+            let expect_open = i % 2 == 0;
+            if is_open != expect_open {
+                return Err(format!("worker {w}: circuit transitions do not alternate"));
+            }
+            if ts < last {
+                return Err(format!("worker {w}: circuit transitions go backwards"));
+            }
+            last = ts;
+        }
+        for pair in evs.chunks(2) {
+            let open = pair[0].0;
+            let close = if pair.len() == 2 { pair[1].0 } else { f64::INFINITY };
+            outage_windows += 1;
+            if let Some(xs) = execs.get(w) {
+                if let Some(x) = xs.iter().find(|&&x| x >= open && x < close) {
+                    return Err(format!(
+                        "worker {w}: Exec at {x} inside open-circuit window [{open}, {close})"
+                    ));
+                }
+            }
+        }
     }
 
     let mut chained = 0usize;
@@ -115,7 +175,14 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         return Err("no request exposes the full time-ordered phase chain".to_string());
     }
 
-    Ok(TraceCheck { events: count, tracks, requests: per_request.len(), chained })
+    Ok(TraceCheck {
+        events: count,
+        tracks,
+        requests: per_request.len(),
+        chained,
+        failovers: failovers.len(),
+        outage_windows,
+    })
 }
 
 #[cfg(test)]
@@ -143,6 +210,54 @@ mod tests {
         assert!(check.events > 100, "{check:?}");
         assert!(check.tracks >= 3, "{check:?}");
         assert!(check.chained > 0, "{check:?}");
+    }
+
+    fn faulted_trace() -> String {
+        // Unplug the VPU worker early enough that the tiny horizon
+        // (~1 s) sees the outage, the circuit opening, and a probe.
+        let plan = ncsw_faults::FaultPlan::parse("unplug@100ms:reconnect@400ms").unwrap();
+        crate::serve_bench::traced_serve_with_faults(
+            Scale::Tiny,
+            Duration::from_millis(500.0),
+            DispatchPolicy::CostAware,
+            Duration::from_millis(10.0),
+            Some(&plan),
+        )
+        .chrome_json
+    }
+
+    #[test]
+    fn faulted_trace_validates_with_failover_structure() {
+        let json = faulted_trace();
+        let check = validate(&json).expect("faulted trace must validate");
+        assert!(check.failovers > 0, "{check:?}");
+        assert!(check.outage_windows > 0, "{check:?}");
+    }
+
+    #[test]
+    fn failover_checks_reject_corrupted_traces() {
+        let json = faulted_trace();
+        // Non-alternating circuit transitions must be caught.
+        let bad = json.replace("\"name\":\"CircuitClose\"", "\"name\":\"CircuitOpen\"");
+        assert_ne!(bad, json, "trace must contain a CircuitClose to corrupt");
+        let err = validate(&bad).unwrap_err();
+        assert!(err.contains("alternate"), "{err}");
+        // A Failover with no prior Dispatch on that worker must be
+        // caught: strip every Dispatch aimed at the faulted worker (2).
+        let bad: String = json
+            .lines()
+            .map(|l| {
+                if l.contains("\"name\":\"Dispatch\"") && l.contains("\"worker\":2") {
+                    l.replace("\"name\":\"Dispatch\"", "\"name\":\"Xdispatch\"")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(bad, json);
+        let err = validate(&bad).unwrap_err();
+        assert!(err.contains("without a prior Dispatch"), "{err}");
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod target;
 pub use metrics::{AccuracyReport, ConfidenceDiffReport, ThroughputReport};
 pub use model::ModelBundle;
 pub use multivpu::MultiVpu;
-pub use service::{BatchRun, ServiceHook};
+pub use service::{BatchRun, FailureKind, ServeError, ServiceHook};
 pub use source::{ImageFolder, MpiStream, SourceImage};
 pub use target::{IntelCpu, IntelVpu, NvGpu, TargetDevice};

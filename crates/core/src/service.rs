@@ -22,6 +22,39 @@ use crate::target::{IntelCpu, IntelVpu, NvGpu};
 use desim::{Duration, SimTime};
 use ncsw_obs::{BatchObs, Ctx, Event, Lane, Phase};
 
+/// Why a batch submission failed. The built-in device models never
+/// fail; fault-injection wrappers (`ncsw-faults`) surface these so a
+/// dispatcher can retry, fail over, and trip circuit breakers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The device is gone (stick unplugged, not yet reconnected).
+    Unplugged,
+    /// The batch started and died mid-execution (transient exec error).
+    TransientExec,
+    /// The dispatcher's per-batch timeout expired before results landed.
+    Timeout,
+}
+
+impl FailureKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Unplugged => "unplugged",
+            FailureKind::TransientExec => "transient-exec",
+            FailureKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// A failed batch submission: the failure was *detected* at `at`
+/// (virtual time burned by the attempt), and no results were produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServeError {
+    /// Instant the host detected the failure (`>=` the submission
+    /// instant; detection is never free).
+    pub at: SimTime,
+    pub kind: FailureKind,
+}
+
 /// Timing record of one served batch.
 #[derive(Debug, Clone)]
 pub struct BatchRun {
@@ -82,6 +115,20 @@ pub trait ServiceHook {
             ));
         }
         run
+    }
+
+    /// Fallible [`ServiceHook::serve_obs`]: the submission may fail with
+    /// a [`ServeError`] instead of producing results. The built-in
+    /// devices never fail (the default is infallible); fault-injection
+    /// wrappers override this, and the serving loop dispatches through
+    /// it so every worker is injectable without modification.
+    fn try_serve_obs(
+        &mut self,
+        batch: usize,
+        ready: SimTime,
+        obs: &mut BatchObs<'_>,
+    ) -> Result<BatchRun, ServeError> {
+        Ok(self.serve_obs(batch, ready, obs))
     }
 }
 

@@ -1,0 +1,255 @@
+//! Deterministic fault schedules and their textual spec form.
+//!
+//! A [`FaultPlan`] is a list of [`FaultEvent`]s, each optionally pinned
+//! to a fleet worker, with all instants expressed *relative to the
+//! fleet-ready epoch* (the instant the arrival clock starts). The same
+//! plan applied to the same fleet with the same seed always injects the
+//! identical fault sequence — faults are part of the experiment, not
+//! noise on top of it.
+
+use desim::Duration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One scheduled fault. Times are relative to the fleet-ready epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The stick (or whole worker) disappears at `at`; submissions fail
+    /// fast until it reconnects (`None` = never comes back).
+    StickUnplug { at: Duration, reconnect_after: Option<Duration> },
+    /// Sustained-load thermal throttling: batches dispatched inside the
+    /// window take `slowdown`× their nominal service time (`>= 1`).
+    ThermalThrottle { at: Duration, duration: Duration, slowdown: f64 },
+    /// USB link degradation (renegotiated to a slower rate, hub
+    /// contention): service stretches by `factor` inside the window.
+    UsbDegrade { at: Duration, duration: Duration, factor: f64 },
+    /// Each dispatched batch independently dies mid-execution with this
+    /// probability (seeded draw; the failed attempt burns half the
+    /// nominal service time before the host notices).
+    TransientExecError { per_batch_prob: f64 },
+}
+
+/// A fault pinned to a worker slot (`None` = the plan's default target,
+/// the last worker of the fleet — the newest stick of an `Nxvpu` fleet).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannedFault {
+    pub worker: Option<usize>,
+    pub fault: FaultEvent,
+}
+
+/// A deterministic schedule of faults for one serving run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: wrapping a fleet with it is a strict no-op.
+    pub fn empty() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn push(&mut self, worker: Option<usize>, fault: FaultEvent) {
+        self.faults.push(PlannedFault { worker, fault });
+    }
+
+    /// Parse a `--faults` spec: comma-separated faults, each optionally
+    /// prefixed with `wN:` to pin it to worker `N`.
+    ///
+    /// ```text
+    /// unplug@2s:reconnect@4s        stick gone 2s..4s after epoch
+    /// w1:unplug@500ms               worker 1 gone forever from 500ms
+    /// throttle@1s:for@2s:slow@3     3x slowdown over 1s..3s
+    /// usb@1s:for@500ms:factor@2.5   USB stretch over 1s..1.5s
+    /// execerr@0.05                  5% of batches die mid-exec
+    /// ```
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::empty();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (worker, body) = split_worker(part)?;
+            plan.push(worker, parse_fault(body)?);
+        }
+        if plan.is_empty() {
+            return Err(format!("empty fault spec '{spec}'"));
+        }
+        Ok(plan)
+    }
+}
+
+fn split_worker(part: &str) -> Result<(Option<usize>, &str), String> {
+    if let Some(rest) = part.strip_prefix('w') {
+        if let Some((idx, body)) = rest.split_once(':') {
+            if let Ok(w) = idx.parse::<usize>() {
+                return Ok((Some(w), body));
+            }
+        }
+    }
+    Ok((None, part))
+}
+
+fn parse_fault(body: &str) -> Result<FaultEvent, String> {
+    let mut fields = body.split(':');
+    let head = fields.next().unwrap_or_default();
+    let (kind, arg) =
+        head.split_once('@').ok_or_else(|| format!("fault '{body}': expected kind@value"))?;
+    match kind {
+        "unplug" => {
+            let at = parse_duration(arg)?;
+            let mut reconnect_after = None;
+            for f in fields {
+                let Some(v) = f.strip_prefix("reconnect@") else {
+                    return Err(format!("unplug: unknown field '{f}'"));
+                };
+                let back = parse_duration(v)?;
+                if back <= at {
+                    return Err(format!("unplug: reconnect@{v} is not after unplug instant"));
+                }
+                reconnect_after = Some(back - at);
+            }
+            Ok(FaultEvent::StickUnplug { at, reconnect_after })
+        }
+        "throttle" | "usb" => {
+            let at = parse_duration(arg)?;
+            let mut duration = None;
+            let mut factor = None;
+            let factor_key = if kind == "throttle" { "slow@" } else { "factor@" };
+            for f in fields {
+                if let Some(v) = f.strip_prefix("for@") {
+                    duration = Some(parse_duration(v)?);
+                } else if let Some(v) = f.strip_prefix(factor_key) {
+                    factor = Some(parse_factor(v)?);
+                } else {
+                    return Err(format!("{kind}: unknown field '{f}'"));
+                }
+            }
+            let duration = duration.ok_or_else(|| format!("{kind}: missing for@DURATION"))?;
+            let factor =
+                factor.ok_or_else(|| format!("{kind}: missing {factor_key}FACTOR (>= 1)"))?;
+            Ok(if kind == "throttle" {
+                FaultEvent::ThermalThrottle { at, duration, slowdown: factor }
+            } else {
+                FaultEvent::UsbDegrade { at, duration, factor }
+            })
+        }
+        "execerr" => {
+            let p: f64 = arg.parse().map_err(|_| format!("execerr: bad probability '{arg}'"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("execerr: probability {p} outside [0, 1]"));
+            }
+            if let Some(f) = fields.next() {
+                return Err(format!("execerr: unknown field '{f}'"));
+            }
+            Ok(FaultEvent::TransientExecError { per_batch_prob: p })
+        }
+        other => Err(format!("unknown fault kind '{other}'")),
+    }
+}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, unit) = match s.strip_suffix("ms") {
+        Some(n) => (n, 1e6),
+        None => match s.strip_suffix('s') {
+            Some(n) => (n, 1e9),
+            None => (s, 1e9), // bare number: seconds
+        },
+    };
+    let v: f64 = num.parse().map_err(|_| format!("bad duration '{s}'"))?;
+    if v < 0.0 {
+        return Err(format!("negative duration '{s}'"));
+    }
+    Ok(Duration::from_nanos((v * unit).round() as u64))
+}
+
+fn parse_factor(s: &str) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("bad factor '{s}'"))?;
+    if v < 1.0 {
+        return Err(format!("factor {v} must be >= 1 (a slowdown multiplier)"));
+    }
+    Ok(v)
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultEvent::StickUnplug { at, reconnect_after } => match reconnect_after {
+                Some(back) => write!(f, "unplug@{at} reconnect after {back}"),
+                None => write!(f, "unplug@{at} (permanent)"),
+            },
+            FaultEvent::ThermalThrottle { at, duration, slowdown } => {
+                write!(f, "throttle@{at} for {duration} x{slowdown}")
+            }
+            FaultEvent::UsbDegrade { at, duration, factor } => {
+                write!(f, "usb-degrade@{at} for {duration} x{factor}")
+            }
+            FaultEvent::TransientExecError { per_batch_prob } => {
+                write!(f, "exec-err p={per_batch_prob}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn parses_the_ci_spec() {
+        let plan = FaultPlan::parse("unplug@2s:reconnect@4s").unwrap();
+        assert_eq!(plan.faults.len(), 1);
+        assert_eq!(plan.faults[0].worker, None);
+        assert_eq!(
+            plan.faults[0].fault,
+            FaultEvent::StickUnplug { at: ms(2_000.0), reconnect_after: Some(ms(2_000.0)) }
+        );
+    }
+
+    #[test]
+    fn parses_worker_pins_and_multiple_faults() {
+        let plan =
+            FaultPlan::parse("w2:unplug@500ms,throttle@1s:for@2s:slow@3,execerr@0.05").unwrap();
+        assert_eq!(plan.faults.len(), 3);
+        assert_eq!(plan.faults[0].worker, Some(2));
+        assert_eq!(
+            plan.faults[0].fault,
+            FaultEvent::StickUnplug { at: ms(500.0), reconnect_after: None }
+        );
+        assert_eq!(
+            plan.faults[1].fault,
+            FaultEvent::ThermalThrottle { at: ms(1_000.0), duration: ms(2_000.0), slowdown: 3.0 }
+        );
+        assert_eq!(plan.faults[2].fault, FaultEvent::TransientExecError { per_batch_prob: 0.05 });
+    }
+
+    #[test]
+    fn parses_usb_degrade_and_bare_seconds() {
+        let plan = FaultPlan::parse("usb@1:for@500ms:factor@2.5").unwrap();
+        assert_eq!(
+            plan.faults[0].fault,
+            FaultEvent::UsbDegrade { at: ms(1_000.0), duration: ms(500.0), factor: 2.5 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "unplug",
+            "unplug@2s:reconnect@1s",      // reconnect before unplug
+            "throttle@1s:slow@2",          // missing duration
+            "throttle@1s:for@1s:slow@0.5", // speedup is not a fault
+            "execerr@1.5",
+            "unplug@-2s",
+            "tornado@2s",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "spec '{bad}' must be rejected");
+        }
+    }
+}

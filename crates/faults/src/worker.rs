@@ -1,0 +1,319 @@
+//! [`FaultyWorker`] — a [`ServiceHook`] wrapper that injects the
+//! scheduled faults of a [`FaultPlan`](crate::FaultPlan) into any
+//! worker, so CPU/GPU/VPU device models are all injectable without
+//! modification.
+//!
+//! The wrapper owns the *reported* timeline: a throttled batch is
+//! stretched around its true start instant, and the wrapper's
+//! `busy_until` horizon tracks the stretched end, so consecutive
+//! reported spans never overlap even though the inner device's own
+//! (unstretched) timeline runs ahead. With no scheduled faults every
+//! call passes straight through — a fleet wrapped with the empty plan
+//! is byte-identical to an unwrapped one.
+
+use crate::plan::FaultEvent;
+use desim::{Duration, SimTime};
+use ncsw::service::{BatchRun, FailureKind, ServeError, ServiceHook};
+use ncsw_obs::{BatchObs, Ctx, Event, Lane, Phase};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use vpu_num::rng;
+
+/// Host-side latency of noticing a dead stick (the NCAPI call errors
+/// out after the USB layer gives up — fast, but never free).
+pub const DETECT_LATENCY: Duration = Duration(1_000_000); // 1 ms
+
+/// An unavailability window: `[from, until)` (`None` = forever).
+#[derive(Debug, Clone, Copy)]
+struct Outage {
+    from: SimTime,
+    until: Option<SimTime>,
+}
+
+/// A service-time stretch window: batches starting in `[from, until)`
+/// take `factor`× their nominal time.
+#[derive(Debug, Clone, Copy)]
+struct Stretch {
+    from: SimTime,
+    until: SimTime,
+    factor: f64,
+}
+
+/// A fault-injectable wrapper around any fleet worker.
+pub struct FaultyWorker {
+    inner: Box<dyn ServiceHook>,
+    outages: Vec<Outage>,
+    stretches: Vec<Stretch>,
+    exec_err_prob: f64,
+    rng: ChaCha8Rng,
+    /// Reported busy horizon (>= the inner device's own horizon once
+    /// any batch has been stretched or burned by a failed attempt).
+    busy: SimTime,
+}
+
+impl FaultyWorker {
+    /// Wrap `inner` with the faults scheduled for it. `epoch` anchors
+    /// the plan's relative instants; `seed`+`worker_index` derive the
+    /// independent stream for transient-error draws.
+    pub fn new(
+        inner: Box<dyn ServiceHook>,
+        faults: &[FaultEvent],
+        epoch: SimTime,
+        seed: u64,
+        worker_index: usize,
+    ) -> FaultyWorker {
+        let mut outages = Vec::new();
+        let mut stretches = Vec::new();
+        let mut exec_err_prob: f64 = 0.0;
+        for f in faults {
+            match *f {
+                FaultEvent::StickUnplug { at, reconnect_after } => outages.push(Outage {
+                    from: epoch + at,
+                    until: reconnect_after.map(|d| epoch + at + d),
+                }),
+                FaultEvent::ThermalThrottle { at, duration, slowdown } => stretches.push(Stretch {
+                    from: epoch + at,
+                    until: epoch + at + duration,
+                    factor: slowdown,
+                }),
+                FaultEvent::UsbDegrade { at, duration, factor } => stretches.push(Stretch {
+                    from: epoch + at,
+                    until: epoch + at + duration,
+                    factor,
+                }),
+                FaultEvent::TransientExecError { per_batch_prob } => {
+                    exec_err_prob = exec_err_prob.max(per_batch_prob)
+                }
+            }
+        }
+        let busy = inner.busy_until();
+        FaultyWorker {
+            inner,
+            outages,
+            stretches,
+            exec_err_prob,
+            rng: rng::indexed_stream(seed, "fault-exec", worker_index as u64),
+            busy,
+        }
+    }
+
+    /// Whether the device is unplugged at `t` (reconnect pending or
+    /// permanent).
+    pub fn unplugged(&self, t: SimTime) -> bool {
+        self.outages.iter().any(|o| o.from <= t && o.until.is_none_or(|u| t < u))
+    }
+
+    /// Combined service-time multiplier for a batch starting at `t`
+    /// (overlapping throttle and USB windows compound).
+    fn stretch_factor(&self, t: SimTime) -> f64 {
+        self.stretches
+            .iter()
+            .filter(|s| s.from <= t && t < s.until)
+            .map(|s| s.factor)
+            .product::<f64>()
+    }
+
+    fn fault_ctx(&self, obs: &BatchObs<'_>) -> Ctx {
+        Ctx { request_id: None, batch_id: Some(obs.batch_id), worker: Some(obs.worker) }
+    }
+}
+
+impl ServiceHook for FaultyWorker {
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+
+    fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun {
+        let mut null = ncsw_obs::NullRecorder;
+        self.try_serve_obs(batch, ready, &mut BatchObs::disabled(&mut null))
+            .unwrap_or_else(|e| panic!("fault fired on the infallible serve path: {:?}", e.kind))
+    }
+
+    fn serve_obs(&mut self, batch: usize, ready: SimTime, obs: &mut BatchObs<'_>) -> BatchRun {
+        self.try_serve_obs(batch, ready, obs)
+            .unwrap_or_else(|e| panic!("fault fired on the infallible serve path: {:?}", e.kind))
+    }
+
+    fn try_serve_obs(
+        &mut self,
+        batch: usize,
+        ready: SimTime,
+        obs: &mut BatchObs<'_>,
+    ) -> Result<BatchRun, ServeError> {
+        let t0 = SimTime::max_of(ready, self.busy_until());
+
+        if self.unplugged(t0) {
+            // Fail fast: the attempt burns only the detection latency,
+            // and the dead device accrues no work.
+            let at = t0 + DETECT_LATENCY;
+            if obs.enabled() {
+                let ctx = self.fault_ctx(obs);
+                obs.rec.record(Event::span(
+                    Phase::FaultInject,
+                    Lane::Worker(obs.worker),
+                    t0,
+                    at,
+                    ctx,
+                ));
+            }
+            return Err(ServeError { at, kind: FailureKind::Unplugged });
+        }
+
+        if self.exec_err_prob > 0.0 && self.rng.gen::<f64>() < self.exec_err_prob {
+            // Died mid-execution: the device burned half the nominal
+            // service time before the host noticed, and stays busy for
+            // it (the work is wasted, not free).
+            let at = t0 + self.inner.estimate(batch) * 0.5 + DETECT_LATENCY;
+            self.busy = SimTime::max_of(self.busy, at);
+            if obs.enabled() {
+                let ctx = self.fault_ctx(obs);
+                obs.rec.record(Event::span(
+                    Phase::FaultInject,
+                    Lane::Worker(obs.worker),
+                    t0,
+                    at,
+                    ctx,
+                ));
+            }
+            return Err(ServeError { at, kind: FailureKind::TransientExec });
+        }
+
+        let factor = self.stretch_factor(t0);
+        let run = self.inner.serve_obs(batch, t0, obs);
+        if factor <= 1.0 {
+            self.busy = SimTime::max_of(self.busy, run.end);
+            return Ok(run);
+        }
+        // Stretch the host-visible completion instants around the true
+        // start. The inner device's sub-spans (USB legs, SHAVE exec)
+        // keep their nominal shape — the throttle shows up as the gap
+        // between the last device span and the stretched completions.
+        let stretch = |t: SimTime| run.start + (t - run.start) * factor;
+        let end = stretch(run.end);
+        let done: Vec<SimTime> = run.done.iter().map(|&t| stretch(t)).collect();
+        if obs.enabled() {
+            let ctx = self.fault_ctx(obs);
+            obs.rec.record(Event::instant(Phase::FaultInject, Lane::Worker(obs.worker), t0, ctx));
+        }
+        self.busy = SimTime::max_of(self.busy, end);
+        Ok(BatchRun { start: run.start, end, done })
+    }
+
+    fn estimate(&self, batch: usize) -> Duration {
+        self.inner.estimate(batch)
+    }
+
+    fn busy_until(&self) -> SimTime {
+        SimTime::max_of(self.inner.busy_until(), self.busy)
+    }
+
+    fn preferred_batch(&self) -> usize {
+        self.inner.preferred_batch()
+    }
+
+    fn max_batch(&self) -> Option<usize> {
+        self.inner.max_batch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncsw::ModelBundle;
+    use ncsw::{IntelCpu, IntelVpu};
+    use vpu_nn::googlenet::Variant;
+
+    fn model() -> ModelBundle {
+        ModelBundle::googlenet_untrained(Variant::Tiny, 1)
+    }
+
+    fn cpu() -> Box<dyn ServiceHook> {
+        Box::new(IntelCpu::new(model()))
+    }
+
+    fn ms(v: f64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn no_faults_is_a_passthrough() {
+        let mut plain = cpu();
+        let epoch = plain.busy_until();
+        let mut wrapped = FaultyWorker::new(cpu(), &[], epoch, 7, 0);
+        let a = plain.serve(4, epoch);
+        let b = wrapped.serve(4, epoch);
+        assert_eq!(a.done, b.done, "empty plan changed timing");
+        assert_eq!(plain.busy_until(), wrapped.busy_until());
+        assert_eq!(plain.label(), wrapped.label());
+    }
+
+    #[test]
+    fn unplug_fails_fast_until_reconnect() {
+        let inner = cpu();
+        let epoch = inner.busy_until();
+        let faults = [FaultEvent::StickUnplug { at: ms(10.0), reconnect_after: Some(ms(20.0)) }];
+        let mut w = FaultyWorker::new(inner, &faults, epoch, 7, 0);
+        let mut null = ncsw_obs::NullRecorder;
+        // Dispatch inside the outage window: fails at t + detect.
+        let t = epoch + ms(15.0);
+        let err = w
+            .try_serve_obs(1, t, &mut BatchObs::disabled(&mut null))
+            .expect_err("unplugged worker must fail");
+        assert_eq!(err.kind, FailureKind::Unplugged);
+        assert_eq!(err.at, t + DETECT_LATENCY);
+        // After reconnect the worker serves again.
+        let run = w
+            .try_serve_obs(1, epoch + ms(30.0), &mut BatchObs::disabled(&mut null))
+            .expect("reconnected worker must serve");
+        assert!(run.start >= epoch + ms(30.0));
+    }
+
+    #[test]
+    fn throttle_stretches_the_reported_span_without_overlap() {
+        let mut plain = cpu();
+        let epoch = plain.busy_until();
+        let baseline = plain.serve(1, epoch);
+        let nominal = baseline.end - baseline.start;
+        let inner = cpu();
+        let faults =
+            [FaultEvent::ThermalThrottle { at: ms(0.0), duration: ms(60_000.0), slowdown: 2.0 }];
+        let mut w = FaultyWorker::new(inner, &faults, epoch, 7, 0);
+        let mut null = ncsw_obs::NullRecorder;
+        let a = w.try_serve_obs(1, epoch, &mut BatchObs::disabled(&mut null)).unwrap();
+        let got = a.end - a.start;
+        assert!(
+            got.nanos().abs_diff(nominal.nanos() * 2) <= 2,
+            "throttled span {got} vs nominal {nominal}"
+        );
+        // The next batch queues behind the *stretched* horizon.
+        let b = w.try_serve_obs(1, epoch, &mut BatchObs::disabled(&mut null)).unwrap();
+        assert!(b.start >= a.end, "stretched spans must not overlap");
+    }
+
+    #[test]
+    fn transient_errors_are_seeded_and_deterministic() {
+        let fire = |seed: u64| -> Vec<bool> {
+            let inner = cpu();
+            let epoch = inner.busy_until();
+            let faults = [FaultEvent::TransientExecError { per_batch_prob: 0.5 }];
+            let mut w = FaultyWorker::new(inner, &faults, epoch, seed, 3);
+            let mut null = ncsw_obs::NullRecorder;
+            (0..16)
+                .map(|_| w.try_serve_obs(1, epoch, &mut BatchObs::disabled(&mut null)).is_err())
+                .collect()
+        };
+        assert_eq!(fire(7), fire(7), "same seed must replay");
+        assert!(fire(7).iter().any(|&e| e), "p=0.5 over 16 draws should fire");
+        assert!(fire(7).iter().any(|&e| !e), "p=0.5 over 16 draws should also pass");
+    }
+
+    #[test]
+    fn vpu_wrapper_keeps_per_image_completions() {
+        let inner: Box<dyn ServiceHook> = Box::new(IntelVpu::new(model(), 4));
+        let epoch = inner.busy_until();
+        let mut w = FaultyWorker::new(inner, &[], epoch, 7, 0);
+        let run = w.serve(8, epoch);
+        assert_eq!(run.done.len(), 8);
+        assert!(run.done.iter().any(|&t| t < run.end), "waves must stagger");
+    }
+}

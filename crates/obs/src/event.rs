@@ -31,12 +31,29 @@ pub enum Phase {
     UsbRead,
     /// Its result returned to the host.
     Complete,
-    /// Admission control shed it (reject or eviction).
+    /// Admission control shed it (reject, eviction, deadline or
+    /// exhausted retries).
     Shed,
+    /// A fault fired on a worker (unplug, throttle, transient error) —
+    /// a span covers the virtual time the failed attempt burned.
+    FaultInject,
+    /// A request was re-enqueued at the queue head after its batch
+    /// failed, to be re-planned onto a healthy worker.
+    RetryAttempt,
+    /// A batch's dispatch failed and its members left the worker — the
+    /// event carries the *failed* worker so a trace links it back to
+    /// the prior `Dispatch` on that worker.
+    Failover,
+    /// The circuit breaker opened a worker (stops routing to it).
+    CircuitOpen,
+    /// The circuit breaker let traffic back (half-open probe or full
+    /// close) — no `Exec` may appear on a worker between its
+    /// `CircuitOpen` and the next `CircuitClose`.
+    CircuitClose,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 15] = [
         Phase::Arrive,
         Phase::Admit,
         Phase::Enqueue,
@@ -47,6 +64,11 @@ impl Phase {
         Phase::UsbRead,
         Phase::Complete,
         Phase::Shed,
+        Phase::FaultInject,
+        Phase::RetryAttempt,
+        Phase::Failover,
+        Phase::CircuitOpen,
+        Phase::CircuitClose,
     ];
 
     /// The happy-path phase sequence of one request on a VPU worker.
@@ -73,6 +95,11 @@ impl Phase {
             Phase::UsbRead => "UsbRead",
             Phase::Complete => "Complete",
             Phase::Shed => "Shed",
+            Phase::FaultInject => "FaultInject",
+            Phase::RetryAttempt => "RetryAttempt",
+            Phase::Failover => "Failover",
+            Phase::CircuitOpen => "CircuitOpen",
+            Phase::CircuitClose => "CircuitClose",
         }
     }
 }

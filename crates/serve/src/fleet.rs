@@ -65,23 +65,53 @@ impl FleetSpec {
             .collect()
     }
 
-    /// Largest batch any worker prefers — a sensible `max_batch` for the
-    /// batcher serving this fleet.
+    /// Largest batch any *live* worker prefers — a sensible `max_batch`
+    /// for the batcher serving this fleet. At build time every worker is
+    /// live; during a run the dispatcher passes its circuit-breaker mask
+    /// via [`live_preferred_batch`] so batching adapts to survivors.
     pub fn preferred_batch(&self, workers: &[Box<dyn ServiceHook>]) -> usize {
-        workers.iter().map(|w| w.preferred_batch()).max().unwrap_or(1)
+        live_preferred_batch(workers, &vec![false; workers.len()])
     }
 
-    /// Estimated aggregate capacity in requests per second: each worker
-    /// at its preferred batch size, back to back.
+    /// Estimated aggregate capacity in requests per second of the *live*
+    /// workers: each at its preferred batch size, back to back. At build
+    /// time this is the nameplate capacity; the dispatcher recomputes it
+    /// through [`live_capacity_rps`] with its open-circuit mask so
+    /// degradation math and admission use surviving capacity.
     pub fn capacity_rps(&self, workers: &[Box<dyn ServiceHook>]) -> f64 {
-        workers
-            .iter()
-            .map(|w| {
-                let b = w.preferred_batch();
-                b as f64 / w.estimate(b).as_secs()
-            })
-            .sum()
+        live_capacity_rps(workers, &vec![false; workers.len()])
     }
+}
+
+/// Sustained throughput of one worker at its preferred batch size.
+pub fn worker_rps(w: &dyn ServiceHook) -> f64 {
+    let b = w.preferred_batch();
+    b as f64 / w.estimate(b).as_secs()
+}
+
+/// Aggregate capacity (requests per second) of the workers whose
+/// circuit is *not* open — the surviving capacity the admission
+/// controller degrades against. `open[i]` marks worker `i` dead.
+pub fn live_capacity_rps(workers: &[Box<dyn ServiceHook>], open: &[bool]) -> f64 {
+    workers
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !open.get(*i).copied().unwrap_or(false))
+        .map(|(_, w)| worker_rps(w.as_ref()))
+        .sum()
+}
+
+/// Largest preferred batch among non-open-circuit workers (falls back
+/// to the whole fleet when every circuit is open, so the batcher always
+/// has a positive limit).
+pub fn live_preferred_batch(workers: &[Box<dyn ServiceHook>], open: &[bool]) -> usize {
+    let live = workers
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !open.get(*i).copied().unwrap_or(false))
+        .map(|(_, w)| w.preferred_batch())
+        .max();
+    live.or_else(|| workers.iter().map(|w| w.preferred_batch()).max()).unwrap_or(1)
 }
 
 impl fmt::Display for FleetSpec {
@@ -114,5 +144,27 @@ mod tests {
         assert!(FleetSpec::parse("tpu").is_none());
         assert!(FleetSpec::parse("0xvpu").is_none());
         assert!(FleetSpec::parse("").is_none());
+    }
+
+    #[test]
+    fn live_capacity_counts_only_closed_circuits() {
+        let model = ncsw::ModelBundle::googlenet_untrained(vpu_nn::googlenet::Variant::Tiny, 1);
+        let spec = FleetSpec::parse("cpu+gpu+2xvpu").unwrap();
+        let workers = spec.build(&model);
+        let nameplate = spec.capacity_rps(&workers);
+        let each: Vec<f64> = workers.iter().map(|w| worker_rps(w.as_ref())).collect();
+        assert!((nameplate - each.iter().sum::<f64>()).abs() < 1e-9);
+
+        // Opening the GPU's circuit removes exactly its share.
+        let open = vec![false, true, false];
+        let surviving = live_capacity_rps(&workers, &open);
+        assert!((surviving - (nameplate - each[1])).abs() < 1e-9);
+        assert!(surviving < nameplate);
+
+        // Preferred batch adapts to survivors (hosts prefer 8, the
+        // 2-stick VPU prefers 2) and falls back when everyone is open.
+        assert_eq!(spec.preferred_batch(&workers), 8);
+        assert_eq!(live_preferred_batch(&workers, &[true, true, false]), 2);
+        assert_eq!(live_preferred_batch(&workers, &[true, true, true]), 8);
     }
 }

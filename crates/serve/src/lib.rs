@@ -45,12 +45,13 @@ pub mod workload;
 /// `ncsw_serve::histogram::LogHistogram` keeps resolving.
 pub use ncsw_obs::histogram;
 
-pub use fleet::{FleetSpec, WorkerSpec};
-pub use metrics::{Percentiles, ServeReport, ShedBreakdown, WorkerReport};
+pub use fleet::{live_capacity_rps, live_preferred_batch, worker_rps, FleetSpec, WorkerSpec};
+pub use metrics::{FaultReport, Percentiles, ServeReport, ShedBreakdown, WorkerReport};
 pub use ncsw_obs::LogHistogram;
 pub use server::{
-    serve, serve_observed, DispatchPolicy, ObsConfig, RequestRecord, ServeConfig, ServeObservation,
-    ServeOutcome, ShedCause, ShedPolicy, ShedRecord,
+    serve, serve_observed, DispatchPolicy, FaultStats, ObsConfig, OutageRecord, RequestRecord,
+    RobustConfig, ServeConfig, ServeObservation, ServeOutcome, ShedCause, ShedPolicy, ShedRecord,
+    WorkerStats,
 };
 pub use workload::ArrivalProcess;
 

@@ -37,6 +37,12 @@ pub struct ShedBreakdown {
     pub rejected: usize,
     /// Evicted after queueing ([`crate::ShedPolicy::DropOldest`]).
     pub evicted: usize,
+    /// Rejected as hopeless against the SLO
+    /// ([`crate::ShedPolicy::DeadlineAware`]).
+    pub deadline: usize,
+    /// Dropped after exhausting failover retries
+    /// ([`ShedCause::RetriesExhausted`]).
+    pub retries_exhausted: usize,
     /// Queue time evicted requests burned before being dropped — work
     /// the server admitted and then threw away.
     pub evicted_wait_mean_ms: f64,
@@ -50,6 +56,8 @@ impl ShedBreakdown {
         for s in &outcome.shed {
             match s.cause {
                 ShedCause::Rejected => b.rejected += 1,
+                ShedCause::Deadline => b.deadline += 1,
+                ShedCause::RetriesExhausted => b.retries_exhausted += 1,
                 ShedCause::Evicted => {
                     b.evicted += 1;
                     total += s.wait();
@@ -62,6 +70,65 @@ impl ShedBreakdown {
     }
 }
 
+/// Fault-tolerance view of one run — all zeros on a healthy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Failed batch dispatches (injected faults plus dispatch timeouts).
+    pub injected: u64,
+    /// Re-dispatch attempts the failover path issued.
+    pub retries: u64,
+    /// Retries per *completed* request — the overhead failures added.
+    pub retries_per_request: f64,
+    /// Requests shed after exhausting their attempts.
+    pub exhausted: u64,
+    /// Circuit-breaker outage windows observed.
+    pub outages: usize,
+    /// Mean time-to-recovery across outages (circuit open -> first
+    /// re-admitted probe), in milliseconds.
+    pub mttr_ms: f64,
+    /// p99 end-to-end latency of completions that overlapped an outage
+    /// window — the tail *during* failover, not diluted by healthy time.
+    pub p99_during_failover_ms: f64,
+}
+
+impl FaultReport {
+    fn of(outcome: &ServeOutcome) -> FaultReport {
+        let f = &outcome.faults;
+        let end = outcome.end();
+        let mut ttr = Duration::ZERO;
+        for o in &f.outages {
+            ttr += o.ttr(end);
+        }
+        let mut during = LogHistogram::new();
+        for r in &outcome.completed {
+            let overlaps = f
+                .outages
+                .iter()
+                .any(|o| r.arrival <= o.until.unwrap_or(end) && r.completed >= o.from);
+            if overlaps {
+                during.record(r.latency());
+            }
+        }
+        FaultReport {
+            injected: f.injected,
+            retries: f.retries,
+            retries_per_request: f.retries as f64 / outcome.completed.len().max(1) as f64,
+            exhausted: f.exhausted,
+            outages: f.outages.len(),
+            mttr_ms: if f.outages.is_empty() {
+                0.0
+            } else {
+                (ttr / f.outages.len() as u64).as_millis()
+            },
+            p99_during_failover_ms: if during.is_empty() {
+                0.0
+            } else {
+                during.quantile(0.99).as_millis()
+            },
+        }
+    }
+}
+
 /// Per-worker share of one run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkerReport {
@@ -71,6 +138,8 @@ pub struct WorkerReport {
     pub mean_batch: f64,
     /// Busy time over the serving horizon.
     pub utilization: f64,
+    /// Failed dispatch attempts charged to this worker.
+    pub failures: u64,
 }
 
 /// One serving run, aggregated.
@@ -98,6 +167,8 @@ pub struct ServeReport {
     pub formation_wait_mean_ms: f64,
     pub queue_wait_mean_ms: f64,
     pub service_time_mean_ms: f64,
+    /// Fault injection and failover accounting.
+    pub faults: FaultReport,
     pub workers: Vec<WorkerReport>,
 }
 
@@ -135,6 +206,7 @@ impl ServeReport {
             formation_wait_mean_ms: (formation / n).as_millis(),
             queue_wait_mean_ms: (queue / n).as_millis(),
             service_time_mean_ms: (service / n).as_millis(),
+            faults: FaultReport::of(outcome),
             workers: outcome
                 .workers
                 .iter()
@@ -144,6 +216,7 @@ impl ServeReport {
                     images: w.images,
                     mean_batch: w.images as f64 / w.batches.max(1) as f64,
                     utilization: w.busy.as_secs() / horizon,
+                    failures: w.failures,
                 })
                 .collect(),
         }

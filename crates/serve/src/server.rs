@@ -1,5 +1,6 @@
 //! The serving loop: admission control, deadline-aware dynamic batching,
-//! and heterogeneous dispatch — all on the `desim` virtual clock.
+//! heterogeneous dispatch, and fault-aware failover — all on the `desim`
+//! virtual clock.
 //!
 //! The simulation is event-driven but needs no explicit event queue:
 //! arrivals are known up front (open loop), and every worker
@@ -13,14 +14,39 @@
 //! oldest queued request has waited `max_wait`, whichever comes first —
 //! and is handed to a worker no earlier than the policy allows, so under
 //! overload the bounded queue fills and the admission controller sheds.
+//!
+//! ## Fault tolerance
+//!
+//! Dispatch goes through the fallible [`ServiceHook::try_serve_obs`], so
+//! fault-injection wrappers (`ncsw-faults`) can make any worker fail. A
+//! failed batch is detected at the error instant (capped by the
+//! per-batch [`RobustConfig::dispatch_timeout`]), its members are
+//! re-enqueued *at the queue head* — preserving arrival order and their
+//! SLO deadlines — with a seeded exponential-backoff-plus-jitter floor
+//! on their next dispatch, and bounded by
+//! [`RobustConfig::max_attempts`]; exhausted requests are shed with
+//! [`ShedCause::RetriesExhausted`], so every admitted request either
+//! completes exactly once or is shed with a recorded cause.
+//!
+//! A per-worker health tracker runs a closed/open/half-open circuit
+//! breaker: consecutive failures (fewer under queue pressure — the same
+//! queue-depth signal the `ncsw-obs` sampler exports) open the circuit,
+//! routing avoids open workers, and after a cooldown the next planned
+//! dispatch becomes the half-open probe. While circuits are open the
+//! admission controller *degrades gracefully*: the effective queue
+//! capacity shrinks with the surviving fraction of fleet capacity
+//! ([`crate::fleet::live_capacity_rps`]), and the batcher's fill target
+//! adapts to the survivors' preferred batch.
 
+use crate::fleet::{live_capacity_rps, live_preferred_batch, worker_rps};
 use crate::workload::ArrivalProcess;
 use desim::{Duration, SimTime};
-use ncsw::service::ServiceHook;
+use ncsw::service::{FailureKind, ServeError, ServiceHook};
 use ncsw_obs::{
     BatchObs, CounterId, Ctx, Event, EventLog, GaugeId, HistogramId, Lane, NullRecorder, Phase,
     Recorder, Registry, TimeSeries, TimeSeriesBuilder,
 };
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -33,6 +59,10 @@ pub enum ShedPolicy {
     /// Admit the newcomer and evict the oldest queued request — the one
     /// that has burned most of its latency budget already.
     DropOldest,
+    /// Reject on a full queue, and *additionally* reject any arrival
+    /// that cannot meet the SLO given the current backlog and surviving
+    /// fleet capacity — don't admit work that is already hopeless.
+    DeadlineAware,
 }
 
 impl ShedPolicy {
@@ -40,7 +70,16 @@ impl ShedPolicy {
         match s {
             "reject" => Some(ShedPolicy::Reject),
             "drop-oldest" => Some(ShedPolicy::DropOldest),
+            "deadline-aware" => Some(ShedPolicy::DeadlineAware),
             _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedPolicy::Reject => "reject",
+            ShedPolicy::DropOldest => "drop-oldest",
+            ShedPolicy::DeadlineAware => "deadline-aware",
         }
     }
 }
@@ -77,6 +116,54 @@ impl DispatchPolicy {
     }
 }
 
+/// Retry, timeout and circuit-breaker knobs of the dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustConfig {
+    /// A batch whose results have not landed this long after dispatch
+    /// is declared failed (bounds failure detection; generous enough
+    /// that healthy service never trips it).
+    pub dispatch_timeout: Duration,
+    /// Maximum dispatch attempts per request before it is shed with
+    /// [`ShedCause::RetriesExhausted`].
+    pub max_attempts: u32,
+    /// Exponential backoff floor before a failed batch's members may be
+    /// re-dispatched: `base * factor^(attempt-1)`, capped at `max`.
+    pub backoff_base: Duration,
+    pub backoff_factor: f64,
+    pub backoff_max: Duration,
+    /// Uniform jitter fraction added on top of the backoff (seeded via
+    /// `vpu_num::rng`, drawn only when a failure actually happens).
+    pub jitter_frac: f64,
+    /// Consecutive failures that open a worker's circuit. Under queue
+    /// pressure (depth at half the configured capacity — the same
+    /// queue-depth signal the `ncsw-obs` sampler exports) the breaker
+    /// trips one failure earlier.
+    pub breaker_threshold: u32,
+    /// Cooldown before an open circuit admits a half-open probe;
+    /// escalates by `breaker_backoff` on every reopen, up to
+    /// `breaker_cooldown_max`.
+    pub breaker_cooldown: Duration,
+    pub breaker_backoff: f64,
+    pub breaker_cooldown_max: Duration,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            dispatch_timeout: Duration::from_secs(5.0),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(4.0),
+            backoff_factor: 2.0,
+            backoff_max: Duration::from_millis(100.0),
+            jitter_frac: 0.25,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250.0),
+            breaker_backoff: 2.0,
+            breaker_cooldown_max: Duration::from_secs(2.0),
+        }
+    }
+}
+
 /// Serving-loop parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -90,8 +177,10 @@ pub struct ServeConfig {
     pub policy: DispatchPolicy,
     /// Latency objective used for goodput accounting (p99 target).
     pub slo: Duration,
-    /// Seed of the arrival streams.
+    /// Seed of the arrival streams (and of the backoff jitter).
     pub seed: u64,
+    /// Retry / timeout / circuit-breaker behavior.
+    pub robust: RobustConfig,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +193,7 @@ impl Default for ServeConfig {
             policy: DispatchPolicy::LeastOutstanding,
             slo: Duration::from_millis(500.0),
             seed: vpu_num::rng::DEFAULT_SEED,
+            robust: RobustConfig::default(),
         }
     }
 }
@@ -113,7 +203,8 @@ impl Default for ServeConfig {
 pub struct RequestRecord {
     pub id: u64,
     pub arrival: SimTime,
-    /// Instant the batch containing this request closed and was routed.
+    /// Instant the batch containing this request closed and was routed
+    /// (the *successful* dispatch, after any failovers).
     pub dispatched: SimTime,
     /// Instant the device began serving the batch.
     pub service_start: SimTime,
@@ -121,6 +212,8 @@ pub struct RequestRecord {
     pub completed: SimTime,
     pub worker: usize,
     pub batch: usize,
+    /// Dispatch attempts it took (1 = served on the first try).
+    pub attempts: u32,
 }
 
 impl RequestRecord {
@@ -143,7 +236,7 @@ impl RequestRecord {
     }
 }
 
-/// Why the admission controller shed a request.
+/// Why the admission controller (or the failover path) shed a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ShedCause {
     /// Tail-dropped on arrival (queue full under [`ShedPolicy::Reject`]).
@@ -151,6 +244,12 @@ pub enum ShedCause {
     /// Evicted from the queue by a newer arrival
     /// ([`ShedPolicy::DropOldest`]).
     Evicted,
+    /// Could not meet the SLO given backlog and surviving capacity
+    /// ([`ShedPolicy::DeadlineAware`]).
+    Deadline,
+    /// Its batch failed [`RobustConfig::max_attempts`] times across
+    /// failover and the dispatcher gave up.
+    RetriesExhausted,
 }
 
 /// A request shed by the admission controller.
@@ -158,7 +257,8 @@ pub enum ShedCause {
 pub struct ShedRecord {
     pub id: u64,
     pub arrival: SimTime,
-    /// Instant the decision was made (eviction can happen after arrival).
+    /// Instant the decision was made (eviction and retry exhaustion
+    /// happen after arrival).
     pub shed_at: SimTime,
     pub cause: ShedCause,
 }
@@ -176,10 +276,43 @@ pub struct WorkerStats {
     pub label: String,
     pub batches: u64,
     pub images: u64,
-    /// Virtual time the device spent busy (sum of service spans).
+    /// Virtual time the device spent busy (sum of service spans,
+    /// including work wasted by timed-out batches).
     pub busy: Duration,
     /// Boot/allocation completion of the device at epoch.
     pub ready_at: SimTime,
+    /// Failed dispatch attempts charged to this worker.
+    pub failures: u64,
+}
+
+/// One worker outage as seen by the circuit breaker: opened at `from`,
+/// closed at `until` when the breaker re-admitted traffic (`None` =
+/// still open when the run ended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageRecord {
+    pub worker: usize,
+    pub from: SimTime,
+    pub until: Option<SimTime>,
+}
+
+impl OutageRecord {
+    /// Time to recovery, measuring an unclosed outage to `end`.
+    pub fn ttr(&self, end: SimTime) -> Duration {
+        self.until.unwrap_or(end).max(self.from) - self.from
+    }
+}
+
+/// Fault/failover accounting of one run (all zero on a healthy run).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Failed batch dispatches (worker faults plus dispatch timeouts).
+    pub injected: u64,
+    /// Requests re-enqueued for another attempt after a batch failure.
+    pub retries: u64,
+    /// Requests shed because they exhausted their attempts.
+    pub exhausted: u64,
+    /// Circuit-breaker outage windows, in open order.
+    pub outages: Vec<OutageRecord>,
 }
 
 /// Raw outcome of one serving run (aggregate with [`crate::metrics`]).
@@ -191,6 +324,7 @@ pub struct ServeOutcome {
     pub completed: Vec<RequestRecord>,
     pub shed: Vec<ShedRecord>,
     pub workers: Vec<WorkerStats>,
+    pub faults: FaultStats,
 }
 
 impl ServeOutcome {
@@ -203,6 +337,10 @@ impl ServeOutcome {
 struct Pending {
     id: u64,
     arrival: SimTime,
+    /// Failed dispatch attempts so far (0 = never dispatched).
+    attempts: u32,
+    /// Backoff floor: the request may not be re-dispatched before this.
+    earliest: SimTime,
 }
 
 /// Observability options for [`serve_observed`].
@@ -237,7 +375,12 @@ struct Meters {
     completed: CounterId,
     rejected: CounterId,
     evicted: CounterId,
+    deadline: CounterId,
+    exhausted: CounterId,
     batches: CounterId,
+    faults: CounterId,
+    retries: CounterId,
+    circuit_opens: CounterId,
     depth_peak: GaugeId,
     evicted_wait: HistogramId,
     latency: HistogramId,
@@ -255,7 +398,12 @@ impl Meters {
             completed: reg.counter("requests.completed"),
             rejected: reg.counter("requests.shed.rejected"),
             evicted: reg.counter("requests.shed.evicted"),
+            deadline: reg.counter("requests.shed.deadline"),
+            exhausted: reg.counter("requests.shed.retries_exhausted"),
             batches: reg.counter("batches.dispatched"),
+            faults: reg.counter("faults.injected"),
+            retries: reg.counter("faults.retries"),
+            circuit_opens: reg.counter("faults.circuit_opens"),
             depth_peak: reg.gauge("queue.depth.peak"),
             evicted_wait: reg.histogram("shed.evicted.wait"),
             latency: reg.histogram("latency.e2e"),
@@ -270,6 +418,8 @@ impl Meters {
     fn shed(&mut self, cause: ShedCause, wait: Duration) {
         match cause {
             ShedCause::Rejected => self.reg.inc(self.rejected),
+            ShedCause::Deadline => self.reg.inc(self.deadline),
+            ShedCause::RetriesExhausted => self.reg.inc(self.exhausted),
             ShedCause::Evicted => {
                 self.reg.inc(self.evicted);
                 self.reg.observe(self.evicted_wait, wait);
@@ -331,34 +481,168 @@ struct ObsAccum {
     meters: Meters,
 }
 
-/// Dispatch plan: worker index plus the instant the batch is handed over.
-/// Pure — the round-robin cursor only advances when a plan is executed.
+/// Circuit-breaker state of one worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Circuit {
+    Closed,
+    Open {
+        until: SimTime,
+    },
+    /// Cooldown elapsed and a probe batch is in flight; the probe's
+    /// outcome closes or reopens the circuit.
+    HalfOpen,
+}
+
+/// Per-worker health as the dispatcher sees it.
+struct Health {
+    circuit: Circuit,
+    consecutive_failures: u32,
+    cooldown: Duration,
+}
+
+impl Health {
+    fn new(robust: &RobustConfig) -> Health {
+        Health {
+            circuit: Circuit::Closed,
+            consecutive_failures: 0,
+            cooldown: robust.breaker_cooldown,
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        matches!(self.circuit, Circuit::Open { .. })
+    }
+
+    /// Earliest instant this worker may receive a dispatch (half-open
+    /// probes included); `None` while closed/half-open.
+    fn open_until(&self) -> Option<SimTime> {
+        match self.circuit {
+            Circuit::Open { until } => Some(until),
+            _ => None,
+        }
+    }
+}
+
+/// Mutable failover state of one run, kept out of `serve_core`'s way.
+struct FailoverState {
+    health: Vec<Health>,
+    /// Nameplate fleet capacity, measured once at start.
+    nameplate_rps: f64,
+    /// Live capacity across non-open workers (== nameplate while all
+    /// circuits are closed).
+    live_rps: f64,
+    /// Queue capacity after graceful degradation.
+    eff_capacity: usize,
+    /// Batch fill target after degradation.
+    fill_limit: usize,
+    stats: FaultStats,
+}
+
+impl FailoverState {
+    fn new(workers: &[Box<dyn ServiceHook>], cfg: &ServeConfig) -> FailoverState {
+        let nameplate_rps: f64 = workers.iter().map(|w| worker_rps(w.as_ref())).sum();
+        FailoverState {
+            health: workers.iter().map(|_| Health::new(&cfg.robust)).collect(),
+            nameplate_rps,
+            live_rps: nameplate_rps,
+            eff_capacity: cfg.queue_capacity,
+            fill_limit: cfg.max_batch,
+            stats: FaultStats::default(),
+        }
+    }
+
+    fn any_open(&self) -> bool {
+        self.health.iter().any(Health::is_open)
+    }
+
+    /// Recompute surviving capacity and the degraded admission/batching
+    /// limits after a circuit state change. With every circuit closed
+    /// this restores the configured limits exactly.
+    fn recompute_degradation(&mut self, workers: &[Box<dyn ServiceHook>], cfg: &ServeConfig) {
+        if !self.any_open() {
+            self.live_rps = self.nameplate_rps;
+            self.eff_capacity = cfg.queue_capacity;
+            self.fill_limit = cfg.max_batch;
+            return;
+        }
+        let open: Vec<bool> = self.health.iter().map(Health::is_open).collect();
+        self.live_rps = live_capacity_rps(workers, &open);
+        let frac = if self.nameplate_rps > 0.0 { self.live_rps / self.nameplate_rps } else { 0.0 };
+        self.eff_capacity = ((cfg.queue_capacity as f64 * frac).floor() as usize).max(1);
+        self.fill_limit = cfg.max_batch.min(live_preferred_batch(workers, &open)).max(1);
+    }
+
+    /// Estimated completion instant of a fresh arrival at `at`, given
+    /// the backlog ahead of it and the fastest surviving worker.
+    fn deadline_estimate(
+        &self,
+        at: SimTime,
+        backlog: usize,
+        workers: &[Box<dyn ServiceHook>],
+    ) -> Option<SimTime> {
+        if self.live_rps <= 0.0 {
+            return None; // no surviving capacity: hopeless
+        }
+        let queue_wait = Duration::from_secs(backlog as f64 / self.live_rps);
+        let service = self
+            .health
+            .iter()
+            .zip(workers)
+            .filter(|(h, _)| !h.is_open())
+            .map(|(_, w)| w.estimate(1))
+            .min()?;
+        Some(at + queue_wait + service)
+    }
+}
+
+/// Dispatch plan: worker index plus the instant the batch is handed
+/// over. Pure — the round-robin cursor only advances when a plan is
+/// executed. Open-circuit workers are skipped unless their cooldown has
+/// elapsed by `ready` (making them probe candidates); when *every*
+/// circuit is open the plan waits for the earliest cooldown.
 fn choose_worker(
     policy: DispatchPolicy,
     ready: SimTime,
     batch: usize,
     workers: &[Box<dyn ServiceHook>],
     rr_cursor: usize,
+    health: &[Health],
 ) -> (usize, SimTime) {
+    // A worker is routable at `ready` if its circuit is not open, or
+    // the cooldown has elapsed (half-open probe).
+    let routable = |i: usize| -> bool { health[i].open_until().is_none_or(|until| until <= ready) };
+    if !(0..workers.len()).any(&routable) {
+        // Everyone is open: wait for the earliest cooldown and probe.
+        let w = (0..workers.len())
+            .min_by_key(|&i| (health[i].open_until().expect("all open"), i))
+            .expect("non-empty fleet");
+        let until = health[w].open_until().expect("open");
+        return (w, SimTime::max_of(SimTime::max_of(ready, until), workers[w].busy_until()));
+    }
     match policy {
         DispatchPolicy::RoundRobin => {
-            let w = rr_cursor % workers.len();
+            let w = (0..workers.len())
+                .map(|k| (rr_cursor + k) % workers.len())
+                .find(|&i| routable(i))
+                .expect("some worker is routable");
             (w, SimTime::max_of(ready, workers[w].busy_until()))
         }
         DispatchPolicy::LeastOutstanding => {
             let w = (0..workers.len())
+                .filter(|&i| routable(i))
                 .min_by_key(|&i| (workers[i].busy_until(), i))
-                .expect("non-empty fleet");
+                .expect("some worker is routable");
             (w, SimTime::max_of(ready, workers[w].busy_until()))
         }
         DispatchPolicy::CostAware => {
             let w = (0..workers.len())
+                .filter(|&i| routable(i))
                 .min_by_key(|&i| {
                     let b = clamp_batch(batch, workers[i].as_ref());
                     let start = SimTime::max_of(ready, workers[i].busy_until());
                     (start + workers[i].estimate(b), i)
                 })
-                .expect("non-empty fleet");
+                .expect("some worker is routable");
             (w, SimTime::max_of(ready, workers[w].busy_until()))
         }
     }
@@ -367,6 +651,11 @@ fn choose_worker(
 fn clamp_batch(batch: usize, worker: &dyn ServiceHook) -> usize {
     let cap = worker.max_batch().unwrap_or(usize::MAX).min(worker.preferred_batch());
     batch.min(cap).max(1)
+}
+
+/// `t + d` without overflow (the dispatch-timeout horizon).
+fn saturating_add(t: SimTime, d: Duration) -> SimTime {
+    SimTime(t.nanos().saturating_add(d.nanos()))
 }
 
 /// Run the serving loop: `n` open-loop arrivals from `process` against
@@ -421,6 +710,7 @@ fn serve_core(
     assert!(!workers.is_empty(), "need at least one worker");
     assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
     assert!(cfg.max_batch > 0, "max_batch must be positive");
+    assert!(cfg.robust.max_attempts > 0, "max_attempts must be positive");
 
     let epoch = workers.iter().map(|w| w.busy_until()).max().unwrap();
     let arrivals = process.arrivals(n, epoch, cfg.seed);
@@ -433,8 +723,14 @@ fn serve_core(
             images: 0,
             busy: Duration::ZERO,
             ready_at: w.busy_until(),
+            failures: 0,
         })
         .collect();
+
+    let mut fo = FailoverState::new(workers, cfg);
+    // Jitter stream: created eagerly (pure), drawn from only on failure,
+    // so a fault-free run's RNG state is untouched.
+    let mut jitter_rng = vpu_num::rng::stream(cfg.seed, "serve-backoff");
 
     let mut queue: VecDeque<Pending> = VecDeque::new();
     let mut completed: Vec<RequestRecord> = Vec::with_capacity(n);
@@ -443,22 +739,34 @@ fn serve_core(
     let mut rr_cursor = 0usize;
     let mut batch_seq = 0u64;
 
+    let record_shed =
+        |r: ShedRecord, obs: &mut Option<&mut ObsAccum>, shed: &mut Vec<ShedRecord>| {
+            if let Some(o) = obs.as_deref_mut() {
+                o.sampler.b.on_shed();
+                o.meters.shed(r.cause, r.wait());
+            }
+            shed.push(r);
+        };
+
     loop {
         // Earliest instant the current queue head could be dispatched:
         // batch-full close (the arrival that filled it) or the oldest
-        // member's deadline, whichever fires first.
+        // member's deadline, whichever fires first — floored by the
+        // head's retry backoff.
         let plan = if queue.is_empty() {
             None
         } else {
-            let deadline = queue.front().unwrap().arrival + cfg.max_wait;
+            let front = queue.front().unwrap();
+            let deadline = front.arrival + cfg.max_wait;
             // Full-close fires at the arrival that filled the batch.
-            let ready = if queue.len() >= cfg.max_batch {
-                queue[cfg.max_batch - 1].arrival.min(deadline)
+            let ready = if queue.len() >= fo.fill_limit {
+                queue[fo.fill_limit - 1].arrival.min(deadline)
             } else {
                 deadline
             };
-            let hint = queue.len().min(cfg.max_batch);
-            Some(choose_worker(cfg.policy, ready, hint, workers, rr_cursor))
+            let ready = SimTime::max_of(ready, front.earliest);
+            let hint = queue.len().min(fo.fill_limit);
+            Some(choose_worker(cfg.policy, ready, hint, workers, rr_cursor, &fo.health))
         };
 
         match (arrivals.get(next), plan) {
@@ -474,19 +782,16 @@ fn serve_core(
                 if rec.enabled() {
                     rec.record(Event::instant(Phase::Arrive, Lane::Server, at, Ctx::request(id)));
                 }
-                if queue.len() == cfg.queue_capacity {
+                if queue.len() >= fo.eff_capacity {
                     match cfg.shed {
-                        ShedPolicy::Reject => {
+                        ShedPolicy::Reject | ShedPolicy::DeadlineAware => {
                             let r = ShedRecord {
                                 id,
                                 arrival: at,
                                 shed_at: at,
                                 cause: ShedCause::Rejected,
                             };
-                            if let Some(o) = obs.as_deref_mut() {
-                                o.sampler.b.on_shed();
-                                o.meters.shed(r.cause, r.wait());
-                            }
+                            record_shed(r, &mut obs, &mut shed);
                             if rec.enabled() {
                                 rec.record(Event::instant(
                                     Phase::Shed,
@@ -495,7 +800,6 @@ fn serve_core(
                                     Ctx::request(id),
                                 ));
                             }
-                            shed.push(r);
                             continue;
                         }
                         ShedPolicy::DropOldest => {
@@ -506,10 +810,7 @@ fn serve_core(
                                 shed_at: at,
                                 cause: ShedCause::Evicted,
                             };
-                            if let Some(o) = obs.as_deref_mut() {
-                                o.sampler.b.on_shed();
-                                o.meters.shed(r.cause, r.wait());
-                            }
+                            record_shed(r, &mut obs, &mut shed);
                             if rec.enabled() {
                                 // Span length = queue wait burned before
                                 // the eviction.
@@ -521,11 +822,32 @@ fn serve_core(
                                     Ctx::request(old.id),
                                 ));
                             }
-                            shed.push(r);
                         }
                     }
                 }
-                queue.push_back(Pending { id, arrival: at });
+                // Deadline-aware admission: don't accept work that is
+                // already hopeless given backlog + surviving capacity.
+                if cfg.shed == ShedPolicy::DeadlineAware {
+                    let hopeless = match fo.deadline_estimate(at, queue.len(), workers) {
+                        Some(est) => est > at + cfg.slo,
+                        None => true,
+                    };
+                    if hopeless {
+                        let r =
+                            ShedRecord { id, arrival: at, shed_at: at, cause: ShedCause::Deadline };
+                        record_shed(r, &mut obs, &mut shed);
+                        if rec.enabled() {
+                            rec.record(Event::instant(
+                                Phase::Shed,
+                                Lane::Server,
+                                at,
+                                Ctx::request(id),
+                            ));
+                        }
+                        continue;
+                    }
+                }
+                queue.push_back(Pending { id, arrival: at, attempts: 0, earliest: at });
                 if let Some(o) = obs.as_deref_mut() {
                     o.meters.peak = o.meters.peak.max(queue.len());
                 }
@@ -538,16 +860,44 @@ fn serve_core(
                 if cfg.policy == DispatchPolicy::RoundRobin {
                     rr_cursor += 1;
                 }
+                // Half-open transition: the cooldown elapsed and this
+                // dispatch is the probe. The circuit counts as closed
+                // from here — a failed probe reopens it.
+                if fo.health[w].is_open() {
+                    fo.health[w].circuit = Circuit::HalfOpen;
+                    if let Some(o) = fo
+                        .stats
+                        .outages
+                        .iter_mut()
+                        .rev()
+                        .find(|o| o.worker == w && o.until.is_none())
+                    {
+                        o.until = Some(t);
+                    }
+                    fo.recompute_degradation(workers, cfg);
+                    if rec.enabled() {
+                        rec.record(Event::instant(
+                            Phase::CircuitClose,
+                            Lane::Worker(w as u32),
+                            t,
+                            Ctx { request_id: None, batch_id: None, worker: Some(w as u32) },
+                        ));
+                    }
+                }
                 // Replanning can move the dispatch instant *earlier* than a
                 // previously admitted arrival (e.g. cost-aware estimates
                 // shift as the queue grows), so a batch closing at `t` may
                 // only take members that had arrived by `t`. The front
-                // always qualifies: every close instant is >= its arrival.
+                // always qualifies: every close instant is >= its arrival
+                // and >= its backoff floor.
                 let mut eligible = 0;
-                while eligible < queue.len().min(cfg.max_batch) && queue[eligible].arrival <= t {
+                while eligible < queue.len().min(fo.fill_limit)
+                    && queue[eligible].arrival <= t
+                    && queue[eligible].earliest <= t
+                {
                     eligible += 1;
                 }
-                debug_assert!(eligible >= 1, "batch closed before its oldest member arrived");
+                debug_assert!(eligible >= 1, "batch closed before its oldest member was ready");
                 let size = clamp_batch(eligible, workers[w].as_ref());
                 if let Some(o) = obs.as_deref_mut() {
                     o.sampler.advance(t, queue.len());
@@ -564,42 +914,170 @@ fn serve_core(
                         rec.record(Event::instant(Phase::Dispatch, Lane::Worker(w as u32), t, ctx));
                     }
                 }
-                let run = workers[w].serve_obs(
+                let timeout_at = saturating_add(t, cfg.robust.dispatch_timeout);
+                let run = workers[w].try_serve_obs(
                     size,
                     t,
                     &mut BatchObs { rec: &mut *rec, batch_id: bid, worker: w as u32, ids: &ids },
                 );
-                debug_assert!(run.start >= t && run.done.len() == size);
-                stats[w].batches += 1;
-                stats[w].images += size as u64;
-                stats[w].busy += run.end - run.start;
-                if let Some(o) = obs.as_deref_mut() {
-                    o.meters.reg.inc(o.meters.batches);
-                    o.sampler.b.on_batch(w, run.start, run.end);
-                }
-                for (m, &done) in members.iter().zip(&run.done) {
-                    let record = RequestRecord {
-                        id: m.id,
-                        arrival: m.arrival,
-                        dispatched: t,
-                        service_start: run.start,
-                        completed: done,
-                        worker: w,
-                        batch: size,
-                    };
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.meters.complete(&record);
-                        o.sampler.complete_later(done, record.latency());
+                // Per-batch dispatch timeout: a batch whose results land
+                // too late is declared failed (the work is wasted).
+                let run = match run {
+                    Ok(r) if r.end > timeout_at => {
+                        stats[w].busy += r.end - r.start;
+                        Err(ServeError { at: timeout_at, kind: FailureKind::Timeout })
                     }
-                    if rec.enabled() {
-                        rec.record(Event::instant(
-                            Phase::Complete,
-                            Lane::Server,
-                            done,
-                            Ctx::request(m.id).with_batch(bid).with_worker(w as u32),
-                        ));
+                    other => other,
+                };
+                match run {
+                    Ok(run) => {
+                        debug_assert!(run.start >= t && run.done.len() == size);
+                        stats[w].batches += 1;
+                        stats[w].images += size as u64;
+                        stats[w].busy += run.end - run.start;
+                        let probe = fo.health[w].circuit == Circuit::HalfOpen;
+                        fo.health[w].consecutive_failures = 0;
+                        fo.health[w].circuit = Circuit::Closed;
+                        if probe {
+                            fo.health[w].cooldown = cfg.robust.breaker_cooldown;
+                        }
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.meters.reg.inc(o.meters.batches);
+                            o.sampler.b.on_batch(w, run.start, run.end);
+                        }
+                        for (m, &done) in members.iter().zip(&run.done) {
+                            let record = RequestRecord {
+                                id: m.id,
+                                arrival: m.arrival,
+                                dispatched: t,
+                                service_start: run.start,
+                                completed: done,
+                                worker: w,
+                                batch: size,
+                                attempts: m.attempts + 1,
+                            };
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.meters.complete(&record);
+                                o.sampler.complete_later(done, record.latency());
+                            }
+                            if rec.enabled() {
+                                rec.record(Event::instant(
+                                    Phase::Complete,
+                                    Lane::Server,
+                                    done,
+                                    Ctx::request(m.id).with_batch(bid).with_worker(w as u32),
+                                ));
+                            }
+                            completed.push(record);
+                        }
                     }
-                    completed.push(record);
+                    Err(err) => {
+                        let detect = SimTime::max_of(t, err.at.min(timeout_at));
+                        let wctx =
+                            Ctx { request_id: None, batch_id: Some(bid), worker: Some(w as u32) };
+                        fo.stats.injected += 1;
+                        stats[w].failures += 1;
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.meters.reg.inc(o.meters.faults);
+                        }
+                        if rec.enabled() {
+                            rec.record(Event::instant(
+                                Phase::Failover,
+                                Lane::Worker(w as u32),
+                                detect,
+                                wctx,
+                            ));
+                        }
+                        // Health: a failed probe reopens immediately with
+                        // an escalated cooldown; otherwise consecutive
+                        // failures trip the breaker — one failure earlier
+                        // when the queue is under pressure (the same
+                        // depth signal the obs sampler exports).
+                        let was_probe = fo.health[w].circuit == Circuit::HalfOpen;
+                        fo.health[w].consecutive_failures += 1;
+                        let threshold = if queue.len() * 2 >= cfg.queue_capacity {
+                            cfg.robust.breaker_threshold.saturating_sub(1).max(1)
+                        } else {
+                            cfg.robust.breaker_threshold
+                        };
+                        let trip = was_probe
+                            || (fo.health[w].circuit == Circuit::Closed
+                                && fo.health[w].consecutive_failures >= threshold);
+                        if trip {
+                            let cooldown = fo.health[w].cooldown;
+                            fo.health[w].circuit = Circuit::Open { until: detect + cooldown };
+                            fo.health[w].cooldown = (cooldown * cfg.robust.breaker_backoff)
+                                .min(cfg.robust.breaker_cooldown_max);
+                            fo.stats.outages.push(OutageRecord {
+                                worker: w,
+                                from: detect,
+                                until: None,
+                            });
+                            fo.recompute_degradation(workers, cfg);
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.meters.reg.inc(o.meters.circuit_opens);
+                            }
+                            if rec.enabled() {
+                                rec.record(Event::instant(
+                                    Phase::CircuitOpen,
+                                    Lane::Worker(w as u32),
+                                    detect,
+                                    wctx,
+                                ));
+                            }
+                        }
+                        // Failover: re-enqueue the members at the queue
+                        // head (they are the oldest admitted requests, so
+                        // arrival order is preserved) behind a seeded
+                        // exponential backoff with jitter; requests out
+                        // of attempts are shed with a recorded cause.
+                        let max_attempt = members.iter().map(|m| m.attempts).max().unwrap_or(0) + 1;
+                        let exp = cfg.robust.backoff_factor.powi(max_attempt as i32 - 1);
+                        let backoff = (cfg.robust.backoff_base * exp).min(cfg.robust.backoff_max);
+                        let jitter = backoff * (cfg.robust.jitter_frac * jitter_rng.gen::<f64>());
+                        let earliest = detect + backoff + jitter;
+                        for m in members.into_iter().rev() {
+                            let attempts = m.attempts + 1;
+                            if attempts >= cfg.robust.max_attempts {
+                                fo.stats.exhausted += 1;
+                                let r = ShedRecord {
+                                    id: m.id,
+                                    arrival: m.arrival,
+                                    shed_at: detect,
+                                    cause: ShedCause::RetriesExhausted,
+                                };
+                                record_shed(r, &mut obs, &mut shed);
+                                if rec.enabled() {
+                                    rec.record(Event::span(
+                                        Phase::Shed,
+                                        Lane::Queue,
+                                        m.arrival,
+                                        detect,
+                                        Ctx::request(m.id).with_batch(bid),
+                                    ));
+                                }
+                            } else {
+                                fo.stats.retries += 1;
+                                if let Some(o) = obs.as_deref_mut() {
+                                    o.meters.reg.inc(o.meters.retries);
+                                }
+                                if rec.enabled() {
+                                    rec.record(Event::instant(
+                                        Phase::RetryAttempt,
+                                        Lane::Server,
+                                        detect,
+                                        Ctx::request(m.id).with_batch(bid),
+                                    ));
+                                }
+                                queue.push_front(Pending {
+                                    id: m.id,
+                                    arrival: m.arrival,
+                                    attempts,
+                                    earliest,
+                                });
+                            }
+                        }
+                    }
                 }
             }
             (None, None) => break,
@@ -608,5 +1086,5 @@ fn serve_core(
         }
     }
 
-    ServeOutcome { epoch, generated: n, completed, shed, workers: stats }
+    ServeOutcome { epoch, generated: n, completed, shed, workers: stats, faults: fo.stats }
 }
