@@ -1,0 +1,496 @@
+//! Exact latency attribution and the per-request critical path.
+//!
+//! Every completed request's end-to-end latency is split into the
+//! telescoping [`Segment`]s below. Each segment is the advance of a
+//! running boundary clamped to `[previous, complete]`, so the segments
+//! are non-negative and **sum to the end-to-end latency exactly** — no
+//! nanosecond is lost or double-counted, which the property tests
+//! enforce on real serving runs. The *critical* segment of a request is
+//! the largest one (ties broken toward the earlier pipeline stage), so
+//! "where did the p99 go" has a deterministic answer.
+
+use crate::span::{Outcome, RequestSpan, SpanForest};
+use desim::{Duration, SimTime};
+use ncsw_obs::{EventLog, LogHistogram, ShedCause};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One telescoping slice of a completed request's latency, in pipeline
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Arrival → its first `BatchClose`: waiting for the batch to form.
+    Formation,
+    /// First close → the dispatch that finally succeeded: stall added
+    /// by failed attempts, backoff and replanning (zero without
+    /// failover).
+    RetryStall,
+    /// Successful dispatch → first device activity.
+    DispatchQueue,
+    /// Host→device input transfer.
+    UsbWrite,
+    /// Input on device → SHAVE start.
+    ExecWait,
+    /// On-device execution.
+    Exec,
+    /// SHAVE end → result transfer start.
+    ReadWait,
+    /// Device→host result transfer.
+    UsbRead,
+    /// Result on host → `Complete`: completion overhead (includes the
+    /// whole post-dispatch path for workers with no device detail).
+    Completion,
+}
+
+impl Segment {
+    pub const ALL: [Segment; 9] = [
+        Segment::Formation,
+        Segment::RetryStall,
+        Segment::DispatchQueue,
+        Segment::UsbWrite,
+        Segment::ExecWait,
+        Segment::Exec,
+        Segment::ReadWait,
+        Segment::UsbRead,
+        Segment::Completion,
+    ];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            Segment::Formation => "formation",
+            Segment::RetryStall => "retry-stall",
+            Segment::DispatchQueue => "dispatch-queue",
+            Segment::UsbWrite => "usb-write",
+            Segment::ExecWait => "exec-wait",
+            Segment::Exec => "exec",
+            Segment::ReadWait => "read-wait",
+            Segment::UsbRead => "usb-read",
+            Segment::Completion => "completion",
+        }
+    }
+}
+
+/// One completed request's exact latency split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Breakdown {
+    pub id: u64,
+    pub total: Duration,
+    /// Indexed by [`Segment::ALL`] position; sums to `total` exactly.
+    pub segs: [Duration; 9],
+    pub critical: Segment,
+    pub worker: Option<u32>,
+    pub retries: u32,
+}
+
+impl Breakdown {
+    /// `None` unless the request completed.
+    pub fn of(r: &RequestSpan) -> Option<Breakdown> {
+        let complete = r.complete?;
+        if complete < r.arrive {
+            return None;
+        }
+        let mut segs = [Duration::ZERO; 9];
+        let mut prev = r.arrive;
+        let mut put = |seg: Segment, until: Option<SimTime>, prev: &mut SimTime| {
+            if let Some(u) = until {
+                let u = u.max(*prev).min(complete);
+                segs[seg as usize] = u.since(*prev);
+                *prev = u;
+            }
+        };
+        let (uw, ex, ur) = (r.dev.usb_write, r.dev.exec, r.dev.usb_read);
+        put(Segment::Formation, r.batch_close, &mut prev);
+        put(Segment::RetryStall, r.final_dispatch(), &mut prev);
+        put(Segment::DispatchQueue, uw.map(|s| s.0).or(ex.map(|s| s.0)), &mut prev);
+        put(Segment::UsbWrite, uw.map(|s| s.1), &mut prev);
+        put(Segment::ExecWait, ex.map(|s| s.0), &mut prev);
+        put(Segment::Exec, ex.map(|s| s.1), &mut prev);
+        put(Segment::ReadWait, ur.map(|s| s.0), &mut prev);
+        put(Segment::UsbRead, ur.map(|s| s.1), &mut prev);
+        put(Segment::Completion, Some(complete), &mut prev);
+        let mut critical = Segment::Formation;
+        for s in Segment::ALL {
+            if segs[s as usize] > segs[critical as usize] {
+                critical = s;
+            }
+        }
+        Some(Breakdown {
+            id: r.id,
+            total: complete.since(r.arrive),
+            segs,
+            critical,
+            worker: r.worker,
+            retries: r.retries,
+        })
+    }
+
+    pub fn seg(&self, s: Segment) -> Duration {
+        self.segs[s as usize]
+    }
+
+    /// Whether the segments telescope to the total exactly (they do by
+    /// construction; exposed so tests state the invariant).
+    pub fn exact(&self) -> bool {
+        self.segs.iter().copied().sum::<Duration>() == self.total
+    }
+}
+
+/// Exact quantile over sorted nanosecond values (nearest-rank).
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One aggregated row of the attribution table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentRow {
+    pub segment: String,
+    /// Completed requests where this segment is non-zero.
+    pub count: usize,
+    /// Sum over all completed requests, in ms.
+    pub total_ms: f64,
+    /// Share of the summed end-to-end latency.
+    pub share: f64,
+    /// Exact quantiles over all completed requests (zeros included).
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    /// Requests whose critical segment this is.
+    pub critical: usize,
+}
+
+/// The aggregated attribution table (one row per [`Segment`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributionTable {
+    pub completed: usize,
+    pub rows: Vec<SegmentRow>,
+}
+
+impl AttributionTable {
+    pub fn of(breakdowns: &[Breakdown]) -> AttributionTable {
+        let grand: Duration = breakdowns.iter().map(|b| b.total).sum();
+        let rows = Segment::ALL
+            .into_iter()
+            .map(|s| {
+                let mut ns: Vec<u64> = breakdowns.iter().map(|b| b.seg(s).nanos()).collect();
+                ns.sort_unstable();
+                let total: u64 = ns.iter().sum();
+                SegmentRow {
+                    segment: s.name().to_string(),
+                    count: ns.iter().filter(|&&v| v > 0).count(),
+                    total_ms: total as f64 / 1e6,
+                    share: if grand.nanos() == 0 {
+                        0.0
+                    } else {
+                        total as f64 / grand.nanos() as f64
+                    },
+                    mean_ms: total as f64 / 1e6 / ns.len().max(1) as f64,
+                    p50_ms: quantile_ns(&ns, 0.50) as f64 / 1e6,
+                    p95_ms: quantile_ns(&ns, 0.95) as f64 / 1e6,
+                    p99_ms: quantile_ns(&ns, 0.99) as f64 / 1e6,
+                    max_ms: ns.last().copied().unwrap_or(0) as f64 / 1e6,
+                    critical: breakdowns.iter().filter(|b| b.critical == s).count(),
+                }
+            })
+            .collect();
+        AttributionTable { completed: breakdowns.len(), rows }
+    }
+}
+
+/// End-to-end latency statistics (exact nearest-rank quantiles, unlike
+/// the serving report's log-bucketed ones).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct E2e {
+    pub count: usize,
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+impl E2e {
+    fn of(breakdowns: &[Breakdown]) -> E2e {
+        let mut ns: Vec<u64> = breakdowns.iter().map(|b| b.total.nanos()).collect();
+        ns.sort_unstable();
+        let total: u64 = ns.iter().sum();
+        E2e {
+            count: ns.len(),
+            mean_ms: total as f64 / 1e6 / ns.len().max(1) as f64,
+            p50_ms: quantile_ns(&ns, 0.50) as f64 / 1e6,
+            p95_ms: quantile_ns(&ns, 0.95) as f64 / 1e6,
+            p99_ms: quantile_ns(&ns, 0.99) as f64 / 1e6,
+            max_ms: ns.last().copied().unwrap_or(0) as f64 / 1e6,
+        }
+    }
+}
+
+/// Shed requests by cause, as found in the trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShedCounts {
+    pub rejected: usize,
+    pub evicted: usize,
+    pub deadline: usize,
+    pub retries_exhausted: usize,
+    /// `Shed` events with no recognizable cause arg (a malformed
+    /// trace — `trace_check` rejects these upstream).
+    pub unknown: usize,
+}
+
+impl ShedCounts {
+    pub fn total(&self) -> usize {
+        self.rejected + self.evicted + self.deadline + self.retries_exhausted + self.unknown
+    }
+}
+
+/// The full analysis of one observed run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    pub forest: SpanForest,
+    /// Per-request exact splits, ordered by request id.
+    pub breakdowns: Vec<Breakdown>,
+    pub table: AttributionTable,
+    pub e2e: E2e,
+    pub shed: ShedCounts,
+}
+
+impl Analysis {
+    pub fn of(log: &EventLog) -> Analysis {
+        Analysis::from_forest(SpanForest::build(log))
+    }
+
+    pub fn from_forest(forest: SpanForest) -> Analysis {
+        let breakdowns: Vec<Breakdown> =
+            forest.requests.values().filter_map(Breakdown::of).collect();
+        let mut shed = ShedCounts::default();
+        for r in forest.requests.values() {
+            if r.outcome() == Outcome::Shed {
+                match r.shed_cause {
+                    Some(ShedCause::Rejected) => shed.rejected += 1,
+                    Some(ShedCause::Evicted) => shed.evicted += 1,
+                    Some(ShedCause::Deadline) => shed.deadline += 1,
+                    Some(ShedCause::RetriesExhausted) => shed.retries_exhausted += 1,
+                    None => shed.unknown += 1,
+                }
+            }
+        }
+        let table = AttributionTable::of(&breakdowns);
+        let e2e = E2e::of(&breakdowns);
+        Analysis { forest, breakdowns, table, e2e, shed }
+    }
+
+    /// Parse an exported Chrome trace and analyze it.
+    pub fn from_chrome(json: &str) -> Result<Analysis, String> {
+        Ok(Analysis::of(&crate::parse::parse_chrome_trace(json)?))
+    }
+
+    /// p99 end-to-end latency of completions overlapping a
+    /// circuit-breaker outage window — same definition (and the same
+    /// log-bucketed histogram) as the serving report's
+    /// `p99_during_failover_ms`, but derived purely from the trace.
+    pub fn p99_during_outages_ms(&self) -> f64 {
+        let end =
+            self.forest.requests.values().filter_map(|r| r.complete).max().unwrap_or(SimTime::ZERO);
+        let mut h = LogHistogram::new();
+        for r in self.forest.requests.values() {
+            let Some(done) = r.complete else { continue };
+            let overlaps = self
+                .forest
+                .outages
+                .iter()
+                .any(|o| r.arrive <= o.until.unwrap_or(end) && done >= o.from);
+            if overlaps {
+                h.record(done.since(r.arrive));
+            }
+        }
+        if h.is_empty() {
+            0.0
+        } else {
+            h.quantile(0.99).as_millis()
+        }
+    }
+
+    /// Human-readable report: attribution table, critical-path summary,
+    /// end-to-end stats, shed breakdown and alert windows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} requests in trace: {} completed, {} shed, {} incomplete",
+            self.forest.requests.len(),
+            self.e2e.count,
+            self.shed.total(),
+            self.forest.requests.len() - self.e2e.count - self.shed.total(),
+        );
+        let _ = writeln!(
+            out,
+            "e2e latency: mean {:.2} ms  p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+            self.e2e.mean_ms, self.e2e.p50_ms, self.e2e.p95_ms, self.e2e.p99_ms, self.e2e.max_ms
+        );
+        let _ = writeln!(
+            out,
+            "\n{:<15} {:>6} {:>11} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "segment",
+            "count",
+            "total_ms",
+            "share",
+            "mean_ms",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "critical"
+        );
+        for r in &self.table.rows {
+            let _ = writeln!(
+                out,
+                "{:<15} {:>6} {:>11.3} {:>6.1}% {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9}",
+                r.segment,
+                r.count,
+                r.total_ms,
+                r.share * 100.0,
+                r.mean_ms,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+                r.critical
+            );
+        }
+        if self.shed.total() > 0 {
+            let _ = writeln!(
+                out,
+                "\nshed: {} rejected, {} evicted, {} deadline, {} retries-exhausted",
+                self.shed.rejected,
+                self.shed.evicted,
+                self.shed.deadline,
+                self.shed.retries_exhausted
+            );
+        }
+        if !self.forest.outages.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{} outage window(s); p99 during failover {:.1} ms",
+                self.forest.outages.len(),
+                self.p99_during_outages_ms()
+            );
+        }
+        if !self.forest.alerts.is_empty() {
+            let _ = writeln!(out, "\nSLO burn alerts:");
+            for (from, until) in &self.forest.alerts {
+                let _ = writeln!(
+                    out,
+                    "  [{:.1} ms .. {:.1} ms] ({:.1} ms)",
+                    from.as_millis(),
+                    until.as_millis(),
+                    until.since(*from).as_millis()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::DeviceSpans;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    fn vpu_request() -> RequestSpan {
+        RequestSpan {
+            id: 1,
+            arrive: t(0),
+            batch_close: Some(t(10)),
+            dispatches: vec![(t(10), Some(4), Some(2))],
+            complete: Some(t(40)),
+            batch: Some(4),
+            worker: Some(2),
+            dev: DeviceSpans {
+                usb_write: Some((t(11), t(13))),
+                exec: Some((t(14), t(30))),
+                usb_read: Some((t(31), t(33))),
+            },
+            ..RequestSpan::default()
+        }
+    }
+
+    #[test]
+    fn segments_sum_exactly_and_name_the_critical_phase() {
+        let b = Breakdown::of(&vpu_request()).unwrap();
+        assert!(b.exact());
+        assert_eq!(b.total, Duration::from_millis(40.0));
+        assert_eq!(b.seg(Segment::Formation), Duration::from_millis(10.0));
+        assert_eq!(b.seg(Segment::RetryStall), Duration::ZERO);
+        assert_eq!(b.seg(Segment::DispatchQueue), Duration::from_millis(1.0));
+        assert_eq!(b.seg(Segment::UsbWrite), Duration::from_millis(2.0));
+        assert_eq!(b.seg(Segment::ExecWait), Duration::from_millis(1.0));
+        assert_eq!(b.seg(Segment::Exec), Duration::from_millis(16.0));
+        assert_eq!(b.seg(Segment::ReadWait), Duration::from_millis(1.0));
+        assert_eq!(b.seg(Segment::UsbRead), Duration::from_millis(2.0));
+        assert_eq!(b.seg(Segment::Completion), Duration::from_millis(7.0));
+        assert_eq!(b.critical, Segment::Exec);
+    }
+
+    #[test]
+    fn ties_break_toward_the_earlier_stage() {
+        let mut r = vpu_request();
+        r.dev = DeviceSpans::default();
+        r.batch_close = Some(t(20));
+        r.dispatches = vec![(t(40), Some(4), Some(2))];
+        // Formation 20, RetryStall 20, Completion 0 — tie goes to
+        // Formation.
+        let b = Breakdown::of(&r).unwrap();
+        assert!(b.exact());
+        assert_eq!(b.critical, Segment::Formation);
+    }
+
+    #[test]
+    fn out_of_range_device_spans_cannot_break_exactness() {
+        // A device span reaching past Complete (or before dispatch)
+        // gets clamped, never double-counted.
+        let mut r = vpu_request();
+        r.dev.usb_read = Some((t(31), t(55)));
+        let b = Breakdown::of(&r).unwrap();
+        assert!(b.exact());
+        assert_eq!(b.seg(Segment::Completion), Duration::ZERO);
+        assert_eq!(b.seg(Segment::UsbRead), Duration::from_millis(9.0));
+    }
+
+    #[test]
+    fn host_requests_attribute_exec_via_the_batch_span() {
+        let r = RequestSpan {
+            id: 2,
+            arrive: t(0),
+            batch_close: Some(t(4)),
+            dispatches: vec![(t(4), Some(9), Some(0))],
+            complete: Some(t(30)),
+            batch: Some(9),
+            worker: Some(0),
+            dev: DeviceSpans { exec: Some((t(5), t(30))), ..DeviceSpans::default() },
+            ..RequestSpan::default()
+        };
+        let b = Breakdown::of(&r).unwrap();
+        assert!(b.exact());
+        assert_eq!(b.seg(Segment::DispatchQueue), Duration::from_millis(1.0));
+        assert_eq!(b.seg(Segment::Exec), Duration::from_millis(25.0));
+        assert_eq!(b.seg(Segment::UsbWrite), Duration::ZERO);
+        assert_eq!(b.critical, Segment::Exec);
+    }
+
+    #[test]
+    fn exact_quantiles_are_nearest_rank() {
+        let ns: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_ns(&ns, 0.50), 50);
+        assert_eq!(quantile_ns(&ns, 0.95), 95);
+        assert_eq!(quantile_ns(&ns, 0.99), 99);
+        assert_eq!(quantile_ns(&ns, 1.0), 100);
+        assert_eq!(quantile_ns(&[], 0.5), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Folded-stacks export of the attribution — the input format of
+//! Brendan Gregg's `flamegraph.pl` and of speedscope's "folded" importer:
+//! one `frame;frame;frame value` line per stack, values here in
+//! microseconds of attributed virtual time.
+//!
+//! Stacks are `serve;worker<N>;<segment>` for completed requests
+//! (aggregated over the fleet) and `serve;shed;<cause>` for the queue
+//! time burned by shed requests, so the width of each segment bar *is*
+//! the attribution table drawn as a flamegraph.
+
+use crate::attribution::{Analysis, Segment};
+use crate::span::Outcome;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render the analysis as folded stacks. Deterministic: stacks are
+/// emitted in sorted order, values are integer microseconds.
+pub fn folded(a: &Analysis) -> String {
+    // (worker, segment index) -> total ns.
+    let mut by_worker: BTreeMap<(Option<u32>, usize), u64> = BTreeMap::new();
+    for b in &a.breakdowns {
+        for s in Segment::ALL {
+            let ns = b.seg(s).nanos();
+            if ns > 0 {
+                *by_worker.entry((b.worker, s as usize)).or_insert(0) += ns;
+            }
+        }
+    }
+    let mut shed: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for r in a.forest.requests.values() {
+        if r.outcome() == Outcome::Shed {
+            let cause = r.shed_cause.map(|c| c.name()).unwrap_or("unknown");
+            let wait = r.shed_at.map(|at| at.since(r.arrive).nanos()).unwrap_or(0);
+            *shed.entry(cause).or_insert(0) += wait;
+        }
+    }
+    let mut out = String::new();
+    for ((worker, seg), ns) in &by_worker {
+        let w = worker.map(|w| w.to_string()).unwrap_or_else(|| "?".to_string());
+        let _ = writeln!(out, "serve;worker{w};{} {}", Segment::ALL[*seg].name(), ns / 1_000);
+    }
+    for (cause, ns) in &shed {
+        let _ = writeln!(out, "serve;shed;{cause} {}", ns / 1_000);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{DeviceSpans, RequestSpan, SpanForest};
+    use desim::SimTime;
+    use ncsw_obs::ShedCause;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    #[test]
+    fn folded_stacks_cover_completed_and_shed_requests() {
+        let mut forest = SpanForest::default();
+        forest.requests.insert(
+            1,
+            RequestSpan {
+                id: 1,
+                arrive: t(0),
+                batch_close: Some(t(10)),
+                dispatches: vec![(t(10), Some(0), Some(3))],
+                complete: Some(t(30)),
+                batch: Some(0),
+                worker: Some(3),
+                dev: DeviceSpans { exec: Some((t(12), t(28))), ..DeviceSpans::default() },
+                ..RequestSpan::default()
+            },
+        );
+        forest.requests.insert(
+            2,
+            RequestSpan {
+                id: 2,
+                arrive: t(5),
+                shed_at: Some(t(9)),
+                shed_cause: Some(ShedCause::Evicted),
+                ..RequestSpan::default()
+            },
+        );
+        let a = Analysis::from_forest(forest);
+        let f = folded(&a);
+        assert!(f.contains("serve;worker3;formation 10000\n"), "{f}");
+        assert!(f.contains("serve;worker3;exec 16000\n"), "{f}");
+        assert!(f.contains("serve;shed;evicted 4000\n"), "{f}");
+        // Total attributed µs equals the completed request's latency.
+        let total: u64 = f
+            .lines()
+            .filter(|l| l.starts_with("serve;worker"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 30_000);
+    }
+}

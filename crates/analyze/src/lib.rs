@@ -1,0 +1,43 @@
+//! # ncsw-analyze — answers from the phase-event stream
+//!
+//! `ncsw-obs` records what happened; this crate answers *why the p99
+//! was what it was*. It consumes the flat [`ncsw_obs::EventLog`] (or an
+//! exported Chrome trace fed back through [`parse_chrome_trace`]) and
+//! produces:
+//!
+//! - [`span::SpanForest`] — the per-request span tree: each request's
+//!   Arrive→Admit→Enqueue→BatchClose→Dispatch→UsbWrite→Exec→UsbRead→
+//!   Complete chain reconstructed into typed spans, with Shed, Failover
+//!   and retry side-branches attached, plus circuit-breaker outage
+//!   windows.
+//! - [`attribution::Analysis`] — exact latency attribution: every
+//!   completed request's end-to-end latency split into telescoping
+//!   [`Segment`]s that sum to the total *exactly* (no lost or
+//!   double-counted nanoseconds), the deterministic critical segment
+//!   per request, and an aggregated attribution table with exact
+//!   p50/p95/p99 per segment.
+//! - [`flame::folded`] — the attribution as folded stacks for
+//!   flamegraph tooling (`repro analyze --flame out.folded`).
+//! - [`diff`] — paired A/B trace diffing: join two same-seed runs on
+//!   request id, per-request and per-phase deltas, and a
+//!   machine-readable improved/regressed/neutral verdict with
+//!   configurable thresholds (the CI perf-regression gate).
+//! - [`burn`] — multi-window SLO burn-rate alerts derived from the
+//!   sampled [`ncsw_obs::TimeSeries`], exportable as `SloAlert` spans
+//!   on the `alerts` lane of the Chrome trace.
+
+pub mod attribution;
+pub mod burn;
+pub mod diff;
+pub mod flame;
+pub mod parse;
+pub mod span;
+
+pub use attribution::{
+    Analysis, AttributionTable, Breakdown, E2e, Segment, SegmentRow, ShedCounts,
+};
+pub use burn::{alert_events, burn_alerts, AlertWindow, BurnConfig};
+pub use diff::{diff, DiffConfig, MetricDelta, TraceDiff, Verdict};
+pub use flame::folded;
+pub use parse::parse_chrome_trace;
+pub use span::{DeviceSpans, OutageWindow, Outcome, RequestSpan, SpanForest};

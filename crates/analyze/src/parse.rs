@@ -1,0 +1,149 @@
+//! Chrome trace-event JSON → [`EventLog`].
+//!
+//! The exporter in `ncsw-obs` is lossless for what the analyzer needs:
+//! lanes live in `thread_name` metadata, phases are event names,
+//! timestamps are exact microseconds with a 3-decimal nanosecond
+//! remainder, and the request context rides in `args`. This module
+//! inverts it so `repro analyze` / `repro diff` work from trace files
+//! alone — no access to the run that produced them.
+
+use desim::SimTime;
+use ncsw_obs::{Ctx, Event, EventLog, Lane, Phase, Recorder, ShedCause};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+fn number(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(u) => Some(*u as f64),
+        Value::I64(i) => Some(*i as f64),
+        Value::F64(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Exported timestamps are `<us>.<ns%1000>` — exact nanoseconds.
+fn ns_of(us: f64) -> u64 {
+    (us * 1_000.0).round() as u64
+}
+
+/// Parse an exported Chrome trace back into an [`EventLog`]. Strict:
+/// unknown phase names, unnamed tracks or malformed timestamps are
+/// errors, not skips — a trace that parses here is one the analyzer
+/// fully understands.
+pub fn parse_chrome_trace(json: &str) -> Result<EventLog, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_seq)
+        .ok_or("missing traceEvents array".to_string())?;
+
+    // First pass: tid → lane from thread_name metadata.
+    let mut lanes: BTreeMap<u64, Lane> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.get("ph").and_then(Value::as_str) != Some("M")
+            || ev.get("name").and_then(Value::as_str) != Some("thread_name")
+        {
+            continue;
+        }
+        let tid =
+            ev.get("tid").and_then(number).ok_or(format!("metadata event {i}: missing tid"))?
+                as u64;
+        let name = ev
+            .get("args")
+            .and_then(|a| a.get("name"))
+            .and_then(Value::as_str)
+            .ok_or(format!("metadata event {i}: thread_name without a name"))?;
+        let lane = Lane::parse(name).ok_or(format!("metadata event {i}: unknown lane {name:?}"))?;
+        lanes.insert(tid, lane);
+    }
+
+    let mut log = EventLog::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Value::as_str).ok_or(format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        if ph != "X" && ph != "i" {
+            return Err(format!("event {i}: unexpected ph {ph:?}"));
+        }
+        let name =
+            ev.get("name").and_then(Value::as_str).ok_or(format!("event {i}: missing name"))?;
+        let phase = Phase::parse(name).ok_or(format!("event {i}: unknown phase {name:?}"))?;
+        let tid = ev.get("tid").and_then(number).ok_or(format!("event {i}: missing tid"))? as u64;
+        let lane = *lanes.get(&tid).ok_or(format!("event {i}: tid {tid} has no thread_name"))?;
+        let ts = ev.get("ts").and_then(number).ok_or(format!("event {i}: missing ts"))?;
+        let start = SimTime(ns_of(ts));
+        let end = if ph == "X" {
+            let dur =
+                ev.get("dur").and_then(number).ok_or(format!("event {i}: span without dur"))?;
+            if dur < 0.0 {
+                return Err(format!("event {i}: negative dur"));
+            }
+            Some(SimTime(start.nanos() + ns_of(dur)))
+        } else {
+            None
+        };
+        let args = ev.get("args");
+        let arg = |k: &str| args.and_then(|a| a.get(k)).and_then(number);
+        let ctx = Ctx {
+            request_id: arg("request_id").map(|v| v as u64),
+            batch_id: arg("batch_id").map(|v| v as u64),
+            worker: arg("worker").map(|v| v as u32),
+        };
+        let cause = match args.and_then(|a| a.get("cause")).and_then(Value::as_str) {
+            Some(c) => Some(ShedCause::parse(c).ok_or(format!("event {i}: unknown cause {c:?}"))?),
+            None => None,
+        };
+        let mut event = Event { phase, lane, start, end, ctx, cause: None };
+        if let Some(c) = cause {
+            event = event.with_cause(c);
+        }
+        log.record(event);
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncsw_obs::chrome_trace;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::new();
+        log.record(Event::instant(Phase::Arrive, Lane::Server, SimTime(1_500), Ctx::request(0)));
+        log.record(Event::span(
+            Phase::Exec,
+            Lane::Vpu { worker: 0, dev: 2 },
+            SimTime(2_000),
+            SimTime(102_500),
+            Ctx::request(0).with_batch(1).with_worker(0),
+        ));
+        log.record(
+            Event::span(Phase::Shed, Lane::Queue, t(1), t(5), Ctx::request(9))
+                .with_cause(ShedCause::Evicted),
+        );
+        log
+    }
+
+    #[test]
+    fn export_parse_round_trip_is_lossless() {
+        let log = sample_log();
+        let back = parse_chrome_trace(&chrome_trace(&log)).expect("own export must parse");
+        assert_eq!(back.events(), log.events());
+    }
+
+    #[test]
+    fn strict_about_unknown_names() {
+        let json = chrome_trace(&sample_log());
+        let bad = json.replace("\"name\":\"Arrive\"", "\"name\":\"Arrived\"");
+        assert!(parse_chrome_trace(&bad).unwrap_err().contains("unknown phase"));
+        let bad = json.replace("\"cause\":\"evicted\"", "\"cause\":\"vibes\"");
+        assert!(parse_chrome_trace(&bad).unwrap_err().contains("unknown cause"));
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{}").is_err());
+    }
+}

@@ -22,18 +22,34 @@
 //! trace-event JSON / sampled time-series CSV; `--sample-ms` sets the
 //! sampling interval. Load the trace at <https://ui.perfetto.dev>.
 
+use serde::Serialize;
 use std::process::ExitCode;
 use vpu_bench::{ablations, anchors, fig6, fig7, fig8, serve_bench, timeline, Scale};
+
+/// The machine-readable shape of `repro analyze --json`.
+#[derive(Serialize)]
+struct AnalyzeJson {
+    table: ncsw_analyze::AttributionTable,
+    e2e: ncsw_analyze::E2e,
+    shed: ncsw_analyze::ShedCounts,
+    outages: usize,
+    p99_during_outage_ms: f64,
+    slo_alert_windows: usize,
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|serve|failover|all> \
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|serve|failover|abdiff|all> \
          [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
          [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC]\n\
          \x20      repro validate-trace PATH\n\
+         \x20      repro analyze TRACE [--flame PATH] [--json [PATH]]\n\
+         \x20      repro diff BASELINE_TRACE CANDIDATE_TRACE [--abs-ms MS] [--rel-pct PCT] [--json [PATH]]\n\
          \x20      --faults SPEC: comma-separated faults, e.g. 'unplug@2s:reconnect@4s', \
-         'w0:throttle@1s:for@2s:slow@3', 'usb@0s:for@5s:factor@2', 'execerr@0.05'"
+         'w0:throttle@1s:for@2s:slow@3', 'usb@0s:for@5s:factor@2', 'execerr@0.05'\n\
+         \x20      abdiff pairs --baseline-policy (default round-robin) against --policy; \
+         diff exits 1 when a gated metric regressed"
     );
     ExitCode::from(2)
 }
@@ -51,7 +67,11 @@ fn main() -> ExitCode {
     let mut metrics_csv: Option<String> = None;
     let mut sample_ms = 10.0f64;
     let mut faults: Option<ncsw_faults::FaultPlan> = None;
-    let mut operand: Option<String> = None;
+    let mut flame_path: Option<String> = None;
+    let mut abs_ms = 0.5f64;
+    let mut rel_pct = 5.0f64;
+    let mut baseline_policy = ncsw_serve::DispatchPolicy::RoundRobin;
+    let mut operands: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -108,6 +128,34 @@ fn main() -> ExitCode {
                 };
                 sample_ms = ms;
             }
+            "--flame" => {
+                let Some(v) = it.next() else { return usage() };
+                flame_path = Some(v.clone());
+            }
+            "--abs-ms" => {
+                let Some(v) = it.next() else { return usage() };
+                let Ok(ms) = v.parse::<f64>() else {
+                    eprintln!("bad --abs-ms '{v}'");
+                    return usage();
+                };
+                abs_ms = ms;
+            }
+            "--rel-pct" => {
+                let Some(v) = it.next() else { return usage() };
+                let Ok(p) = v.parse::<f64>() else {
+                    eprintln!("bad --rel-pct '{v}'");
+                    return usage();
+                };
+                rel_pct = p;
+            }
+            "--baseline-policy" => {
+                let Some(v) = it.next() else { return usage() };
+                let Some(p) = ncsw_serve::DispatchPolicy::parse(v) else {
+                    eprintln!("unknown policy '{v}'");
+                    return usage();
+                };
+                baseline_policy = p;
+            }
             "--faults" => {
                 let Some(v) = it.next() else { return usage() };
                 match ncsw_faults::FaultPlan::parse(v) {
@@ -122,11 +170,14 @@ fn main() -> ExitCode {
                 experiment = Some(other.to_string());
             }
             other
-                if experiment.as_deref() == Some("validate-trace")
-                    && operand.is_none()
-                    && !other.starts_with('-') =>
+                if !other.starts_with('-')
+                    && match experiment.as_deref() {
+                        Some("validate-trace") | Some("analyze") => operands.is_empty(),
+                        Some("diff") => operands.len() < 2,
+                        _ => false,
+                    } =>
             {
-                operand = Some(other.to_string());
+                operands.push(other.to_string());
             }
             other => {
                 eprintln!("unexpected argument '{other}'");
@@ -155,6 +206,15 @@ fn main() -> ExitCode {
         }};
     }
 
+    fn read_file(path: &str) -> String {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let write_csv = |name: &str, content: String| {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{name}.csv");
@@ -249,33 +309,112 @@ fn main() -> ExitCode {
                 emit!(r);
             }
             "validate-trace" => {
-                let Some(path) = &operand else {
+                let Some(path) = operands.first() else {
                     eprintln!("validate-trace needs a PATH");
                     std::process::exit(2);
                 };
-                let json = match std::fs::read_to_string(path) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("cannot read {path}: {e}");
-                        std::process::exit(2);
-                    }
-                };
+                let json = read_file(path);
                 match vpu_bench::trace_check::validate(&json) {
                     Ok(check) => println!(
                         "{path}: ok — {} events, {} tracks, {} requests ({} fully chained), \
-                         {} failovers, {} outage windows",
+                         {} failovers, {} outage windows, {} sheds",
                         check.events,
                         check.tracks,
                         check.requests,
                         check.chained,
                         check.failovers,
-                        check.outage_windows
+                        check.outage_windows,
+                        check.sheds
                     ),
                     Err(e) => {
                         eprintln!("{path}: INVALID trace: {e}");
                         std::process::exit(1);
                     }
                 }
+            }
+            "analyze" => {
+                let Some(path) = operands.first() else {
+                    eprintln!("analyze needs a TRACE path");
+                    std::process::exit(2);
+                };
+                let analysis = match ncsw_analyze::Analysis::from_chrome(&read_file(path)) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        eprintln!("{path}: cannot analyze: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                if let Some(fp) = &flame_path {
+                    if let Err(e) = std::fs::write(fp, ncsw_analyze::folded(&analysis)) {
+                        eprintln!("cannot write {fp}: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote {fp}");
+                }
+                let out = AnalyzeJson {
+                    table: analysis.table.clone(),
+                    e2e: analysis.e2e,
+                    shed: analysis.shed,
+                    outages: analysis.forest.outages.len(),
+                    p99_during_outage_ms: analysis.p99_during_outages_ms(),
+                    slo_alert_windows: analysis.forest.alerts.len(),
+                };
+                if let Some(p) = &json_path {
+                    let s = serde_json::to_string_pretty(&out).expect("serialize");
+                    if let Err(e) = std::fs::write(p, s + "\n") {
+                        eprintln!("cannot write {p}: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote {p}");
+                    print!("{}", analysis.render());
+                } else if json {
+                    println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+                } else {
+                    print!("{}", analysis.render());
+                }
+            }
+            "diff" => {
+                let [a_path, b_path] = operands.as_slice() else {
+                    eprintln!("diff needs BASELINE_TRACE and CANDIDATE_TRACE paths");
+                    std::process::exit(2);
+                };
+                let load =
+                    |path: &String| match ncsw_analyze::Analysis::from_chrome(&read_file(path)) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            eprintln!("{path}: cannot analyze: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                let a = load(a_path);
+                let b = load(b_path);
+                let cfg = ncsw_analyze::DiffConfig { abs_floor: abs_ms, rel_pct };
+                let d = ncsw_analyze::diff(&a, &b, &cfg);
+                if let Some(p) = &json_path {
+                    let s = serde_json::to_string_pretty(&d).expect("serialize");
+                    if let Err(e) = std::fs::write(p, s + "\n") {
+                        eprintln!("cannot write {p}: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote {p}");
+                    print!("{}", d.render());
+                } else if json {
+                    println!("{}", serde_json::to_string_pretty(&d).expect("serialize"));
+                } else {
+                    print!("{}", d.render());
+                }
+                if d.regression {
+                    std::process::exit(1);
+                }
+            }
+            "abdiff" => {
+                let r = vpu_bench::ab_bench::ab_exp_with(
+                    scale,
+                    desim::Duration::from_millis(slo_ms),
+                    baseline_policy,
+                    policy,
+                );
+                emit!(r);
             }
             other => {
                 eprintln!("unknown experiment '{other}'");

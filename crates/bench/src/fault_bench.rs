@@ -15,8 +15,11 @@ use crate::report;
 use crate::scale::Scale;
 use desim::Duration;
 use ncsw::ModelBundle;
+use ncsw_analyze::Analysis;
 use ncsw_faults::{FaultEvent, FaultPlan};
-use ncsw_serve::{serve, ArrivalProcess, FleetSpec, ServeConfig, ServeReport, ShedPolicy};
+use ncsw_serve::{
+    serve_observed, ArrivalProcess, FleetSpec, ObsConfig, ServeConfig, ServeReport, ShedPolicy,
+};
 use serde::{Deserialize, Serialize};
 use vpu_nn::googlenet::Variant;
 
@@ -39,6 +42,10 @@ pub struct FailoverPoint {
     pub shed_policy: String,
     /// Fraction of *generated* requests that completed within the SLO.
     pub slo_attainment: f64,
+    /// p99 latency of completions overlapping an outage window, derived
+    /// by the trace analyzer from the run's phase-event stream (the
+    /// test cross-checks it against `report.faults`).
+    pub p99_during_outage_ms: f64,
     pub report: ServeReport,
 }
 
@@ -102,12 +109,18 @@ pub fn failover_exp_with(scale: Scale, slo: Duration) -> FailoverExp {
                 workers = staggered_unplugs(k, horizon_secs).apply(workers, cfg.seed);
             }
             let load = ArrivalProcess::Poisson { rate_per_sec: rate };
-            let outcome = serve(&mut workers, &cfg, &load, n);
+            // Observed run: the phase-event stream feeds the analyzer,
+            // which attributes the tail during failover from the trace
+            // alone (no access to the server's internal records).
+            let obs_cfg = ObsConfig { sample_every: Duration::from_millis(10.0) };
+            let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, n, &obs_cfg);
+            let analysis = Analysis::of(&obs.events);
             let good = outcome.completed.iter().filter(|r| r.latency() <= slo).count();
             points.push(FailoverPoint {
                 failures: k,
                 shed_policy: shed.name().to_string(),
                 slo_attainment: good as f64 / n.max(1) as f64,
+                p99_during_outage_ms: analysis.p99_during_outages_ms(),
                 report: ServeReport::of(&outcome, &cfg),
             });
         }
@@ -151,7 +164,7 @@ impl FailoverExp {
                 p.failures,
                 p.shed_policy,
                 r.latency.p99_ms,
-                r.faults.p99_during_failover_ms,
+                p.p99_during_outage_ms,
                 p.slo_attainment * 100.0,
                 r.shed_rate * 100.0,
                 r.faults.retries_per_request,
@@ -175,6 +188,15 @@ mod tests {
             // Nothing silently lost: every generated request completed
             // or was shed with a recorded cause.
             assert_eq!(r.completed + r.shed, e.requests, "{p:?}");
+            // The analyzer's trace-derived tail-during-failover must
+            // agree exactly with the server's own fault report — two
+            // independent paths to the same number.
+            assert!(
+                (p.p99_during_outage_ms - r.faults.p99_during_failover_ms).abs() < 1e-9,
+                "analyzer {} vs report {}: {p:?}",
+                p.p99_during_outage_ms,
+                r.faults.p99_during_failover_ms
+            );
             if p.failures == 0 {
                 assert_eq!(r.faults.injected, 0, "healthy run injected faults: {p:?}");
                 assert_eq!(r.faults.outages, 0);

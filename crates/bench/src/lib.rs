@@ -9,6 +9,7 @@
 //! (`repro`) maps one sub-command to each experiment; EXPERIMENTS.md
 //! records the paper-vs-measured comparison.
 
+pub mod ab_bench;
 pub mod ablations;
 pub mod anchors;
 pub mod csv;

@@ -139,6 +139,10 @@ pub struct TracedServe {
     pub series_csv: String,
     /// Human-readable metric summary.
     pub summary: String,
+    /// Multi-window SLO burn-rate alert windows that fired during the
+    /// run (also exported as `SloAlert` spans on the trace's `alerts`
+    /// lane).
+    pub slo_alerts: usize,
 }
 
 /// One observed serving run on the heterogeneous fleet. Deterministic:
@@ -178,7 +182,18 @@ pub fn traced_serve_with_faults(
     }
     let rate = capacity_rps * TRACED_LOAD_FRACTION;
     let load = ArrivalProcess::Poisson { rate_per_sec: rate };
-    let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, n, &ObsConfig { sample_every });
+    let (outcome, mut obs) =
+        serve_observed(&mut workers, &cfg, &load, n, &ObsConfig { sample_every });
+    // Burn-rate alerting runs over the sampled series; windows that
+    // fire land in the trace as spans on their own lane, so Perfetto
+    // shows the alert right above the phase activity that caused it.
+    let alerts = ncsw_analyze::burn_alerts(&obs.series, &ncsw_analyze::BurnConfig::default());
+    {
+        use ncsw_obs::Recorder as _;
+        for ev in ncsw_analyze::alert_events(&alerts) {
+            obs.events.record(ev);
+        }
+    }
     TracedServe {
         fleet: TRACED_FLEET.to_string(),
         requests: n,
@@ -187,6 +202,7 @@ pub fn traced_serve_with_faults(
         chrome_json: ncsw_obs::chrome_trace(&obs.events),
         series_csv: obs.series.csv(),
         summary: obs.registry.summary(),
+        slo_alerts: alerts.len(),
     }
 }
 
@@ -205,6 +221,9 @@ impl TracedServe {
             self.report.latency.p99_ms,
             self.report.goodput_rps
         );
+        if self.slo_alerts > 0 {
+            println!("SLO burn-rate alerts fired: {} window(s)", self.slo_alerts);
+        }
         let f = &self.report.faults;
         if f.injected > 0 {
             println!(

@@ -7,12 +7,22 @@
 //! non-decreasing timestamps. This closes the loop on the exporter — a
 //! trace that renders in Perfetto but silently lost a phase fails here.
 
+use ncsw_obs::{Phase, ShedCause};
 use serde_json::Value;
 use std::collections::BTreeMap;
 
-/// Phases every serving trace must contain at least once.
-pub const REQUIRED_PHASES: [&str; 8] =
-    ["Arrive", "Admit", "BatchClose", "Dispatch", "UsbWrite", "Exec", "UsbRead", "Complete"];
+/// Phases every serving trace must contain at least once — derived from
+/// [`Phase::REQUEST_CHAIN`] so the checker can never drift from the
+/// names the exporter actually writes.
+pub const REQUIRED_PHASES: [&str; Phase::REQUEST_CHAIN.len()] = {
+    let mut out = [""; Phase::REQUEST_CHAIN.len()];
+    let mut i = 0;
+    while i < out.len() {
+        out[i] = Phase::REQUEST_CHAIN[i].name();
+        i += 1;
+    }
+    out
+};
 
 /// What [`validate`] measured about a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +40,9 @@ pub struct TraceCheck {
     pub failovers: usize,
     /// Circuit-breaker outage windows (each verified Exec-free).
     pub outage_windows: usize,
+    /// Shed events (each verified to carry a valid cause and to be the
+    /// request's final event).
+    pub sheds: usize,
 }
 
 fn number(v: &Value) -> Option<f64> {
@@ -61,6 +74,9 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
     let mut failovers: Vec<(u64, f64)> = Vec::new();
     // worker -> (ts, is_open) circuit transitions.
     let mut circuit: BTreeMap<u64, Vec<(f64, bool)>> = BTreeMap::new();
+    // request id -> Shed timestamp; request id -> latest event (ts, name).
+    let mut shed_at: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut latest: BTreeMap<u64, (f64, String)> = BTreeMap::new();
 
     for (i, ev) in events.iter().enumerate() {
         let ph = ev.get("ph").and_then(Value::as_str).ok_or(format!("event {i}: missing ph"))?;
@@ -87,11 +103,31 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         if let Some(&p) = REQUIRED_PHASES.iter().find(|&&p| p == name) {
             *phase_seen.entry(p).or_insert(0) += 1;
         }
+        // A Shed must say why: the cause arg is what every downstream
+        // consumer (analyzer, flamegraph, post-mortems) keys on.
+        if name == "Shed" {
+            let cause = ev
+                .get("args")
+                .and_then(|a| a.get("cause"))
+                .and_then(Value::as_str)
+                .ok_or(format!("event {i}: Shed without a cause arg"))?;
+            if ShedCause::parse(cause).is_none() {
+                return Err(format!("event {i}: Shed with unknown cause {cause:?}"));
+            }
+        }
         if let Some(id) = ev.get("args").and_then(|a| a.get("request_id")).and_then(number) {
-            let slot = per_request.entry(id as u64).or_default();
+            let id = id as u64;
+            let slot = per_request.entry(id).or_default();
             let entry = slot.entry(name.to_string()).or_insert(ts);
             if ts < *entry {
                 *entry = ts;
+            }
+            if name == "Shed" {
+                shed_at.entry(id).or_insert(ts);
+            }
+            let last = latest.entry(id).or_insert((ts, name.to_string()));
+            if ts > last.0 {
+                *last = (ts, name.to_string());
             }
         }
         if let Some(w) = ev.get("args").and_then(|a| a.get("worker")).and_then(number) {
@@ -154,6 +190,15 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         }
     }
 
+    // A shed request is dead: nothing of it may start after the Shed.
+    for (id, &sts) in &shed_at {
+        if let Some((t, n)) = latest.get(id) {
+            if *t > sts {
+                return Err(format!("request {id}: {n} at {t} after its Shed at {sts}"));
+            }
+        }
+    }
+
     let mut chained = 0usize;
     for stamps in per_request.values() {
         let mut last = f64::MIN;
@@ -182,6 +227,7 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         chained,
         failovers: failovers.len(),
         outage_windows,
+        sheds: shed_at.len(),
     })
 }
 
@@ -258,6 +304,54 @@ mod tests {
         assert_ne!(bad, json);
         let err = validate(&bad).unwrap_err();
         assert!(err.contains("without a prior Dispatch"), "{err}");
+    }
+
+    /// A hand-built log with one full-chain request and one shed
+    /// request, with the shed's cause and finality under test control.
+    fn synthetic_log(shed_cause: Option<ShedCause>, post_shed_event: bool) -> String {
+        use desim::SimTime;
+        use ncsw_obs::{chrome_trace, Ctx, Event, EventLog, Lane, Recorder as _};
+        let t = |ms: u64| SimTime(ms * 1_000_000);
+        let mut log = EventLog::new();
+        let r = Ctx::request(0).with_batch(0).with_worker(0);
+        log.record(Event::instant(Phase::Arrive, Lane::Server, t(0), Ctx::request(0)));
+        log.record(Event::instant(Phase::Admit, Lane::Server, t(0), Ctx::request(0)));
+        log.record(Event::instant(Phase::BatchClose, Lane::Queue, t(1), r));
+        log.record(Event::instant(Phase::Dispatch, Lane::Worker(0), t(1), r));
+        log.record(Event::span(Phase::UsbWrite, Lane::Host { worker: 0, dev: 0 }, t(1), t(2), r));
+        log.record(Event::span(Phase::Exec, Lane::Vpu { worker: 0, dev: 0 }, t(2), t(3), r));
+        log.record(Event::span(Phase::UsbRead, Lane::Host { worker: 0, dev: 0 }, t(3), t(4), r));
+        log.record(Event::instant(Phase::Complete, Lane::Server, t(4), r));
+        let s = Ctx::request(1);
+        log.record(Event::instant(Phase::Arrive, Lane::Server, t(5), s));
+        let shed = Event::instant(Phase::Shed, Lane::Server, t(6), s);
+        log.record(match shed_cause {
+            Some(c) => shed.with_cause(c),
+            None => shed,
+        });
+        if post_shed_event {
+            log.record(Event::instant(Phase::Admit, Lane::Server, t(7), s));
+        }
+        chrome_trace(&log)
+    }
+
+    #[test]
+    fn shed_checks_enforce_cause_and_finality() {
+        let ok = synthetic_log(Some(ShedCause::Rejected), false);
+        let check = validate(&ok).expect("synthetic trace must validate");
+        assert_eq!(check.sheds, 1);
+        assert_eq!(check.chained, 1);
+        // A Shed with no cause arg is a malformed trace.
+        let err = validate(&synthetic_log(None, false)).unwrap_err();
+        assert!(err.contains("without a cause"), "{err}");
+        // Activity after a request was shed is a lifecycle violation.
+        let err = validate(&synthetic_log(Some(ShedCause::Deadline), true)).unwrap_err();
+        assert!(err.contains("after its Shed"), "{err}");
+        // An unrecognized cause string is rejected, not counted.
+        let bad = ok.replace("\"cause\":\"rejected\"", "\"cause\":\"gremlins\"");
+        assert_ne!(bad, ok);
+        let err = validate(&bad).unwrap_err();
+        assert!(err.contains("unknown cause"), "{err}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn us(ns: u64) -> String {
 }
 
 fn args_of(ev: &Event) -> String {
-    let mut parts = Vec::with_capacity(3);
+    let mut parts = Vec::with_capacity(4);
     if let Some(r) = ev.ctx.request_id {
         parts.push(format!("\"request_id\":{r}"));
     }
@@ -31,6 +31,9 @@ fn args_of(ev: &Event) -> String {
     }
     if let Some(w) = ev.ctx.worker {
         parts.push(format!("\"worker\":{w}"));
+    }
+    if let Some(c) = ev.cause {
+        parts.push(format!("\"cause\":\"{}\"", c.name()));
     }
     format!("{{{}}}", parts.join(","))
 }
@@ -115,6 +118,18 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\""), "{json}");
         assert!(json.contains("\"ts\":2.000,\"dur\":100.500"), "{json}");
         assert!(json.contains("\"args\":{\"request_id\":0,\"batch_id\":1,\"worker\":0}"), "{json}");
+    }
+
+    #[test]
+    fn shed_cause_lands_in_args() {
+        use crate::event::ShedCause;
+        let mut log = EventLog::new();
+        log.record(
+            Event::instant(Phase::Shed, Lane::Server, SimTime(10), Ctx::request(3))
+                .with_cause(ShedCause::Deadline),
+        );
+        let json = chrome_trace(&log);
+        assert!(json.contains("\"args\":{\"request_id\":3,\"cause\":\"deadline\"}"), "{json}");
     }
 
     #[test]

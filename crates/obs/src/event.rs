@@ -50,10 +50,13 @@ pub enum Phase {
     /// close) — no `Exec` may appear on a worker between its
     /// `CircuitOpen` and the next `CircuitClose`.
     CircuitClose,
+    /// An SLO burn-rate alert window (multi-window fast/slow burn) —
+    /// derived from the sampled time series, not from the serving loop.
+    SloAlert,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 15] = [
+    pub const ALL: [Phase; 16] = [
         Phase::Arrive,
         Phase::Admit,
         Phase::Enqueue,
@@ -69,6 +72,7 @@ impl Phase {
         Phase::Failover,
         Phase::CircuitOpen,
         Phase::CircuitClose,
+        Phase::SloAlert,
     ];
 
     /// The happy-path phase sequence of one request on a VPU worker.
@@ -83,7 +87,10 @@ impl Phase {
         Phase::Complete,
     ];
 
-    pub fn name(self) -> &'static str {
+    /// The canonical phase name — single source of truth consumed by
+    /// the Chrome exporter, `trace_check` and the analyzer. `const` so
+    /// validators can build required-phase tables at compile time.
+    pub const fn name(self) -> &'static str {
         match self {
             Phase::Arrive => "Arrive",
             Phase::Admit => "Admit",
@@ -100,7 +107,47 @@ impl Phase {
             Phase::Failover => "Failover",
             Phase::CircuitOpen => "CircuitOpen",
             Phase::CircuitClose => "CircuitClose",
+            Phase::SloAlert => "SloAlert",
         }
+    }
+
+    /// Inverse of [`Phase::name`] — how the analyzer maps an exported
+    /// trace back onto the event model.
+    pub fn parse(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// Why admission control dropped a request. Carried on every `Shed`
+/// event (and surfaced as an `args.cause` string in exported traces) so
+/// a trace alone can reproduce the shed breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ShedCause {
+    /// Tail-dropped on arrival: the bounded queue was full.
+    Rejected,
+    /// Evicted from the queue head to admit a newer request.
+    Evicted,
+    /// Dropped by deadline-aware admission as hopeless against the SLO.
+    Deadline,
+    /// Dropped after exhausting failover retry attempts.
+    RetriesExhausted,
+}
+
+impl ShedCause {
+    pub const ALL: [ShedCause; 4] =
+        [ShedCause::Rejected, ShedCause::Evicted, ShedCause::Deadline, ShedCause::RetriesExhausted];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            ShedCause::Rejected => "rejected",
+            ShedCause::Evicted => "evicted",
+            ShedCause::Deadline => "deadline",
+            ShedCause::RetriesExhausted => "retries-exhausted",
+        }
+    }
+
+    pub fn parse(name: &str) -> Option<ShedCause> {
+        ShedCause::ALL.into_iter().find(|c| c.name() == name)
     }
 }
 
@@ -123,6 +170,8 @@ pub enum Lane {
     UsbRoot { worker: u32 },
     /// USB hub `hub` of worker `worker`'s fabric.
     UsbHub { worker: u32, hub: u32 },
+    /// Derived SLO burn-rate alert windows (no serving-loop activity).
+    Alerts,
 }
 
 impl Lane {
@@ -131,6 +180,7 @@ impl Lane {
         match self {
             Lane::Server => "server".to_string(),
             Lane::Queue => "queue".to_string(),
+            Lane::Alerts => "alerts".to_string(),
             Lane::Worker(w) => format!("worker{w}"),
             Lane::Host { worker, dev } => format!("w{worker}.host{dev}"),
             Lane::Vpu { worker, dev } => format!("w{worker}.vpu{dev}"),
@@ -139,12 +189,44 @@ impl Lane {
         }
     }
 
+    /// Inverse of [`Lane::name`] — reconstructs the lane from a track
+    /// name found in an exported trace's `thread_name` metadata.
+    pub fn parse(name: &str) -> Option<Lane> {
+        match name {
+            "server" => return Some(Lane::Server),
+            "queue" => return Some(Lane::Queue),
+            "alerts" => return Some(Lane::Alerts),
+            _ => {}
+        }
+        if let Some(w) = name.strip_prefix("worker") {
+            return w.parse().ok().map(Lane::Worker);
+        }
+        let rest = name.strip_prefix('w')?;
+        let (worker, tail) = rest.split_once('.')?;
+        let worker: u32 = worker.parse().ok()?;
+        if let Some(dev) = tail.strip_prefix("host") {
+            return dev.parse().ok().map(|dev| Lane::Host { worker, dev });
+        }
+        if let Some(dev) = tail.strip_prefix("vpu") {
+            return dev.parse().ok().map(|dev| Lane::Vpu { worker, dev });
+        }
+        if tail == "usb-root" {
+            return Some(Lane::UsbRoot { worker });
+        }
+        if let Some(hub) = tail.strip_prefix("usb-hub") {
+            return hub.parse().ok().map(|hub| Lane::UsbHub { worker, hub });
+        }
+        None
+    }
+
     /// Display rank used to order tracks in the trace viewer: serving
-    /// loop first, then queue, workers, host threads, chips, USB lanes.
+    /// loop first, then queue, alerts, workers, host threads, chips,
+    /// USB lanes.
     pub fn sort_rank(self) -> u32 {
         match self {
             Lane::Server => 0,
             Lane::Queue => 1,
+            Lane::Alerts => 2,
             Lane::Worker(w) => 10 + w,
             Lane::Host { worker, dev } => 1_000 + worker * 100 + dev,
             Lane::Vpu { worker, dev } => 10_000 + worker * 100 + dev,
@@ -188,16 +270,23 @@ pub struct Event {
     pub start: SimTime,
     pub end: Option<SimTime>,
     pub ctx: Ctx,
+    /// Why a `Shed` event dropped its request; `None` elsewhere.
+    pub cause: Option<ShedCause>,
 }
 
 impl Event {
     pub fn instant(phase: Phase, lane: Lane, at: SimTime, ctx: Ctx) -> Event {
-        Event { phase, lane, start: at, end: None, ctx }
+        Event { phase, lane, start: at, end: None, ctx, cause: None }
     }
 
     pub fn span(phase: Phase, lane: Lane, start: SimTime, end: SimTime, ctx: Ctx) -> Event {
         debug_assert!(end >= start, "span ends before it starts");
-        Event { phase, lane, start, end: Some(end), ctx }
+        Event { phase, lane, start, end: Some(end), ctx, cause: None }
+    }
+
+    pub fn with_cause(mut self, cause: ShedCause) -> Event {
+        self.cause = Some(cause);
+        self
     }
 
     /// Span end for spans, the instant itself otherwise.
@@ -226,6 +315,45 @@ mod tests {
         assert!(
             Lane::Vpu { worker: 0, dev: 7 }.sort_rank() < Lane::UsbRoot { worker: 0 }.sort_rank()
         );
+    }
+
+    #[test]
+    fn phase_and_cause_names_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::parse(p.name()), Some(p));
+        }
+        assert_eq!(Phase::parse("NotAPhase"), None);
+        for c in ShedCause::ALL {
+            assert_eq!(ShedCause::parse(c.name()), Some(c));
+        }
+        assert_eq!(ShedCause::parse("unplugged"), None);
+    }
+
+    #[test]
+    fn lane_names_round_trip() {
+        let lanes = [
+            Lane::Server,
+            Lane::Queue,
+            Lane::Alerts,
+            Lane::Worker(3),
+            Lane::Host { worker: 2, dev: 1 },
+            Lane::Vpu { worker: 0, dev: 7 },
+            Lane::UsbRoot { worker: 4 },
+            Lane::UsbHub { worker: 1, hub: 2 },
+        ];
+        for l in lanes {
+            assert_eq!(Lane::parse(&l.name()), Some(l), "{}", l.name());
+        }
+        assert_eq!(Lane::parse("w1.bus0"), None);
+        assert_eq!(Lane::parse("workerx"), None);
+    }
+
+    #[test]
+    fn shed_cause_rides_on_events() {
+        let ev = Event::instant(Phase::Shed, Lane::Server, SimTime(5), Ctx::request(1))
+            .with_cause(ShedCause::Rejected);
+        assert_eq!(ev.cause, Some(ShedCause::Rejected));
+        assert_eq!(Event::instant(Phase::Arrive, Lane::Server, SimTime(5), Ctx::NONE).cause, None);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod registry;
 pub mod series;
 
 pub use chrome::chrome_trace;
-pub use event::{Ctx, Event, Lane, Phase};
+pub use event::{Ctx, Event, Lane, Phase, ShedCause};
 pub use histogram::LogHistogram;
 pub use recorder::{BatchObs, EventLog, GanttRecorder, NullRecorder, Recorder, Tee};
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};

@@ -26,8 +26,14 @@ pub struct Sample {
     /// Fraction of the window's completions that missed the SLO
     /// (error-budget burn rate; 0 when the window saw no completions).
     pub slo_burn: f64,
+    /// Fraction of the window's arrivals that were shed (0 when the
+    /// window saw no arrivals).
+    pub shed_rate: f64,
     /// Per-worker busy fraction of the epoch→t interval.
     pub worker_util: Vec<f64>,
+    /// Per-worker circuit-breaker state as of this boundary: 0.0
+    /// closed, 1.0 open (matches the CircuitOpen/CircuitClose events).
+    pub circuit: Vec<f64>,
 }
 
 /// A complete sampled series with its worker column labels.
@@ -41,30 +47,108 @@ pub struct TimeSeries {
 
 impl TimeSeries {
     /// CSV export: `time_ms,queue_depth,inflight_batches,completed,shed,
-    /// slo_burn,util_<worker>...`, times relative to the epoch.
+    /// slo_burn,shed_rate,util_<worker>...,circuit_<worker>...`, times
+    /// relative to the epoch.
     pub fn csv(&self) -> String {
         let mut out = String::from("time_ms,queue_depth,inflight_batches,completed,shed,slo_burn");
+        out.push_str(",shed_rate");
         for label in &self.worker_labels {
             let _ = write!(out, ",util_{}", label.replace([' ', ','], "_"));
+        }
+        for label in &self.worker_labels {
+            let _ = write!(out, ",circuit_{}", label.replace([' ', ','], "_"));
         }
         out.push('\n');
         for s in &self.samples {
             let _ = write!(
                 out,
-                "{:.3},{},{},{},{},{:.6}",
+                "{:.3},{},{},{},{},{:.6},{:.6}",
                 (s.t - self.epoch).as_millis(),
                 s.queue_depth,
                 s.inflight_batches,
                 s.completed,
                 s.shed,
-                s.slo_burn
+                s.slo_burn,
+                s.shed_rate
             );
             for u in &s.worker_util {
                 let _ = write!(out, ",{u:.6}");
             }
+            for c in &s.circuit {
+                let _ = write!(out, ",{c:.1}");
+            }
             out.push('\n');
         }
         out
+    }
+
+    /// Parse a CSV produced by [`TimeSeries::csv`] back into a series
+    /// (epoch-relative, so the reconstructed epoch is `SimTime::ZERO`).
+    /// Lets `repro analyze` derive burn-rate alerts from a series file
+    /// without re-running the simulation.
+    pub fn from_csv(csv: &str) -> Result<TimeSeries, String> {
+        let mut lines = csv.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let cols: Vec<&str> = header.split(',').collect();
+        const FIXED: [&str; 7] = [
+            "time_ms",
+            "queue_depth",
+            "inflight_batches",
+            "completed",
+            "shed",
+            "slo_burn",
+            "shed_rate",
+        ];
+        for (i, want) in FIXED.iter().enumerate() {
+            if cols.get(i) != Some(want) {
+                return Err(format!("column {i} is {:?}, expected {want:?}", cols.get(i)));
+            }
+        }
+        let labels: Vec<String> = cols
+            .iter()
+            .skip(FIXED.len())
+            .take_while(|c| c.starts_with("util_"))
+            .map(|c| c["util_".len()..].to_string())
+            .collect();
+        let expect = FIXED.len() + 2 * labels.len();
+        if cols.len() != expect {
+            return Err(format!("{} columns, expected {expect} from the header shape", cols.len()));
+        }
+        let mut samples = Vec::new();
+        for (ln, line) in lines.enumerate() {
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() != expect {
+                return Err(format!("row {ln}: {} fields, expected {expect}", f.len()));
+            }
+            let num = |i: usize| f[i].parse::<f64>().map_err(|e| format!("row {ln} col {i}: {e}"));
+            let int = |i: usize| f[i].parse::<u64>().map_err(|e| format!("row {ln} col {i}: {e}"));
+            samples.push(Sample {
+                t: SimTime::ZERO + Duration::from_millis(num(0)?),
+                queue_depth: int(1)? as usize,
+                inflight_batches: int(2)? as usize,
+                completed: int(3)?,
+                shed: int(4)?,
+                slo_burn: num(5)?,
+                shed_rate: num(6)?,
+                worker_util: (0..labels.len())
+                    .map(|w| num(FIXED.len() + w))
+                    .collect::<Result<_, _>>()?,
+                circuit: (0..labels.len())
+                    .map(|w| num(FIXED.len() + labels.len() + w))
+                    .collect::<Result<_, _>>()?,
+            });
+        }
+        let interval = match samples.as_slice() {
+            [a, b, ..] => b.t - a.t,
+            [a] => a.t - SimTime::ZERO,
+            [] => Duration::from_millis(1.0),
+        };
+        Ok(TimeSeries {
+            epoch: SimTime::ZERO,
+            interval: if interval > Duration::ZERO { interval } else { Duration::from_millis(1.0) },
+            worker_labels: labels,
+            samples,
+        })
     }
 }
 
@@ -91,6 +175,16 @@ pub struct TimeSeriesBuilder {
     shed: u64,
     win_done: u64,
     win_miss: u64,
+    win_arrived: u64,
+    win_shed: u64,
+    /// Current per-worker circuit state (0.0 closed, 1.0 open).
+    circuit: Vec<f64>,
+    /// Future circuit transitions `(at, worker, state)` — failure
+    /// detection lands after the loop instant that dispatched the
+    /// batch, so transitions are buffered and applied in time order as
+    /// sample boundaries pass them (mirrors completion buffering in the
+    /// serving loop).
+    circuit_pending: Vec<(SimTime, usize, f64)>,
     samples: Vec<Sample>,
 }
 
@@ -112,6 +206,10 @@ impl TimeSeriesBuilder {
             shed: 0,
             win_done: 0,
             win_miss: 0,
+            win_arrived: 0,
+            win_shed: 0,
+            circuit: vec![0.0; n],
+            circuit_pending: Vec::new(),
             samples: Vec::new(),
         }
     }
@@ -132,9 +230,22 @@ impl TimeSeriesBuilder {
         }
     }
 
+    /// A request arrived (drives the windowed shed-rate denominator).
+    pub fn on_arrival(&mut self) {
+        self.win_arrived += 1;
+    }
+
     /// A request was shed.
     pub fn on_shed(&mut self) {
         self.shed += 1;
+        self.win_shed += 1;
+    }
+
+    /// Worker `worker`'s circuit breaker transitioned to `state` (1.0
+    /// open, 0.0 closed) at instant `at`, which may lie beyond the
+    /// loop's current time — applied when a sample boundary passes it.
+    pub fn circuit_event(&mut self, worker: usize, state: f64, at: SimTime) {
+        self.circuit_pending.push((at, worker, state));
     }
 
     /// Emit any samples whose boundary falls at or before `now`, using
@@ -148,6 +259,18 @@ impl TimeSeriesBuilder {
     }
 
     fn emit(&mut self, s: SimTime, queue_depth: usize) {
+        // Apply circuit transitions up to this boundary in time order
+        // (stable sort keeps same-instant transitions in push order).
+        self.circuit_pending.sort_by_key(|&(at, _, _)| at);
+        let mut applied = 0;
+        for &(at, w, state) in self.circuit_pending.iter() {
+            if at > s {
+                break;
+            }
+            self.circuit[w] = state;
+            applied += 1;
+        }
+        self.circuit_pending.drain(..applied);
         let horizon = (s - self.epoch).as_secs();
         let util: Vec<f64> = (0..self.labels.len())
             .map(|w| {
@@ -174,8 +297,15 @@ impl TimeSeriesBuilder {
         let inflight = self.active.iter().filter(|&&(start, _)| start <= s).count();
         let burn =
             if self.win_done == 0 { 0.0 } else { self.win_miss as f64 / self.win_done as f64 };
+        let shed_rate = if self.win_arrived == 0 {
+            0.0
+        } else {
+            self.win_shed as f64 / self.win_arrived as f64
+        };
         self.win_done = 0;
         self.win_miss = 0;
+        self.win_arrived = 0;
+        self.win_shed = 0;
         self.samples.push(Sample {
             t: s,
             queue_depth,
@@ -183,7 +313,9 @@ impl TimeSeriesBuilder {
             completed: self.completed,
             shed: self.shed,
             slo_burn: burn,
+            shed_rate,
             worker_util: util,
+            circuit: self.circuit.clone(),
         });
     }
 
@@ -257,8 +389,64 @@ mod tests {
         let mut lines = csv.lines();
         assert_eq!(
             lines.next().unwrap(),
-            "time_ms,queue_depth,inflight_batches,completed,shed,slo_burn,util_vpu_x8"
+            "time_ms,queue_depth,inflight_batches,completed,shed,slo_burn,shed_rate,\
+             util_vpu_x8,circuit_vpu_x8"
         );
-        assert_eq!(lines.next().unwrap(), "10.000,3,0,0,0,0.000000,0.400000");
+        assert_eq!(lines.next().unwrap(), "10.000,3,0,0,0,0.000000,0.000000,0.400000,0.0");
+    }
+
+    #[test]
+    fn shed_rate_is_windowed_over_arrivals() {
+        let mut b = TimeSeriesBuilder::new(vec![], SimTime::ZERO, ms(10.0), ms(100.0));
+        for _ in 0..4 {
+            b.on_arrival();
+        }
+        b.on_shed();
+        b.advance(at(10.0), 0);
+        b.on_arrival();
+        let ts = b.finish(at(20.0), 0);
+        assert!((ts.samples[0].shed_rate - 0.25).abs() < 1e-9);
+        assert_eq!(ts.samples[1].shed_rate, 0.0, "window resets");
+        assert_eq!(ts.samples[1].shed, 1, "cumulative column unaffected");
+    }
+
+    #[test]
+    fn circuit_transitions_apply_at_their_own_instant() {
+        let mut b = TimeSeriesBuilder::new(
+            vec!["a".into(), "b".into()],
+            SimTime::ZERO,
+            ms(10.0),
+            ms(100.0),
+        );
+        // Buffered out of order; each must land in its own sample.
+        b.circuit_event(1, 1.0, at(25.0));
+        b.circuit_event(0, 1.0, at(5.0));
+        b.circuit_event(0, 0.0, at(15.0));
+        let ts = b.finish(at(30.0), 0);
+        assert_eq!(ts.samples[0].circuit, vec![1.0, 0.0]); // t=10
+        assert_eq!(ts.samples[1].circuit, vec![0.0, 0.0]); // t=20
+        assert_eq!(ts.samples[2].circuit, vec![0.0, 1.0]); // t=30
+    }
+
+    #[test]
+    fn csv_round_trips_through_from_csv() {
+        let mut b = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(5.0));
+        b.on_batch(0, at(0.0), at(4.0));
+        b.on_arrival();
+        b.on_complete(ms(9.0));
+        b.circuit_event(0, 1.0, at(12.0));
+        let ts = b.finish(at(20.0), 2);
+        let csv = ts.csv();
+        let back = TimeSeries::from_csv(&csv).expect("own CSV must parse");
+        assert_eq!(back.worker_labels, ts.worker_labels);
+        assert_eq!(back.samples.len(), ts.samples.len());
+        assert_eq!(back.interval, ts.interval);
+        for (a, b) in back.samples.iter().zip(&ts.samples) {
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.completed, b.completed);
+            assert!((a.slo_burn - b.slo_burn).abs() < 1e-6);
+            assert_eq!(a.circuit, b.circuit);
+        }
+        assert!(TimeSeries::from_csv("nope\n1,2").is_err());
     }
 }

@@ -237,20 +237,9 @@ impl RequestRecord {
 }
 
 /// Why the admission controller (or the failover path) shed a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ShedCause {
-    /// Tail-dropped on arrival (queue full under [`ShedPolicy::Reject`]).
-    Rejected,
-    /// Evicted from the queue by a newer arrival
-    /// ([`ShedPolicy::DropOldest`]).
-    Evicted,
-    /// Could not meet the SLO given backlog and surviving capacity
-    /// ([`ShedPolicy::DeadlineAware`]).
-    Deadline,
-    /// Its batch failed [`RobustConfig::max_attempts`] times across
-    /// failover and the dispatcher gave up.
-    RetriesExhausted,
-}
+/// Defined in `ncsw-obs` so `Shed` events carry it into exported
+/// traces; re-exported here because the serving loop is what decides.
+pub use ncsw_obs::ShedCause;
 
 /// A request shed by the admission controller.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -777,6 +766,7 @@ fn serve_core(
                 next += 1;
                 if let Some(o) = obs.as_deref_mut() {
                     o.sampler.advance(at, queue.len());
+                    o.sampler.b.on_arrival();
                     o.meters.reg.inc(o.meters.arrived);
                 }
                 if rec.enabled() {
@@ -793,12 +783,10 @@ fn serve_core(
                             };
                             record_shed(r, &mut obs, &mut shed);
                             if rec.enabled() {
-                                rec.record(Event::instant(
-                                    Phase::Shed,
-                                    Lane::Server,
-                                    at,
-                                    Ctx::request(id),
-                                ));
+                                rec.record(
+                                    Event::instant(Phase::Shed, Lane::Server, at, Ctx::request(id))
+                                        .with_cause(ShedCause::Rejected),
+                                );
                             }
                             continue;
                         }
@@ -814,13 +802,16 @@ fn serve_core(
                             if rec.enabled() {
                                 // Span length = queue wait burned before
                                 // the eviction.
-                                rec.record(Event::span(
-                                    Phase::Shed,
-                                    Lane::Queue,
-                                    old.arrival,
-                                    at,
-                                    Ctx::request(old.id),
-                                ));
+                                rec.record(
+                                    Event::span(
+                                        Phase::Shed,
+                                        Lane::Queue,
+                                        old.arrival,
+                                        at,
+                                        Ctx::request(old.id),
+                                    )
+                                    .with_cause(ShedCause::Evicted),
+                                );
                             }
                         }
                     }
@@ -837,12 +828,10 @@ fn serve_core(
                             ShedRecord { id, arrival: at, shed_at: at, cause: ShedCause::Deadline };
                         record_shed(r, &mut obs, &mut shed);
                         if rec.enabled() {
-                            rec.record(Event::instant(
-                                Phase::Shed,
-                                Lane::Server,
-                                at,
-                                Ctx::request(id),
-                            ));
+                            rec.record(
+                                Event::instant(Phase::Shed, Lane::Server, at, Ctx::request(id))
+                                    .with_cause(ShedCause::Deadline),
+                            );
                         }
                         continue;
                     }
@@ -875,6 +864,9 @@ fn serve_core(
                         o.until = Some(t);
                     }
                     fo.recompute_degradation(workers, cfg);
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.sampler.b.circuit_event(w, 0.0, t);
+                    }
                     if rec.enabled() {
                         rec.record(Event::instant(
                             Phase::CircuitClose,
@@ -1016,6 +1008,7 @@ fn serve_core(
                             fo.recompute_degradation(workers, cfg);
                             if let Some(o) = obs.as_deref_mut() {
                                 o.meters.reg.inc(o.meters.circuit_opens);
+                                o.sampler.b.circuit_event(w, 1.0, detect);
                             }
                             if rec.enabled() {
                                 rec.record(Event::instant(
@@ -1048,13 +1041,16 @@ fn serve_core(
                                 };
                                 record_shed(r, &mut obs, &mut shed);
                                 if rec.enabled() {
-                                    rec.record(Event::span(
-                                        Phase::Shed,
-                                        Lane::Queue,
-                                        m.arrival,
-                                        detect,
-                                        Ctx::request(m.id).with_batch(bid),
-                                    ));
+                                    rec.record(
+                                        Event::span(
+                                            Phase::Shed,
+                                            Lane::Queue,
+                                            m.arrival,
+                                            detect,
+                                            Ctx::request(m.id).with_batch(bid),
+                                        )
+                                        .with_cause(ShedCause::RetriesExhausted),
+                                    );
                                 }
                             } else {
                                 fo.stats.retries += 1;

@@ -14,6 +14,7 @@
 //! * [`framework`] — NCSw: sources, targets, the multi-VPU pipeline
 //! * [`serving`] — online inference serving over the simulated fleet
 //! * [`obs`] — observability: phase events, metrics, traces, time series
+//! * [`analyze`] — trace analysis: attribution, A/B diffing, burn alerts
 //! * [`faults`] — deterministic fault injection for the serving fleet
 //! * [`mdk`] — general-purpose offload (LAMA-style GEMM with CMX tiling)
 //! * [`experiments`] — the per-figure experiment harness
@@ -25,6 +26,7 @@ pub use mdk;
 pub use myriad2 as vpu;
 pub use ncs_platform as platform;
 pub use ncsw as framework;
+pub use ncsw_analyze as analyze;
 pub use ncsw_faults as faults;
 pub use ncsw_obs as obs;
 pub use ncsw_serve as serving;
