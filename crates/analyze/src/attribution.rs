@@ -257,11 +257,17 @@ pub struct Analysis {
     pub table: AttributionTable,
     pub e2e: E2e,
     pub shed: ShedCounts,
+    /// Energy attribution from the power lanes; `None` when the trace
+    /// predates them (built from the log, so [`Analysis::from_forest`]
+    /// always leaves it `None`).
+    pub energy: Option<crate::energy::EnergyAnalysis>,
 }
 
 impl Analysis {
     pub fn of(log: &EventLog) -> Analysis {
-        Analysis::from_forest(SpanForest::build(log))
+        let mut a = Analysis::from_forest(SpanForest::build(log));
+        a.energy = crate::energy::EnergyAnalysis::of(log, &a.forest, &a.breakdowns);
+        a
     }
 
     pub fn from_forest(forest: SpanForest) -> Analysis {
@@ -281,7 +287,7 @@ impl Analysis {
         }
         let table = AttributionTable::of(&breakdowns);
         let e2e = E2e::of(&breakdowns);
-        Analysis { forest, breakdowns, table, e2e, shed }
+        Analysis { forest, breakdowns, table, e2e, shed, energy: None }
     }
 
     /// Parse an exported Chrome trace and analyze it.
@@ -389,6 +395,10 @@ impl Analysis {
                     until.since(*from).as_millis()
                 );
             }
+        }
+        if let Some(e) = &self.energy {
+            let _ = writeln!(out);
+            out.push_str(&e.render());
         }
         out
     }

@@ -128,6 +128,23 @@ pub fn diff(a: &Analysis, b: &Analysis, cfg: &DiffConfig) -> TraceDiff {
     m("latency_max_ms", a.e2e.max_ms, b.e2e.max_ms, true, false);
     m("completed", a.e2e.count as f64, b.e2e.count as f64, false, true);
     m("shed", a.shed.total() as f64, b.shed.total() as f64, true, true);
+    // Energy deltas when both traces carry power lanes. Informational
+    // (never gated): a policy trading joules for latency should fail
+    // the gate only on the latency rows.
+    if let (Some(ea), Some(eb)) = (&a.energy, &b.energy) {
+        use ncsw_obs::joules;
+        m("energy_fleet_j", joules(ea.fleet_pj), joules(eb.fleet_pj), true, false);
+        m("energy_wasted_j", joules(ea.wasted_pj), joules(eb.wasted_pj), true, false);
+        m("energy_idle_j", joules(ea.idle_pj), joules(eb.idle_pj), true, false);
+        let jpr = |e: &crate::energy::EnergyAnalysis, n: usize| {
+            if n == 0 {
+                0.0
+            } else {
+                joules(e.fleet_pj) / n as f64
+            }
+        };
+        m("j_per_inference", jpr(ea, a.e2e.count), jpr(eb, b.e2e.count), true, false);
+    }
 
     let seg_mean = |x: &Analysis, s: Segment| x.table.rows[s as usize].mean_ms;
     let segments = Segment::ALL

@@ -45,6 +45,40 @@ pub fn folded(a: &Analysis) -> String {
     out
 }
 
+/// The energy attribution as folded stacks, values in exact picojoules:
+/// `serve;worker<N>;<segment>` for the energy attributed to completed
+/// requests and `serve;wasted;worker<N>` for failed attempts' burn, so
+/// bar widths are joules instead of time. Empty when the trace has no
+/// power lanes.
+pub fn folded_energy(a: &Analysis) -> String {
+    let Some(e) = &a.energy else {
+        return String::new();
+    };
+    let worker_of: BTreeMap<u64, Option<u32>> =
+        a.breakdowns.iter().map(|b| (b.id, b.worker)).collect();
+    let mut by_worker: BTreeMap<(Option<u32>, usize), u64> = BTreeMap::new();
+    for r in &e.requests {
+        let w = worker_of.get(&r.id).copied().flatten();
+        for (seg, pj) in r.segs.iter().enumerate() {
+            if *pj > 0 {
+                *by_worker.entry((w, seg)).or_insert(0) += pj;
+            }
+        }
+    }
+    let mut out = String::new();
+    for ((worker, seg), pj) in &by_worker {
+        let w = worker.map(|w| w.to_string()).unwrap_or_else(|| "?".to_string());
+        let _ = writeln!(out, "serve;worker{w};{} {pj}", Segment::ALL[*seg].name());
+    }
+    for l in &e.workers {
+        let pj = l.wasted_pj();
+        if pj > 0 {
+            let _ = writeln!(out, "serve;wasted;worker{} {pj}", l.worker);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,8 +16,15 @@
 //!   double-counted nanoseconds), the deterministic critical segment
 //!   per request, and an aggregated attribution table with exact
 //!   p50/p95/p99 per segment.
+//! - [`energy::EnergyAnalysis`] — exact energy attribution from the
+//!   per-worker power lanes: the trace's `PowerSample` counters are
+//!   re-integrated into the same picojoule ledger the server
+//!   accounted, active spans are split across batch members and the
+//!   nine latency segments with integer-exact remainder handling, and
+//!   `attributed + wasted + idle == fleet` holds as a `u64` equality.
 //! - [`flame::folded`] — the attribution as folded stacks for
-//!   flamegraph tooling (`repro analyze --flame out.folded`).
+//!   flamegraph tooling (`repro analyze --flame out.folded`);
+//!   [`flame::folded_energy`] is the same shape with picojoule values.
 //! - [`diff`] — paired A/B trace diffing: join two same-seed runs on
 //!   request id, per-request and per-phase deltas, and a
 //!   machine-readable improved/regressed/neutral verdict with
@@ -29,6 +36,7 @@
 pub mod attribution;
 pub mod burn;
 pub mod diff;
+pub mod energy;
 pub mod flame;
 pub mod parse;
 pub mod span;
@@ -38,6 +46,7 @@ pub use attribution::{
 };
 pub use burn::{alert_events, burn_alerts, AlertWindow, BurnConfig};
 pub use diff::{diff, DiffConfig, MetricDelta, TraceDiff, Verdict};
-pub use flame::folded;
+pub use energy::{BusySpan, EnergyAnalysis, RequestEnergy, WorkerLedger};
+pub use flame::{folded, folded_energy};
 pub use parse::parse_chrome_trace;
 pub use span::{DeviceSpans, OutageWindow, Outcome, RequestSpan, SpanForest};

@@ -63,16 +63,35 @@ pub fn parse_chrome_trace(json: &str) -> Result<EventLog, String> {
         if ph == "M" {
             continue;
         }
-        if ph != "X" && ph != "i" {
+        if ph != "X" && ph != "i" && ph != "C" {
             return Err(format!("event {i}: unexpected ph {ph:?}"));
         }
-        let name =
-            ev.get("name").and_then(Value::as_str).ok_or(format!("event {i}: missing name"))?;
-        let phase = Phase::parse(name).ok_or(format!("event {i}: unknown phase {name:?}"))?;
         let tid = ev.get("tid").and_then(number).ok_or(format!("event {i}: missing tid"))? as u64;
         let lane = *lanes.get(&tid).ok_or(format!("event {i}: tid {tid} has no thread_name"))?;
         let ts = ev.get("ts").and_then(number).ok_or(format!("event {i}: missing ts"))?;
         let start = SimTime(ns_of(ts));
+        let args = ev.get("args");
+        let arg = |k: &str| args.and_then(|a| a.get(k)).and_then(number);
+        if ph == "C" {
+            // Counter sample: the exporter names it after its own lane
+            // and carries the reading in args.mw.
+            let name =
+                ev.get("name").and_then(Value::as_str).ok_or(format!("event {i}: missing name"))?;
+            if name != lane.name() {
+                return Err(format!("event {i}: counter name {name:?} != lane {:?}", lane.name()));
+            }
+            let mw = arg("mw").ok_or(format!("event {i}: counter without args.mw"))?;
+            let ctx = Ctx {
+                request_id: arg("request_id").map(|v| v as u64),
+                batch_id: arg("batch_id").map(|v| v as u64),
+                worker: arg("worker").map(|v| v as u32),
+            };
+            log.record(Event::counter(lane, start, mw as u64, ctx));
+            continue;
+        }
+        let name =
+            ev.get("name").and_then(Value::as_str).ok_or(format!("event {i}: missing name"))?;
+        let phase = Phase::parse(name).ok_or(format!("event {i}: unknown phase {name:?}"))?;
         let end = if ph == "X" {
             let dur =
                 ev.get("dur").and_then(number).ok_or(format!("event {i}: span without dur"))?;
@@ -83,8 +102,6 @@ pub fn parse_chrome_trace(json: &str) -> Result<EventLog, String> {
         } else {
             None
         };
-        let args = ev.get("args");
-        let arg = |k: &str| args.and_then(|a| a.get(k)).and_then(number);
         let ctx = Ctx {
             request_id: arg("request_id").map(|v| v as u64),
             batch_id: arg("batch_id").map(|v| v as u64),
@@ -94,7 +111,7 @@ pub fn parse_chrome_trace(json: &str) -> Result<EventLog, String> {
             Some(c) => Some(ShedCause::parse(c).ok_or(format!("event {i}: unknown cause {c:?}"))?),
             None => None,
         };
-        let mut event = Event { phase, lane, start, end, ctx, cause: None };
+        let mut event = Event { phase, lane, start, end, ctx, cause: None, value: None };
         if let Some(c) = cause {
             event = event.with_cause(c);
         }
@@ -126,6 +143,12 @@ mod tests {
             Event::span(Phase::Shed, Lane::Queue, t(1), t(5), Ctx::request(9))
                 .with_cause(ShedCause::Evicted),
         );
+        log.record(Event::counter(
+            Lane::Power(0),
+            SimTime(2_000),
+            900,
+            Ctx::NONE.with_batch(1).with_worker(0),
+        ));
         log
     }
 

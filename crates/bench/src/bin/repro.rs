@@ -9,6 +9,7 @@
 //!   timeline                              Fig. 4 execution timeline
 //!   ablation-accum ablation-usb ablation-shave
 //!   serve                                 E15 online-serving load sweep
+//!   energy                                E19 online img/W vs offline Eq. 1
 //!   validate-trace PATH                   check an exported Chrome trace
 //!   all                                   everything above
 //! ```
@@ -35,16 +36,51 @@ struct AnalyzeJson {
     outages: usize,
     p99_during_outage_ms: f64,
     slo_alert_windows: usize,
+    /// Energy attribution; absent for traces without power lanes.
+    energy: Option<EnergyJson>,
+}
+
+/// Energy block of `repro analyze --json`. The picojoule fields are
+/// exact integers so CI can compare them against the server's own
+/// counters with string equality.
+#[derive(Serialize)]
+struct EnergyJson {
+    fleet_pj: u64,
+    active_pj: u64,
+    wasted_pj: u64,
+    idle_pj: u64,
+    attributed_pj: u64,
+    fleet_j: f64,
+    /// Attributed joules per latency segment, in [`Segment::ALL`] order.
+    segment_j: Vec<(String, f64)>,
+}
+
+impl EnergyJson {
+    fn of(e: &ncsw_analyze::EnergyAnalysis) -> EnergyJson {
+        EnergyJson {
+            fleet_pj: e.fleet_pj,
+            active_pj: e.active_pj,
+            wasted_pj: e.wasted_pj,
+            idle_pj: e.idle_pj,
+            attributed_pj: e.attributed_pj,
+            fleet_j: ncsw_obs::joules(e.fleet_pj),
+            segment_j: ncsw_analyze::Segment::ALL
+                .iter()
+                .zip(e.segment_pj())
+                .map(|(s, pj)| (s.name().to_string(), ncsw_obs::joules(pj)))
+                .collect(),
+        }
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|future-work|serve|failover|abdiff|all> \
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|abdiff|all> \
          [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
          [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC]\n\
          \x20      repro validate-trace PATH\n\
-         \x20      repro analyze TRACE [--flame PATH] [--json [PATH]]\n\
+         \x20      repro analyze TRACE [--flame PATH] [--flame-energy PATH] [--json [PATH]]\n\
          \x20      repro diff BASELINE_TRACE CANDIDATE_TRACE [--abs-ms MS] [--rel-pct PCT] [--json [PATH]]\n\
          \x20      --faults SPEC: comma-separated faults, e.g. 'unplug@2s:reconnect@4s', \
          'w0:throttle@1s:for@2s:slow@3', 'usb@0s:for@5s:factor@2', 'execerr@0.05'\n\
@@ -68,6 +104,7 @@ fn main() -> ExitCode {
     let mut sample_ms = 10.0f64;
     let mut faults: Option<ncsw_faults::FaultPlan> = None;
     let mut flame_path: Option<String> = None;
+    let mut flame_energy_path: Option<String> = None;
     let mut abs_ms = 0.5f64;
     let mut rel_pct = 5.0f64;
     let mut baseline_policy = ncsw_serve::DispatchPolicy::RoundRobin;
@@ -131,6 +168,10 @@ fn main() -> ExitCode {
             "--flame" => {
                 let Some(v) = it.next() else { return usage() };
                 flame_path = Some(v.clone());
+            }
+            "--flame-energy" => {
+                let Some(v) = it.next() else { return usage() };
+                flame_energy_path = Some(v.clone());
             }
             "--abs-ms" => {
                 let Some(v) = it.next() else { return usage() };
@@ -271,6 +312,12 @@ fn main() -> ExitCode {
             "zoo" => emit!(vpu_bench::zoo_bench::zoo_bench()),
             "stream" => emit!(vpu_bench::stream_bench::stream_bench()),
             "power" => emit!(vpu_bench::power_bench::power_bench(scale)),
+            "energy" => {
+                emit!(vpu_bench::energy_bench::energy_exp_with(
+                    scale,
+                    desim::Duration::from_millis(slo_ms),
+                ));
+            }
             "future-work" => emit!(vpu_bench::future_work::future_work(scale)),
             "serve" if trace_path.is_some() || metrics_csv.is_some() || faults.is_some() => {
                 let r = serve_bench::traced_serve_with_faults(
@@ -317,14 +364,15 @@ fn main() -> ExitCode {
                 match vpu_bench::trace_check::validate(&json) {
                     Ok(check) => println!(
                         "{path}: ok — {} events, {} tracks, {} requests ({} fully chained), \
-                         {} failovers, {} outage windows, {} sheds",
+                         {} failovers, {} outage windows, {} sheds, {} power samples",
                         check.events,
                         check.tracks,
                         check.requests,
                         check.chained,
                         check.failovers,
                         check.outage_windows,
-                        check.sheds
+                        check.sheds,
+                        check.power_samples
                     ),
                     Err(e) => {
                         eprintln!("{path}: INVALID trace: {e}");
@@ -351,6 +399,13 @@ fn main() -> ExitCode {
                     }
                     eprintln!("wrote {fp}");
                 }
+                if let Some(fp) = &flame_energy_path {
+                    if let Err(e) = std::fs::write(fp, ncsw_analyze::folded_energy(&analysis)) {
+                        eprintln!("cannot write {fp}: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote {fp}");
+                }
                 let out = AnalyzeJson {
                     table: analysis.table.clone(),
                     e2e: analysis.e2e,
@@ -358,6 +413,7 @@ fn main() -> ExitCode {
                     outages: analysis.forest.outages.len(),
                     p99_during_outage_ms: analysis.p99_during_outages_ms(),
                     slo_alert_windows: analysis.forest.alerts.len(),
+                    energy: analysis.energy.as_ref().map(EnergyJson::of),
                 };
                 if let Some(p) = &json_path {
                     let s = serde_json::to_string_pretty(&out).expect("serialize");
@@ -444,6 +500,7 @@ fn main() -> ExitCode {
             "zoo",
             "stream",
             "power",
+            "energy",
             "future-work",
             "serve",
             "failover",

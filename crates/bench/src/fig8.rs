@@ -3,6 +3,7 @@
 
 use crate::report;
 use crate::scale::Scale;
+use hostsim::power::Tdp;
 use ncsw::runner::latency_curve;
 use ncsw::{IntelCpu, IntelVpu, ModelBundle, NvGpu};
 use serde::{Deserialize, Serialize};
@@ -29,11 +30,15 @@ pub struct Fig8a {
 }
 
 /// TDP charged per target at a given batch size (Fig. 8a's accounting:
-/// whole-package for the hosts, one stick-peak per active VPU).
+/// whole-package for the hosts, one stick-peak per active VPU). All
+/// rates come from the [`hostsim::power::Tdp`] registry — the single
+/// source of truth the online energy meter uses too.
 fn tdp(target: &str, batch: usize) -> f64 {
+    let t = Tdp::default();
     match target {
-        "cpu" | "gpu" => 80.0,
-        _ => 2.5 * batch as f64,
+        "cpu" => t.cpu_w,
+        "gpu" => t.gpu_w,
+        _ => t.multi_stick_w(batch),
     }
 }
 

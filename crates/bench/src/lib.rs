@@ -13,6 +13,7 @@ pub mod ab_bench;
 pub mod ablations;
 pub mod anchors;
 pub mod csv;
+pub mod energy_bench;
 pub mod fault_bench;
 pub mod fig6;
 pub mod fig7;

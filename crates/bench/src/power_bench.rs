@@ -8,6 +8,7 @@
 
 use crate::report;
 use crate::scale::Scale;
+use hostsim::power::Tdp;
 use ncsw::multivpu::{MultiVpu, MultiVpuConfig};
 use ncsw::ModelBundle;
 use serde::{Deserialize, Serialize};
@@ -46,7 +47,7 @@ pub fn power_bench(scale: Scale) -> PowerBench {
             devices,
             img_per_sec: ips,
             measured_w_per_stick: per_stick,
-            img_per_watt_tdp: ips / (2.5 * devices as f64),
+            img_per_watt_tdp: ips / Tdp::default().multi_stick_w(devices),
             img_per_watt_measured: ips / avg_w_total,
             mj_per_inference: run.energy_j / images as f64 * 1e3,
         });

@@ -221,6 +221,18 @@ impl TracedServe {
             self.report.latency.p99_ms,
             self.report.goodput_rps
         );
+        let e = &self.report.energy;
+        println!(
+            "energy: {:.3} J fleet = {:.3} active + {:.3} wasted + {:.3} idle ({} pJ exact)  \
+             {:.2} img/W measured vs {:.2} Eq.1-TDP",
+            e.fleet_j,
+            e.active_j,
+            e.wasted_j,
+            e.idle_j,
+            e.fleet_pj,
+            e.img_per_watt,
+            e.img_per_watt_tdp
+        );
         if self.slo_alerts > 0 {
             println!("SLO burn-rate alerts fired: {} window(s)", self.slo_alerts);
         }

@@ -43,6 +43,9 @@ pub struct TraceCheck {
     /// Shed events (each verified to carry a valid cause and to be the
     /// request's final event).
     pub sheds: usize,
+    /// Power counter samples (`ph:"C"`, each verified to carry a
+    /// numeric `mw` reading).
+    pub power_samples: usize,
 }
 
 fn number(v: &Value) -> Option<f64> {
@@ -77,6 +80,7 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
     // request id -> Shed timestamp; request id -> latest event (ts, name).
     let mut shed_at: BTreeMap<u64, f64> = BTreeMap::new();
     let mut latest: BTreeMap<u64, (f64, String)> = BTreeMap::new();
+    let mut power_samples = 0usize;
 
     for (i, ev) in events.iter().enumerate() {
         let ph = ev.get("ph").and_then(Value::as_str).ok_or(format!("event {i}: missing ph"))?;
@@ -84,6 +88,17 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
             if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
                 tracks += 1;
             }
+            continue;
+        }
+        if ph == "C" {
+            // A power counter without a reading is unrenderable and
+            // breaks the analyzer's exact re-integration.
+            ev.get("args")
+                .and_then(|a| a.get("mw"))
+                .and_then(number)
+                .ok_or(format!("event {i}: counter without a numeric mw arg"))?;
+            power_samples += 1;
+            count += 1;
             continue;
         }
         if ph != "X" && ph != "i" {
@@ -228,6 +243,7 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         failovers: failovers.len(),
         outage_windows,
         sheds: shed_at.len(),
+        power_samples,
     })
 }
 
@@ -256,6 +272,13 @@ mod tests {
         assert!(check.events > 100, "{check:?}");
         assert!(check.tracks >= 3, "{check:?}");
         assert!(check.chained > 0, "{check:?}");
+        // The energy meter's power lanes ride in every observed trace.
+        assert!(check.power_samples > 0, "{check:?}");
+        // A counter stripped of its reading must be caught.
+        let bad = json.replace("\"mw\":", "\"xw\":");
+        assert_ne!(bad, json, "trace must contain power counters to corrupt");
+        let err = validate(&bad).unwrap_err();
+        assert!(err.contains("numeric mw"), "{err}");
     }
 
     fn faulted_trace() -> String {

@@ -20,7 +20,13 @@
 
 use crate::target::{IntelCpu, IntelVpu, NvGpu};
 use desim::{Duration, SimTime};
-use ncsw_obs::{BatchObs, Ctx, Event, Lane, Phase};
+use myriad2::power::PowerModel;
+use ncsw_obs::{BatchObs, Ctx, EnergyProfile, Event, Lane, Phase};
+
+/// Watts to the integer milliwatts the energy meter integrates with.
+fn mw(watts: f64) -> u64 {
+    (watts * 1e3).round() as u64
+}
 
 /// Why a batch submission failed. The built-in device models never
 /// fail; fault-injection wrappers (`ncsw-faults`) surface these so a
@@ -96,6 +102,14 @@ pub trait ServiceHook {
         None
     }
 
+    /// Busy/idle/TDP power rates the online energy meter integrates
+    /// over this device's charged spans. The default is an unmetered
+    /// all-zero profile so custom hooks keep compiling; the built-in
+    /// devices derive theirs from the island/package models.
+    fn energy_profile(&self) -> EnergyProfile {
+        EnergyProfile::new(self.label(), 0, 0, 0)
+    }
+
     /// [`ServiceHook::serve`] with observability: identical timing, but
     /// the device also emits its busy spans through `obs.rec` tagged
     /// with `obs`'s batch/request context. Host devices report one
@@ -154,6 +168,11 @@ impl ServiceHook for IntelCpu {
     fn preferred_batch(&self) -> usize {
         8
     }
+
+    fn energy_profile(&self) -> EnergyProfile {
+        let cfg = self.device().config();
+        EnergyProfile::new(self.label(), mw(cfg.tdp_w), mw(cfg.idle_w), mw(cfg.tdp_w))
+    }
 }
 
 impl ServiceHook for NvGpu {
@@ -187,6 +206,11 @@ impl ServiceHook for NvGpu {
         }
         Some(b)
     }
+
+    fn energy_profile(&self) -> EnergyProfile {
+        let cfg = self.device().config();
+        EnergyProfile::new(self.label(), mw(cfg.tdp_w), mw(cfg.idle_w), mw(cfg.tdp_w))
+    }
 }
 
 impl ServiceHook for IntelVpu {
@@ -216,6 +240,22 @@ impl ServiceHook for IntelVpu {
 
     fn preferred_batch(&self) -> usize {
         self.devices()
+    }
+
+    /// A `vpu xN` worker draws N chips' worth: every SHAVE island plus
+    /// CMX/DDR active while a wave runs (900 mW/chip default), gated
+    /// islands between batches (172 mW/chip), whole-stick peak power as
+    /// the Eq. 1 TDP (2.5 W/stick, the paper's conservative framing).
+    fn energy_profile(&self) -> EnergyProfile {
+        let ncs = &self.pipeline().config().ncs;
+        let pm = PowerModel { shave_islands: ncs.chip.shaves, ..PowerModel::default() };
+        let d = self.devices() as u64;
+        EnergyProfile::new(
+            self.label(),
+            d * pm.busy_mw(),
+            d * pm.gated_mw(),
+            d * mw(ncs.peak_power_w),
+        )
     }
 }
 
@@ -294,6 +334,21 @@ mod tests {
         assert_eq!(ev.lane, Lane::Worker(2));
         assert_eq!(ev.ctx.batch_id, Some(3));
         assert_eq!((ev.start, ev.end), (b.start, Some(b.end)));
+    }
+
+    #[test]
+    fn energy_profiles_derive_from_the_power_models() {
+        let cpu = IntelCpu::new(model());
+        let p = cpu.energy_profile();
+        assert_eq!((p.busy_mw, p.idle_mw, p.tdp_mw), (80_000, 15_000, 80_000));
+        let gpu = NvGpu::new(model());
+        let p = gpu.energy_profile();
+        assert_eq!((p.busy_mw, p.idle_mw, p.tdp_mw), (80_000, 13_000, 80_000));
+        // 4 sticks: 4 × (900 busy / 172 gated / 2500 peak) mW.
+        let vpu = IntelVpu::new(model(), 4);
+        let p = vpu.energy_profile();
+        assert_eq!(p.label, "vpu x4");
+        assert_eq!((p.busy_mw, p.idle_mw, p.tdp_mw), (3_600, 688, 10_000));
     }
 
     #[test]

@@ -214,6 +214,10 @@ impl ServiceHook for FaultyWorker {
     fn max_batch(&self) -> Option<usize> {
         self.inner.max_batch()
     }
+
+    fn energy_profile(&self) -> ncsw_obs::EnergyProfile {
+        self.inner.energy_profile()
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +249,7 @@ mod tests {
         assert_eq!(a.done, b.done, "empty plan changed timing");
         assert_eq!(plain.busy_until(), wrapped.busy_until());
         assert_eq!(plain.label(), wrapped.label());
+        assert_eq!(plain.energy_profile(), wrapped.energy_profile(), "profile must pass through");
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct CpuConfig {
     /// Thermal design power of the CPU package(s) used in Eq. (1).
     /// The paper quotes 80 W for the Xeon E5-2609v2.
     pub tdp_w: f64,
+    /// Package draw between forward calls (C-states engaged but the
+    /// machine awake) — the idle rate the online energy meter charges
+    /// outside busy spans.
+    pub idle_w: f64,
     /// OS / framework timing jitter (coefficient of variation applied
     /// per forward call) — gives the figures their error bars.
     pub jitter_cv: f64,
@@ -41,6 +45,7 @@ impl Default for CpuConfig {
             efficiency: 0.445,
             batch_overhead: Duration::from_millis(3.8),
             tdp_w: 80.0,
+            idle_w: 15.0,
             jitter_cv: 0.008,
             jitter_seed: 2012,
         }

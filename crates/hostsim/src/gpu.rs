@@ -27,6 +27,10 @@ pub struct GpuConfig {
     pub memory_bytes: u64,
     /// Board TDP used in Eq. (1): 80 W.
     pub tdp_w: f64,
+    /// Board draw with no kernels in flight (GDDR5 refresh, fans,
+    /// display engine) — the idle rate the online energy meter charges
+    /// outside busy spans.
+    pub idle_w: f64,
     /// OS / driver timing jitter (coefficient of variation applied per
     /// forward call) — gives the figures their error bars.
     pub jitter_cv: f64,
@@ -44,6 +48,7 @@ impl Default for GpuConfig {
             batch_overhead: Duration::from_millis(14.2),
             memory_bytes: 3 << 30,
             tdp_w: 80.0,
+            idle_w: 13.0,
             jitter_cv: 0.008,
             jitter_seed: 2012,
         }

@@ -28,6 +28,12 @@ impl Tdp {
         self.vpu_chip_w * n as f64
     }
 
+    /// TDP of `n` whole NCS sticks (the conservative whole-stick
+    /// framing Fig. 8a charges per active stick).
+    pub fn multi_stick_w(&self, n: usize) -> f64 {
+        self.ncs_stick_w * n as f64
+    }
+
     /// Headline ratio the abstract quotes: CPU/GPU TDP over the TDP of
     /// the multi-VPU configuration that matches their throughput.
     pub fn reduction_vs_cpu(&self, vpus: usize) -> f64 {

@@ -100,6 +100,21 @@ impl PowerModel {
             + self.cmx_active_w
             + self.ddr_active_w
     }
+
+    /// Chip draw while an inference batch occupies it, in integer
+    /// milliwatts: all SHAVE islands plus CMX and DDR active (the SIPP
+    /// imaging pipeline stays gated on the inference path). Integer
+    /// because the online energy meter needs `pJ = mW × ns` to hold
+    /// exactly; 900 mW with the default decomposition.
+    pub fn busy_mw(&self) -> u64 {
+        (self.steady_power(self.shave_islands) * 1e3).round() as u64
+    }
+
+    /// Gated draw between batches, in integer milliwatts: always-on
+    /// islands plus every SHAVE island power-gated (172 mW default).
+    pub fn gated_mw(&self) -> u64 {
+        ((self.base_w + self.shave_islands as f64 * self.shave_idle_w) * 1e3).round() as u64
+    }
 }
 
 /// Convenience: build an [`ActivitySummary`] from raw busy totals and a
@@ -178,6 +193,31 @@ mod tests {
             last = w;
         }
         assert!(p.steady_power(12) < 1.0, "full chip under 1 W");
+    }
+
+    #[test]
+    fn milliwatt_rates_match_the_island_decomposition() {
+        let p = PowerModel::default();
+        // 160 + 12×45 + 80 + 120 = 900 mW busy; 160 + 12×1 = 172 gated.
+        assert_eq!(p.busy_mw(), 900);
+        assert_eq!(p.gated_mw(), 172);
+        // The integer rates reproduce `energy` on a batch-shaped
+        // summary: all SHAVEs + CMX + DDR busy for B inside span H.
+        let (b, h) = (Duration(3_000_000), Duration(10_000_000));
+        let a = ActivitySummary {
+            shave_busy: Duration(12 * b.nanos()),
+            cmx_busy: b,
+            ddr_busy: b,
+            sipp_busy: Duration::ZERO,
+            span: h,
+        };
+        let meter_j =
+            (p.busy_mw() * b.nanos() + p.gated_mw() * (h.nanos() - b.nanos())) as f64 / 1e12;
+        assert!(
+            (meter_j - p.energy(&a)).abs() < 1e-9 * p.energy(&a),
+            "{meter_j} vs {}",
+            p.energy(&a)
+        );
     }
 
     #[test]

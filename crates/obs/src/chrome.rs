@@ -11,7 +11,7 @@
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //! [Perfetto]: https://ui.perfetto.dev
 
-use crate::event::Event;
+use crate::event::{Event, Phase};
 use crate::recorder::EventLog;
 use std::fmt::Write as _;
 
@@ -34,6 +34,9 @@ fn args_of(ev: &Event) -> String {
     }
     if let Some(c) = ev.cause {
         parts.push(format!("\"cause\":\"{}\"", c.name()));
+    }
+    if let Some(v) = ev.value {
+        parts.push(format!("\"mw\":{v}"));
     }
     format!("{{{}}}", parts.join(","))
 }
@@ -66,6 +69,17 @@ pub fn chrome_trace(log: &EventLog) -> String {
         let name = ev.phase.name();
         let ts = us(ev.start.nanos());
         let args = args_of(ev);
+        if ev.phase == Phase::PowerSample {
+            // Counter event: Perfetto keys counter tracks by (pid, name),
+            // so the lane's own name doubles as the counter name.
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                 \"name\":\"{}\",\"args\":{args}}}",
+                ev.lane.name()
+            );
+            continue;
+        }
         match ev.end {
             Some(end) => {
                 let dur = us(end.nanos() - ev.start.nanos());
@@ -130,6 +144,25 @@ mod tests {
         );
         let json = chrome_trace(&log);
         assert!(json.contains("\"args\":{\"request_id\":3,\"cause\":\"deadline\"}"), "{json}");
+    }
+
+    #[test]
+    fn power_samples_export_as_counter_events() {
+        let mut log = EventLog::new();
+        log.record(Event::counter(Lane::Power(0), SimTime(0), 172, Ctx::NONE));
+        log.record(Event::counter(Lane::Power(0), SimTime(2_000), 900, Ctx::NONE.with_batch(4)));
+        let json = chrome_trace(&log);
+        assert!(json.contains("\"thread_name\",\"args\":{\"name\":\"w0.power\"}"), "{json}");
+        assert!(
+            json.contains("\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":0.000,\"name\":\"w0.power\",\"args\":{\"mw\":172}"),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"ts\":2.000,\"name\":\"w0.power\",\"args\":{\"batch_id\":4,\"mw\":900}"
+            ),
+            "{json}"
+        );
     }
 
     #[test]

@@ -53,10 +53,15 @@ pub enum Phase {
     /// An SLO burn-rate alert window (multi-window fast/slow burn) —
     /// derived from the sampled time series, not from the serving loop.
     SloAlert,
+    /// A power-counter sample on a worker's power lane: the event's
+    /// `value` is the worker's draw in integer milliwatts from this
+    /// instant until the lane's next sample (exported as a Chrome
+    /// `ph:"C"` counter event).
+    PowerSample,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 16] = [
+    pub const ALL: [Phase; 17] = [
         Phase::Arrive,
         Phase::Admit,
         Phase::Enqueue,
@@ -73,6 +78,7 @@ impl Phase {
         Phase::CircuitOpen,
         Phase::CircuitClose,
         Phase::SloAlert,
+        Phase::PowerSample,
     ];
 
     /// The happy-path phase sequence of one request on a VPU worker.
@@ -108,6 +114,7 @@ impl Phase {
             Phase::CircuitOpen => "CircuitOpen",
             Phase::CircuitClose => "CircuitClose",
             Phase::SloAlert => "SloAlert",
+            Phase::PowerSample => "PowerSample",
         }
     }
 
@@ -172,6 +179,10 @@ pub enum Lane {
     UsbHub { worker: u32, hub: u32 },
     /// Derived SLO burn-rate alert windows (no serving-loop activity).
     Alerts,
+    /// Power-counter lane of fleet worker `worker`: a step function of
+    /// the worker's draw in milliwatts, sampled at every busy-span
+    /// boundary by the energy meter.
+    Power(u32),
 }
 
 impl Lane {
@@ -186,6 +197,7 @@ impl Lane {
             Lane::Vpu { worker, dev } => format!("w{worker}.vpu{dev}"),
             Lane::UsbRoot { worker } => format!("w{worker}.usb-root"),
             Lane::UsbHub { worker, hub } => format!("w{worker}.usb-hub{hub}"),
+            Lane::Power(w) => format!("w{w}.power"),
         }
     }
 
@@ -204,6 +216,9 @@ impl Lane {
         let rest = name.strip_prefix('w')?;
         let (worker, tail) = rest.split_once('.')?;
         let worker: u32 = worker.parse().ok()?;
+        if tail == "power" {
+            return Some(Lane::Power(worker));
+        }
         if let Some(dev) = tail.strip_prefix("host") {
             return dev.parse().ok().map(|dev| Lane::Host { worker, dev });
         }
@@ -228,6 +243,7 @@ impl Lane {
             Lane::Queue => 1,
             Lane::Alerts => 2,
             Lane::Worker(w) => 10 + w,
+            Lane::Power(w) => 500 + w,
             Lane::Host { worker, dev } => 1_000 + worker * 100 + dev,
             Lane::Vpu { worker, dev } => 10_000 + worker * 100 + dev,
             Lane::UsbRoot { worker } => 100_000 + worker * 100,
@@ -272,16 +288,33 @@ pub struct Event {
     pub ctx: Ctx,
     /// Why a `Shed` event dropped its request; `None` elsewhere.
     pub cause: Option<ShedCause>,
+    /// Counter reading of a [`Phase::PowerSample`] event (milliwatts);
+    /// `None` for every other phase.
+    pub value: Option<u64>,
 }
 
 impl Event {
     pub fn instant(phase: Phase, lane: Lane, at: SimTime, ctx: Ctx) -> Event {
-        Event { phase, lane, start: at, end: None, ctx, cause: None }
+        Event { phase, lane, start: at, end: None, ctx, cause: None, value: None }
     }
 
     pub fn span(phase: Phase, lane: Lane, start: SimTime, end: SimTime, ctx: Ctx) -> Event {
         debug_assert!(end >= start, "span ends before it starts");
-        Event { phase, lane, start, end: Some(end), ctx, cause: None }
+        Event { phase, lane, start, end: Some(end), ctx, cause: None, value: None }
+    }
+
+    /// A [`Phase::PowerSample`] counter event: the lane reads
+    /// `milliwatts` from `at` until its next sample.
+    pub fn counter(lane: Lane, at: SimTime, milliwatts: u64, ctx: Ctx) -> Event {
+        Event {
+            phase: Phase::PowerSample,
+            lane,
+            start: at,
+            end: None,
+            ctx,
+            cause: None,
+            value: Some(milliwatts),
+        }
     }
 
     pub fn with_cause(mut self, cause: ShedCause) -> Event {
@@ -305,13 +338,15 @@ mod tests {
         assert_eq!(Lane::Worker(3).name(), "worker3");
         assert_eq!(Lane::Host { worker: 2, dev: 1 }.name(), "w2.host1");
         assert_eq!(Lane::UsbHub { worker: 0, hub: 1 }.name(), "w0.usb-hub1");
+        assert_eq!(Lane::Power(2).name(), "w2.power");
     }
 
     #[test]
     fn sort_ranks_group_by_category() {
         assert!(Lane::Server.sort_rank() < Lane::Queue.sort_rank());
         assert!(Lane::Queue.sort_rank() < Lane::Worker(0).sort_rank());
-        assert!(Lane::Worker(15).sort_rank() < Lane::Host { worker: 0, dev: 0 }.sort_rank());
+        assert!(Lane::Worker(15).sort_rank() < Lane::Power(0).sort_rank());
+        assert!(Lane::Power(15).sort_rank() < Lane::Host { worker: 0, dev: 0 }.sort_rank());
         assert!(
             Lane::Vpu { worker: 0, dev: 7 }.sort_rank() < Lane::UsbRoot { worker: 0 }.sort_rank()
         );
@@ -340,6 +375,7 @@ mod tests {
             Lane::Vpu { worker: 0, dev: 7 },
             Lane::UsbRoot { worker: 4 },
             Lane::UsbHub { worker: 1, hub: 2 },
+            Lane::Power(5),
         ];
         for l in lanes {
             assert_eq!(Lane::parse(&l.name()), Some(l), "{}", l.name());
@@ -354,6 +390,15 @@ mod tests {
             .with_cause(ShedCause::Rejected);
         assert_eq!(ev.cause, Some(ShedCause::Rejected));
         assert_eq!(Event::instant(Phase::Arrive, Lane::Server, SimTime(5), Ctx::NONE).cause, None);
+    }
+
+    #[test]
+    fn counter_events_carry_a_milliwatt_value() {
+        let ev = Event::counter(Lane::Power(1), SimTime(7), 900, Ctx::NONE.with_batch(3));
+        assert_eq!(ev.phase, Phase::PowerSample);
+        assert_eq!(ev.value, Some(900));
+        assert_eq!(ev.end, None);
+        assert_eq!(Event::instant(Phase::Arrive, Lane::Server, SimTime(5), Ctx::NONE).value, None);
     }
 
     #[test]

@@ -20,10 +20,16 @@
 //! - [`TimeSeriesBuilder`]/[`TimeSeries`] — periodic samples of queue
 //!   depth, in-flight batches, per-worker utilization and SLO burn
 //!   rate, exported as CSV.
+//! - [`EnergyMeter`]/[`EnergyProfile`] — integer-exact energy
+//!   integration (milliwatts × nanoseconds = picojoules) over charged
+//!   busy spans, exported as counters, series columns and per-worker
+//!   power lanes.
 //! - [`chrome_trace`] — deterministic Chrome trace-event JSON
-//!   (Perfetto-loadable), one track per lane.
+//!   (Perfetto-loadable), one track per lane; `PowerSample` events
+//!   render as `ph:"C"` counter tracks.
 
 pub mod chrome;
+pub mod energy;
 pub mod event;
 pub mod histogram;
 pub mod recorder;
@@ -31,6 +37,7 @@ pub mod registry;
 pub mod series;
 
 pub use chrome::chrome_trace;
+pub use energy::{joules, watts, EnergyMeter, EnergyProfile, EnergyTotals, MeterSpan};
 pub use event::{Ctx, Event, Lane, Phase, ShedCause};
 pub use histogram::LogHistogram;
 pub use recorder::{BatchObs, EventLog, GanttRecorder, NullRecorder, Recorder, Tee};

@@ -34,6 +34,16 @@ pub struct Sample {
     /// Per-worker circuit-breaker state as of this boundary: 0.0
     /// closed, 1.0 open (matches the CircuitOpen/CircuitClose events).
     pub circuit: Vec<f64>,
+    /// Per-worker average power draw in watts over epoch→t (busy spans
+    /// at the busy rate, the rest gated/idle; zero until the builder is
+    /// given power profiles).
+    pub worker_power: Vec<f64>,
+    /// Cumulative fleet energy in joules since the epoch.
+    pub energy_j: f64,
+    /// Cumulative completions per joule — numerically identical to
+    /// img/s/W, the paper's Eq. 1 axis, but over *integrated* energy
+    /// rather than nameplate TDP.
+    pub img_per_watt: f64,
 }
 
 /// A complete sampled series with its worker column labels.
@@ -47,8 +57,9 @@ pub struct TimeSeries {
 
 impl TimeSeries {
     /// CSV export: `time_ms,queue_depth,inflight_batches,completed,shed,
-    /// slo_burn,shed_rate,util_<worker>...,circuit_<worker>...`, times
-    /// relative to the epoch.
+    /// slo_burn,shed_rate,util_<worker>...,circuit_<worker>...,
+    /// power_<worker>...,energy_j,img_per_watt`, times relative to the
+    /// epoch.
     pub fn csv(&self) -> String {
         let mut out = String::from("time_ms,queue_depth,inflight_batches,completed,shed,slo_burn");
         out.push_str(",shed_rate");
@@ -58,6 +69,10 @@ impl TimeSeries {
         for label in &self.worker_labels {
             let _ = write!(out, ",circuit_{}", label.replace([' ', ','], "_"));
         }
+        for label in &self.worker_labels {
+            let _ = write!(out, ",power_{}", label.replace([' ', ','], "_"));
+        }
+        out.push_str(",energy_j,img_per_watt");
         out.push('\n');
         for s in &self.samples {
             let _ = write!(
@@ -77,6 +92,10 @@ impl TimeSeries {
             for c in &s.circuit {
                 let _ = write!(out, ",{c:.1}");
             }
+            for p in &s.worker_power {
+                let _ = write!(out, ",{p:.6}");
+            }
+            let _ = write!(out, ",{:.6},{:.6}", s.energy_j, s.img_per_watt);
             out.push('\n');
         }
         out
@@ -110,7 +129,15 @@ impl TimeSeries {
             .take_while(|c| c.starts_with("util_"))
             .map(|c| c["util_".len()..].to_string())
             .collect();
-        let expect = FIXED.len() + 2 * labels.len();
+        // Pre-energy CSVs stop after the circuit columns; current ones
+        // add `power_<worker>...,energy_j,img_per_watt`. Accept both so
+        // archived series files keep parsing (power reads as zero).
+        let old_shape = FIXED.len() + 2 * labels.len();
+        let new_shape = FIXED.len() + 3 * labels.len() + 2;
+        let has_energy = cols.len() == new_shape
+            && cols[old_shape..old_shape + labels.len()].iter().all(|c| c.starts_with("power_"))
+            && cols[new_shape - 2..] == ["energy_j", "img_per_watt"];
+        let expect = if has_energy { new_shape } else { old_shape };
         if cols.len() != expect {
             return Err(format!("{} columns, expected {expect} from the header shape", cols.len()));
         }
@@ -136,6 +163,13 @@ impl TimeSeries {
                 circuit: (0..labels.len())
                     .map(|w| num(FIXED.len() + labels.len() + w))
                     .collect::<Result<_, _>>()?,
+                worker_power: if has_energy {
+                    (0..labels.len()).map(|w| num(old_shape + w)).collect::<Result<_, _>>()?
+                } else {
+                    vec![0.0; labels.len()]
+                },
+                energy_j: if has_energy { num(new_shape - 2)? } else { 0.0 },
+                img_per_watt: if has_energy { num(new_shape - 1)? } else { 0.0 },
             });
         }
         let interval = match samples.as_slice() {
@@ -169,6 +203,15 @@ pub struct TimeSeriesBuilder {
     /// Per-worker cursor + busy time of fully consumed spans.
     cursor: Vec<usize>,
     consumed: Vec<Duration>,
+    /// Per-worker `(busy_mw, idle_mw)` power rates; all-zero until
+    /// [`TimeSeriesBuilder::set_power`] is called.
+    power: Vec<(u64, u64)>,
+    /// Per-worker *charged* busy spans (clipped, so disjoint and
+    /// time-ordered) — unlike `spans`, these include failed attempts,
+    /// whose energy is real even though they serve nothing.
+    espans: Vec<Vec<(SimTime, SimTime)>>,
+    ecursor: Vec<usize>,
+    econsumed: Vec<Duration>,
     /// Outstanding batch spans (pruned as samples pass their end).
     active: Vec<(SimTime, SimTime)>,
     completed: u64,
@@ -201,6 +244,10 @@ impl TimeSeriesBuilder {
             spans: vec![Vec::new(); n],
             cursor: vec![0; n],
             consumed: vec![Duration::ZERO; n],
+            power: vec![(0, 0); n],
+            espans: vec![Vec::new(); n],
+            ecursor: vec![0; n],
+            econsumed: vec![Duration::ZERO; n],
             active: Vec::new(),
             completed: 0,
             shed: 0,
@@ -219,6 +266,20 @@ impl TimeSeriesBuilder {
     pub fn on_batch(&mut self, worker: usize, start: SimTime, end: SimTime) {
         self.spans[worker].push((start, end));
         self.active.push((start, end));
+    }
+
+    /// Provide per-worker `(busy_mw, idle_mw)` rates so samples carry
+    /// power/energy columns (zero otherwise).
+    pub fn set_power(&mut self, rates: Vec<(u64, u64)>) {
+        assert_eq!(rates.len(), self.power.len(), "one power rate per worker");
+        self.power = rates;
+    }
+
+    /// Energy was charged to `worker` over `start..end` (an already
+    /// clipped meter span — includes failed attempts, which don't count
+    /// toward utilization but do burn joules).
+    pub fn on_energy_span(&mut self, worker: usize, start: SimTime, end: SimTime) {
+        self.espans[worker].push((start, end));
     }
 
     /// A request completed with end-to-end `latency`.
@@ -293,6 +354,36 @@ impl TimeSeriesBuilder {
                 }
             })
             .collect();
+        // Energy: integrate each worker's charged-span ledger to this
+        // boundary (integer pJ = mW × ns, same discipline as the
+        // EnergyMeter, so the last row agrees with the meter exactly).
+        let elapsed_ns = (s - self.epoch).nanos();
+        let mut fleet_pj = 0u64;
+        let worker_power: Vec<f64> = (0..self.labels.len())
+            .map(|w| {
+                let spans = &self.espans[w];
+                let (mut cur, mut busy) = (self.ecursor[w], self.econsumed[w]);
+                while cur < spans.len() && spans[cur].1 <= s {
+                    busy += spans[cur].1 - spans[cur].0;
+                    cur += 1;
+                }
+                self.ecursor[w] = cur;
+                self.econsumed[w] = busy;
+                if cur < spans.len() && spans[cur].0 < s {
+                    busy += s - spans[cur].0;
+                }
+                let busy_ns = busy.nanos().min(elapsed_ns);
+                let (busy_mw, idle_mw) = self.power[w];
+                let pj = busy_mw * busy_ns + idle_mw * (elapsed_ns - busy_ns);
+                fleet_pj += pj;
+                if elapsed_ns == 0 {
+                    0.0
+                } else {
+                    pj as f64 / elapsed_ns as f64 / 1e3
+                }
+            })
+            .collect();
+        let energy_j = fleet_pj as f64 / 1e12;
         self.active.retain(|&(_, end)| end > s);
         let inflight = self.active.iter().filter(|&&(start, _)| start <= s).count();
         let burn =
@@ -316,6 +407,9 @@ impl TimeSeriesBuilder {
             shed_rate,
             worker_util: util,
             circuit: self.circuit.clone(),
+            worker_power,
+            energy_j,
+            img_per_watt: if energy_j > 0.0 { self.completed as f64 / energy_j } else { 0.0 },
         });
     }
 
@@ -390,9 +484,30 @@ mod tests {
         assert_eq!(
             lines.next().unwrap(),
             "time_ms,queue_depth,inflight_batches,completed,shed,slo_burn,shed_rate,\
-             util_vpu_x8,circuit_vpu_x8"
+             util_vpu_x8,circuit_vpu_x8,power_vpu_x8,energy_j,img_per_watt"
         );
-        assert_eq!(lines.next().unwrap(), "10.000,3,0,0,0,0.000000,0.000000,0.400000,0.0");
+        assert_eq!(
+            lines.next().unwrap(),
+            "10.000,3,0,0,0,0.000000,0.000000,0.400000,0.0,0.000000,0.000000,0.000000"
+        );
+    }
+
+    #[test]
+    fn power_columns_integrate_charged_spans() {
+        let mut b = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(100.0));
+        b.set_power(vec![(900, 172)]);
+        // Charged 0..5 ms, gated 5..10 ms.
+        b.on_energy_span(0, at(0.0), at(5.0));
+        let ts = b.finish(at(10.0), 0);
+        let s = &ts.samples[0];
+        // Average power: (900 mW × 5 ms + 172 mW × 5 ms) / 10 ms = 536 mW.
+        assert!((s.worker_power[0] - 0.536).abs() < 1e-12, "{}", s.worker_power[0]);
+        let want_j = (900u64 * 5_000_000 + 172 * 5_000_000) as f64 / 1e12;
+        assert!((s.energy_j - want_j).abs() < 1e-15, "{}", s.energy_j);
+        // No completions yet, so img/W stays zero rather than NaN.
+        assert_eq!(s.img_per_watt, 0.0);
+        // Utilization is untouched by energy-only spans.
+        assert_eq!(s.worker_util[0], 0.0);
     }
 
     #[test]
@@ -431,7 +546,9 @@ mod tests {
     #[test]
     fn csv_round_trips_through_from_csv() {
         let mut b = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(5.0));
+        b.set_power(vec![(900, 172)]);
         b.on_batch(0, at(0.0), at(4.0));
+        b.on_energy_span(0, at(0.0), at(4.0));
         b.on_arrival();
         b.on_complete(ms(9.0));
         b.circuit_event(0, 1.0, at(12.0));
@@ -446,7 +563,23 @@ mod tests {
             assert_eq!(a.completed, b.completed);
             assert!((a.slo_burn - b.slo_burn).abs() < 1e-6);
             assert_eq!(a.circuit, b.circuit);
+            assert!((a.worker_power[0] - b.worker_power[0]).abs() < 1e-6);
+            assert!((a.energy_j - b.energy_j).abs() < 1e-6);
+            assert!((a.img_per_watt - b.img_per_watt).abs() < 1e-3 * (1.0 + b.img_per_watt));
         }
+        assert!(back.samples.iter().any(|s| s.energy_j > 0.0), "energy column survived");
         assert!(TimeSeries::from_csv("nope\n1,2").is_err());
+    }
+
+    #[test]
+    fn from_csv_accepts_pre_energy_shape() {
+        let csv = "time_ms,queue_depth,inflight_batches,completed,shed,slo_burn,shed_rate,\
+                   util_vpu,circuit_vpu\n\
+                   10.000,1,0,2,0,0.000000,0.000000,0.400000,0.0\n";
+        let ts = TimeSeries::from_csv(csv).expect("archived pre-energy CSV must parse");
+        assert_eq!(ts.worker_labels, vec!["vpu".to_string()]);
+        assert_eq!(ts.samples[0].worker_power, vec![0.0]);
+        assert_eq!(ts.samples[0].energy_j, 0.0);
+        assert_eq!(ts.samples[0].img_per_watt, 0.0);
     }
 }

@@ -46,7 +46,9 @@ pub mod workload;
 pub use ncsw_obs::histogram;
 
 pub use fleet::{live_capacity_rps, live_preferred_batch, worker_rps, FleetSpec, WorkerSpec};
-pub use metrics::{FaultReport, Percentiles, ServeReport, ShedBreakdown, WorkerReport};
+pub use metrics::{
+    EnergyReport, FaultReport, Percentiles, ServeReport, ShedBreakdown, WorkerEnergy, WorkerReport,
+};
 pub use ncsw_obs::LogHistogram;
 pub use server::{
     serve, serve_observed, DispatchPolicy, FaultStats, ObsConfig, OutageRecord, RequestRecord,

@@ -3,6 +3,7 @@
 use crate::histogram::LogHistogram;
 use crate::server::{ServeConfig, ServeOutcome, ShedCause};
 use desim::Duration;
+use ncsw_obs::joules;
 use serde::{Deserialize, Serialize};
 
 /// Latency percentiles in milliseconds (log-bucketed histogram, so the
@@ -142,6 +143,87 @@ pub struct WorkerReport {
     pub failures: u64,
 }
 
+/// One worker's energy row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerEnergy {
+    pub label: String,
+    /// Charged time serving batches that completed, milliseconds.
+    pub served_ms: f64,
+    /// Charged time of failed attempts (timeouts, probes), milliseconds.
+    pub wasted_ms: f64,
+    pub energy_j: f64,
+    pub avg_power_w: f64,
+}
+
+/// Energy view of one run: integrated joules from the per-worker island
+/// models, split active/wasted/idle, plus the paper's Eq. 1 img/W for
+/// comparison against the *measured* img/W.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Exact fleet energy in integer picojoules (`mW × ns`; the
+    /// conservation laws the analyzer re-checks are equalities on this
+    /// number, never on floats).
+    pub fleet_pj: u64,
+    /// The same, in joules.
+    pub fleet_j: f64,
+    /// Busy energy of batches that produced completions.
+    pub active_j: f64,
+    /// Busy energy of failed attempts — charged here even though their
+    /// latency is never attributed to a request.
+    pub wasted_j: f64,
+    /// Gated/idle energy — the cost of headroom the TDP math hides.
+    pub idle_j: f64,
+    /// Joules per completed inference (integrated, whole fleet).
+    pub j_per_inference: f64,
+    /// Completions per joule == img/s per watt over *integrated* energy.
+    pub img_per_watt: f64,
+    /// The paper's Eq. 1: goodput over summed nameplate TDP.
+    pub img_per_watt_tdp: f64,
+    /// Energy-accounting horizon (epoch → last charged instant), ms.
+    pub horizon_ms: f64,
+    pub workers: Vec<WorkerEnergy>,
+}
+
+impl EnergyReport {
+    fn of(outcome: &ServeOutcome, goodput_rps: f64) -> EnergyReport {
+        let horizon = outcome.energy_horizon();
+        let t = outcome.energy.totals(horizon);
+        let fleet_pj = t.fleet_pj();
+        let fleet_j = joules(fleet_pj);
+        let completed = outcome.completed.len();
+        let tdp_w: f64 =
+            outcome.energy.profiles().iter().map(|p| p.tdp_mw as f64 / 1e3).sum::<f64>();
+        let horizon_s = (horizon - outcome.epoch).as_secs().max(1e-12);
+        EnergyReport {
+            fleet_pj,
+            fleet_j,
+            active_j: joules(t.active_pj),
+            wasted_j: joules(t.wasted_pj),
+            idle_j: joules(t.idle_pj),
+            j_per_inference: if completed > 0 { fleet_j / completed as f64 } else { 0.0 },
+            img_per_watt: if fleet_j > 0.0 { completed as f64 / fleet_j } else { 0.0 },
+            img_per_watt_tdp: if tdp_w > 0.0 { goodput_rps / tdp_w } else { 0.0 },
+            horizon_ms: (horizon - outcome.epoch).as_millis(),
+            workers: outcome
+                .energy
+                .profiles()
+                .iter()
+                .enumerate()
+                .map(|(w, p)| {
+                    let pj = outcome.energy.worker_pj(w, horizon);
+                    WorkerEnergy {
+                        label: p.label.clone(),
+                        served_ms: outcome.energy.served_ns(w) as f64 / 1e6,
+                        wasted_ms: outcome.energy.wasted_ns(w) as f64 / 1e6,
+                        energy_j: joules(pj),
+                        avg_power_w: joules(pj) / horizon_s,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
 /// One serving run, aggregated.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -169,6 +251,8 @@ pub struct ServeReport {
     pub service_time_mean_ms: f64,
     /// Fault injection and failover accounting.
     pub faults: FaultReport,
+    /// Integrated energy accounting (Eq. 1 vs measured img/W).
+    pub energy: EnergyReport,
     pub workers: Vec<WorkerReport>,
 }
 
@@ -207,6 +291,7 @@ impl ServeReport {
             queue_wait_mean_ms: (queue / n).as_millis(),
             service_time_mean_ms: (service / n).as_millis(),
             faults: FaultReport::of(outcome),
+            energy: EnergyReport::of(outcome, good as f64 / horizon),
             workers: outcome
                 .workers
                 .iter()

@@ -43,8 +43,8 @@ use crate::workload::ArrivalProcess;
 use desim::{Duration, SimTime};
 use ncsw::service::{FailureKind, ServeError, ServiceHook};
 use ncsw_obs::{
-    BatchObs, CounterId, Ctx, Event, EventLog, GaugeId, HistogramId, Lane, NullRecorder, Phase,
-    Recorder, Registry, TimeSeries, TimeSeriesBuilder,
+    BatchObs, CounterId, Ctx, EnergyMeter, Event, EventLog, GaugeId, HistogramId, Lane,
+    NullRecorder, Phase, Recorder, Registry, TimeSeries, TimeSeriesBuilder,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -314,12 +314,26 @@ pub struct ServeOutcome {
     pub shed: Vec<ShedRecord>,
     pub workers: Vec<WorkerStats>,
     pub faults: FaultStats,
+    /// Integrated per-worker energy ledger. Purely passive — charging
+    /// never influences timing, routing or RNG state, so a metered run
+    /// is byte-identical to an unmetered one. Failed attempts are
+    /// charged as *wasted* energy even though their latency is never
+    /// attributed to a request.
+    pub energy: EnergyMeter,
 }
 
 impl ServeOutcome {
     /// Last completion (or the epoch when nothing completed).
     pub fn end(&self) -> SimTime {
         self.completed.iter().map(|r| r.completed).max().unwrap_or(self.epoch)
+    }
+
+    /// Integration horizon for energy accounting: a timed-out batch can
+    /// keep the device busy past the last completion, so the horizon is
+    /// the later of [`ServeOutcome::end`] and the charged ledger's own
+    /// high-water mark (idle time can never integrate negative).
+    pub fn energy_horizon(&self) -> SimTime {
+        SimTime::max_of(self.end(), self.energy.busy_horizon())
     }
 }
 
@@ -675,16 +689,29 @@ pub fn serve_observed(
     let epoch = workers.iter().map(|w| w.busy_until()).max().unwrap();
     let labels = workers.iter().map(|w| w.label()).collect();
     let mut events = EventLog::new();
+    let mut builder = TimeSeriesBuilder::new(labels, epoch, ocfg.sample_every, cfg.slo);
+    builder.set_power(
+        workers
+            .iter()
+            .map(|w| {
+                let p = w.energy_profile();
+                (p.busy_mw, p.idle_mw)
+            })
+            .collect(),
+    );
     let mut obs = ObsAccum {
-        sampler: SamplerDrive {
-            b: TimeSeriesBuilder::new(labels, epoch, ocfg.sample_every, cfg.slo),
-            pending: BinaryHeap::new(),
-        },
+        sampler: SamplerDrive { b: builder, pending: BinaryHeap::new() },
         meters: Meters::new(),
     };
     let outcome = serve_core(workers, cfg, process, n, &mut events, Some(&mut obs));
     let series = obs.sampler.finish(outcome.end());
-    let registry = obs.meters.finish();
+    let mut registry = obs.meters.finish();
+    // Power lanes + energy counters come straight off the run's ledger,
+    // so the exported trace alone re-integrates the exact same
+    // picojoule totals the server reports.
+    let horizon = outcome.energy_horizon();
+    outcome.energy.record_into(&mut events, horizon);
+    outcome.energy.register(&mut registry, horizon);
     (outcome, ServeObservation { events, series, registry })
 }
 
@@ -715,6 +742,12 @@ fn serve_core(
             failures: 0,
         })
         .collect();
+
+    // Passive energy ledger: one power profile per worker, charged for
+    // every span a device actually burns (served batches, timed-out
+    // work, fail-fast probes). Charges are clipped, so a probe span
+    // overlapping the next dispatch never double-counts.
+    let mut meter = EnergyMeter::new(workers.iter().map(|w| w.energy_profile()).collect(), epoch);
 
     let mut fo = FailoverState::new(workers, cfg);
     // Jitter stream: created eagerly (pure), drawn from only on failure,
@@ -913,10 +946,16 @@ fn serve_core(
                     &mut BatchObs { rec: &mut *rec, batch_id: bid, worker: w as u32, ids: &ids },
                 );
                 // Per-batch dispatch timeout: a batch whose results land
-                // too late is declared failed (the work is wasted).
+                // too late is declared failed (the work — and its
+                // energy — is wasted; the device really ran the span).
                 let run = match run {
                     Ok(r) if r.end > timeout_at => {
                         stats[w].busy += r.end - r.start;
+                        if let Some(sp) = meter.charge(w as u32, r.start, r.end, bid, true) {
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.sampler.b.on_energy_span(w, sp.start, sp.end);
+                            }
+                        }
                         Err(ServeError { at: timeout_at, kind: FailureKind::Timeout })
                     }
                     other => other,
@@ -932,6 +971,11 @@ fn serve_core(
                         fo.health[w].circuit = Circuit::Closed;
                         if probe {
                             fo.health[w].cooldown = cfg.robust.breaker_cooldown;
+                        }
+                        if let Some(sp) = meter.charge(w as u32, run.start, run.end, bid, false) {
+                            if let Some(o) = obs.as_deref_mut() {
+                                o.sampler.b.on_energy_span(w, sp.start, sp.end);
+                            }
                         }
                         if let Some(o) = obs.as_deref_mut() {
                             o.meters.reg.inc(o.meters.batches);
@@ -965,6 +1009,17 @@ fn serve_core(
                     }
                     Err(err) => {
                         let detect = SimTime::max_of(t, err.at.min(timeout_at));
+                        // Device-originated failures (unplug probes,
+                        // mid-execution deaths) burn the host-visible
+                        // detection span at busy power. Timeouts were
+                        // already charged for the span the device ran.
+                        if err.kind != FailureKind::Timeout {
+                            if let Some(sp) = meter.charge(w as u32, t, detect, bid, true) {
+                                if let Some(o) = obs.as_deref_mut() {
+                                    o.sampler.b.on_energy_span(w, sp.start, sp.end);
+                                }
+                            }
+                        }
                         let wctx =
                             Ctx { request_id: None, batch_id: Some(bid), worker: Some(w as u32) };
                         fo.stats.injected += 1;
@@ -1082,5 +1137,13 @@ fn serve_core(
         }
     }
 
-    ServeOutcome { epoch, generated: n, completed, shed, workers: stats, faults: fo.stats }
+    ServeOutcome {
+        epoch,
+        generated: n,
+        completed,
+        shed,
+        workers: stats,
+        faults: fo.stats,
+        energy: meter,
+    }
 }

@@ -54,21 +54,32 @@ fn main() {
     }
 
     // Fleet shapes under the same steady load: the host devices absorb
-    // what a small VPU fleet cannot.
+    // what a small VPU fleet cannot — but headroom has an energy price.
+    // img/W here is completions over *integrated* island energy (busy +
+    // gated draw), next to the paper's Eq. 1 nameplate-TDP accounting.
     println!("\ncost-aware dispatch, steady 120 req/s, per fleet:");
-    println!("{:<16} {:>8} {:>8} {:>9} {:>7}", "fleet", "p50 ms", "p99 ms", "goodput", "shed%");
+    println!(
+        "{:<16} {:>8} {:>8} {:>9} {:>7} {:>8} {:>9} {:>8} {:>7}",
+        "fleet", "p50 ms", "p99 ms", "goodput", "shed%", "J/inf", "img/W", "Eq.1", "idle%"
+    );
     for fleet in ["8xvpu", "cpu+gpu", "cpu+gpu+8xvpu"] {
         let cfg = ServeConfig { policy: DispatchPolicy::CostAware, ..ServeConfig::default() };
         let mut workers = FleetSpec::parse(fleet).unwrap().build(&model);
         let outcome = serve(&mut workers, &cfg, &steady, n);
         let r = ServeReport::of(&outcome, &cfg);
+        let e = &r.energy;
+        let idle_pct = if e.fleet_j > 0.0 { e.idle_j / e.fleet_j * 100.0 } else { 0.0 };
         println!(
-            "{:<16} {:>8.1} {:>8.1} {:>9.1} {:>7.1}",
+            "{:<16} {:>8.1} {:>8.1} {:>9.1} {:>7.1} {:>8.3} {:>9.2} {:>8.2} {:>7.1}",
             fleet,
             r.latency.p50_ms,
             r.latency.p99_ms,
             r.goodput_rps,
-            r.shed_rate * 100.0
+            r.shed_rate * 100.0,
+            e.j_per_inference,
+            e.img_per_watt,
+            e.img_per_watt_tdp,
+            idle_pct
         );
     }
 }

@@ -96,6 +96,33 @@ fn serve_outcome_is_bit_identical_across_runs() {
 }
 
 #[test]
+fn energy_accounting_is_bit_identical_and_passive() {
+    // The energy meter integrates island power over the same virtual
+    // clock the scheduler runs on: it never advances time, never draws
+    // from an RNG stream, and its picojoule counters are pure integer
+    // arithmetic — so both the serve outcome and the energy totals must
+    // be bit-identical across runs.
+    use vpu_coprocessor::serving::{serve, ArrivalProcess, FleetSpec, ServeConfig};
+    let run = || {
+        let model = ModelBundle::googlenet_untrained(Variant::Tiny, 1);
+        let mut workers = FleetSpec::parse("cpu+gpu+2xvpu").unwrap().build(&model);
+        let load = ArrivalProcess::Poisson { rate_per_sec: 150.0 };
+        let outcome = serve(&mut workers, &ServeConfig::default(), &load, 150);
+        let totals = outcome.energy.totals(outcome.energy_horizon());
+        let order =
+            outcome.completed.iter().map(|r| (r.id, r.completed, r.worker)).collect::<Vec<_>>();
+        (order, totals.active_pj, totals.wasted_pj, totals.idle_pj, totals.fleet_pj())
+    };
+    let (order_a, active, wasted, idle, fleet) = run();
+    let (order_b, active_b, wasted_b, idle_b, fleet_b) = run();
+    assert_eq!(order_a, order_b, "metering must not perturb the schedule");
+    assert_eq!((active, wasted, idle, fleet), (active_b, wasted_b, idle_b, fleet_b));
+    // Integer conservation: the fleet total is exactly its split.
+    assert_eq!(fleet, active + wasted + idle);
+    assert!(active > 0, "a loaded fleet must charge busy energy");
+}
+
+#[test]
 fn observed_serve_trace_is_byte_identical_across_runs() {
     // The exporters format virtual-time stamps with fixed-precision
     // integer arithmetic (no floats in the hot path), so a traced run is
@@ -121,7 +148,12 @@ fn observed_serve_trace_is_byte_identical_across_runs() {
     // Golden anchors: the document shape the exporter promises.
     assert!(json_a.starts_with(r#"{"displayTimeUnit":"ms","traceEvents":["#));
     assert!(json_a.contains(r#""ph":"M""#) && json_a.contains(r#""ph":"X""#));
+    // Power lanes ride along as counter events, reproducibly.
+    assert!(json_a.contains(r#""ph":"C""#), "trace must carry power counter samples");
     assert!(csv_a.starts_with("time_ms,queue_depth,inflight_batches,"));
+    let header = csv_a.lines().next().unwrap();
+    assert!(header.contains(",power_"), "series must carry per-worker power columns");
+    assert!(header.ends_with(",energy_j,img_per_watt"), "series must end with energy columns");
 }
 
 #[test]
