@@ -10,6 +10,7 @@
 //!   ablation-accum ablation-usb ablation-shave
 //!   serve                                 E15 online-serving load sweep
 //!   energy                                E19 online img/W vs offline Eq. 1
+//!   autoscale                             E20 closed-loop fleet scaling vs static
 //!   validate-trace PATH                   check an exported Chrome trace
 //!   all                                   everything above
 //! ```
@@ -76,16 +77,18 @@ impl EnergyJson {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|abdiff|all> \
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|abdiff|all> \
          [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
-         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC]\n\
+         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC] [--ctrl reactive|predictive|oracle]\n\
          \x20      repro validate-trace PATH\n\
          \x20      repro analyze TRACE [--flame PATH] [--flame-energy PATH] [--json [PATH]]\n\
          \x20      repro diff BASELINE_TRACE CANDIDATE_TRACE [--abs-ms MS] [--rel-pct PCT] [--json [PATH]]\n\
          \x20      --faults SPEC: comma-separated faults, e.g. 'unplug@2s:reconnect@4s', \
          'w0:throttle@1s:for@2s:slow@3', 'usb@0s:for@5s:factor@2', 'execerr@0.05'\n\
          \x20      abdiff pairs --baseline-policy (default round-robin) against --policy; \
-         diff exits 1 when a gated metric regressed"
+         diff exits 1 when a gated metric regressed\n\
+         \x20      autoscale sweeps static vs all scaling policies; with --trace/--metrics-csv \
+         it runs one observed run under --ctrl (default reactive)"
     );
     ExitCode::from(2)
 }
@@ -103,6 +106,7 @@ fn main() -> ExitCode {
     let mut metrics_csv: Option<String> = None;
     let mut sample_ms = 10.0f64;
     let mut faults: Option<ncsw_faults::FaultPlan> = None;
+    let mut ctrl_policy = String::from("reactive");
     let mut flame_path: Option<String> = None;
     let mut flame_energy_path: Option<String> = None;
     let mut abs_ms = 0.5f64;
@@ -196,6 +200,14 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 baseline_policy = p;
+            }
+            "--ctrl" => {
+                let Some(v) = it.next() else { return usage() };
+                if !ncsw_ctrl::POLICY_NAMES.contains(&v.as_str()) {
+                    eprintln!("unknown scaling policy '{v}'");
+                    return usage();
+                }
+                ctrl_policy = v.clone();
             }
             "--faults" => {
                 let Some(v) = it.next() else { return usage() };
@@ -340,6 +352,26 @@ fn main() -> ExitCode {
                 write(&metrics_csv, &r.series_csv);
                 emit!(r);
             }
+            "autoscale" if trace_path.is_some() || metrics_csv.is_some() => {
+                let r = vpu_bench::autoscale_bench::traced_autoscale(
+                    scale,
+                    &ctrl_policy,
+                    desim::Duration::from_millis(sample_ms),
+                );
+                let write = |path: &Option<String>, content: &str| {
+                    if let Some(path) = path {
+                        if let Err(e) = std::fs::write(path, content) {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(2);
+                        }
+                        eprintln!("wrote {path}");
+                    }
+                };
+                write(&trace_path, &r.chrome_json);
+                write(&metrics_csv, &r.series_csv);
+                emit!(r);
+            }
+            "autoscale" => emit!(vpu_bench::autoscale_bench::autoscale_exp(scale)),
             "failover" => {
                 emit!(vpu_bench::fault_bench::failover_exp_with(
                     scale,
@@ -364,7 +396,8 @@ fn main() -> ExitCode {
                 match vpu_bench::trace_check::validate(&json) {
                     Ok(check) => println!(
                         "{path}: ok — {} events, {} tracks, {} requests ({} fully chained), \
-                         {} failovers, {} outage windows, {} sheds, {} power samples",
+                         {} failovers, {} outage windows, {} sheds, {} power samples, \
+                         {} drains / {} scale-downs / {} scale-ups",
                         check.events,
                         check.tracks,
                         check.requests,
@@ -372,7 +405,10 @@ fn main() -> ExitCode {
                         check.failovers,
                         check.outage_windows,
                         check.sheds,
-                        check.power_samples
+                        check.power_samples,
+                        check.drains,
+                        check.scale_downs,
+                        check.scale_ups
                     ),
                     Err(e) => {
                         eprintln!("{path}: INVALID trace: {e}");
@@ -504,6 +540,7 @@ fn main() -> ExitCode {
             "future-work",
             "serve",
             "failover",
+            "autoscale",
         ] {
             run(name, json);
         }

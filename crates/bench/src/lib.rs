@@ -12,6 +12,7 @@
 pub mod ab_bench;
 pub mod ablations;
 pub mod anchors;
+pub mod autoscale_bench;
 pub mod csv;
 pub mod energy_bench;
 pub mod fault_bench;

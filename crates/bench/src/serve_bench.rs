@@ -236,6 +236,21 @@ impl TracedServe {
         if self.slo_alerts > 0 {
             println!("SLO burn-rate alerts fired: {} window(s)", self.slo_alerts);
         }
+        if let Some(s) = &self.report.scaling {
+            println!(
+                "scaling ({}): {} ticks, {} ups / {} downs / {} replacements, \
+                 {:.1} of {:.1} stick·s powered, {:.3} J reclaimed ({} pJ exact)",
+                s.policy,
+                s.ticks,
+                s.scale_ups,
+                s.scale_downs,
+                s.replacements,
+                s.stick_seconds,
+                s.static_stick_seconds,
+                s.reclaimed_j,
+                s.reclaimed_pj
+            );
+        }
         let f = &self.report.faults;
         if f.injected > 0 {
             println!(

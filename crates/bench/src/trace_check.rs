@@ -46,6 +46,13 @@ pub struct TraceCheck {
     /// Power counter samples (`ph:"C"`, each verified to carry a
     /// numeric `mw` reading).
     pub power_samples: usize,
+    /// Drain events (each verified to open a dispatch-free window).
+    pub drains: usize,
+    /// ScaleUp spans (provisioning windows re-admitting a worker).
+    pub scale_ups: usize,
+    /// ScaleDown events (each verified outside any Exec span — a stick
+    /// may only power-gate after its in-flight batches complete).
+    pub scale_downs: usize,
 }
 
 fn number(v: &Value) -> Option<f64> {
@@ -77,6 +84,12 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
     let mut failovers: Vec<(u64, f64)> = Vec::new();
     // worker -> (ts, is_open) circuit transitions.
     let mut circuit: BTreeMap<u64, Vec<(f64, bool)>> = BTreeMap::new();
+    // Autoscaling structure, per worker in log order.
+    let mut exec_spans: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut drains: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut scale_downs: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    // ScaleUp spans end when the stick is provisioned and re-admitted.
+    let mut scale_up_ends: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     // request id -> Shed timestamp; request id -> latest event (ts, name).
     let mut shed_at: BTreeMap<u64, f64> = BTreeMap::new();
     let mut latest: BTreeMap<u64, (f64, String)> = BTreeMap::new();
@@ -108,9 +121,9 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         let name =
             ev.get("name").and_then(Value::as_str).ok_or(format!("event {i}: missing name"))?;
         let ts = ev.get("ts").and_then(number).ok_or(format!("event {i}: missing numeric ts"))?;
+        let mut dur = 0.0;
         if ph == "X" {
-            let dur =
-                ev.get("dur").and_then(number).ok_or(format!("event {i}: span without dur"))?;
+            dur = ev.get("dur").and_then(number).ok_or(format!("event {i}: span without dur"))?;
             if dur < 0.0 {
                 return Err(format!("event {i}: negative dur"));
             }
@@ -149,10 +162,16 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
             let w = w as u64;
             match name {
                 "Dispatch" => dispatches.entry(w).or_default().push(ts),
-                "Exec" => execs.entry(w).or_default().push(ts),
+                "Exec" => {
+                    execs.entry(w).or_default().push(ts);
+                    exec_spans.entry(w).or_default().push((ts, ts + dur));
+                }
                 "Failover" => failovers.push((w, ts)),
                 "CircuitOpen" => circuit.entry(w).or_default().push((ts, true)),
                 "CircuitClose" => circuit.entry(w).or_default().push((ts, false)),
+                "Drain" => drains.entry(w).or_default().push(ts),
+                "ScaleDown" => scale_downs.entry(w).or_default().push(ts),
+                "ScaleUp" => scale_up_ends.entry(w).or_default().push(ts + dur),
                 _ => {}
             }
         }
@@ -205,6 +224,54 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         }
     }
 
+    // Autoscaling structure. A Drain closes the dispatch window: no
+    // Dispatch may target the worker strictly between the Drain and the
+    // end of the ScaleUp span that re-provisions it (or ever, if it was
+    // never scaled back up).
+    for (w, ds) in &drains {
+        for &d in ds {
+            let readmit = scale_up_ends
+                .get(w)
+                .into_iter()
+                .flatten()
+                .copied()
+                .filter(|&e| e > d)
+                .fold(f64::INFINITY, f64::min);
+            if let Some(ts) =
+                dispatches.get(w).into_iter().flatten().find(|&&ts| ts > d && ts < readmit)
+            {
+                return Err(format!(
+                    "worker {w}: Dispatch at {ts} inside gated window ({d}, {readmit})"
+                ));
+            }
+        }
+        // Every Drain must gate: its ScaleDown lands at/after it.
+        let sds = scale_downs.get(w).map(Vec::as_slice).unwrap_or_default();
+        if sds.len() != ds.len() {
+            return Err(format!(
+                "worker {w}: {} Drain(s) but {} ScaleDown(s)",
+                ds.len(),
+                sds.len()
+            ));
+        }
+        if let Some((d, sd)) = ds.iter().zip(sds).find(|(d, sd)| sd < d) {
+            return Err(format!("worker {w}: ScaleDown at {sd} before its Drain at {d}"));
+        }
+    }
+    // A ScaleDown may only land once in-flight work is done: never
+    // strictly inside an Exec span on the same worker.
+    for (w, sds) in &scale_downs {
+        for &sd in sds {
+            if let Some((s, e)) =
+                exec_spans.get(w).into_iter().flatten().find(|&&(s, e)| sd > s && sd < e)
+            {
+                return Err(format!(
+                    "worker {w}: ScaleDown at {sd} inside in-flight Exec span [{s}, {e})"
+                ));
+            }
+        }
+    }
+
     // A shed request is dead: nothing of it may start after the Shed.
     for (id, &sts) in &shed_at {
         if let Some((t, n)) = latest.get(id) {
@@ -244,6 +311,9 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         outage_windows,
         sheds: shed_at.len(),
         power_samples,
+        drains: drains.values().map(Vec::len).sum(),
+        scale_ups: scale_up_ends.values().map(Vec::len).sum(),
+        scale_downs: scale_downs.values().map(Vec::len).sum(),
     })
 }
 
@@ -375,6 +445,72 @@ mod tests {
         assert_ne!(bad, ok);
         let err = validate(&bad).unwrap_err();
         assert!(err.contains("unknown cause"), "{err}");
+    }
+
+    #[test]
+    fn autoscaled_trace_validates_with_scaling_structure() {
+        let json = crate::autoscale_bench::traced_autoscale(
+            Scale::Tiny,
+            "reactive",
+            Duration::from_millis(10.0),
+        )
+        .chrome_json;
+        let check = validate(&json).expect("autoscaled trace must validate");
+        assert!(check.drains > 0, "{check:?}");
+        assert!(check.scale_downs > 0, "{check:?}");
+        assert!(check.scale_ups > 0, "{check:?}");
+        assert_eq!(check.drains, check.scale_downs, "{check:?}");
+        // Stripping the ScaleDowns breaks the Drain pairing.
+        let bad = json.replace("\"name\":\"ScaleDown\"", "\"name\":\"XcaleDown\"");
+        assert_ne!(bad, json);
+        let err = validate(&bad).unwrap_err();
+        assert!(err.contains("ScaleDown"), "{err}");
+    }
+
+    /// A hand-built log exercising the scaling grammar on worker 1 next
+    /// to one fully chained request on worker 0.
+    fn synthetic_scaling_log(dispatch_while_gated: bool, scaledown_mid_exec: bool) -> String {
+        use desim::SimTime;
+        use ncsw_obs::{chrome_trace, Ctx, Event, EventLog, Lane, Recorder as _};
+        let t = |ms: u64| SimTime(ms * 1_000_000);
+        let mut log = EventLog::new();
+        let r = Ctx::request(0).with_batch(0).with_worker(0);
+        log.record(Event::instant(Phase::Arrive, Lane::Server, t(0), Ctx::request(0)));
+        log.record(Event::instant(Phase::Admit, Lane::Server, t(0), Ctx::request(0)));
+        log.record(Event::instant(Phase::BatchClose, Lane::Queue, t(1), r));
+        log.record(Event::instant(Phase::Dispatch, Lane::Worker(0), t(1), r));
+        log.record(Event::span(Phase::UsbWrite, Lane::Host { worker: 0, dev: 0 }, t(1), t(2), r));
+        log.record(Event::span(Phase::Exec, Lane::Vpu { worker: 0, dev: 0 }, t(2), t(3), r));
+        log.record(Event::span(Phase::UsbRead, Lane::Host { worker: 0, dev: 0 }, t(3), t(4), r));
+        log.record(Event::instant(Phase::Complete, Lane::Server, t(4), r));
+        // Worker 1 runs a batch, then is drained and later re-provisioned.
+        let w = Ctx { request_id: None, batch_id: None, worker: Some(1) };
+        let b = Ctx { request_id: None, batch_id: Some(9), worker: Some(1) };
+        log.record(Event::instant(Phase::Dispatch, Lane::Worker(1), t(5), b));
+        log.record(Event::span(Phase::Exec, Lane::Vpu { worker: 1, dev: 0 }, t(5), t(8), b));
+        let gate = if scaledown_mid_exec { t(6) } else { t(8) };
+        log.record(Event::instant(Phase::Drain, Lane::Worker(1), t(6), w));
+        log.record(Event::instant(Phase::ScaleDown, Lane::Worker(1), gate, w));
+        if dispatch_while_gated {
+            log.record(Event::instant(Phase::Dispatch, Lane::Worker(1), t(10), b));
+        }
+        log.record(Event::span(Phase::ScaleUp, Lane::Worker(1), t(20), t(25), w));
+        chrome_trace(&log)
+    }
+
+    #[test]
+    fn scaling_checks_enforce_gated_windows_and_drain_semantics() {
+        let ok = synthetic_scaling_log(false, false);
+        let check = validate(&ok).expect("synthetic scaling trace must validate");
+        assert_eq!((check.drains, check.scale_downs, check.scale_ups), (1, 1, 1));
+        // A Dispatch inside the gated window (after Drain, before the
+        // ScaleUp finishes provisioning) is a routing violation.
+        let err = validate(&synthetic_scaling_log(true, false)).unwrap_err();
+        assert!(err.contains("gated window"), "{err}");
+        // Power-gating while a batch is still executing is an energy
+        // accounting violation: the drain must wait for in-flight work.
+        let err = validate(&synthetic_scaling_log(false, true)).unwrap_err();
+        assert!(err.contains("in-flight Exec"), "{err}");
     }
 
     #[test]

@@ -106,6 +106,16 @@ pub struct EnergyMeter {
     served_ns: Vec<u64>,
     wasted_ns: Vec<u64>,
     spans: Vec<MeterSpan>,
+    /// Per-worker powered windows `[on, off)`, time-ordered; `None`
+    /// closes at the integration horizon. A statically-provisioned
+    /// worker keeps the single default window `[epoch, None)`, so its
+    /// accounting is identical to a meter without windows. The
+    /// autoscaler closes a window when it power-gates a drained stick
+    /// ([`EnergyMeter::power_off`]) and opens a new one when the stick
+    /// finishes re-provisioning ([`EnergyMeter::power_on`]); outside
+    /// every window the worker draws nothing, which is exactly the
+    /// energy a scale-down reclaims.
+    powered: Vec<Vec<(SimTime, Option<SimTime>)>>,
 }
 
 impl EnergyMeter {
@@ -118,6 +128,7 @@ impl EnergyMeter {
             served_ns: vec![0; n],
             wasted_ns: vec![0; n],
             spans: Vec::new(),
+            powered: vec![vec![(epoch, None)]; n],
         }
     }
 
@@ -180,44 +191,115 @@ impl EnergyMeter {
         self.wasted_ns[w]
     }
 
-    /// Exact integrated energy of worker `w` over `epoch..horizon`.
-    pub fn worker_pj(&self, w: usize, horizon: SimTime) -> u64 {
+    /// Power-gate worker `worker` at `at`: closes its open powered
+    /// window. The instant is clamped to the window start, so a
+    /// zero-length window charges nothing rather than underflowing.
+    pub fn power_off(&mut self, worker: u32, at: SimTime) {
+        let wins = &mut self.powered[worker as usize];
+        let last = wins.last_mut().expect("worker always has a powered-window history");
+        debug_assert!(last.1.is_none(), "power_off on an already-gated worker");
+        last.1 = Some(SimTime::max_of(at, last.0));
+    }
+
+    /// Power worker `worker` back on at `at` (the end of its
+    /// provisioning delay): opens a new window. Clamped to the previous
+    /// window's close so windows stay disjoint and time-ordered.
+    pub fn power_on(&mut self, worker: u32, at: SimTime) {
+        let wins = &mut self.powered[worker as usize];
+        let floor = wins.last().and_then(|w| w.1).expect("power_on on a live worker");
+        wins.push((SimTime::max_of(at, floor), None));
+    }
+
+    /// Nanoseconds worker `w` was powered over `epoch..horizon`.
+    pub fn powered_ns(&self, w: usize, horizon: SimTime) -> u64 {
+        self.powered[w]
+            .iter()
+            .map(|&(on, off)| {
+                let end = off.map_or(horizon, |o| o.min(horizon));
+                end.nanos().saturating_sub(on.min(horizon).nanos())
+            })
+            .sum()
+    }
+
+    /// Nanoseconds worker `w` spent power-gated over `epoch..horizon`.
+    pub fn unpowered_ns(&self, w: usize, horizon: SimTime) -> u64 {
         let span = horizon.nanos().saturating_sub(self.epoch.nanos());
+        span - self.powered_ns(w, horizon)
+    }
+
+    /// True when worker `w` is inside a powered window at `t`.
+    fn powered_at(&self, w: usize, t: SimTime) -> bool {
+        self.powered[w].iter().any(|&(on, off)| on <= t && off.is_none_or(|o| t < o))
+    }
+
+    /// Exact idle draw avoided versus a statically-provisioned fleet:
+    /// `Σ idle_mw × gated_ns` over all workers. Zero when no window was
+    /// ever closed.
+    pub fn reclaimed_pj(&self, horizon: SimTime) -> u64 {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(w, p)| p.idle_mw * self.unpowered_ns(w, horizon))
+            .sum()
+    }
+
+    /// Exact integrated energy of worker `w` over `epoch..horizon`:
+    /// busy draw over charged spans, idle draw over the rest of its
+    /// *powered* windows, nothing while gated.
+    pub fn worker_pj(&self, w: usize, horizon: SimTime) -> u64 {
+        let powered = self.powered_ns(w, horizon);
         let busy = self.busy_ns(w);
-        debug_assert!(busy <= span, "busy ledger exceeds horizon");
-        self.profiles[w].energy_pj(busy, span - busy)
+        debug_assert!(busy <= powered, "busy ledger exceeds powered time");
+        self.profiles[w].energy_pj(busy, powered - busy)
     }
 
     /// Fleet totals over `epoch..horizon`, split active/wasted/idle.
     /// The split telescopes: `active + wasted + idle == Σ worker_pj`.
     pub fn totals(&self, horizon: SimTime) -> EnergyTotals {
-        let span = horizon.nanos().saturating_sub(self.epoch.nanos());
         let mut t = EnergyTotals::default();
         for (w, p) in self.profiles.iter().enumerate() {
             t.active_pj += p.busy_mw * self.served_ns[w];
             t.wasted_pj += p.busy_mw * self.wasted_ns[w];
-            t.idle_pj += p.idle_mw * (span - self.busy_ns(w));
+            t.idle_pj += p.idle_mw * (self.powered_ns(w, horizon) - self.busy_ns(w));
         }
         t
     }
 
     /// The power step function as `PowerSample` counter events, one
-    /// lane per worker: idle at the epoch, busy at each span start
-    /// (carrying the batch id), idle again at each span end, and a
-    /// final idle sample at `horizon` marking the integration end. The
-    /// trace alone reconstructs the exact picojoule ledger.
+    /// lane per worker: idle at each powered-window start (the epoch
+    /// for a static worker), busy at each span start (carrying the
+    /// batch id), idle again at each span end, **zero** at each
+    /// power-gate instant, and a final sample at `horizon` marking the
+    /// integration end. The trace alone reconstructs the exact
+    /// picojoule ledger — re-integrating the step function over a gated
+    /// worker naturally charges nothing for its dark windows.
     pub fn events(&self, horizon: SimTime) -> Vec<Event> {
         let mut out = Vec::new();
         for (w, p) in self.profiles.iter().enumerate() {
             let worker = w as u32;
             let lane = Lane::Power(worker);
             let ctx = Ctx::NONE.with_worker(worker);
-            out.push(Event::counter(lane, self.epoch, p.idle_mw, ctx));
-            for sp in self.spans.iter().filter(|sp| sp.worker == worker) {
-                out.push(Event::counter(lane, sp.start, p.busy_mw, ctx.with_batch(sp.batch)));
-                out.push(Event::counter(lane, sp.end, p.idle_mw, ctx));
+            let mut spans = self.spans.iter().filter(|sp| sp.worker == worker).peekable();
+            for &(on, off) in &self.powered[w] {
+                if on > horizon {
+                    break;
+                }
+                out.push(Event::counter(lane, on, p.idle_mw, ctx));
+                // Busy spans always fall inside a powered window: the
+                // serving loop never dispatches to a gated stick.
+                while spans.peek().is_some_and(|sp| off.is_none_or(|o| sp.end <= o)) {
+                    let sp = spans.next().unwrap();
+                    out.push(Event::counter(lane, sp.start, p.busy_mw, ctx.with_batch(sp.batch)));
+                    out.push(Event::counter(lane, sp.end, p.idle_mw, ctx));
+                }
+                if let Some(off) = off {
+                    if off <= horizon {
+                        out.push(Event::counter(lane, off, 0, ctx));
+                    }
+                }
             }
-            out.push(Event::counter(lane, horizon, p.idle_mw, ctx));
+            let level = if self.powered_at(w, horizon) { p.idle_mw } else { 0 };
+            out.push(Event::counter(lane, horizon, level, ctx));
         }
         out
     }
@@ -326,6 +408,60 @@ mod tests {
             pj += pair[0].value.unwrap() * (pair[1].start.nanos() - pair[0].start.nanos());
         }
         assert_eq!(pj, m.worker_pj(0, SimTime(1_000)));
+    }
+
+    #[test]
+    fn power_gating_reclaims_exact_idle_draw() {
+        let mut m = two_workers();
+        m.charge(0, SimTime(100), SimTime(400), 1, false);
+        // Gate w0 after its batch drains, power it back on later.
+        m.power_off(0, SimTime(400));
+        m.power_on(0, SimTime(800));
+        let h = SimTime(1_000);
+        assert_eq!(m.powered_ns(0, h), 400 + 200);
+        assert_eq!(m.unpowered_ns(0, h), 400);
+        // Busy 300 ns, idle only over the powered remainder.
+        assert_eq!(m.worker_pj(0, h), 900 * 300 + 172 * 300);
+        // Reclaimed = idle draw over the dark window, and the fleet
+        // split still telescopes to the per-worker sum.
+        assert_eq!(m.reclaimed_pj(h), 172 * 400);
+        let t = m.totals(h);
+        assert_eq!(t.fleet_pj(), m.worker_pj(0, h) + m.worker_pj(1, h));
+    }
+
+    #[test]
+    fn gated_windows_emit_a_zero_level_step_function() {
+        let mut m = two_workers();
+        m.charge(0, SimTime(100), SimTime(400), 9, false);
+        m.power_off(0, SimTime(400));
+        m.power_on(0, SimTime(800));
+        let h = SimTime(1_000);
+        let evs = m.events(h);
+        let w0: Vec<_> = evs.iter().filter(|e| e.lane == Lane::Power(0)).collect();
+        let shape: Vec<_> = w0.iter().map(|e| (e.start.nanos(), e.value.unwrap())).collect();
+        assert_eq!(
+            shape,
+            vec![(0, 172), (100, 900), (400, 172), (400, 0), (800, 172), (1_000, 172)]
+        );
+        // Re-integration over the gated lane recovers the exact total.
+        let mut pj = 0u64;
+        for pair in w0.windows(2) {
+            pj += pair[0].value.unwrap() * (pair[1].start.nanos() - pair[0].start.nanos());
+        }
+        assert_eq!(pj, m.worker_pj(0, h));
+    }
+
+    #[test]
+    fn a_never_gated_meter_is_unchanged_by_the_window_machinery() {
+        // Static fleets keep the single default window, so every
+        // accessor matches the plain busy/idle accounting.
+        let mut m = two_workers();
+        m.charge(0, SimTime(100), SimTime(600), 1, false);
+        let h = SimTime(1_000);
+        assert_eq!(m.powered_ns(0, h), 1_000);
+        assert_eq!(m.unpowered_ns(1, h), 0);
+        assert_eq!(m.reclaimed_pj(h), 0);
+        assert_eq!(m.worker_pj(0, h), 900 * 500 + 172 * 500);
     }
 
     #[test]

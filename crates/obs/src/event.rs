@@ -58,10 +58,21 @@ pub enum Phase {
     /// instant until the lane's next sample (exported as a Chrome
     /// `ph:"C"` counter event).
     PowerSample,
+    /// The autoscaler stopped dispatching to a worker: from this
+    /// instant no `Dispatch` may land on it until a later `ScaleUp`
+    /// completes. In-flight batches keep running.
+    Drain,
+    /// The drained worker's in-flight batches finished and it
+    /// power-gated — always at or after the last `Exec` on the worker.
+    ScaleDown,
+    /// The autoscaler powered a gated worker back on — a span covering
+    /// the provisioning delay; the worker is dispatchable from the
+    /// span's end.
+    ScaleUp,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 17] = [
+    pub const ALL: [Phase; 20] = [
         Phase::Arrive,
         Phase::Admit,
         Phase::Enqueue,
@@ -79,6 +90,9 @@ impl Phase {
         Phase::CircuitClose,
         Phase::SloAlert,
         Phase::PowerSample,
+        Phase::Drain,
+        Phase::ScaleDown,
+        Phase::ScaleUp,
     ];
 
     /// The happy-path phase sequence of one request on a VPU worker.
@@ -115,6 +129,9 @@ impl Phase {
             Phase::CircuitClose => "CircuitClose",
             Phase::SloAlert => "SloAlert",
             Phase::PowerSample => "PowerSample",
+            Phase::Drain => "Drain",
+            Phase::ScaleDown => "ScaleDown",
+            Phase::ScaleUp => "ScaleUp",
         }
     }
 

@@ -44,6 +44,11 @@ pub struct Sample {
     /// img/s/W, the paper's Eq. 1 axis, but over *integrated* energy
     /// rather than nameplate TDP.
     pub img_per_watt: f64,
+    /// Workers currently dispatchable (not drained, not provisioning).
+    /// Constant at the fleet size unless an autoscaler is attached.
+    pub live_sticks: usize,
+    /// Cumulative autoscaling decisions applied so far.
+    pub scale_events: u64,
 }
 
 /// A complete sampled series with its worker column labels.
@@ -53,6 +58,10 @@ pub struct TimeSeries {
     pub interval: Duration,
     pub worker_labels: Vec<String>,
     pub samples: Vec<Sample>,
+    /// True when the run carried an autoscaler: the CSV then appends
+    /// `live_sticks,scale_events` columns. Controller-less runs keep
+    /// the exact pre-autoscaling column set, byte for byte.
+    pub scaling: bool,
 }
 
 impl TimeSeries {
@@ -73,6 +82,9 @@ impl TimeSeries {
             let _ = write!(out, ",power_{}", label.replace([' ', ','], "_"));
         }
         out.push_str(",energy_j,img_per_watt");
+        if self.scaling {
+            out.push_str(",live_sticks,scale_events");
+        }
         out.push('\n');
         for s in &self.samples {
             let _ = write!(
@@ -96,6 +108,9 @@ impl TimeSeries {
                 let _ = write!(out, ",{p:.6}");
             }
             let _ = write!(out, ",{:.6},{:.6}", s.energy_j, s.img_per_watt);
+            if self.scaling {
+                let _ = write!(out, ",{},{}", s.live_sticks, s.scale_events);
+            }
             out.push('\n');
         }
         out
@@ -130,14 +145,30 @@ impl TimeSeries {
             .map(|c| c["util_".len()..].to_string())
             .collect();
         // Pre-energy CSVs stop after the circuit columns; current ones
-        // add `power_<worker>...,energy_j,img_per_watt`. Accept both so
-        // archived series files keep parsing (power reads as zero).
+        // add `power_<worker>...,energy_j,img_per_watt`, and autoscaled
+        // runs append `live_sticks,scale_events`. Accept all three so
+        // archived series files keep parsing (absent columns read as
+        // zero).
         let old_shape = FIXED.len() + 2 * labels.len();
         let new_shape = FIXED.len() + 3 * labels.len() + 2;
-        let has_energy = cols.len() == new_shape
-            && cols[old_shape..old_shape + labels.len()].iter().all(|c| c.starts_with("power_"))
-            && cols[new_shape - 2..] == ["energy_j", "img_per_watt"];
-        let expect = if has_energy { new_shape } else { old_shape };
+        let scaled_shape = new_shape + 2;
+        let power_cols = |cols: &[&str]| {
+            cols[old_shape..old_shape + labels.len()].iter().all(|c| c.starts_with("power_"))
+        };
+        let has_scaling = cols.len() == scaled_shape
+            && power_cols(&cols)
+            && cols[new_shape - 2..] == ["energy_j", "img_per_watt", "live_sticks", "scale_events"];
+        let has_energy = has_scaling
+            || (cols.len() == new_shape
+                && power_cols(&cols)
+                && cols[new_shape - 2..] == ["energy_j", "img_per_watt"]);
+        let expect = if has_scaling {
+            scaled_shape
+        } else if has_energy {
+            new_shape
+        } else {
+            old_shape
+        };
         if cols.len() != expect {
             return Err(format!("{} columns, expected {expect} from the header shape", cols.len()));
         }
@@ -170,6 +201,8 @@ impl TimeSeries {
                 },
                 energy_j: if has_energy { num(new_shape - 2)? } else { 0.0 },
                 img_per_watt: if has_energy { num(new_shape - 1)? } else { 0.0 },
+                live_sticks: if has_scaling { int(scaled_shape - 2)? as usize } else { 0 },
+                scale_events: if has_scaling { int(scaled_shape - 1)? } else { 0 },
             });
         }
         let interval = match samples.as_slice() {
@@ -182,6 +215,7 @@ impl TimeSeries {
             interval: if interval > Duration::ZERO { interval } else { Duration::from_millis(1.0) },
             worker_labels: labels,
             samples,
+            scaling: has_scaling,
         })
     }
 }
@@ -228,7 +262,29 @@ pub struct TimeSeriesBuilder {
     /// sample boundaries pass them (mirrors completion buffering in the
     /// serving loop).
     circuit_pending: Vec<(SimTime, usize, f64)>,
+    /// `Some` once an autoscaler attached: current live-worker count
+    /// and cumulative decisions, with buffered future transitions
+    /// `(at, live_delta, decision_delta)` — a scale-up's live increment
+    /// lands at the end of its provisioning delay, past the tick that
+    /// decided it.
+    scaling: Option<ScalingCols>,
+    /// Per-worker powered state, the instant it last changed, and the
+    /// powered nanoseconds accumulated before that instant — drives the
+    /// energy columns for workers that are dark for part of the run.
+    pstate: Vec<bool>,
+    pmark: Vec<SimTime>,
+    pconsumed: Vec<u64>,
+    /// Buffered future power transitions `(at, worker, powered)` — a
+    /// drain's power-off lands when its in-flight batches finish.
+    power_pending: Vec<(SimTime, usize, bool)>,
     samples: Vec<Sample>,
+}
+
+#[derive(Debug)]
+struct ScalingCols {
+    live: usize,
+    events: u64,
+    pending: Vec<(SimTime, i64, u64)>,
 }
 
 impl TimeSeriesBuilder {
@@ -257,8 +313,37 @@ impl TimeSeriesBuilder {
             win_shed: 0,
             circuit: vec![0.0; n],
             circuit_pending: Vec::new(),
+            scaling: None,
+            pstate: vec![true; n],
+            pmark: vec![epoch; n],
+            pconsumed: vec![0; n],
+            power_pending: Vec::new(),
             samples: Vec::new(),
         }
+    }
+
+    /// Attach autoscaling columns: samples carry `live_sticks` (from
+    /// `initial_live`) and cumulative `scale_events`. Without this call
+    /// the series keeps the exact pre-autoscaling CSV shape.
+    pub fn enable_scaling(&mut self, initial_live: usize) {
+        self.scaling = Some(ScalingCols { live: initial_live, events: 0, pending: Vec::new() });
+    }
+
+    /// An autoscaling transition: at `at`, the live-worker count moves
+    /// by `live_delta` and the cumulative decision count by
+    /// `decisions`. Buffered and applied in time order at sample
+    /// boundaries, like circuit transitions.
+    pub fn scale_event(&mut self, at: SimTime, live_delta: i64, decisions: u64) {
+        if let Some(sc) = self.scaling.as_mut() {
+            sc.pending.push((at, live_delta, decisions));
+        }
+    }
+
+    /// Worker `worker` powered off (`false`) or back on (`true`) at
+    /// `at`: from that instant its energy column integrates zero draw
+    /// (respectively its idle/busy rates again).
+    pub fn power_event(&mut self, worker: usize, at: SimTime, powered: bool) {
+        self.power_pending.push((at, worker, powered));
     }
 
     /// A batch was dispatched to `worker`, occupying it over
@@ -332,6 +417,36 @@ impl TimeSeriesBuilder {
             applied += 1;
         }
         self.circuit_pending.drain(..applied);
+        // Apply power transitions up to this boundary, accumulating
+        // each worker's powered time piecewise.
+        self.power_pending.sort_by_key(|&(at, _, _)| at);
+        let mut applied = 0;
+        for &(at, w, powered) in self.power_pending.iter() {
+            if at > s {
+                break;
+            }
+            if self.pstate[w] {
+                self.pconsumed[w] += (at - self.pmark[w]).nanos();
+            }
+            self.pmark[w] = at;
+            self.pstate[w] = powered;
+            applied += 1;
+        }
+        self.power_pending.drain(..applied);
+        // Apply scaling transitions up to this boundary.
+        if let Some(sc) = self.scaling.as_mut() {
+            sc.pending.sort_by_key(|&(at, _, _)| at);
+            let mut applied = 0;
+            for &(at, live_delta, decisions) in sc.pending.iter() {
+                if at > s {
+                    break;
+                }
+                sc.live = (sc.live as i64 + live_delta).max(0) as usize;
+                sc.events += decisions;
+                applied += 1;
+            }
+            sc.pending.drain(..applied);
+        }
         let horizon = (s - self.epoch).as_secs();
         let util: Vec<f64> = (0..self.labels.len())
             .map(|w| {
@@ -374,7 +489,11 @@ impl TimeSeriesBuilder {
                 }
                 let busy_ns = busy.nanos().min(elapsed_ns);
                 let (busy_mw, idle_mw) = self.power[w];
-                let pj = busy_mw * busy_ns + idle_mw * (elapsed_ns - busy_ns);
+                // Idle draw accrues only over powered time: a gated
+                // worker's lane is dark, exactly as in the EnergyMeter.
+                let powered_ns = self.pconsumed[w]
+                    + if self.pstate[w] { (s - self.pmark[w]).nanos() } else { 0 };
+                let pj = busy_mw * busy_ns + idle_mw * (powered_ns.saturating_sub(busy_ns));
                 fleet_pj += pj;
                 if elapsed_ns == 0 {
                     0.0
@@ -410,6 +529,8 @@ impl TimeSeriesBuilder {
             worker_power,
             energy_j,
             img_per_watt: if energy_j > 0.0 { self.completed as f64 / energy_j } else { 0.0 },
+            live_sticks: self.scaling.as_ref().map_or(self.labels.len(), |sc| sc.live),
+            scale_events: self.scaling.as_ref().map_or(0, |sc| sc.events),
         });
     }
 
@@ -421,6 +542,7 @@ impl TimeSeriesBuilder {
             interval: self.interval,
             worker_labels: self.labels,
             samples: self.samples,
+            scaling: self.scaling.is_some(),
         }
     }
 }
@@ -569,6 +691,62 @@ mod tests {
         }
         assert!(back.samples.iter().any(|s| s.energy_j > 0.0), "energy column survived");
         assert!(TimeSeries::from_csv("nope\n1,2").is_err());
+    }
+
+    #[test]
+    fn scaling_columns_appear_only_when_enabled_and_round_trip() {
+        // Without an autoscaler the header is byte-identical to the
+        // pre-autoscaling shape.
+        let b = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(100.0));
+        let ts = b.finish(at(10.0), 0);
+        assert!(ts.csv().lines().next().unwrap().ends_with(",energy_j,img_per_watt"));
+
+        let mut b = TimeSeriesBuilder::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            SimTime::ZERO,
+            ms(10.0),
+            ms(100.0),
+        );
+        b.enable_scaling(3);
+        // Drain c at 5 ms (decision + live drop), power it back with a
+        // provisioning delay ending at 25 ms (decision at 12 ms).
+        b.scale_event(at(5.0), -1, 1);
+        b.scale_event(at(12.0), 0, 1);
+        b.scale_event(at(25.0), 1, 0);
+        let ts = b.finish(at(30.0), 0);
+        let header = ts.csv().lines().next().unwrap().to_string();
+        assert!(header.ends_with(",energy_j,img_per_watt,live_sticks,scale_events"));
+        let live: Vec<usize> = ts.samples.iter().map(|s| s.live_sticks).collect();
+        let events: Vec<u64> = ts.samples.iter().map(|s| s.scale_events).collect();
+        assert_eq!(live, vec![2, 2, 3]);
+        assert_eq!(events, vec![1, 2, 2]);
+
+        let back = TimeSeries::from_csv(&ts.csv()).expect("scaled CSV must parse");
+        assert!(back.scaling);
+        assert_eq!(
+            back.samples.iter().map(|s| (s.live_sticks, s.scale_events)).collect::<Vec<_>>(),
+            ts.samples.iter().map(|s| (s.live_sticks, s.scale_events)).collect::<Vec<_>>()
+        );
+        assert_eq!(back.csv(), ts.csv(), "scaled CSV round-trips byte-identically");
+    }
+
+    #[test]
+    fn energy_column_goes_dark_while_a_worker_is_gated() {
+        let mut b = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(100.0));
+        b.set_power(vec![(900, 172)]);
+        // Powered idle 0..5 ms, gated 5..10 ms: only 5 ms of idle draw.
+        b.power_event(0, at(5.0), false);
+        let ts = b.finish(at(10.0), 0);
+        let want_j = (172u64 * 5_000_000) as f64 / 1e12;
+        assert!((ts.samples[0].energy_j - want_j).abs() < 1e-15, "{}", ts.samples[0].energy_j);
+        // Power back on at 12 ms: the second window adds idle draw again.
+        let mut b = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(100.0));
+        b.set_power(vec![(900, 172)]);
+        b.power_event(0, at(5.0), false);
+        b.power_event(0, at(12.0), true);
+        let ts = b.finish(at(20.0), 0);
+        let want_j = (172u64 * (5_000_000 + 8_000_000)) as f64 / 1e12;
+        assert!((ts.samples[1].energy_j - want_j).abs() < 1e-15, "{}", ts.samples[1].energy_j);
     }
 
     #[test]

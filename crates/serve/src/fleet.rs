@@ -15,6 +15,10 @@ pub enum WorkerSpec {
     Vpu {
         devices: usize,
     },
+    /// One *elastic* single-stick VPU worker: the unit the autoscaler
+    /// may drain and power-gate. `8*vpu` is eight independent sticks
+    /// (eight of these), where `8xvpu` is one eight-device pipeline.
+    Stick,
 }
 
 /// An ordered set of workers.
@@ -22,7 +26,9 @@ pub enum WorkerSpec {
 pub struct FleetSpec(pub Vec<WorkerSpec>);
 
 impl FleetSpec {
-    /// Parse `cpu+gpu+8xvpu` / `1xvpu` / `cpu` style specs.
+    /// Parse `cpu+gpu+8xvpu` / `1xvpu` / `cpu` style specs. `N*vpu`
+    /// adds N independent elastic sticks (autoscalable), where `Nxvpu`
+    /// is one N-device pipeline worker.
     pub fn parse(s: &str) -> Option<FleetSpec> {
         let mut out = Vec::new();
         for part in s.split('+') {
@@ -31,6 +37,17 @@ impl FleetSpec {
                 "gpu" => out.push(WorkerSpec::Gpu),
                 "vpu" => out.push(WorkerSpec::Vpu { devices: 1 }),
                 other => {
+                    if let Some((n, rest)) = other.split_once('*') {
+                        if rest != "vpu" {
+                            return None;
+                        }
+                        let sticks: usize = n.parse().ok()?;
+                        if sticks == 0 {
+                            return None;
+                        }
+                        out.extend(std::iter::repeat_n(WorkerSpec::Stick, sticks));
+                        continue;
+                    }
                     let (n, rest) = other.split_once('x')?;
                     if rest != "vpu" {
                         return None;
@@ -50,6 +67,17 @@ impl FleetSpec {
         }
     }
 
+    /// Indices of the elastic (`Stick`) workers — the pool a
+    /// `ScalingConfig` hands to the autoscaler.
+    pub fn elastic_workers(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| matches!(w, WorkerSpec::Stick))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Instantiate the workers (each gets its own simulated device; the
     /// model bundle is shared — it is `Arc`s inside).
     pub fn build(&self, model: &ModelBundle) -> Vec<Box<dyn ServiceHook>> {
@@ -60,6 +88,7 @@ impl FleetSpec {
                     WorkerSpec::Cpu => Box::new(IntelCpu::new(model.clone())),
                     WorkerSpec::Gpu => Box::new(NvGpu::new(model.clone())),
                     WorkerSpec::Vpu { devices } => Box::new(IntelVpu::new(model.clone(), devices)),
+                    WorkerSpec::Stick => Box::new(IntelVpu::new(model.clone(), 1)),
                 }
             })
             .collect()
@@ -116,15 +145,28 @@ pub fn live_preferred_batch(workers: &[Box<dyn ServiceHook>], open: &[bool]) -> 
 
 impl fmt::Display for FleetSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, w) in self.0.iter().enumerate() {
-            if i > 0 {
+        let mut i = 0;
+        let mut first = true;
+        while i < self.0.len() {
+            if !first {
                 write!(f, "+")?;
             }
-            match w {
+            first = false;
+            match self.0[i] {
                 WorkerSpec::Cpu => write!(f, "cpu")?,
                 WorkerSpec::Gpu => write!(f, "gpu")?,
                 WorkerSpec::Vpu { devices } => write!(f, "{devices}xvpu")?,
+                WorkerSpec::Stick => {
+                    // Collapse a run of consecutive sticks back into the
+                    // `N*vpu` the spec was parsed from.
+                    let run =
+                        self.0[i..].iter().take_while(|w| matches!(w, WorkerSpec::Stick)).count();
+                    write!(f, "{run}*vpu")?;
+                    i += run;
+                    continue;
+                }
             }
+            i += 1;
         }
         Ok(())
     }
@@ -136,14 +178,27 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for s in ["cpu", "gpu", "1xvpu", "8xvpu", "cpu+gpu+8xvpu"] {
+        for s in ["cpu", "gpu", "1xvpu", "8xvpu", "cpu+gpu+8xvpu", "8*vpu", "cpu+gpu+4*vpu"] {
             let spec = FleetSpec::parse(s).expect(s);
             assert_eq!(spec.to_string(), s);
         }
         assert_eq!(FleetSpec::parse("vpu"), Some(FleetSpec(vec![WorkerSpec::Vpu { devices: 1 }])));
         assert!(FleetSpec::parse("tpu").is_none());
         assert!(FleetSpec::parse("0xvpu").is_none());
+        assert!(FleetSpec::parse("0*vpu").is_none());
+        assert!(FleetSpec::parse("3*gpu").is_none());
         assert!(FleetSpec::parse("").is_none());
+    }
+
+    #[test]
+    fn elastic_workers_are_the_stick_indices() {
+        let spec = FleetSpec::parse("cpu+2*vpu+gpu+1*vpu").unwrap();
+        assert_eq!(spec.0.len(), 5);
+        assert_eq!(spec.elastic_workers(), vec![1, 2, 4]);
+        // `Nxvpu` pipelines are *not* elastic: a pipeline is one worker.
+        assert!(FleetSpec::parse("cpu+8xvpu").unwrap().elastic_workers().is_empty());
+        // Sticks parse as independent single-stick workers.
+        assert_eq!(FleetSpec::parse("3*vpu").unwrap().0, vec![WorkerSpec::Stick; 3]);
     }
 
     #[test]

@@ -47,13 +47,17 @@ pub use ncsw_obs::histogram;
 
 pub use fleet::{live_capacity_rps, live_preferred_batch, worker_rps, FleetSpec, WorkerSpec};
 pub use metrics::{
-    EnergyReport, FaultReport, Percentiles, ServeReport, ShedBreakdown, WorkerEnergy, WorkerReport,
+    EnergyReport, FaultReport, Percentiles, ScalingReport, ServeReport, ShedBreakdown,
+    WorkerEnergy, WorkerReport,
 };
+/// The decision half of the autoscaling loop lives in `ncsw-ctrl`;
+/// re-exported so callers can build policies without a direct dep.
+pub use ncsw_ctrl::{self as ctrl, ScaleDecision, ScaleSignals, ScalingPolicy};
 pub use ncsw_obs::LogHistogram;
 pub use server::{
-    serve, serve_observed, DispatchPolicy, FaultStats, ObsConfig, OutageRecord, RequestRecord,
-    RobustConfig, ServeConfig, ServeObservation, ServeOutcome, ShedCause, ShedPolicy, ShedRecord,
-    WorkerStats,
+    serve, serve_autoscaled, serve_autoscaled_observed, serve_observed, DispatchPolicy, FaultStats,
+    ObsConfig, OutageRecord, RequestRecord, RobustConfig, ScalingConfig, ScalingStats, ServeConfig,
+    ServeObservation, ServeOutcome, ShedCause, ShedPolicy, ShedRecord, WorkerStats,
 };
 pub use workload::ArrivalProcess;
 
@@ -248,6 +252,79 @@ mod tests {
         assert_eq!(rep.shed_by_policy.rejected, 0);
         assert!(rep.shed_by_policy.evicted_wait_max_ms > 0.0, "evictions burn queue time");
         assert!(outcome.shed.iter().all(|s| s.cause == ShedCause::Evicted));
+    }
+
+    /// A policy that never acts: an autoscaled run driven by it must be
+    /// indistinguishable from a plain static run.
+    struct HoldAll;
+    impl ScalingPolicy for HoldAll {
+        fn name(&self) -> &'static str {
+            "hold-all"
+        }
+        fn decide(&mut self, _s: &ScaleSignals) -> ScaleDecision {
+            ScaleDecision::Hold
+        }
+    }
+
+    fn autoscale_run(
+        fleet: &str,
+        rate: f64,
+        n: usize,
+        policy: &mut dyn ScalingPolicy,
+    ) -> ServeOutcome {
+        let spec = FleetSpec::parse(fleet).unwrap();
+        let mut workers = spec.build(model());
+        let cfg = ServeConfig::default();
+        let scaling = ScalingConfig { elastic: spec.elastic_workers(), ..Default::default() };
+        let load = ArrivalProcess::Poisson { rate_per_sec: rate };
+        server::serve_autoscaled(&mut workers, &cfg, &load, n, &scaling, policy)
+    }
+
+    #[test]
+    fn a_hold_policy_is_passive_and_controller_off_paths_are_unchanged() {
+        let (plain, _) = run("4*vpu", &ServeConfig::default(), 100.0, 200);
+        let held = autoscale_run("4*vpu", 100.0, 200, &mut HoldAll);
+        assert_eq!(plain.completed, held.completed, "holding controller changed the run");
+        assert_eq!(plain.shed, held.shed);
+        assert_eq!(plain.faults, held.faults);
+        assert!(plain.scaling.is_none(), "static run must not carry a scaling block");
+        let stats = held.scaling.as_ref().expect("autoscaled run carries scaling stats");
+        assert_eq!(stats.policy, "hold-all");
+        assert_eq!((stats.scale_ups, stats.scale_downs), (0, 0));
+        assert!(stats.ticks > 0, "controller never ticked");
+        // With nothing ever gated, the ledger reclaims nothing.
+        let horizon = held.energy_horizon();
+        assert_eq!(held.energy.reclaimed_pj(horizon), 0);
+    }
+
+    #[test]
+    fn autoscaled_runs_are_deterministic_per_policy() {
+        for name in ncsw_ctrl::POLICY_NAMES {
+            let mut p1 = ncsw_ctrl::policy(name).unwrap();
+            let mut p2 = ncsw_ctrl::policy(name).unwrap();
+            let a = autoscale_run("8*vpu", 15.0, 150, p1.as_mut());
+            let b = autoscale_run("8*vpu", 15.0, 150, p2.as_mut());
+            assert_eq!(a.completed, b.completed, "{name} run not deterministic");
+            assert_eq!(a.shed, b.shed, "{name}");
+            assert_eq!(a.scaling, b.scaling, "{name} scaling stats not deterministic");
+        }
+    }
+
+    #[test]
+    fn reactive_autoscaling_reclaims_idle_energy_at_low_load() {
+        let mut p = ncsw_ctrl::policy("reactive").unwrap();
+        let outcome = autoscale_run("8*vpu", 15.0, 200, p.as_mut());
+        let stats = outcome.scaling.as_ref().unwrap();
+        assert!(stats.scale_downs > 0, "low load must drain sticks: {stats:?}");
+        let horizon = outcome.energy_horizon();
+        assert!(outcome.energy.reclaimed_pj(horizon) > 0, "gating must reclaim idle energy");
+        // Every request still gets served or shed, and the report's
+        // scaling block mirrors the ledger.
+        assert_eq!(outcome.completed.len() + outcome.shed.len(), 200);
+        let report = ServeReport::of(&outcome, &ServeConfig::default());
+        let block = report.scaling.expect("scaling block");
+        assert_eq!(block.reclaimed_pj, outcome.energy.reclaimed_pj(horizon));
+        assert!(block.stick_seconds < block.static_stick_seconds, "{block:?}");
     }
 
     #[test]

@@ -224,6 +224,54 @@ impl EnergyReport {
     }
 }
 
+/// Autoscaling view of one run: what the controller did and what it
+/// bought. `stick_seconds` vs `static_stick_seconds` is the capacity
+/// the fleet gave back; `reclaimed_j` is the *exact* idle draw those
+/// unpowered stick-seconds would have cost a static fleet (integer
+/// `idle_mw x ns` off the same ledger every other energy law uses).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingReport {
+    /// Policy that drove the run.
+    pub policy: String,
+    /// Controller ticks processed.
+    pub ticks: u64,
+    pub scale_ups: u64,
+    pub scale_downs: u64,
+    /// Scale-ups issued while circuits were open (outage replacements).
+    pub replacements: u64,
+    /// Size of the elastic pool.
+    pub elastic_sticks: usize,
+    /// Powered elastic stick-seconds over the energy horizon.
+    pub stick_seconds: f64,
+    /// What a static fleet would have paid: pool size x horizon.
+    pub static_stick_seconds: f64,
+    /// Idle energy the gating avoided, exact integer picojoules.
+    pub reclaimed_pj: u64,
+    pub reclaimed_j: f64,
+}
+
+impl ScalingReport {
+    fn of(outcome: &ServeOutcome, stats: &crate::server::ScalingStats) -> ScalingReport {
+        let horizon = outcome.energy_horizon();
+        let horizon_s = (horizon - outcome.epoch).as_secs();
+        let stick_seconds: f64 =
+            stats.elastic.iter().map(|&w| outcome.energy.powered_ns(w, horizon) as f64 / 1e9).sum();
+        let reclaimed_pj = outcome.energy.reclaimed_pj(horizon);
+        ScalingReport {
+            policy: stats.policy.clone(),
+            ticks: stats.ticks,
+            scale_ups: stats.scale_ups,
+            scale_downs: stats.scale_downs,
+            replacements: stats.replacements,
+            elastic_sticks: stats.elastic.len(),
+            stick_seconds,
+            static_stick_seconds: stats.elastic.len() as f64 * horizon_s,
+            reclaimed_pj,
+            reclaimed_j: joules(reclaimed_pj),
+        }
+    }
+}
+
 /// One serving run, aggregated.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
@@ -253,6 +301,8 @@ pub struct ServeReport {
     pub faults: FaultReport,
     /// Integrated energy accounting (Eq. 1 vs measured img/W).
     pub energy: EnergyReport,
+    /// Autoscaling accounting; `null` on static-fleet runs.
+    pub scaling: Option<ScalingReport>,
     pub workers: Vec<WorkerReport>,
 }
 
@@ -292,6 +342,7 @@ impl ServeReport {
             service_time_mean_ms: (service / n).as_millis(),
             faults: FaultReport::of(outcome),
             energy: EnergyReport::of(outcome, good as f64 / horizon),
+            scaling: outcome.scaling.as_ref().map(|s| ScalingReport::of(outcome, s)),
             workers: outcome
                 .workers
                 .iter()

@@ -42,6 +42,7 @@ use crate::fleet::{live_capacity_rps, live_preferred_batch, worker_rps};
 use crate::workload::ArrivalProcess;
 use desim::{Duration, SimTime};
 use ncsw::service::{FailureKind, ServeError, ServiceHook};
+use ncsw_ctrl::{PrimeContext, ScaleDecision, ScaleSignals, ScalingPolicy};
 use ncsw_obs::{
     BatchObs, CounterId, Ctx, EnergyMeter, Event, EventLog, GaugeId, HistogramId, Lane,
     NullRecorder, Phase, Recorder, Registry, TimeSeries, TimeSeriesBuilder,
@@ -320,6 +321,10 @@ pub struct ServeOutcome {
     /// charged as *wasted* energy even though their latency is never
     /// attributed to a request.
     pub energy: EnergyMeter,
+    /// Autoscaling accounting; `None` on a static-fleet run (the
+    /// controller-disabled paths are bit-identical to pre-controller
+    /// behavior).
+    pub scaling: Option<ScalingStats>,
 }
 
 impl ServeOutcome {
@@ -484,6 +489,377 @@ struct ObsAccum {
     meters: Meters,
 }
 
+// ---------------------------------------------------------------------
+// Autoscaling: the actuation half of the `ncsw-ctrl` closed loop
+// ---------------------------------------------------------------------
+
+/// Actuator parameters of an autoscaled run ([`serve_autoscaled`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingConfig {
+    /// Controller tick interval: the policy sees fresh signals and may
+    /// act this often. The first tick fires at the epoch.
+    pub tick: Duration,
+    /// Virtual delay between a scale-up decision and the stick being
+    /// dispatchable (plug/enumerate/boot of an NCS device).
+    pub provision_delay: Duration,
+    /// Floor on live-plus-provisioning elastic sticks — the actuator
+    /// never drains below it regardless of what the policy asks.
+    pub min_live: usize,
+    /// Worker indices the controller may drain and power-gate
+    /// (typically [`crate::fleet::FleetSpec::elastic_workers`]).
+    pub elastic: Vec<usize>,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            tick: Duration::from_millis(50.0),
+            provision_delay: Duration::from_millis(200.0),
+            min_live: 1,
+            elastic: Vec::new(),
+        }
+    }
+}
+
+/// Controller-side accounting of one autoscaled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingStats {
+    /// Policy that drove the run ([`ScalingPolicy::name`]).
+    pub policy: String,
+    pub ticks: u64,
+    /// Sticks powered on (each is one `ScaleUp` span in the trace).
+    pub scale_ups: u64,
+    /// Sticks drained and power-gated (`Drain` + `ScaleDown` events).
+    pub scale_downs: u64,
+    /// Scale-ups issued while live circuits were open — replacements
+    /// spun up during an `ncsw-faults` outage.
+    pub replacements: u64,
+    /// The elastic pool the controller was allowed to act on.
+    pub elastic: Vec<usize>,
+}
+
+/// Lifecycle of one elastic stick as the actuator tracks it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ScaleState {
+    Live,
+    /// Powered on at the decision tick, dispatchable from `ready_at`.
+    Provisioning {
+        ready_at: SimTime,
+    },
+    /// Drained; power-gated from `since` (the instant its last
+    /// in-flight batch finished).
+    Gated {
+        since: SimTime,
+    },
+}
+
+/// One controller-tick window of outcome counts, the raw material of
+/// the burn-rate and shed-rate signals.
+#[derive(Debug, Clone, Copy, Default)]
+struct TickBucket {
+    arrived: u64,
+    completed: u64,
+    /// Completions over the SLO.
+    missed: u64,
+    shed: u64,
+}
+
+/// Burn-window lengths in ticks, mirroring `ncsw-analyze`'s two-window
+/// alert defaults (fast 3 samples, slow 12).
+const FAST_WINDOW: usize = 3;
+const SLOW_WINDOW: usize = 12;
+
+/// Outcome kinds binned into [`TickBucket`]s by instant.
+const OUTCOME_GOOD: u8 = 0;
+const OUTCOME_MISS: u8 = 1;
+const OUTCOME_SHED: u8 = 2;
+
+/// Controller state threaded through [`serve_core`] on autoscaled runs.
+/// `None` everywhere else — the static-fleet paths never construct one,
+/// which is what keeps them bit-identical to pre-controller behavior.
+struct CtrlState<'a> {
+    cfg: ScalingConfig,
+    policy: &'a mut dyn ScalingPolicy,
+    /// Per-worker lifecycle; non-elastic workers stay `Live` forever.
+    state: Vec<ScaleState>,
+    next_tick: SimTime,
+    /// Nameplate capacity of one elastic stick / of the always-on rest.
+    stick_rps: f64,
+    base_rps: f64,
+    /// Completions and sheds not yet binned, as `(instant ns, kind)` —
+    /// a min-heap because completions land after the dispatch that
+    /// produced them, possibly several ticks out.
+    outcomes: BinaryHeap<Reverse<(u64, u8)>>,
+    /// The bucket accumulating the current tick window.
+    cur: TickBucket,
+    /// Closed per-tick buckets, most recent last (capped at the slow
+    /// burn window).
+    hist: VecDeque<TickBucket>,
+    stats: ScalingStats,
+}
+
+impl<'a> CtrlState<'a> {
+    fn new(
+        scaling: &ScalingConfig,
+        workers: &[Box<dyn ServiceHook>],
+        policy: &'a mut dyn ScalingPolicy,
+    ) -> CtrlState<'a> {
+        assert!(scaling.tick > Duration::ZERO, "controller tick must be positive");
+        assert!(scaling.elastic.iter().all(|&w| w < workers.len()), "elastic index out of range");
+        let mut cfg = scaling.clone();
+        cfg.elastic.sort_unstable();
+        cfg.elastic.dedup();
+        // If the whole fleet is elastic, at least one stick must stay
+        // up or the dispatcher would have nowhere to route.
+        if cfg.elastic.len() == workers.len() {
+            cfg.min_live = cfg.min_live.max(1);
+        }
+        let stick_rps = cfg.elastic.first().map_or(0.0, |&w| worker_rps(workers[w].as_ref()));
+        let base_rps = (0..workers.len())
+            .filter(|i| !cfg.elastic.contains(i))
+            .map(|i| worker_rps(workers[i].as_ref()))
+            .sum();
+        let policy_name = policy.name().to_string();
+        let elastic = cfg.elastic.clone();
+        CtrlState {
+            cfg,
+            policy,
+            state: vec![ScaleState::Live; workers.len()],
+            next_tick: SimTime::ZERO,
+            stick_rps,
+            base_rps,
+            outcomes: BinaryHeap::new(),
+            cur: TickBucket::default(),
+            hist: VecDeque::with_capacity(SLOW_WINDOW),
+            stats: ScalingStats {
+                policy: policy_name,
+                ticks: 0,
+                scale_ups: 0,
+                scale_downs: 0,
+                replacements: 0,
+                elastic,
+            },
+        }
+    }
+
+    /// Hand the policy its allowed foresight and schedule the first
+    /// tick at the epoch (so the oracle can gate from the very start).
+    fn prime(&mut self, arrivals: &[SimTime], epoch: SimTime) {
+        self.next_tick = epoch;
+        let ctx = PrimeContext {
+            epoch,
+            tick: self.cfg.tick,
+            provision_delay: self.cfg.provision_delay,
+            stick_rps: self.stick_rps,
+            base_rps: self.base_rps,
+            total_sticks: self.cfg.elastic.len(),
+            min_live: self.cfg.min_live,
+        };
+        self.policy.prime(arrivals, &ctx);
+    }
+
+    fn outcome(&mut self, at: SimTime, kind: u8) {
+        self.outcomes.push(Reverse((at.nanos(), kind)));
+    }
+
+    /// Sum a field over the trailing `window` closed buckets.
+    fn window_sum(&self, window: usize, f: impl Fn(&TickBucket) -> u64) -> (u64, usize) {
+        let k = self.hist.len().min(window);
+        (self.hist.iter().rev().take(k).map(f).sum(), k)
+    }
+
+    fn signals(&self, tk: SimTime, queue_depth: usize, fo: &FailoverState) -> ScaleSignals {
+        let (mut live, mut provisioning, mut gated, mut open_circuits) = (0, 0, 0, 0);
+        for &w in &self.cfg.elastic {
+            match self.state[w] {
+                ScaleState::Live => {
+                    live += 1;
+                    if fo.health[w].is_open() {
+                        open_circuits += 1;
+                    }
+                }
+                ScaleState::Provisioning { .. } => provisioning += 1,
+                ScaleState::Gated { .. } => gated += 1,
+            }
+        }
+        let (fast_miss, fast_k) = self.window_sum(FAST_WINDOW, |b| b.missed);
+        let (fast_done, _) = self.window_sum(FAST_WINDOW, |b| b.completed);
+        let (slow_miss, _) = self.window_sum(SLOW_WINDOW, |b| b.missed);
+        let (slow_done, _) = self.window_sum(SLOW_WINDOW, |b| b.completed);
+        let (shed, _) = self.window_sum(FAST_WINDOW, |b| b.shed);
+        let (arrived, _) = self.window_sum(FAST_WINDOW, |b| b.arrived);
+        let frac = |num: u64, den: u64| if den > 0 { num as f64 / den as f64 } else { 0.0 };
+        let window_s = self.cfg.tick.as_secs() * fast_k.max(1) as f64;
+        ScaleSignals {
+            now: tk,
+            queue_depth,
+            queue_capacity: fo.eff_capacity,
+            fast_burn: frac(fast_miss, fast_done),
+            slow_burn: frac(slow_miss, slow_done),
+            shed_rate: frac(shed, arrived),
+            arrival_rps: arrived as f64 / window_s,
+            live,
+            provisioning,
+            gated,
+            open_circuits,
+            stick_rps: self.stick_rps,
+            base_rps: self.base_rps,
+        }
+    }
+}
+
+/// Process one controller tick: flip provisioned sticks live, close the
+/// outcome bucket, ask the policy, and actuate its decision. Dispatch
+/// is synchronous, so at drain time every worker's `busy_until` is
+/// final — the power-gate instant is computable eagerly.
+#[allow(clippy::too_many_arguments)]
+fn ctrl_tick(
+    ctrl: &mut CtrlState,
+    workers: &mut [Box<dyn ServiceHook>],
+    cfg: &ServeConfig,
+    fo: &mut FailoverState,
+    meter: &mut EnergyMeter,
+    queue_depth: usize,
+    rec: &mut dyn Recorder,
+    obs: &mut Option<&mut ObsAccum>,
+) {
+    let tk = ctrl.next_tick;
+    ctrl.next_tick = tk + ctrl.cfg.tick;
+    ctrl.stats.ticks += 1;
+
+    // Provisioning sticks whose delay elapsed become dispatchable.
+    let mut changed = false;
+    for &w in &ctrl.cfg.elastic {
+        if let ScaleState::Provisioning { ready_at } = ctrl.state[w] {
+            if ready_at <= tk {
+                ctrl.state[w] = ScaleState::Live;
+                fo.not_ready[w] = None;
+                changed = true;
+            }
+        }
+    }
+    if changed {
+        fo.recompute_degradation(workers, cfg);
+    }
+
+    // Close the tick's outcome bucket.
+    while let Some(&Reverse((at, kind))) = ctrl.outcomes.peek() {
+        if at > tk.nanos() {
+            break;
+        }
+        ctrl.outcomes.pop();
+        match kind {
+            OUTCOME_SHED => ctrl.cur.shed += 1,
+            OUTCOME_MISS => {
+                ctrl.cur.completed += 1;
+                ctrl.cur.missed += 1;
+            }
+            _ => ctrl.cur.completed += 1,
+        }
+    }
+    ctrl.hist.push_back(ctrl.cur);
+    if ctrl.hist.len() > SLOW_WINDOW {
+        ctrl.hist.pop_front();
+    }
+    ctrl.cur = TickBucket::default();
+
+    let signals = ctrl.signals(tk, queue_depth, fo);
+    let wctx = |w: usize| Ctx { request_id: None, batch_id: None, worker: Some(w as u32) };
+    match ctrl.policy.decide(&signals) {
+        ScaleDecision::Hold => {}
+        ScaleDecision::Down(k) => {
+            // Drain the highest-index live sticks, never below the
+            // floor. Dispatches stop now; the gate lands when the
+            // stick's (already final) backlog does.
+            let committed = signals.live + signals.provisioning;
+            let allowed = committed.saturating_sub(ctrl.cfg.min_live).min(k);
+            let victims: Vec<usize> = ctrl
+                .cfg
+                .elastic
+                .iter()
+                .rev()
+                .copied()
+                .filter(|&w| ctrl.state[w] == ScaleState::Live)
+                .take(allowed)
+                .collect();
+            for &w in &victims {
+                let gate_at = SimTime::max_of(tk, workers[w].busy_until());
+                ctrl.state[w] = ScaleState::Gated { since: gate_at };
+                fo.gated[w] = true;
+                meter.power_off(w as u32, gate_at);
+                ctrl.stats.scale_downs += 1;
+                if rec.enabled() {
+                    rec.record(Event::instant(Phase::Drain, Lane::Worker(w as u32), tk, wctx(w)));
+                    rec.record(Event::instant(
+                        Phase::ScaleDown,
+                        Lane::Worker(w as u32),
+                        gate_at,
+                        wctx(w),
+                    ));
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.sampler.b.power_event(w, gate_at, false);
+                }
+            }
+            if !victims.is_empty() {
+                if let Some(o) = obs.as_deref_mut() {
+                    o.sampler.b.scale_event(tk, -(victims.len() as i64), 1);
+                }
+                fo.recompute_degradation(workers, cfg);
+            }
+        }
+        ScaleDecision::Up(k) => {
+            // Power the lowest-index gated sticks back on. Sticks still
+            // draining (gate instant ahead of this tick) are skipped —
+            // re-upping one inside its own drain window would be flap,
+            // and skipping keeps every power window strictly ordered.
+            let picks: Vec<(usize, SimTime)> = ctrl
+                .cfg
+                .elastic
+                .iter()
+                .copied()
+                .filter_map(|w| match ctrl.state[w] {
+                    ScaleState::Gated { since } if since < tk => Some((w, since)),
+                    _ => None,
+                })
+                .take(k)
+                .collect();
+            for &(w, _) in &picks {
+                let ready_at = tk + ctrl.cfg.provision_delay;
+                ctrl.state[w] = ScaleState::Provisioning { ready_at };
+                fo.gated[w] = false;
+                fo.not_ready[w] = Some(ready_at);
+                fo.ready_floor[w] = ready_at;
+                // Provisioning draws idle power from the decision on.
+                meter.power_on(w as u32, tk);
+                ctrl.stats.scale_ups += 1;
+                if signals.open_circuits > 0 {
+                    ctrl.stats.replacements += 1;
+                }
+                if rec.enabled() {
+                    rec.record(Event::span(
+                        Phase::ScaleUp,
+                        Lane::Worker(w as u32),
+                        tk,
+                        ready_at,
+                        wctx(w),
+                    ));
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.sampler.b.power_event(w, tk, true);
+                    o.sampler.b.scale_event(ready_at, 1, 0);
+                }
+            }
+            if !picks.is_empty() {
+                if let Some(o) = obs.as_deref_mut() {
+                    o.sampler.b.scale_event(tk, 0, 1);
+                }
+                fo.recompute_degradation(workers, cfg);
+            }
+        }
+    }
+}
+
 /// Circuit-breaker state of one worker.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Circuit {
@@ -529,6 +905,19 @@ impl Health {
 /// Mutable failover state of one run, kept out of `serve_core`'s way.
 struct FailoverState {
     health: Vec<Health>,
+    /// Power-gated by the autoscaler: never routable until a `ScaleUp`
+    /// clears the flag. All-false on static runs.
+    gated: Vec<bool>,
+    /// Provisioning floor: dispatches may not land before this instant
+    /// (autoscaled runs only; all-`None` on static runs).
+    not_ready: Vec<Option<SimTime>>,
+    /// Monotone routing floor left behind by every `ScaleUp`: replanning
+    /// may move a dispatch instant into the past (a queue head whose
+    /// deadline already lapsed), and `not_ready` is cleared once the
+    /// controller counts the stick live again — this watermark keeps any
+    /// such dispatch from being stamped before the stick finished
+    /// provisioning. All-zero on static runs.
+    ready_floor: Vec<SimTime>,
     /// Nameplate fleet capacity, measured once at start.
     nameplate_rps: f64,
     /// Live capacity across non-open workers (== nameplate while all
@@ -546,6 +935,9 @@ impl FailoverState {
         let nameplate_rps: f64 = workers.iter().map(|w| worker_rps(w.as_ref())).sum();
         FailoverState {
             health: workers.iter().map(|_| Health::new(&cfg.robust)).collect(),
+            gated: vec![false; workers.len()],
+            not_ready: vec![None; workers.len()],
+            ready_floor: vec![SimTime::ZERO; workers.len()],
             nameplate_rps,
             live_rps: nameplate_rps,
             eff_capacity: cfg.queue_capacity,
@@ -554,25 +946,32 @@ impl FailoverState {
         }
     }
 
-    fn any_open(&self) -> bool {
-        self.health.iter().any(Health::is_open)
+    /// Worker `i` is out of the dispatch pool right now: circuit open,
+    /// power-gated, or still provisioning.
+    fn blocked(&self, i: usize) -> bool {
+        self.health[i].is_open() || self.gated[i] || self.not_ready[i].is_some()
+    }
+
+    fn any_blocked(&self) -> bool {
+        (0..self.health.len()).any(|i| self.blocked(i))
     }
 
     /// Recompute surviving capacity and the degraded admission/batching
-    /// limits after a circuit state change. With every circuit closed
-    /// this restores the configured limits exactly.
+    /// limits after a circuit or scaling state change. With every
+    /// circuit closed and no sticks gated this restores the configured
+    /// limits exactly.
     fn recompute_degradation(&mut self, workers: &[Box<dyn ServiceHook>], cfg: &ServeConfig) {
-        if !self.any_open() {
+        if !self.any_blocked() {
             self.live_rps = self.nameplate_rps;
             self.eff_capacity = cfg.queue_capacity;
             self.fill_limit = cfg.max_batch;
             return;
         }
-        let open: Vec<bool> = self.health.iter().map(Health::is_open).collect();
-        self.live_rps = live_capacity_rps(workers, &open);
+        let dead: Vec<bool> = (0..workers.len()).map(|i| self.blocked(i)).collect();
+        self.live_rps = live_capacity_rps(workers, &dead);
         let frac = if self.nameplate_rps > 0.0 { self.live_rps / self.nameplate_rps } else { 0.0 };
         self.eff_capacity = ((cfg.queue_capacity as f64 * frac).floor() as usize).max(1);
-        self.fill_limit = cfg.max_batch.min(live_preferred_batch(workers, &open)).max(1);
+        self.fill_limit = cfg.max_batch.min(live_preferred_batch(workers, &dead)).max(1);
     }
 
     /// Estimated completion instant of a fresh arrival at `at`, given
@@ -587,12 +986,9 @@ impl FailoverState {
             return None; // no surviving capacity: hopeless
         }
         let queue_wait = Duration::from_secs(backlog as f64 / self.live_rps);
-        let service = self
-            .health
-            .iter()
-            .zip(workers)
-            .filter(|(h, _)| !h.is_open())
-            .map(|(_, w)| w.estimate(1))
+        let service = (0..workers.len())
+            .filter(|&i| !self.blocked(i))
+            .map(|i| workers[i].estimate(1))
             .min()?;
         Some(at + queue_wait + service)
     }
@@ -601,25 +997,39 @@ impl FailoverState {
 /// Dispatch plan: worker index plus the instant the batch is handed
 /// over. Pure — the round-robin cursor only advances when a plan is
 /// executed. Open-circuit workers are skipped unless their cooldown has
-/// elapsed by `ready` (making them probe candidates); when *every*
-/// circuit is open the plan waits for the earliest cooldown.
+/// elapsed by `ready` (making them probe candidates); provisioning
+/// sticks likewise become routable once their `not_ready` floor passes.
+/// Power-gated sticks are never candidates — only a controller
+/// `ScaleUp` brings them back. When *every* worker is blocked the plan
+/// waits for the earliest floor among the non-gated ones.
 fn choose_worker(
     policy: DispatchPolicy,
     ready: SimTime,
     batch: usize,
     workers: &[Box<dyn ServiceHook>],
     rr_cursor: usize,
-    health: &[Health],
+    fo: &FailoverState,
 ) -> (usize, SimTime) {
-    // A worker is routable at `ready` if its circuit is not open, or
-    // the cooldown has elapsed (half-open probe).
-    let routable = |i: usize| -> bool { health[i].open_until().is_none_or(|until| until <= ready) };
+    // Earliest instant worker `i` may receive a dispatch (`None` = no
+    // floor): breaker cooldown and provisioning delay both gate it.
+    let floor = |i: usize| -> Option<SimTime> {
+        match (fo.health[i].open_until(), fo.not_ready[i], fo.ready_floor[i]) {
+            (None, None, SimTime::ZERO) => None,
+            (a, b, f) => Some(SimTime::max_of(
+                SimTime::max_of(a.unwrap_or(SimTime::ZERO), b.unwrap_or(SimTime::ZERO)),
+                f,
+            )),
+        }
+    };
+    let routable =
+        |i: usize| -> bool { !fo.gated[i] && floor(i).is_none_or(|until| until <= ready) };
     if !(0..workers.len()).any(&routable) {
-        // Everyone is open: wait for the earliest cooldown and probe.
+        // Everyone is blocked: wait for the earliest floor and probe.
         let w = (0..workers.len())
-            .min_by_key(|&i| (health[i].open_until().expect("all open"), i))
-            .expect("non-empty fleet");
-        let until = health[w].open_until().expect("open");
+            .filter(|&i| !fo.gated[i])
+            .min_by_key(|&i| (floor(i).expect("blocked worker has a floor"), i))
+            .expect("min_live keeps at least one worker un-gated");
+        let until = floor(w).expect("blocked");
         return (w, SimTime::max_of(SimTime::max_of(ready, until), workers[w].busy_until()));
     }
     match policy {
@@ -672,7 +1082,26 @@ pub fn serve(
     n: usize,
 ) -> ServeOutcome {
     let mut null = NullRecorder;
-    serve_core(workers, cfg, process, n, &mut null, None)
+    serve_core(workers, cfg, process, n, &mut null, None, None)
+}
+
+/// [`serve`] with a closed-loop autoscaler: every `scaling.tick` of
+/// virtual time the `policy` sees a [`ScaleSignals`] snapshot and may
+/// drain (power-gate) or re-provision the elastic sticks in
+/// `scaling.elastic`. A policy that always holds yields the exact
+/// static-fleet outcome — actuation, not observation, is the only way
+/// the controller touches the run.
+pub fn serve_autoscaled(
+    workers: &mut [Box<dyn ServiceHook>],
+    cfg: &ServeConfig,
+    process: &ArrivalProcess,
+    n: usize,
+    scaling: &ScalingConfig,
+    policy: &mut dyn ScalingPolicy,
+) -> ServeOutcome {
+    let mut null = NullRecorder;
+    let mut ctrl = CtrlState::new(scaling, workers, policy);
+    serve_core(workers, cfg, process, n, &mut null, None, Some(&mut ctrl))
 }
 
 /// [`serve`] with observability: identical outcome (the recorder never
@@ -684,6 +1113,35 @@ pub fn serve_observed(
     process: &ArrivalProcess,
     n: usize,
     ocfg: &ObsConfig,
+) -> (ServeOutcome, ServeObservation) {
+    observed_core(workers, cfg, process, n, ocfg, None)
+}
+
+/// [`serve_autoscaled`] with observability. The exported time series
+/// carries the `live_sticks` / `scale_events` columns (static runs omit
+/// them, byte-for-byte), and the trace gains `Drain` / `ScaleDown` /
+/// `ScaleUp` events plus power lanes that go dark while a stick is
+/// gated.
+pub fn serve_autoscaled_observed(
+    workers: &mut [Box<dyn ServiceHook>],
+    cfg: &ServeConfig,
+    process: &ArrivalProcess,
+    n: usize,
+    scaling: &ScalingConfig,
+    policy: &mut dyn ScalingPolicy,
+    ocfg: &ObsConfig,
+) -> (ServeOutcome, ServeObservation) {
+    let mut ctrl = CtrlState::new(scaling, workers, policy);
+    observed_core(workers, cfg, process, n, ocfg, Some(&mut ctrl))
+}
+
+fn observed_core(
+    workers: &mut [Box<dyn ServiceHook>],
+    cfg: &ServeConfig,
+    process: &ArrivalProcess,
+    n: usize,
+    ocfg: &ObsConfig,
+    ctrl: Option<&mut CtrlState>,
 ) -> (ServeOutcome, ServeObservation) {
     assert!(!workers.is_empty(), "need at least one worker");
     let epoch = workers.iter().map(|w| w.busy_until()).max().unwrap();
@@ -699,11 +1157,15 @@ pub fn serve_observed(
             })
             .collect(),
     );
+    if ctrl.is_some() {
+        // Every worker starts live; scale events adjust from there.
+        builder.enable_scaling(workers.len());
+    }
     let mut obs = ObsAccum {
         sampler: SamplerDrive { b: builder, pending: BinaryHeap::new() },
         meters: Meters::new(),
     };
-    let outcome = serve_core(workers, cfg, process, n, &mut events, Some(&mut obs));
+    let outcome = serve_core(workers, cfg, process, n, &mut events, Some(&mut obs), ctrl);
     let series = obs.sampler.finish(outcome.end());
     let mut registry = obs.meters.finish();
     // Power lanes + energy counters come straight off the run's ledger,
@@ -722,6 +1184,7 @@ fn serve_core(
     n: usize,
     rec: &mut dyn Recorder,
     mut obs: Option<&mut ObsAccum>,
+    mut ctrl: Option<&mut CtrlState>,
 ) -> ServeOutcome {
     assert!(!workers.is_empty(), "need at least one worker");
     assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
@@ -730,6 +1193,9 @@ fn serve_core(
 
     let epoch = workers.iter().map(|w| w.busy_until()).max().unwrap();
     let arrivals = process.arrivals(n, epoch, cfg.seed);
+    if let Some(c) = ctrl.as_deref_mut() {
+        c.prime(&arrivals, epoch);
+    }
 
     let mut stats: Vec<WorkerStats> = workers
         .iter()
@@ -761,14 +1227,19 @@ fn serve_core(
     let mut rr_cursor = 0usize;
     let mut batch_seq = 0u64;
 
-    let record_shed =
-        |r: ShedRecord, obs: &mut Option<&mut ObsAccum>, shed: &mut Vec<ShedRecord>| {
-            if let Some(o) = obs.as_deref_mut() {
-                o.sampler.b.on_shed();
-                o.meters.shed(r.cause, r.wait());
-            }
-            shed.push(r);
-        };
+    let record_shed = |r: ShedRecord,
+                       obs: &mut Option<&mut ObsAccum>,
+                       ctrl: &mut Option<&mut CtrlState>,
+                       shed: &mut Vec<ShedRecord>| {
+        if let Some(o) = obs.as_deref_mut() {
+            o.sampler.b.on_shed();
+            o.meters.shed(r.cause, r.wait());
+        }
+        if let Some(c) = ctrl.as_deref_mut() {
+            c.outcome(r.shed_at, OUTCOME_SHED);
+        }
+        shed.push(r);
+    };
 
     loop {
         // Earliest instant the current queue head could be dispatched:
@@ -788,8 +1259,25 @@ fn serve_core(
             };
             let ready = SimTime::max_of(ready, front.earliest);
             let hint = queue.len().min(fo.fill_limit);
-            Some(choose_worker(cfg.policy, ready, hint, workers, rr_cursor, &fo.health))
+            Some(choose_worker(cfg.policy, ready, hint, workers, rr_cursor, &fo))
         };
+
+        // Controller tick: fires before any arrival or dispatch at or
+        // after it (ties go to the tick), then the plan is recomputed
+        // against the post-tick fleet. Once the run is out of work the
+        // controller stops with it.
+        if let Some(c) = ctrl.as_deref_mut() {
+            let next_event = match (arrivals.get(next), plan) {
+                (Some(&at), Some((_, t))) => Some(at.min(t)),
+                (Some(&at), None) => Some(at),
+                (None, Some((_, t))) => Some(t),
+                (None, None) => None,
+            };
+            if next_event.is_some_and(|e| c.next_tick <= e) {
+                ctrl_tick(c, workers, cfg, &mut fo, &mut meter, queue.len(), rec, &mut obs);
+                continue;
+            }
+        }
 
         match (arrivals.get(next), plan) {
             // Admit the next arrival when it precedes (or ties) the
@@ -801,6 +1289,9 @@ fn serve_core(
                     o.sampler.advance(at, queue.len());
                     o.sampler.b.on_arrival();
                     o.meters.reg.inc(o.meters.arrived);
+                }
+                if let Some(c) = ctrl.as_deref_mut() {
+                    c.cur.arrived += 1;
                 }
                 if rec.enabled() {
                     rec.record(Event::instant(Phase::Arrive, Lane::Server, at, Ctx::request(id)));
@@ -814,7 +1305,7 @@ fn serve_core(
                                 shed_at: at,
                                 cause: ShedCause::Rejected,
                             };
-                            record_shed(r, &mut obs, &mut shed);
+                            record_shed(r, &mut obs, &mut ctrl, &mut shed);
                             if rec.enabled() {
                                 rec.record(
                                     Event::instant(Phase::Shed, Lane::Server, at, Ctx::request(id))
@@ -831,7 +1322,7 @@ fn serve_core(
                                 shed_at: at,
                                 cause: ShedCause::Evicted,
                             };
-                            record_shed(r, &mut obs, &mut shed);
+                            record_shed(r, &mut obs, &mut ctrl, &mut shed);
                             if rec.enabled() {
                                 // Span length = queue wait burned before
                                 // the eviction.
@@ -859,7 +1350,7 @@ fn serve_core(
                     if hopeless {
                         let r =
                             ShedRecord { id, arrival: at, shed_at: at, cause: ShedCause::Deadline };
-                        record_shed(r, &mut obs, &mut shed);
+                        record_shed(r, &mut obs, &mut ctrl, &mut shed);
                         if rec.enabled() {
                             rec.record(
                                 Event::instant(Phase::Shed, Lane::Server, at, Ctx::request(id))
@@ -996,6 +1487,14 @@ fn serve_core(
                                 o.meters.complete(&record);
                                 o.sampler.complete_later(done, record.latency());
                             }
+                            if let Some(c) = ctrl.as_deref_mut() {
+                                let kind = if record.latency() > cfg.slo {
+                                    OUTCOME_MISS
+                                } else {
+                                    OUTCOME_GOOD
+                                };
+                                c.outcome(done, kind);
+                            }
                             if rec.enabled() {
                                 rec.record(Event::instant(
                                     Phase::Complete,
@@ -1094,7 +1593,7 @@ fn serve_core(
                                     shed_at: detect,
                                     cause: ShedCause::RetriesExhausted,
                                 };
-                                record_shed(r, &mut obs, &mut shed);
+                                record_shed(r, &mut obs, &mut ctrl, &mut shed);
                                 if rec.enabled() {
                                     rec.record(
                                         Event::span(
@@ -1145,5 +1644,6 @@ fn serve_core(
         workers: stats,
         faults: fo.stats,
         energy: meter,
+        scaling: ctrl.map(|c| c.stats.clone()),
     }
 }

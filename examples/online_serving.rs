@@ -1,6 +1,8 @@
 //! Online serving on the simulated fleet: steady Poisson traffic and a
 //! bursty MMPP storm against three fleet shapes, comparing how the
-//! dispatch policies hold the p99 under each.
+//! dispatch policies hold the p99 under each — then the E20 closed
+//! loop: an elastic `8*vpu` stick fleet under the autoscaling
+//! controller, reclaiming the idle headroom a static fleet pays for.
 //!
 //! ```text
 //! cargo run --release --example online_serving
@@ -9,7 +11,8 @@
 use vpu_coprocessor::framework::ModelBundle;
 use vpu_coprocessor::nn::googlenet::Variant;
 use vpu_coprocessor::serving::{
-    serve, ArrivalProcess, DispatchPolicy, FleetSpec, ServeConfig, ServeReport,
+    serve, serve_autoscaled, ArrivalProcess, DispatchPolicy, FleetSpec, ScalingConfig, ServeConfig,
+    ServeReport,
 };
 use vpu_coprocessor::sim::Duration;
 
@@ -80,6 +83,63 @@ fn main() {
             e.img_per_watt,
             e.img_per_watt_tdp,
             idle_pct
+        );
+    }
+
+    // E20: close the loop on that idle price. Eight independent VPU
+    // sticks (`8*vpu` — the elastic unit, unlike the `8xvpu` pipeline)
+    // at 20% load, with each `ncsw-ctrl` policy draining and
+    // power-gating the sticks the load does not need. `J reclaimed` is
+    // the exact idle energy the gated windows avoided; `Δ attain` is
+    // what that costs in SLO attainment against the static fleet.
+    let spec = FleetSpec::parse("8*vpu").unwrap();
+    let probe = spec.build(&model);
+    let capacity = spec.capacity_rps(&probe);
+    let max_batch = spec.preferred_batch(&probe);
+    drop(probe);
+    let cfg = ServeConfig { max_batch, ..ServeConfig::default() };
+    let scaling = ScalingConfig { elastic: spec.elastic_workers(), ..ScalingConfig::default() };
+    let low = ArrivalProcess::Poisson { rate_per_sec: capacity * 0.2 };
+
+    let attain = |o: &vpu_coprocessor::serving::ServeOutcome| {
+        let good = o.completed.iter().filter(|r| r.latency() <= cfg.slo).count();
+        good as f64 / o.generated.max(1) as f64 * 100.0
+    };
+    let mut workers = spec.build(&model);
+    let stat = serve(&mut workers, &cfg, &low, n);
+    let stat_report = ServeReport::of(&stat, &cfg);
+    let horizon_s = (stat.energy_horizon() - stat.epoch).as_secs();
+    println!("\nE20 autoscaling, fleet 8*vpu at 0.2x nameplate ({:.1} req/s):", capacity * 0.2);
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>10} {:>6} {:>6}",
+        "policy", "attain%", "stick·s", "fleet J", "reclaim J", "ups", "downs"
+    );
+    println!(
+        "{:<12} {:>9.2} {:>9.1} {:>9.3} {:>10.3} {:>6} {:>6}",
+        "static",
+        attain(&stat),
+        stat.workers.len() as f64 * horizon_s,
+        stat_report.energy.fleet_j,
+        0.0,
+        0,
+        0
+    );
+    for name in vpu_coprocessor::ctrl::POLICY_NAMES {
+        let mut policy = vpu_coprocessor::ctrl::policy(name).unwrap();
+        let mut workers = spec.build(&model);
+        let outcome = serve_autoscaled(&mut workers, &cfg, &low, n, &scaling, policy.as_mut());
+        let r = ServeReport::of(&outcome, &cfg);
+        let s = r.scaling.as_ref().unwrap();
+        println!(
+            "{:<12} {:>9.2} {:>9.1} {:>9.3} {:>10.3} {:>6} {:>6}  Δ attain {:+.2} pts",
+            name,
+            attain(&outcome),
+            s.stick_seconds,
+            r.energy.fleet_j,
+            s.reclaimed_j,
+            s.scale_ups,
+            s.scale_downs,
+            attain(&outcome) - attain(&stat)
         );
     }
 }

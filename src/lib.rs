@@ -16,6 +16,7 @@
 //! * [`obs`] — observability: phase events, metrics, traces, time series
 //! * [`analyze`] — trace analysis: attribution, A/B diffing, burn alerts
 //! * [`faults`] — deterministic fault injection for the serving fleet
+//! * [`ctrl`] — closed-loop autoscaling policies (reactive/predictive/oracle)
 //! * [`mdk`] — general-purpose offload (LAMA-style GEMM with CMX tiling)
 //! * [`experiments`] — the per-figure experiment harness
 
@@ -27,6 +28,7 @@ pub use myriad2 as vpu;
 pub use ncs_platform as platform;
 pub use ncsw as framework;
 pub use ncsw_analyze as analyze;
+pub use ncsw_ctrl as ctrl;
 pub use ncsw_faults as faults;
 pub use ncsw_obs as obs;
 pub use ncsw_serve as serving;

@@ -172,3 +172,32 @@ fn different_seeds_change_results() {
     };
     assert_ne!(preds(1), preds(2), "seeds must matter");
 }
+
+#[test]
+fn autoscaled_artifacts_are_byte_identical_per_policy() {
+    // Same seed + same scaling policy => the same decisions at the same
+    // virtual instants: trace JSON, series CSV (with its extra
+    // live_sticks/scale_events columns) and the scaling report must all
+    // reproduce byte-for-byte, for every policy.
+    use vpu_coprocessor::experiments::autoscale_bench::traced_autoscale;
+    use vpu_coprocessor::experiments::Scale;
+    use vpu_coprocessor::sim::Duration;
+    for policy in vpu_coprocessor::ctrl::POLICY_NAMES {
+        let run = || {
+            let t = traced_autoscale(Scale::Tiny, policy, Duration::from_millis(10.0));
+            let scaling = serde_json::to_string(&t.report.scaling).expect("serialize");
+            (t.chrome_json, t.series_csv, scaling)
+        };
+        let (json_a, csv_a, rep_a) = run();
+        let (json_b, csv_b, rep_b) = run();
+        assert_eq!(json_a, json_b, "{policy}: trace JSON must be byte-identical");
+        assert_eq!(csv_a, csv_b, "{policy}: series CSV must be byte-identical");
+        assert_eq!(rep_a, rep_b, "{policy}: scaling report must be byte-identical");
+        let header = csv_a.lines().next().unwrap();
+        assert!(
+            header.ends_with(",live_sticks,scale_events"),
+            "{policy}: autoscaled series must export the scaling columns: {header}"
+        );
+        assert!(json_a.contains(r#""name":"Drain""#), "{policy}: trace must carry Drain events");
+    }
+}

@@ -114,3 +114,27 @@ fn traced_energy_report_is_byte_identical_across_runs() {
     assert_eq!(ser(&tiny_run(Some(&plan))), ser(&tiny_run(Some(&plan))));
     assert_eq!(ser(&tiny_run(None)), ser(&tiny_run(None)));
 }
+
+#[test]
+fn energy_books_balance_exactly_on_a_dynamic_fleet() {
+    // Autoscaling power-gates sticks mid-run, so the per-worker power
+    // step functions now contain genuine off windows. Every exact
+    // conservation law must survive that: the trace re-integrates the
+    // server's fleet total, attribution stays lossless, and the ledger
+    // additionally proves the gating reclaimed real idle energy.
+    use vpu_coprocessor::experiments::autoscale_bench::traced_autoscale;
+    for policy in ["reactive", "oracle"] {
+        let run = traced_autoscale(Scale::Tiny, policy, Duration::from_millis(10.0));
+        assert_books_balance(&run);
+        let s = run.report.scaling.as_ref().expect("autoscaled runs report a scaling block");
+        assert!(s.scale_downs > 0, "{policy}: low load must trigger drains: {s:?}");
+        assert!(s.reclaimed_pj > 0, "{policy}: gated windows must reclaim idle energy");
+        assert!(
+            s.stick_seconds < s.static_stick_seconds,
+            "{policy}: a dynamic fleet must pay fewer powered stick-seconds \
+             ({} vs {})",
+            s.stick_seconds,
+            s.static_stick_seconds
+        );
+    }
+}
