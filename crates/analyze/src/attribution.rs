@@ -265,6 +265,7 @@ pub struct Analysis {
 
 impl Analysis {
     pub fn of(log: &EventLog) -> Analysis {
+        let _prof = ncsw_obs::prof::scope("analyze.attribute");
         let mut a = Analysis::from_forest(SpanForest::build(log));
         a.energy = crate::energy::EnergyAnalysis::of(log, &a.forest, &a.breakdowns);
         a

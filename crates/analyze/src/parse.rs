@@ -31,6 +31,7 @@ fn ns_of(us: f64) -> u64 {
 /// errors, not skips — a trace that parses here is one the analyzer
 /// fully understands.
 pub fn parse_chrome_trace(json: &str) -> Result<EventLog, String> {
+    let _prof = ncsw_obs::prof::scope("analyze.parse");
     let doc: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e:?}"))?;
     let events = doc
         .get("traceEvents")

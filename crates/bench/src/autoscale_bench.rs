@@ -282,22 +282,17 @@ pub fn traced_autoscale(scale: Scale, policy_name: &str, sample_every: Duration)
         policy.as_mut(),
         &ObsConfig { sample_every },
     );
-    let alerts = ncsw_analyze::burn_alerts(&obs.series, &ncsw_analyze::BurnConfig::default());
-    {
-        use ncsw_obs::Recorder as _;
-        for ev in ncsw_analyze::alert_events(&alerts) {
-            obs.events.record(ev);
-        }
-    }
+    let art = crate::serve_bench::observed_artifacts(&mut obs);
     TracedServe {
         fleet: AUTOSCALE_FLEET.to_string(),
         requests: n,
         offered_rps: rate,
         report: ServeReport::of(&outcome, &cfg),
-        chrome_json: ncsw_obs::chrome_trace(&obs.events),
-        series_csv: obs.series.csv(),
-        summary: obs.registry.summary(),
-        slo_alerts: alerts.len(),
+        chrome_json: art.chrome_json,
+        series_csv: art.series_csv,
+        summary: art.summary,
+        slo_alerts: art.slo_alerts,
+        overhead: art.overhead,
     }
 }
 

@@ -11,6 +11,8 @@
 //!   serve                                 E15 online-serving load sweep
 //!   energy                                E19 online img/W vs offline Eq. 1
 //!   autoscale                             E20 closed-loop fleet scaling vs static
+//!   bench-sim                             E21 sim-throughput matrix (BENCH_sim.json)
+//!   bench-diff BASE CAND                  gated events/sec comparison of two BENCH_sim.json
 //!   validate-trace PATH                   check an exported Chrome trace
 //!   all                                   everything above
 //! ```
@@ -77,18 +79,23 @@ impl EnergyJson {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|abdiff|all> \
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|bench-sim|abdiff|all> \
          [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
-         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC] [--ctrl reactive|predictive|oracle]\n\
+         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC] [--ctrl reactive|predictive|oracle] [--prof]\n\
          \x20      repro validate-trace PATH\n\
-         \x20      repro analyze TRACE [--flame PATH] [--flame-energy PATH] [--json [PATH]]\n\
+         \x20      repro analyze TRACE [--flame PATH] [--flame-energy PATH] [--json [PATH]] [--prof]\n\
          \x20      repro diff BASELINE_TRACE CANDIDATE_TRACE [--abs-ms MS] [--rel-pct PCT] [--json [PATH]]\n\
+         \x20      repro bench-diff BASE_SIM_JSON CAND_SIM_JSON [--tol-pct PCT] [--json [PATH]]\n\
          \x20      --faults SPEC: comma-separated faults, e.g. 'unplug@2s:reconnect@4s', \
          'w0:throttle@1s:for@2s:slow@3', 'usb@0s:for@5s:factor@2', 'execerr@0.05'\n\
          \x20      abdiff pairs --baseline-policy (default round-robin) against --policy; \
          diff exits 1 when a gated metric regressed\n\
          \x20      autoscale sweeps static vs all scaling policies; with --trace/--metrics-csv \
-         it runs one observed run under --ctrl (default reactive)"
+         it runs one observed run under --ctrl (default reactive)\n\
+         \x20      bench-sim measures sim throughput (events/sec, req/sec, recorder overhead); \
+         bench-diff exits 1 when events/sec regressed beyond --tol-pct (default 50)\n\
+         \x20      --prof profiles the simulator's own hot loops (wall clock) and prints the \
+         scope tree; the simulated outcome is bit-identical either way"
     );
     ExitCode::from(2)
 }
@@ -111,6 +118,8 @@ fn main() -> ExitCode {
     let mut flame_energy_path: Option<String> = None;
     let mut abs_ms = 0.5f64;
     let mut rel_pct = 5.0f64;
+    let mut tol_pct = 50.0f64;
+    let mut prof_on = false;
     let mut baseline_policy = ncsw_serve::DispatchPolicy::RoundRobin;
     let mut operands: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
@@ -193,6 +202,15 @@ fn main() -> ExitCode {
                 };
                 rel_pct = p;
             }
+            "--tol-pct" => {
+                let Some(v) = it.next() else { return usage() };
+                let Ok(p) = v.parse::<f64>() else {
+                    eprintln!("bad --tol-pct '{v}'");
+                    return usage();
+                };
+                tol_pct = p;
+            }
+            "--prof" => prof_on = true,
             "--baseline-policy" => {
                 let Some(v) = it.next() else { return usage() };
                 let Some(p) = ncsw_serve::DispatchPolicy::parse(v) else {
@@ -226,7 +244,7 @@ fn main() -> ExitCode {
                 if !other.starts_with('-')
                     && match experiment.as_deref() {
                         Some("validate-trace") | Some("analyze") => operands.is_empty(),
-                        Some("diff") => operands.len() < 2,
+                        Some("diff") | Some("bench-diff") => operands.len() < 2,
                         _ => false,
                     } =>
             {
@@ -244,17 +262,28 @@ fn main() -> ExitCode {
         ($result:expr) => {{
             let r = $result;
             if let Some(path) = &json_path {
-                let s = serde_json::to_string_pretty(&r).expect("serialize");
-                if let Err(e) = std::fs::write(path, s + "\n") {
-                    eprintln!("cannot write {path}: {e}");
-                    std::process::exit(2);
-                }
-                eprintln!("wrote {path}");
+                vpu_bench::report::write_json(path, &r);
                 r.print();
             } else if json {
                 println!("{}", serde_json::to_string_pretty(&r).expect("serialize"));
             } else {
                 r.print();
+            }
+        }};
+    }
+
+    // `--prof` wraps a run in the wall-clock profiler and prints the
+    // scope tree afterwards; the simulated outcome is bit-identical.
+    macro_rules! profiled {
+        ($run:expr) => {{
+            if prof_on {
+                ncsw_obs::prof::start();
+                let r = $run;
+                let report = ncsw_obs::prof::stop();
+                eprint!("{}", report.render());
+                r
+            } else {
+                $run
             }
         }};
     }
@@ -270,14 +299,7 @@ fn main() -> ExitCode {
     }
     let write_csv = |name: &str, content: String| {
         if let Some(dir) = &csv_dir {
-            let path = format!("{dir}/{name}.csv");
-            if let Err(e) =
-                std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, content))
-            {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(2);
-            }
-            eprintln!("wrote {path}");
+            vpu_bench::report::write_csv_in(dir, name, &content);
         }
     };
     let run = |name: &str, json: bool| {
@@ -331,45 +353,57 @@ fn main() -> ExitCode {
                 ));
             }
             "future-work" => emit!(vpu_bench::future_work::future_work(scale)),
-            "serve" if trace_path.is_some() || metrics_csv.is_some() || faults.is_some() => {
-                let r = serve_bench::traced_serve_with_faults(
+            "serve"
+                if trace_path.is_some() || metrics_csv.is_some() || faults.is_some() || prof_on =>
+            {
+                let r = profiled!(serve_bench::traced_serve_with_faults(
                     scale,
                     desim::Duration::from_millis(slo_ms),
                     policy,
                     desim::Duration::from_millis(sample_ms),
                     faults.as_ref(),
-                );
-                let write = |path: &Option<String>, content: &str| {
-                    if let Some(path) = path {
-                        if let Err(e) = std::fs::write(path, content) {
-                            eprintln!("cannot write {path}: {e}");
-                            std::process::exit(2);
-                        }
-                        eprintln!("wrote {path}");
-                    }
-                };
-                write(&trace_path, &r.chrome_json);
-                write(&metrics_csv, &r.series_csv);
+                ));
+                vpu_bench::report::write_artifact_opt(&trace_path, &r.chrome_json);
+                vpu_bench::report::write_artifact_opt(&metrics_csv, &r.series_csv);
                 emit!(r);
             }
-            "autoscale" if trace_path.is_some() || metrics_csv.is_some() => {
-                let r = vpu_bench::autoscale_bench::traced_autoscale(
+            "autoscale" if trace_path.is_some() || metrics_csv.is_some() || prof_on => {
+                let r = profiled!(vpu_bench::autoscale_bench::traced_autoscale(
                     scale,
                     &ctrl_policy,
                     desim::Duration::from_millis(sample_ms),
-                );
-                let write = |path: &Option<String>, content: &str| {
-                    if let Some(path) = path {
-                        if let Err(e) = std::fs::write(path, content) {
-                            eprintln!("cannot write {path}: {e}");
+                ));
+                vpu_bench::report::write_artifact_opt(&trace_path, &r.chrome_json);
+                vpu_bench::report::write_artifact_opt(&metrics_csv, &r.series_csv);
+                emit!(r);
+            }
+            "bench-sim" => emit!(vpu_bench::sim_bench::sim_bench(scale)),
+            "bench-diff" => {
+                let [a_path, b_path] = operands.as_slice() else {
+                    eprintln!("bench-diff needs BASE and CANDIDATE BENCH_sim.json paths");
+                    std::process::exit(2);
+                };
+                let load = |path: &String| -> vpu_bench::sim_bench::SimBench {
+                    match serde_json::from_str(&read_file(path)) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("{path}: not a BENCH_sim.json: {e}");
                             std::process::exit(2);
                         }
-                        eprintln!("wrote {path}");
                     }
                 };
-                write(&trace_path, &r.chrome_json);
-                write(&metrics_csv, &r.series_csv);
-                emit!(r);
+                let d = vpu_bench::sim_bench::sim_bench_diff(&load(a_path), &load(b_path), tol_pct);
+                if let Some(p) = &json_path {
+                    vpu_bench::report::write_json(p, &d);
+                    print!("{}", d.render());
+                } else if json {
+                    println!("{}", serde_json::to_string_pretty(&d).expect("serialize"));
+                } else {
+                    print!("{}", d.render());
+                }
+                if d.regression {
+                    std::process::exit(1);
+                }
             }
             "autoscale" => emit!(vpu_bench::autoscale_bench::autoscale_exp(scale)),
             "failover" => {
@@ -393,23 +427,36 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 };
                 let json = read_file(path);
+                // Validation cost is part of the observability ledger:
+                // time the parse+check pass and report its throughput.
+                let t = std::time::Instant::now();
                 match vpu_bench::trace_check::validate(&json) {
-                    Ok(check) => println!(
-                        "{path}: ok — {} events, {} tracks, {} requests ({} fully chained), \
-                         {} failovers, {} outage windows, {} sheds, {} power samples, \
-                         {} drains / {} scale-downs / {} scale-ups",
-                        check.events,
-                        check.tracks,
-                        check.requests,
-                        check.chained,
-                        check.failovers,
-                        check.outage_windows,
-                        check.sheds,
-                        check.power_samples,
-                        check.drains,
-                        check.scale_downs,
-                        check.scale_ups
-                    ),
+                    Ok(check) => {
+                        let wall_s = t.elapsed().as_secs_f64();
+                        let mb = json.len() as f64 / 1e6;
+                        println!(
+                            "{path}: ok — {} events, {} tracks, {} requests ({} fully chained), \
+                             {} failovers, {} outage windows, {} sheds, {} power samples, \
+                             {} drains / {} scale-downs / {} scale-ups",
+                            check.events,
+                            check.tracks,
+                            check.requests,
+                            check.chained,
+                            check.failovers,
+                            check.outage_windows,
+                            check.sheds,
+                            check.power_samples,
+                            check.drains,
+                            check.scale_downs,
+                            check.scale_ups
+                        );
+                        println!(
+                            "{path}: parsed {:.2} MB in {:.1} ms ({:.1} MB/s)",
+                            mb,
+                            wall_s * 1e3,
+                            if wall_s > 0.0 { mb / wall_s } else { 0.0 }
+                        );
+                    }
                     Err(e) => {
                         eprintln!("{path}: INVALID trace: {e}");
                         std::process::exit(1);
@@ -421,26 +468,19 @@ fn main() -> ExitCode {
                     eprintln!("analyze needs a TRACE path");
                     std::process::exit(2);
                 };
-                let analysis = match ncsw_analyze::Analysis::from_chrome(&read_file(path)) {
-                    Ok(a) => a,
-                    Err(e) => {
-                        eprintln!("{path}: cannot analyze: {e}");
-                        std::process::exit(1);
-                    }
-                };
+                let analysis =
+                    profiled!(match ncsw_analyze::Analysis::from_chrome(&read_file(path)) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            eprintln!("{path}: cannot analyze: {e}");
+                            std::process::exit(1);
+                        }
+                    });
                 if let Some(fp) = &flame_path {
-                    if let Err(e) = std::fs::write(fp, ncsw_analyze::folded(&analysis)) {
-                        eprintln!("cannot write {fp}: {e}");
-                        std::process::exit(2);
-                    }
-                    eprintln!("wrote {fp}");
+                    vpu_bench::report::write_artifact(fp, &ncsw_analyze::folded(&analysis));
                 }
                 if let Some(fp) = &flame_energy_path {
-                    if let Err(e) = std::fs::write(fp, ncsw_analyze::folded_energy(&analysis)) {
-                        eprintln!("cannot write {fp}: {e}");
-                        std::process::exit(2);
-                    }
-                    eprintln!("wrote {fp}");
+                    vpu_bench::report::write_artifact(fp, &ncsw_analyze::folded_energy(&analysis));
                 }
                 let out = AnalyzeJson {
                     table: analysis.table.clone(),
@@ -452,12 +492,7 @@ fn main() -> ExitCode {
                     energy: analysis.energy.as_ref().map(EnergyJson::of),
                 };
                 if let Some(p) = &json_path {
-                    let s = serde_json::to_string_pretty(&out).expect("serialize");
-                    if let Err(e) = std::fs::write(p, s + "\n") {
-                        eprintln!("cannot write {p}: {e}");
-                        std::process::exit(2);
-                    }
-                    eprintln!("wrote {p}");
+                    vpu_bench::report::write_json(p, &out);
                     print!("{}", analysis.render());
                 } else if json {
                     println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
@@ -483,12 +518,7 @@ fn main() -> ExitCode {
                 let cfg = ncsw_analyze::DiffConfig { abs_floor: abs_ms, rel_pct };
                 let d = ncsw_analyze::diff(&a, &b, &cfg);
                 if let Some(p) = &json_path {
-                    let s = serde_json::to_string_pretty(&d).expect("serialize");
-                    if let Err(e) = std::fs::write(p, s + "\n") {
-                        eprintln!("cannot write {p}: {e}");
-                        std::process::exit(2);
-                    }
-                    eprintln!("wrote {p}");
+                    vpu_bench::report::write_json(p, &d);
                     print!("{}", d.render());
                 } else if json {
                     println!("{}", serde_json::to_string_pretty(&d).expect("serialize"));
@@ -541,6 +571,7 @@ fn main() -> ExitCode {
             "serve",
             "failover",
             "autoscale",
+            "bench-sim",
         ] {
             run(name, json);
         }

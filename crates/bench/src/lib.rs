@@ -26,6 +26,7 @@ pub mod power_bench;
 pub mod report;
 pub mod scale;
 pub mod serve_bench;
+pub mod sim_bench;
 pub mod stream_bench;
 pub mod timeline;
 pub mod trace_check;

@@ -1,4 +1,44 @@
-//! Small table-printing helpers shared by the experiment printers.
+//! Small table-printing and artifact-writing helpers shared by the
+//! experiment printers and the `repro` CLI.
+
+use serde::Serialize;
+
+/// Write `content` to `path`, logging the write to stderr; exits with
+/// status 2 on failure (the CLI's I/O-error convention). One shared
+/// sink for every experiment artifact the CLI emits.
+pub fn write_artifact(path: &str, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
+}
+
+/// [`write_artifact`] for an optional path (the `--trace PATH` /
+/// `--metrics-csv PATH` pattern: absent flag, no write).
+pub fn write_artifact_opt(path: &Option<String>, content: &str) {
+    if let Some(path) = path {
+        write_artifact(path, content);
+    }
+}
+
+/// Serialize `value` as pretty JSON (with trailing newline) and write
+/// it via [`write_artifact`].
+pub fn write_json<T: Serialize>(path: &str, value: &T) {
+    let s = serde_json::to_string_pretty(value).expect("serialize");
+    write_artifact(path, &(s + "\n"));
+}
+
+/// Write `content` as `<dir>/<name>.csv`, creating `dir` first — the
+/// `--csv DIR` pattern shared by every per-figure experiment.
+pub fn write_csv_in(dir: &str, name: &str, content: &str) {
+    let path = format!("{dir}/{name}.csv");
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, content)) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {path}");
+}
 
 /// Print a header line with a rule under it.
 pub fn header(title: &str) {

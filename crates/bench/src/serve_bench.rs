@@ -143,6 +143,61 @@ pub struct TracedServe {
     /// run (also exported as `SloAlert` spans on the trace's `alerts`
     /// lane).
     pub slo_alerts: usize,
+    /// What observing the run cost: events recorded, exporter bytes,
+    /// peak scratch buffer, recorder ns/event (wall fields are zero
+    /// unless the run was profiled).
+    pub overhead: ncsw_obs::OverheadLedger,
+}
+
+/// Shared assembly of an observed run's exportable artifacts: burn-rate
+/// alerts folded into the trace, streaming Chrome-trace + series-CSV
+/// exports (with their write ledgers), the registry summary, and the
+/// [`ncsw_obs::OverheadLedger`] — one place, used by both the serve and
+/// autoscale traced paths, to attach observability accounting.
+pub(crate) struct ObservedArtifacts {
+    pub chrome_json: String,
+    pub series_csv: String,
+    pub summary: String,
+    pub slo_alerts: usize,
+    pub overhead: ncsw_obs::OverheadLedger,
+}
+
+pub(crate) fn observed_artifacts(obs: &mut ncsw_serve::ServeObservation) -> ObservedArtifacts {
+    use ncsw_obs::prof;
+    // Burn-rate alerting runs over the sampled series; windows that
+    // fire land in the trace as spans on their own lane, so Perfetto
+    // shows the alert right above the phase activity that caused it.
+    let alerts = ncsw_analyze::burn_alerts(&obs.series, &ncsw_analyze::BurnConfig::default());
+    {
+        use ncsw_obs::Recorder as _;
+        for ev in ncsw_analyze::alert_events(&alerts) {
+            obs.events.record(ev);
+        }
+    }
+    let mut trace_buf = Vec::new();
+    let trace_stats = {
+        let _s = prof::scope("export.chrome");
+        ncsw_obs::chrome_trace_to(&obs.events, &mut trace_buf).expect("Vec sink cannot fail")
+    };
+    let mut series_buf = Vec::new();
+    let series_stats = {
+        let _s = prof::scope("export.series");
+        obs.series.csv_to(&mut series_buf).expect("Vec sink cannot fail")
+    };
+    let events_recorded = obs.events.len() as u64;
+    ObservedArtifacts {
+        chrome_json: String::from_utf8(trace_buf).expect("chrome trace is ASCII"),
+        series_csv: String::from_utf8(series_buf).expect("series CSV is ASCII"),
+        summary: obs.registry.summary(),
+        slo_alerts: alerts.len(),
+        overhead: ncsw_obs::OverheadLedger {
+            events_recorded,
+            trace_bytes: trace_stats.bytes,
+            series_bytes: series_stats.bytes,
+            peak_buffered_bytes: trace_stats.peak_buffered.max(series_stats.peak_buffered),
+            recorder_ns: prof::counter_now(prof::RECORDER_NS),
+        },
+    }
 }
 
 /// One observed serving run on the heterogeneous fleet. Deterministic:
@@ -184,25 +239,17 @@ pub fn traced_serve_with_faults(
     let load = ArrivalProcess::Poisson { rate_per_sec: rate };
     let (outcome, mut obs) =
         serve_observed(&mut workers, &cfg, &load, n, &ObsConfig { sample_every });
-    // Burn-rate alerting runs over the sampled series; windows that
-    // fire land in the trace as spans on their own lane, so Perfetto
-    // shows the alert right above the phase activity that caused it.
-    let alerts = ncsw_analyze::burn_alerts(&obs.series, &ncsw_analyze::BurnConfig::default());
-    {
-        use ncsw_obs::Recorder as _;
-        for ev in ncsw_analyze::alert_events(&alerts) {
-            obs.events.record(ev);
-        }
-    }
+    let art = observed_artifacts(&mut obs);
     TracedServe {
         fleet: TRACED_FLEET.to_string(),
         requests: n,
         offered_rps: rate,
         report: ServeReport::of(&outcome, &cfg),
-        chrome_json: ncsw_obs::chrome_trace(&obs.events),
-        series_csv: obs.series.csv(),
-        summary: obs.registry.summary(),
-        slo_alerts: alerts.len(),
+        chrome_json: art.chrome_json,
+        series_csv: art.series_csv,
+        summary: art.summary,
+        slo_alerts: art.slo_alerts,
+        overhead: art.overhead,
     }
 }
 
@@ -233,6 +280,9 @@ impl TracedServe {
             e.img_per_watt,
             e.img_per_watt_tdp
         );
+        if self.overhead.events_recorded > 0 {
+            println!("{}", self.overhead.render());
+        }
         if self.slo_alerts > 0 {
             println!("SLO burn-rate alerts fired: {} window(s)", self.slo_alerts);
         }

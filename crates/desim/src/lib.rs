@@ -18,7 +18,7 @@ pub mod resource;
 pub mod time;
 pub mod trace;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use resource::{FifoResource, ServerPool};
 pub use time::{Duration, SimTime};
 pub use trace::{Span, TraceLog};

@@ -8,12 +8,23 @@
 //! tracks. The output is built byte-by-byte from integers only, so two
 //! runs of the same seeded config serialize identically.
 //!
+//! Two entry points share one serializer:
+//!
+//! - [`ChromeWriter`] streams event-at-a-time into any [`io::Write`]
+//!   sink with bounded memory (one scratch row, reused), for runs too
+//!   large to buffer;
+//! - [`chrome_trace`] buffers the whole document into a `String` by
+//!   delegating to the same writer, so the buffered and streamed bytes
+//!   are identical by construction.
+//!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //! [Perfetto]: https://ui.perfetto.dev
 
-use crate::event::{Event, Phase};
+use crate::event::{Event, Lane, Phase};
+use crate::prof::WriteStats;
 use crate::recorder::EventLog;
 use std::fmt::Write as _;
+use std::io;
 
 /// Microseconds with fixed 3-decimal nanosecond remainder — exact and
 /// deterministic (no float formatting).
@@ -41,65 +52,127 @@ fn args_of(ev: &Event) -> String {
     format!("{{{}}}", parts.join(","))
 }
 
-/// Serialize `log` as a Chrome trace-event JSON document.
-pub fn chrome_trace(log: &EventLog) -> String {
-    let lanes = log.lanes();
-    let tid_of = |lane| lanes.iter().position(|&l| l == lane).unwrap();
-    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    out.push_str(
-        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
-         \"args\":{\"name\":\"ncsw\"}}",
-    );
-    for (tid, lane) in lanes.iter().enumerate() {
-        let _ = write!(
-            out,
-            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
-             \"args\":{{\"name\":\"{}\"}}}}",
-            lane.name()
+/// Incremental Chrome-trace serializer over any [`io::Write`] sink.
+///
+/// Construction writes the document header and one metadata row per
+/// lane; [`event`](Self::event) appends one row per call through a
+/// reused scratch buffer (memory stays bounded by the longest single
+/// row, not the run length); [`finish`](Self::finish) closes the JSON
+/// and returns the [`WriteStats`] ledger.
+pub struct ChromeWriter<W: io::Write> {
+    sink: W,
+    lanes: Vec<Lane>,
+    row: String,
+    stats: WriteStats,
+}
+
+impl<W: io::Write> ChromeWriter<W> {
+    /// Start a trace document over `sink` for the given lane set (track
+    /// order and `tid` assignment follow `lanes`; use
+    /// [`EventLog::lanes`] for first-appearance order).
+    pub fn new(mut sink: W, lanes: &[Lane]) -> io::Result<ChromeWriter<W>> {
+        let mut stats = WriteStats::default();
+        let mut row = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        row.push_str(
+            "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"ncsw\"}}",
         );
-        let _ = write!(
-            out,
-            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\
-             \"args\":{{\"sort_index\":{}}}}}",
-            lane.sort_rank()
-        );
+        for (tid, lane) in lanes.iter().enumerate() {
+            let _ = write!(
+                row,
+                ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                lane.name()
+            );
+            let _ = write!(
+                row,
+                ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{}}}}}",
+                lane.sort_rank()
+            );
+        }
+        stats.peak_buffered = stats.peak_buffered.max(row.len() as u64);
+        sink.write_all(row.as_bytes())?;
+        stats.bytes += row.len() as u64;
+        row.clear();
+        Ok(ChromeWriter { sink, lanes: lanes.to_vec(), row, stats })
     }
-    for ev in log.events() {
-        let tid = tid_of(ev.lane);
+
+    /// Append one event row. Events must belong to a lane passed at
+    /// construction; an unknown lane is an error (the document header
+    /// with its track metadata is already on the wire).
+    pub fn event(&mut self, ev: &Event) -> io::Result<()> {
+        let tid = self.lanes.iter().position(|&l| l == ev.lane).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("lane {} not declared to ChromeWriter", ev.lane.name()),
+            )
+        })?;
         let name = ev.phase.name();
         let ts = us(ev.start.nanos());
         let args = args_of(ev);
+        self.row.clear();
         if ev.phase == Phase::PowerSample {
             // Counter event: Perfetto keys counter tracks by (pid, name),
             // so the lane's own name doubles as the counter name.
             let _ = write!(
-                out,
+                self.row,
                 ",\n{{\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
                  \"name\":\"{}\",\"args\":{args}}}",
                 ev.lane.name()
             );
-            continue;
-        }
-        match ev.end {
-            Some(end) => {
-                let dur = us(end.nanos() - ev.start.nanos());
-                let _ = write!(
-                    out,
-                    ",\n{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
-                     \"dur\":{dur},\"name\":\"{name}\",\"args\":{args}}}"
-                );
+        } else {
+            match ev.end {
+                Some(end) => {
+                    let dur = us(end.nanos() - ev.start.nanos());
+                    let _ = write!(
+                        self.row,
+                        ",\n{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                         \"dur\":{dur},\"name\":\"{name}\",\"args\":{args}}}"
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        self.row,
+                        ",\n{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
+                         \"s\":\"t\",\"name\":\"{name}\",\"args\":{args}}}"
+                    );
+                }
             }
-            None => {
-                let _ = write!(
-                    out,
-                    ",\n{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\
-                     \"s\":\"t\",\"name\":\"{name}\",\"args\":{args}}}"
-                );
-            }
         }
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.row.len() as u64);
+        self.sink.write_all(self.row.as_bytes())?;
+        self.stats.bytes += self.row.len() as u64;
+        Ok(())
     }
-    out.push_str("\n]}\n");
-    out
+
+    /// Close the JSON document, flush, and return the write ledger.
+    pub fn finish(mut self) -> io::Result<WriteStats> {
+        let tail = "\n]}\n";
+        self.sink.write_all(tail.as_bytes())?;
+        self.stats.bytes += tail.len() as u64;
+        self.sink.flush()?;
+        Ok(self.stats)
+    }
+}
+
+/// Stream `log` as a Chrome trace-event JSON document into `sink`.
+pub fn chrome_trace_to<W: io::Write>(log: &EventLog, sink: W) -> io::Result<WriteStats> {
+    let mut w = ChromeWriter::new(sink, &log.lanes())?;
+    for ev in log.events() {
+        w.event(ev)?;
+    }
+    w.finish()
+}
+
+/// Serialize `log` as a Chrome trace-event JSON document.
+///
+/// Buffered convenience over [`chrome_trace_to`]: the bytes are
+/// produced by the same streaming writer.
+pub fn chrome_trace(log: &EventLog) -> String {
+    let mut buf = Vec::new();
+    chrome_trace_to(log, &mut buf).expect("Vec<u8> sink cannot fail");
+    String::from_utf8(buf).expect("chrome trace is ASCII")
 }
 
 #[cfg(test)]
@@ -175,5 +248,46 @@ mod tests {
     #[test]
     fn export_is_deterministic() {
         assert_eq!(chrome_trace(&sample_log()), chrome_trace(&sample_log()));
+    }
+
+    #[test]
+    fn streaming_event_at_a_time_matches_buffered() {
+        let log = sample_log();
+        let buffered = chrome_trace(&log);
+        // Drive the writer one event per call, through a sink that only
+        // accepts one byte per write() to exercise short writes too.
+        struct OneByte(Vec<u8>);
+        impl std::io::Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = OneByte(Vec::new());
+        let mut w = ChromeWriter::new(&mut sink, &log.lanes()).unwrap();
+        for ev in log.events() {
+            w.event(ev).unwrap();
+        }
+        let stats = w.finish().unwrap();
+        let streamed = String::from_utf8(sink.0).unwrap();
+        assert_eq!(streamed, buffered);
+        assert_eq!(stats.bytes, buffered.len() as u64);
+        assert!(stats.peak_buffered > 0);
+        assert!(stats.peak_buffered < buffered.len() as u64);
+    }
+
+    #[test]
+    fn unknown_lane_is_an_error() {
+        let mut w = ChromeWriter::new(Vec::new(), &[Lane::Server]).unwrap();
+        let err = w
+            .event(&Event::instant(Phase::Arrive, Lane::Queue, SimTime(0), Ctx::NONE))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 }

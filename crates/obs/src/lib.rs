@@ -26,20 +26,33 @@
 //!   power lanes.
 //! - [`chrome_trace`] — deterministic Chrome trace-event JSON
 //!   (Perfetto-loadable), one track per lane; `PowerSample` events
-//!   render as `ph:"C"` counter tracks.
+//!   render as `ph:"C"` counter tracks. [`ChromeWriter`] /
+//!   [`chrome_trace_to`] stream the same bytes incrementally into any
+//!   `io::Write` sink with bounded memory.
+//! - [`prof`] — *host-side* self-observability: wall-clock scoped
+//!   timers over the simulator's own hot loops, the per-run
+//!   [`OverheadLedger`] (events recorded, bytes written, ns/event on
+//!   the recorder path) and the [`Throughput`] meter
+//!   (sim-events/sec, req/sec, virtual-seconds per wall-second).
+//!   Strictly passive: profiled runs stay bit-identical on the virtual
+//!   clock.
 
 pub mod chrome;
 pub mod energy;
 pub mod event;
 pub mod histogram;
+pub mod prof;
 pub mod recorder;
 pub mod registry;
 pub mod series;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_to, ChromeWriter};
 pub use energy::{joules, watts, EnergyMeter, EnergyProfile, EnergyTotals, MeterSpan};
 pub use event::{Ctx, Event, Lane, Phase, ShedCause};
 pub use histogram::LogHistogram;
+pub use prof::{
+    CountingWrite, OverheadLedger, ProfReport, ProfiledRecorder, Throughput, WriteStats,
+};
 pub use recorder::{BatchObs, EventLog, GanttRecorder, NullRecorder, Recorder, Tee};
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
 pub use series::{Sample, TimeSeries, TimeSeriesBuilder};

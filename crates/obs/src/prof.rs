@@ -1,0 +1,584 @@
+//! Host-side self-observability: wall-clock profiling of the simulator
+//! itself.
+//!
+//! Everything else in `ncsw-obs` observes the *simulated* fleet on the
+//! virtual clock; this module observes the *simulator* on the real one,
+//! so hot-loop refactors (ROADMAP "million-request sweeps") have a
+//! measurement substrate to be judged against. Three pieces:
+//!
+//! - **Scoped timers** — [`start`]/[`stop`] enable a thread-local
+//!   profiler; [`scope`] returns an RAII guard over [`Instant`] that
+//!   charges its wall time to a hierarchical scope (nesting follows
+//!   guard lifetimes). When profiling is off, `scope` is one
+//!   thread-local boolean load: no clock read, no allocation, and —
+//!   crucially — no effect on any virtual-clock output either way.
+//! - **Counters and the overhead ledger** — [`add`] accumulates named
+//!   counters (events recorded, bytes written); [`OverheadLedger`]
+//!   summarizes what observing a run cost (events, bytes, ns/event on
+//!   the recorder path, peak buffered bytes), and
+//!   [`ProfiledRecorder`] wraps any [`Recorder`] to meter exactly the
+//!   emission path.
+//! - **The throughput meter** — [`Throughput`] relates virtual progress
+//!   (sim events, simulated requests, virtual seconds) to wall time:
+//!   sim-events/sec, simulated-requests/sec and virtual-seconds per
+//!   wall-second, the `BENCH_sim.json` axes.
+//!
+//! The profiler is strictly *passive*: it never touches virtual time,
+//! RNG streams or any recorded event, so a profiled run is bit-identical
+//! to an unprofiled one (enforced by `tests/determinism.rs`).
+
+use crate::recorder::Recorder;
+use crate::Event;
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::io;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Thread-local scoped timers
+// ---------------------------------------------------------------------
+
+struct Node {
+    name: &'static str,
+    parent: Option<usize>,
+    calls: u64,
+    wall_ns: u64,
+}
+
+#[derive(Default)]
+struct ProfState {
+    nodes: Vec<Node>,
+    stack: Vec<usize>,
+    counters: Vec<(&'static str, u64)>,
+    started: Option<Instant>,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<ProfState> = RefCell::new(ProfState::default());
+}
+
+/// Whether the profiler is collecting on this thread.
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Reset and start collecting on this thread.
+pub fn start() {
+    STATE.with(|s| {
+        *s.borrow_mut() = ProfState { started: Some(Instant::now()), ..ProfState::default() }
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Stop collecting and return everything measured since [`start`].
+/// Returns an empty report if the profiler was never started.
+pub fn stop() -> ProfReport {
+    ENABLED.with(|e| e.set(false));
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let total_ns = st.started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        let report = ProfReport {
+            total_wall_ns: total_ns,
+            scopes: render_nodes(&st.nodes),
+            counters: st.counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+        };
+        *st = ProfState::default();
+        report
+    })
+}
+
+fn render_nodes(nodes: &[Node]) -> Vec<ProfScope> {
+    // Emit in depth-first order (children directly under their parent),
+    // preserving first-use order among siblings.
+    fn walk(nodes: &[Node], parent: Option<usize>, depth: usize, out: &mut Vec<ProfScope>) {
+        for (i, n) in nodes.iter().enumerate() {
+            if n.parent == parent {
+                out.push(ProfScope {
+                    name: n.name.to_string(),
+                    depth,
+                    calls: n.calls,
+                    wall_ns: n.wall_ns,
+                });
+                walk(nodes, Some(i), depth + 1, out);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(nodes.len());
+    walk(nodes, None, 0, &mut out);
+    out
+}
+
+/// Open a named scope; its wall time is charged when the guard drops.
+/// Scopes nest: a scope opened while another guard is alive becomes its
+/// child. Near-zero cost when profiling is off (one boolean load).
+#[inline]
+pub fn scope(name: &'static str) -> ScopeGuard {
+    if !enabled() {
+        return ScopeGuard { start: None };
+    }
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        let parent = st.stack.last().copied();
+        let idx =
+            st.nodes.iter().position(|n| n.name == name && n.parent == parent).unwrap_or_else(
+                || {
+                    st.nodes.push(Node { name, parent, calls: 0, wall_ns: 0 });
+                    st.nodes.len() - 1
+                },
+            );
+        st.stack.push(idx);
+    });
+    ScopeGuard { start: Some(Instant::now()) }
+}
+
+/// RAII guard returned by [`scope`].
+#[must_use = "a dropped guard closes its scope immediately"]
+pub struct ScopeGuard {
+    start: Option<Instant>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed().as_nanos() as u64;
+        STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            if let Some(idx) = st.stack.pop() {
+                st.nodes[idx].calls += 1;
+                st.nodes[idx].wall_ns += elapsed;
+            }
+        });
+    }
+}
+
+/// Accumulate `delta` into the named counter. No-op when profiling is
+/// off.
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        match st.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => st.counters.push((name, delta)),
+        }
+    });
+}
+
+/// Current value of counter `name` mid-window (0 when the profiler is
+/// off or the counter never bumped) — lets a ledger read the recorder
+/// counters without closing the profiling window.
+pub fn counter_now(name: &str) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    STATE.with(|s| s.borrow().counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v))
+}
+
+/// One scope of a [`ProfReport`], in depth-first tree order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfScope {
+    pub name: String,
+    /// Nesting depth (0 = root scope).
+    pub depth: usize,
+    pub calls: u64,
+    pub wall_ns: u64,
+}
+
+/// Everything one [`start`]/[`stop`] window measured.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfReport {
+    /// Wall time between [`start`] and [`stop`].
+    pub total_wall_ns: u64,
+    pub scopes: Vec<ProfScope>,
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ProfReport {
+    /// Total wall nanoseconds charged to `name` (summed over every
+    /// position it appears at in the scope tree).
+    pub fn scope_ns(&self, name: &str) -> u64 {
+        self.scopes.iter().filter(|s| s.name == name).map(|s| s.wall_ns).sum()
+    }
+
+    /// Value of counter `name` (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Human-readable profile: indented scope tree with calls, total
+    /// wall time, ns/call and share of the profiled window, then the
+    /// counters.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "profile: {:.3} ms wall total", self.total_wall_ns as f64 / 1e6);
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>12} {:>10} {:>6}",
+            "scope", "calls", "wall ms", "ns/call", "share"
+        );
+        for s in &self.scopes {
+            let per = if s.calls > 0 { s.wall_ns as f64 / s.calls as f64 } else { 0.0 };
+            let share = if self.total_wall_ns > 0 {
+                s.wall_ns as f64 / self.total_wall_ns as f64 * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<32} {:>10} {:>12.3} {:>10.0} {:>5.1}%",
+                format!("{}{}", "  ".repeat(s.depth), s.name),
+                s.calls,
+                s.wall_ns as f64 / 1e6,
+                per,
+                share
+            );
+        }
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} = {v}");
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recorder metering
+// ---------------------------------------------------------------------
+
+/// Counter names [`ProfiledRecorder`] reports through [`add`] when it
+/// drops: events forwarded and wall nanoseconds spent inside the
+/// wrapped recorder's `record` calls.
+pub const RECORDER_EVENTS: &str = "recorder.events";
+pub const RECORDER_NS: &str = "recorder.ns";
+
+/// Wraps a [`Recorder`] and meters exactly the emission path: how many
+/// events passed through and how much wall time their `record` calls
+/// cost. Totals land in the thread-local profiler (counters
+/// [`RECORDER_EVENTS`] / [`RECORDER_NS`]) when the wrapper drops.
+pub struct ProfiledRecorder<'a> {
+    inner: &'a mut dyn Recorder,
+    events: u64,
+    wall_ns: u64,
+}
+
+impl<'a> ProfiledRecorder<'a> {
+    pub fn new(inner: &'a mut dyn Recorder) -> ProfiledRecorder<'a> {
+        ProfiledRecorder { inner, events: 0, wall_ns: 0 }
+    }
+}
+
+impl Recorder for ProfiledRecorder<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn record(&mut self, ev: Event) {
+        let t = Instant::now();
+        self.inner.record(ev);
+        self.wall_ns += t.elapsed().as_nanos() as u64;
+        self.events += 1;
+    }
+}
+
+impl Drop for ProfiledRecorder<'_> {
+    fn drop(&mut self) {
+        add(RECORDER_EVENTS, self.events);
+        add(RECORDER_NS, self.wall_ns);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write accounting
+// ---------------------------------------------------------------------
+
+/// What a streaming exporter wrote: total bytes pushed to the sink and
+/// the high-water mark of its internal scratch buffer — the bound on
+/// exporter memory, which stays a few hundred bytes regardless of how
+/// many events stream through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteStats {
+    pub bytes: u64,
+    pub peak_buffered: u64,
+}
+
+/// An [`io::Write`] adapter that counts the bytes flowing through it
+/// (conservation checks: bytes counted == file size on disk).
+pub struct CountingWrite<W: io::Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: io::Write> CountingWrite<W> {
+    pub fn new(inner: W) -> CountingWrite<W> {
+        CountingWrite { inner, written: 0 }
+    }
+
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: io::Write> io::Write for CountingWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overhead ledger + throughput meter
+// ---------------------------------------------------------------------
+
+/// What observing a run cost, per run. The virtual-clock fields
+/// (events, bytes) are deterministic; the wall-clock fields are zero
+/// unless the run was profiled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverheadLedger {
+    /// Events the recorder captured.
+    pub events_recorded: u64,
+    /// Bytes the Chrome-trace exporter wrote.
+    pub trace_bytes: u64,
+    /// Bytes the time-series CSV exporter wrote.
+    pub series_bytes: u64,
+    /// Largest transient exporter scratch buffer (bounded memory proof:
+    /// this stays O(one row/event) however long the run).
+    pub peak_buffered_bytes: u64,
+    /// Wall nanoseconds spent inside `Recorder::record` (0 unprofiled).
+    pub recorder_ns: u64,
+}
+
+impl OverheadLedger {
+    /// Wall nanoseconds per recorded event on the recorder path.
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events_recorded == 0 {
+            0.0
+        } else {
+            self.recorder_ns as f64 / self.events_recorded as f64
+        }
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "obs overhead: {} events recorded, {} trace B + {} series B written \
+             (peak buffer {} B), recorder {:.0} ns/event",
+            self.events_recorded,
+            self.trace_bytes,
+            self.series_bytes,
+            self.peak_buffered_bytes,
+            self.ns_per_event()
+        )
+    }
+}
+
+/// Relates virtual progress to wall time — the sim-throughput axes of
+/// `BENCH_sim.json`. Virtual fields are deterministic; `wall_ns` is
+/// machine-dependent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Simulator loop events processed (arrivals, dispatches,
+    /// controller ticks — every decision point of the event loop).
+    pub sim_events: u64,
+    /// Requests the run simulated (completed + shed).
+    pub requests: u64,
+    /// Virtual nanoseconds the run covered.
+    pub virtual_ns: u64,
+    /// Wall nanoseconds the run took.
+    pub wall_ns: u64,
+}
+
+impl Throughput {
+    fn per_sec(&self, count: u64) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            count as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Simulator events processed per wall second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.per_sec(self.sim_events)
+    }
+
+    /// Requests simulated per wall second.
+    pub fn req_per_sec(&self) -> f64 {
+        self.per_sec(self.requests)
+    }
+
+    /// Virtual seconds simulated per wall second (>1 = faster than
+    /// real time).
+    pub fn virtual_per_wall(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.virtual_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "sim throughput: {:.0} events/s, {:.0} req/s, {:.1}x virtual/wall \
+             ({} events, {} req, {:.1} virtual ms in {:.1} wall ms)",
+            self.events_per_sec(),
+            self.req_per_sec(),
+            self.virtual_per_wall(),
+            self.sim_events,
+            self.requests,
+            self.virtual_ns as f64 / 1e6,
+            self.wall_ns as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Ctx, Lane, Phase};
+    use crate::recorder::EventLog;
+    use desim::SimTime;
+    use std::io::Write as _;
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        assert!(!enabled());
+        {
+            let _g = scope("loop");
+            let _h = scope("inner");
+            add("events", 5);
+        }
+        let r = stop();
+        assert_eq!(r.scopes, Vec::new());
+        assert_eq!(r.counters, Vec::new());
+    }
+
+    #[test]
+    fn scopes_nest_by_guard_lifetime() {
+        start();
+        {
+            let _a = scope("loop");
+            {
+                let _b = scope("plan");
+            }
+            {
+                let _b = scope("plan");
+            }
+            {
+                let _c = scope("dispatch");
+            }
+        }
+        {
+            let _a = scope("loop");
+        }
+        add("events", 3);
+        add("events", 4);
+        let r = stop();
+        assert!(!enabled());
+        let shape: Vec<(String, usize, u64)> =
+            r.scopes.iter().map(|s| (s.name.clone(), s.depth, s.calls)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("loop".to_string(), 0, 2),
+                ("plan".to_string(), 1, 2),
+                ("dispatch".to_string(), 1, 1),
+            ]
+        );
+        assert_eq!(r.counter("events"), 7);
+        assert_eq!(r.counter("absent"), 0);
+        // The render names every scope with indentation.
+        let txt = r.render();
+        assert!(txt.contains("loop"), "{txt}");
+        assert!(txt.contains("  plan"), "{txt}");
+        assert!(txt.contains("counter events = 7"), "{txt}");
+        // stop() resets: a second stop is empty.
+        assert_eq!(stop().scopes.len(), 0);
+    }
+
+    #[test]
+    fn same_name_under_different_parents_is_two_scopes() {
+        start();
+        {
+            let _a = scope("export");
+            let _w = scope("write");
+        }
+        {
+            let _b = scope("validate");
+            let _w = scope("write");
+        }
+        let r = stop();
+        let writes: Vec<usize> =
+            r.scopes.iter().filter(|s| s.name == "write").map(|s| s.depth).collect();
+        assert_eq!(writes, vec![1, 1]);
+        assert_eq!(r.scopes.len(), 4);
+        assert_eq!(
+            r.scope_ns("write"),
+            r.scopes.iter().filter(|s| s.name == "write").map(|s| s.wall_ns).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn profiled_recorder_meters_the_emission_path() {
+        start();
+        let mut log = EventLog::new();
+        {
+            let mut pr = ProfiledRecorder::new(&mut log);
+            assert!(pr.enabled());
+            for i in 0..10 {
+                pr.record(Event::instant(Phase::Arrive, Lane::Server, SimTime(i), Ctx::NONE));
+            }
+        }
+        let r = stop();
+        assert_eq!(log.len(), 10);
+        assert_eq!(r.counter(RECORDER_EVENTS), 10);
+        // Wall time is nondeterministic but must have been accumulated
+        // alongside the events (ns can legitimately be 0 on a coarse
+        // clock, so only the event count is asserted exactly).
+        assert!(r.counters.iter().any(|(n, _)| n == RECORDER_NS));
+    }
+
+    #[test]
+    fn counting_write_counts_exactly() {
+        let mut w = CountingWrite::new(Vec::new());
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"world").unwrap();
+        assert_eq!(w.written(), 11);
+        assert_eq!(w.into_inner(), b"hello world".to_vec());
+    }
+
+    #[test]
+    fn ledger_and_throughput_math() {
+        let l = OverheadLedger {
+            events_recorded: 4,
+            trace_bytes: 100,
+            series_bytes: 50,
+            peak_buffered_bytes: 32,
+            recorder_ns: 400,
+        };
+        assert_eq!(l.ns_per_event(), 100.0);
+        assert_eq!(OverheadLedger::default().ns_per_event(), 0.0);
+        let t = Throughput {
+            sim_events: 2_000,
+            requests: 500,
+            virtual_ns: 4e9 as u64,
+            wall_ns: 1e9 as u64,
+        };
+        assert_eq!(t.events_per_sec(), 2_000.0);
+        assert_eq!(t.req_per_sec(), 500.0);
+        assert_eq!(t.virtual_per_wall(), 4.0);
+        assert_eq!(Throughput::default().events_per_sec(), 0.0);
+        assert!(t.render().contains("4.0x virtual/wall"), "{}", t.render());
+    }
+}

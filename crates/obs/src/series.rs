@@ -7,9 +7,11 @@
 //! in-flight batches, cumulative completions/sheds, the SLO burn rate
 //! over the window, and per-worker utilization since epoch.
 
+use crate::prof::WriteStats;
 use desim::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::io;
 
 /// One sampled row.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,26 +71,42 @@ impl TimeSeries {
     /// slo_burn,shed_rate,util_<worker>...,circuit_<worker>...,
     /// power_<worker>...,energy_j,img_per_watt`, times relative to the
     /// epoch.
+    ///
+    /// Buffered convenience over [`TimeSeries::csv_to`]: the bytes come
+    /// from the same streaming writer.
     pub fn csv(&self) -> String {
-        let mut out = String::from("time_ms,queue_depth,inflight_batches,completed,shed,slo_burn");
-        out.push_str(",shed_rate");
+        let mut buf = Vec::new();
+        self.csv_to(&mut buf).expect("Vec<u8> sink cannot fail");
+        String::from_utf8(buf).expect("series CSV is ASCII")
+    }
+
+    /// Stream the CSV row-at-a-time into `sink` with bounded memory
+    /// (one scratch row, reused). Byte-identical to [`TimeSeries::csv`].
+    pub fn csv_to<W: io::Write>(&self, mut sink: W) -> io::Result<WriteStats> {
+        let mut stats = WriteStats::default();
+        let mut row = String::from("time_ms,queue_depth,inflight_batches,completed,shed,slo_burn");
+        row.push_str(",shed_rate");
         for label in &self.worker_labels {
-            let _ = write!(out, ",util_{}", label.replace([' ', ','], "_"));
+            let _ = write!(row, ",util_{}", label.replace([' ', ','], "_"));
         }
         for label in &self.worker_labels {
-            let _ = write!(out, ",circuit_{}", label.replace([' ', ','], "_"));
+            let _ = write!(row, ",circuit_{}", label.replace([' ', ','], "_"));
         }
         for label in &self.worker_labels {
-            let _ = write!(out, ",power_{}", label.replace([' ', ','], "_"));
+            let _ = write!(row, ",power_{}", label.replace([' ', ','], "_"));
         }
-        out.push_str(",energy_j,img_per_watt");
+        row.push_str(",energy_j,img_per_watt");
         if self.scaling {
-            out.push_str(",live_sticks,scale_events");
+            row.push_str(",live_sticks,scale_events");
         }
-        out.push('\n');
+        row.push('\n');
+        stats.peak_buffered = stats.peak_buffered.max(row.len() as u64);
+        sink.write_all(row.as_bytes())?;
+        stats.bytes += row.len() as u64;
         for s in &self.samples {
+            row.clear();
             let _ = write!(
-                out,
+                row,
                 "{:.3},{},{},{},{},{:.6},{:.6}",
                 (s.t - self.epoch).as_millis(),
                 s.queue_depth,
@@ -99,21 +117,25 @@ impl TimeSeries {
                 s.shed_rate
             );
             for u in &s.worker_util {
-                let _ = write!(out, ",{u:.6}");
+                let _ = write!(row, ",{u:.6}");
             }
             for c in &s.circuit {
-                let _ = write!(out, ",{c:.1}");
+                let _ = write!(row, ",{c:.1}");
             }
             for p in &s.worker_power {
-                let _ = write!(out, ",{p:.6}");
+                let _ = write!(row, ",{p:.6}");
             }
-            let _ = write!(out, ",{:.6},{:.6}", s.energy_j, s.img_per_watt);
+            let _ = write!(row, ",{:.6},{:.6}", s.energy_j, s.img_per_watt);
             if self.scaling {
-                let _ = write!(out, ",{},{}", s.live_sticks, s.scale_events);
+                let _ = write!(row, ",{},{}", s.live_sticks, s.scale_events);
             }
-            out.push('\n');
+            row.push('\n');
+            stats.peak_buffered = stats.peak_buffered.max(row.len() as u64);
+            sink.write_all(row.as_bytes())?;
+            stats.bytes += row.len() as u64;
         }
-        out
+        sink.flush()?;
+        Ok(stats)
     }
 
     /// Parse a CSV produced by [`TimeSeries::csv`] back into a series
@@ -747,6 +769,29 @@ mod tests {
         let ts = b.finish(at(20.0), 0);
         let want_j = (172u64 * (5_000_000 + 8_000_000)) as f64 / 1e12;
         assert!((ts.samples[1].energy_j - want_j).abs() < 1e-15, "{}", ts.samples[1].energy_j);
+    }
+
+    #[test]
+    fn csv_to_streams_byte_identically_with_bounded_buffer() {
+        let mut b = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(5.0));
+        b.set_power(vec![(900, 172)]);
+        b.on_batch(0, at(0.0), at(4.0));
+        b.on_energy_span(0, at(0.0), at(4.0));
+        b.on_arrival();
+        b.on_complete(ms(9.0));
+        let ts = b.finish(at(50.0), 2);
+        let buffered = ts.csv();
+        let mut sink = Vec::new();
+        let stats = ts.csv_to(&mut sink).unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), buffered);
+        assert_eq!(stats.bytes, buffered.len() as u64);
+        assert!(stats.peak_buffered > 0);
+        assert!(
+            stats.peak_buffered < buffered.len() as u64,
+            "scratch buffer must stay below the whole document: {} vs {}",
+            stats.peak_buffered,
+            buffered.len()
+        );
     }
 
     #[test]

@@ -44,8 +44,8 @@ use desim::{Duration, SimTime};
 use ncsw::service::{FailureKind, ServeError, ServiceHook};
 use ncsw_ctrl::{PrimeContext, ScaleDecision, ScaleSignals, ScalingPolicy};
 use ncsw_obs::{
-    BatchObs, CounterId, Ctx, EnergyMeter, Event, EventLog, GaugeId, HistogramId, Lane,
-    NullRecorder, Phase, Recorder, Registry, TimeSeries, TimeSeriesBuilder,
+    prof, BatchObs, CounterId, Ctx, EnergyMeter, Event, EventLog, GaugeId, HistogramId, Lane,
+    NullRecorder, Phase, ProfiledRecorder, Recorder, Registry, TimeSeries, TimeSeriesBuilder,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -325,6 +325,11 @@ pub struct ServeOutcome {
     /// controller-disabled paths are bit-identical to pre-controller
     /// behavior).
     pub scaling: Option<ScalingStats>,
+    /// Simulator loop events processed (arrivals, dispatches,
+    /// controller ticks — every decision point of the event loop). A
+    /// deterministic function of the run, so it feeds the
+    /// [`ncsw_obs::Throughput`] meter without a profiler attached.
+    pub sim_events: u64,
 }
 
 impl ServeOutcome {
@@ -1165,7 +1170,15 @@ fn observed_core(
         sampler: SamplerDrive { b: builder, pending: BinaryHeap::new() },
         meters: Meters::new(),
     };
-    let outcome = serve_core(workers, cfg, process, n, &mut events, Some(&mut obs), ctrl);
+    // With the profiler on, meter the recorder path (events forwarded +
+    // wall ns inside record()); the wrapper forwards verbatim, so the
+    // captured log — and everything derived from it — is unchanged.
+    let outcome = if prof::enabled() {
+        let mut profiled = ProfiledRecorder::new(&mut events);
+        serve_core(workers, cfg, process, n, &mut profiled, Some(&mut obs), ctrl)
+    } else {
+        serve_core(workers, cfg, process, n, &mut events, Some(&mut obs), ctrl)
+    };
     let series = obs.sampler.finish(outcome.end());
     let mut registry = obs.meters.finish();
     // Power lanes + energy counters come straight off the run's ledger,
@@ -1241,25 +1254,36 @@ fn serve_core(
         shed.push(r);
     };
 
+    // Host-side self-observability: every loop iteration handles
+    // exactly one event (arrival, dispatch or controller tick), so the
+    // iteration count *is* the sim-event count — deterministic, and the
+    // numerator of the events/sec throughput meter. The prof scopes are
+    // wall-clock only and cost one thread-local boolean when disabled.
+    let mut sim_events = 0u64;
+    let _prof_loop = prof::scope("serve.loop");
+
     loop {
         // Earliest instant the current queue head could be dispatched:
         // batch-full close (the arrival that filled it) or the oldest
         // member's deadline, whichever fires first — floored by the
         // head's retry backoff.
-        let plan = if queue.is_empty() {
-            None
-        } else {
-            let front = queue.front().unwrap();
-            let deadline = front.arrival + cfg.max_wait;
-            // Full-close fires at the arrival that filled the batch.
-            let ready = if queue.len() >= fo.fill_limit {
-                queue[fo.fill_limit - 1].arrival.min(deadline)
+        let plan = {
+            let _sp = prof::scope("serve.plan");
+            if queue.is_empty() {
+                None
             } else {
-                deadline
-            };
-            let ready = SimTime::max_of(ready, front.earliest);
-            let hint = queue.len().min(fo.fill_limit);
-            Some(choose_worker(cfg.policy, ready, hint, workers, rr_cursor, &fo))
+                let front = queue.front().unwrap();
+                let deadline = front.arrival + cfg.max_wait;
+                // Full-close fires at the arrival that filled the batch.
+                let ready = if queue.len() >= fo.fill_limit {
+                    queue[fo.fill_limit - 1].arrival.min(deadline)
+                } else {
+                    deadline
+                };
+                let ready = SimTime::max_of(ready, front.earliest);
+                let hint = queue.len().min(fo.fill_limit);
+                Some(choose_worker(cfg.policy, ready, hint, workers, rr_cursor, &fo))
+            }
         };
 
         // Controller tick: fires before any arrival or dispatch at or
@@ -1274,6 +1298,8 @@ fn serve_core(
                 (None, None) => None,
             };
             if next_event.is_some_and(|e| c.next_tick <= e) {
+                let _sc = prof::scope("serve.ctrl_tick");
+                sim_events += 1;
                 ctrl_tick(c, workers, cfg, &mut fo, &mut meter, queue.len(), rec, &mut obs);
                 continue;
             }
@@ -1283,6 +1309,8 @@ fn serve_core(
             // Admit the next arrival when it precedes (or ties) the
             // planned dispatch.
             (Some(&at), p) if p.is_none() || at <= p.unwrap().1 => {
+                let _sa = prof::scope("serve.arrival");
+                sim_events += 1;
                 let id = next as u64;
                 next += 1;
                 if let Some(o) = obs.as_deref_mut() {
@@ -1370,6 +1398,8 @@ fn serve_core(
                 }
             }
             (_, Some((w, t))) => {
+                let _sd = prof::scope("serve.dispatch");
+                sim_events += 1;
                 if cfg.policy == DispatchPolicy::RoundRobin {
                     rr_cursor += 1;
                 }
@@ -1645,5 +1675,6 @@ fn serve_core(
         faults: fo.stats,
         energy: meter,
         scaling: ctrl.map(|c| c.stats.clone()),
+        sim_events,
     }
 }

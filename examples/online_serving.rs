@@ -2,7 +2,9 @@
 //! bursty MMPP storm against three fleet shapes, comparing how the
 //! dispatch policies hold the p99 under each — then the E20 closed
 //! loop: an elastic `8*vpu` stick fleet under the autoscaling
-//! controller, reclaiming the idle headroom a static fleet pays for.
+//! controller, reclaiming the idle headroom a static fleet pays for —
+//! and finally the E21 self-observability report: what watching the
+//! run costs in wall time, recorder nanoseconds and exporter bytes.
 //!
 //! ```text
 //! cargo run --release --example online_serving
@@ -142,4 +144,44 @@ fn main() {
             attain(&outcome) - attain(&stat)
         );
     }
+
+    // E21: what does watching all of this cost? Profile one observed
+    // run on the mixed fleet — the wall-clock profiler times the event
+    // loop and the exporters while the virtual clock drives the
+    // simulation, and the overhead ledger prices the recorder path.
+    use vpu_coprocessor::obs::{chrome_trace_to, prof, OverheadLedger, Throughput};
+    use vpu_coprocessor::serving::{serve_observed, ObsConfig};
+    let mut workers = FleetSpec::parse("cpu+gpu+8xvpu").unwrap().build(&model);
+    let cfg = ServeConfig::default();
+    prof::start();
+    let wall = std::time::Instant::now();
+    let (outcome, obs) = serve_observed(
+        &mut workers,
+        &cfg,
+        &steady,
+        n,
+        &ObsConfig { sample_every: Duration::from_millis(10.0) },
+    );
+    let mut trace = Vec::new();
+    let trace_stats = chrome_trace_to(&obs.events, &mut trace).unwrap();
+    let mut csv = Vec::new();
+    let series_stats = obs.series.csv_to(&mut csv).unwrap();
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let report = prof::stop();
+    let throughput = Throughput {
+        sim_events: outcome.sim_events,
+        requests: outcome.generated as u64,
+        virtual_ns: outcome.energy_horizon().since(outcome.epoch).nanos(),
+        wall_ns,
+    };
+    let ledger = OverheadLedger {
+        events_recorded: obs.events.len() as u64,
+        trace_bytes: trace_stats.bytes,
+        series_bytes: series_stats.bytes,
+        peak_buffered_bytes: trace_stats.peak_buffered.max(series_stats.peak_buffered),
+        recorder_ns: report.counter(prof::RECORDER_NS),
+    };
+    println!("\nE21 self-observability, one observed run on cpu+gpu+8xvpu:");
+    println!("  {}", throughput.render());
+    println!("  {}", ledger.render());
 }

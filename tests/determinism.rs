@@ -157,6 +157,51 @@ fn observed_serve_trace_is_byte_identical_across_runs() {
 }
 
 #[test]
+fn profiler_is_passive_bit_identical_outputs() {
+    // The wall-clock profiler only reads `Instant` — it never touches
+    // virtual time or the RNG streams — so running the same traced
+    // experiment with profiling enabled must reproduce every
+    // virtual-clock artifact byte-for-byte, while the report itself
+    // proves the dispatcher scopes and the recorder meter were live.
+    use vpu_coprocessor::experiments::{serve_bench::traced_serve, Scale};
+    use vpu_coprocessor::obs::prof;
+    use vpu_coprocessor::serving::DispatchPolicy;
+    use vpu_coprocessor::sim::Duration;
+    let run = || {
+        traced_serve(
+            Scale::Tiny,
+            Duration::from_millis(500.0),
+            DispatchPolicy::CostAware,
+            Duration::from_millis(10.0),
+        )
+    };
+    let plain = run();
+    assert!(!prof::enabled(), "profiler must default to off");
+    prof::start();
+    let profiled = run();
+    let report = prof::stop();
+    assert!(!prof::enabled(), "stop() must disable the profiler again");
+    assert_eq!(plain.chrome_json, profiled.chrome_json);
+    assert_eq!(plain.series_csv, profiled.series_csv);
+    assert_eq!(plain.summary, profiled.summary);
+    assert_eq!(
+        serde_json::to_string(&plain.report).unwrap(),
+        serde_json::to_string(&profiled.report).unwrap(),
+        "the serving report must not see the profiler"
+    );
+    // The profiled run did observe real work.
+    assert!(report.total_wall_ns > 0);
+    assert!(report.scope_ns("serve.loop") > 0, "the event loop scope must be hit");
+    assert!(report.scope_ns("serve.dispatch") > 0, "the dispatch scope must be hit");
+    assert!(report.scope_ns("export.chrome") > 0, "the exporter scope must be hit");
+    assert!(report.counter(prof::RECORDER_EVENTS) > 0, "the recorder meter must count events");
+    // The ledger counts the whole log (serve-loop events plus alert
+    // spans folded in afterwards); the recorder meter counts only the
+    // serve-loop path it wraps.
+    assert!(report.counter(prof::RECORDER_EVENTS) <= profiled.overhead.events_recorded);
+}
+
+#[test]
 fn different_seeds_change_results() {
     let preds = |seed: u64| {
         let spec = Arc::new(Variant::Tiny.build());

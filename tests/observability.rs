@@ -88,3 +88,66 @@ fn exported_chrome_trace_validates() {
         .expect("exported trace must validate");
     assert!(check.chained > 0);
 }
+
+#[test]
+fn streaming_exporters_match_buffered_on_a_real_run() {
+    // The buffered exporters are thin shims over the streaming writers,
+    // but verify the contract end-to-end on a real observed run: an
+    // event-at-a-time stream into a raw sink must equal the buffered
+    // string byte-for-byte, with exact stats and bounded buffering.
+    use vpu_coprocessor::obs::{chrome_trace, ChromeWriter};
+    let (_, obs) = observed_run();
+    let buffered = chrome_trace(&obs.events);
+    let mut sink = Vec::new();
+    let stats = {
+        let mut w = ChromeWriter::new(&mut sink, &obs.events.lanes()).unwrap();
+        for ev in obs.events.events() {
+            w.event(ev).unwrap();
+        }
+        w.finish().unwrap()
+    };
+    assert_eq!(String::from_utf8(sink).unwrap(), buffered);
+    assert_eq!(stats.bytes, buffered.len() as u64);
+    assert!(
+        stats.peak_buffered > 0 && stats.peak_buffered < stats.bytes,
+        "streaming must hold at most one row in memory, not the document: {stats:?}"
+    );
+    let csv = obs.series.csv();
+    let mut csv_sink = Vec::new();
+    let csv_stats = obs.series.csv_to(&mut csv_sink).unwrap();
+    assert_eq!(String::from_utf8(csv_sink).unwrap(), csv);
+    assert_eq!(csv_stats.bytes, csv.len() as u64);
+    assert!(csv_stats.peak_buffered > 0 && csv_stats.peak_buffered < csv_stats.bytes);
+}
+
+#[test]
+fn overhead_ledger_is_conserved_on_disk() {
+    // The ledger's byte counts are exactly the artifact sizes, and
+    // writing through a counting sink to a real file conserves them:
+    // bytes counted == bytes on disk.
+    use std::io::Write;
+    use vpu_coprocessor::experiments::{serve_bench::traced_serve, Scale};
+    use vpu_coprocessor::obs::CountingWrite;
+    use vpu_coprocessor::serving::DispatchPolicy;
+    let t = traced_serve(
+        Scale::Tiny,
+        Duration::from_millis(500.0),
+        DispatchPolicy::CostAware,
+        Duration::from_millis(10.0),
+    );
+    assert!(t.overhead.events_recorded > 0, "a traced run records events");
+    assert_eq!(t.overhead.trace_bytes, t.chrome_json.len() as u64);
+    assert_eq!(t.overhead.series_bytes, t.series_csv.len() as u64);
+    assert!(t.overhead.peak_buffered_bytes > 0);
+    assert!(t.overhead.peak_buffered_bytes < t.overhead.trace_bytes + t.overhead.series_bytes);
+    let path = std::env::temp_dir().join("ncsw_obs_ledger_conservation.json");
+    let mut counting = CountingWrite::new(std::fs::File::create(&path).unwrap());
+    counting.write_all(t.chrome_json.as_bytes()).unwrap();
+    counting.flush().unwrap();
+    let written = counting.written();
+    drop(counting);
+    let on_disk = std::fs::metadata(&path).unwrap().len();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(written, on_disk, "counted bytes must equal the file size on disk");
+    assert_eq!(written, t.overhead.trace_bytes);
+}
