@@ -12,6 +12,8 @@
 //!   energy                                E19 online img/W vs offline Eq. 1
 //!   autoscale                             E20 closed-loop fleet scaling vs static
 //!   bench-sim                             E21 sim-throughput matrix (BENCH_sim.json)
+//!   gray                                  E22 gray-failure resilience sweep
+//!   chaos                                 seeded chaos campaigns (exit 1 on violation)
 //!   bench-diff BASE CAND                  gated events/sec comparison of two BENCH_sim.json
 //!   validate-trace PATH                   check an exported Chrome trace
 //!   all                                   everything above
@@ -79,15 +81,22 @@ impl EnergyJson {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|bench-sim|abdiff|all> \
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|bench-sim|gray|chaos|abdiff|all> \
          [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
-         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC] [--ctrl reactive|predictive|oracle] [--prof]\n\
+         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC] [--gray] [--ctrl reactive|predictive|oracle] [--prof]\n\
+         \x20      repro chaos [--campaigns N] [--seed S]\n\
          \x20      repro validate-trace PATH\n\
          \x20      repro analyze TRACE [--flame PATH] [--flame-energy PATH] [--json [PATH]] [--prof]\n\
          \x20      repro diff BASELINE_TRACE CANDIDATE_TRACE [--abs-ms MS] [--rel-pct PCT] [--json [PATH]]\n\
          \x20      repro bench-diff BASE_SIM_JSON CAND_SIM_JSON [--tol-pct PCT] [--json [PATH]]\n\
          \x20      --faults SPEC: comma-separated faults, e.g. 'unplug@2s:reconnect@4s', \
-         'w0:throttle@1s:for@2s:slow@3', 'usb@0s:for@5s:factor@2', 'execerr@0.05'\n\
+         'w0:throttle@1s:for@2s:slow@3', 'usb@0s:for@5s:factor@2', 'execerr@0.05', \
+         'failslow@1s:for@4s:slow@6', 'corrupt@0.02', 'dup@0.02', 'drop@0.02'\n\
+         \x20      --gray turns every gray-failure defense on for a traced serve run \
+         (verify-on-complete, fail-slow quarantine, hedged dispatch)\n\
+         \x20      gray sweeps fail-slow/corruption intensity vs defenses (E22); chaos runs \
+         --campaigns randomized fault cocktails from --seed and exits 1 on any invariant \
+         violation, printing the failing campaign's seed and spec\n\
          \x20      abdiff pairs --baseline-policy (default round-robin) against --policy; \
          diff exits 1 when a gated metric regressed\n\
          \x20      autoscale sweeps static vs all scaling policies; with --trace/--metrics-csv \
@@ -120,6 +129,9 @@ fn main() -> ExitCode {
     let mut rel_pct = 5.0f64;
     let mut tol_pct = 50.0f64;
     let mut prof_on = false;
+    let mut gray_on = false;
+    let mut campaigns = 25usize;
+    let mut seed = vpu_num::rng::DEFAULT_SEED;
     let mut baseline_policy = ncsw_serve::DispatchPolicy::RoundRobin;
     let mut operands: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
@@ -211,6 +223,23 @@ fn main() -> ExitCode {
                 tol_pct = p;
             }
             "--prof" => prof_on = true,
+            "--gray" => gray_on = true,
+            "--campaigns" => {
+                let Some(v) = it.next() else { return usage() };
+                let Ok(n) = v.parse::<usize>() else {
+                    eprintln!("bad --campaigns '{v}'");
+                    return usage();
+                };
+                campaigns = n;
+            }
+            "--seed" => {
+                let Some(v) = it.next() else { return usage() };
+                let Ok(s) = v.parse::<u64>() else {
+                    eprintln!("bad --seed '{v}'");
+                    return usage();
+                };
+                seed = s;
+            }
             "--baseline-policy" => {
                 let Some(v) = it.next() else { return usage() };
                 let Some(p) = ncsw_serve::DispatchPolicy::parse(v) else {
@@ -354,14 +383,32 @@ fn main() -> ExitCode {
             }
             "future-work" => emit!(vpu_bench::future_work::future_work(scale)),
             "serve"
-                if trace_path.is_some() || metrics_csv.is_some() || faults.is_some() || prof_on =>
+                if trace_path.is_some()
+                    || metrics_csv.is_some()
+                    || faults.is_some()
+                    || gray_on
+                    || prof_on =>
             {
-                let r = profiled!(serve_bench::traced_serve_with_faults(
+                if let Some(plan) = &faults {
+                    let fleet = ncsw_serve::FleetSpec::parse(serve_bench::TRACED_FLEET)
+                        .expect("valid fleet spec");
+                    if let Err(e) = plan.validate_pins(fleet.0.len()) {
+                        eprintln!("bad --faults for fleet {}: {e}", serve_bench::TRACED_FLEET);
+                        std::process::exit(2);
+                    }
+                }
+                let gray = if gray_on {
+                    ncsw_serve::GrayConfig::defended()
+                } else {
+                    ncsw_serve::GrayConfig::default()
+                };
+                let r = profiled!(serve_bench::traced_serve_gray(
                     scale,
                     desim::Duration::from_millis(slo_ms),
                     policy,
                     desim::Duration::from_millis(sample_ms),
                     faults.as_ref(),
+                    gray,
                 ));
                 vpu_bench::report::write_artifact_opt(&trace_path, &r.chrome_json);
                 vpu_bench::report::write_artifact_opt(&metrics_csv, &r.series_csv);
@@ -378,6 +425,19 @@ fn main() -> ExitCode {
                 emit!(r);
             }
             "bench-sim" => emit!(vpu_bench::sim_bench::sim_bench(scale)),
+            "gray" => {
+                emit!(vpu_bench::gray_bench::gray_exp_with(
+                    scale,
+                    desim::Duration::from_millis(slo_ms),
+                ));
+            }
+            "chaos" => {
+                let r = vpu_bench::chaos_bench::chaos(campaigns, seed);
+                emit!(r.clone());
+                if !r.passed() {
+                    std::process::exit(1);
+                }
+            }
             "bench-diff" => {
                 let [a_path, b_path] = operands.as_slice() else {
                     eprintln!("bench-diff needs BASE and CANDIDATE BENCH_sim.json paths");
@@ -437,7 +497,8 @@ fn main() -> ExitCode {
                         println!(
                             "{path}: ok — {} events, {} tracks, {} requests ({} fully chained), \
                              {} failovers, {} outage windows, {} sheds, {} power samples, \
-                             {} drains / {} scale-downs / {} scale-ups",
+                             {} drains / {} scale-downs / {} scale-ups, \
+                             {} hedges ({} won), {} quarantines, {} integrity fails",
                             check.events,
                             check.tracks,
                             check.requests,
@@ -448,7 +509,11 @@ fn main() -> ExitCode {
                             check.power_samples,
                             check.drains,
                             check.scale_downs,
-                            check.scale_ups
+                            check.scale_ups,
+                            check.hedges,
+                            check.hedge_wins,
+                            check.quarantines,
+                            check.integrity_fails
                         );
                         println!(
                             "{path}: parsed {:.2} MB in {:.1} ms ({:.1} MB/s)",
@@ -572,6 +637,7 @@ fn main() -> ExitCode {
             "failover",
             "autoscale",
             "bench-sim",
+            "gray",
         ] {
             run(name, json);
         }

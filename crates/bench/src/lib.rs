@@ -13,6 +13,7 @@ pub mod ab_bench;
 pub mod ablations;
 pub mod anchors;
 pub mod autoscale_bench;
+pub mod chaos_bench;
 pub mod csv;
 pub mod energy_bench;
 pub mod fault_bench;
@@ -20,6 +21,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod future_work;
+pub mod gray_bench;
 pub mod layers;
 pub mod mdk_gemm;
 pub mod power_bench;

@@ -222,6 +222,20 @@ pub fn traced_serve_with_faults(
     sample_every: Duration,
     faults: Option<&ncsw_faults::FaultPlan>,
 ) -> TracedServe {
+    traced_serve_gray(scale, slo, policy, sample_every, faults, ncsw_serve::GrayConfig::default())
+}
+
+/// [`traced_serve_with_faults`] with the gray-failure defenses
+/// configured (the `repro serve --gray` path). The all-off default is
+/// byte-identical to [`traced_serve_with_faults`].
+pub fn traced_serve_gray(
+    scale: Scale,
+    slo: Duration,
+    policy: DispatchPolicy,
+    sample_every: Duration,
+    faults: Option<&ncsw_faults::FaultPlan>,
+    gray: ncsw_serve::GrayConfig,
+) -> TracedServe {
     let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
     let n = requests_per_point(scale);
     let spec = FleetSpec::parse(TRACED_FLEET).expect("valid fleet spec");
@@ -230,7 +244,7 @@ pub fn traced_serve_with_faults(
     let max_batch = spec.preferred_batch(&probe);
     drop(probe);
 
-    let cfg = ServeConfig { max_batch, slo, policy, ..ServeConfig::default() };
+    let cfg = ServeConfig { max_batch, slo, policy, gray, ..ServeConfig::default() };
     let mut workers = spec.build(&model);
     if let Some(plan) = faults {
         workers = plan.apply(workers, cfg.seed);

@@ -53,6 +53,21 @@ pub struct TraceCheck {
     /// ScaleDown events (each verified outside any Exec span — a stick
     /// may only power-gate after its in-flight batches complete).
     pub scale_downs: usize,
+    /// Hedge spans (speculative duplicate dispatches).
+    pub hedges: usize,
+    /// HedgeWin marks (each verified against a prior Hedge on the same
+    /// batch).
+    pub hedge_wins: usize,
+    /// HedgeCancel marks (same pairing rule as wins).
+    pub hedge_cancels: usize,
+    /// IntegrityFail marks (each verified to be followed by a retry or
+    /// a shed of the same request).
+    pub integrity_fails: usize,
+    /// Quarantine entries (each verified Exec-free until the matching
+    /// Probation re-admits the worker).
+    pub quarantines: usize,
+    /// Probation re-entries.
+    pub probations: usize,
 }
 
 fn number(v: &Value) -> Option<f64> {
@@ -94,6 +109,15 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
     let mut shed_at: BTreeMap<u64, f64> = BTreeMap::new();
     let mut latest: BTreeMap<u64, (f64, String)> = BTreeMap::new();
     let mut power_samples = 0usize;
+    // Gray-failure structure: hedge spans per batch, win/cancel marks,
+    // quarantine/probation instants per worker, integrity rejections
+    // and retries per request.
+    let mut hedge_starts: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut hedge_marks: Vec<(u64, f64, bool)> = Vec::new(); // (batch, ts, is_win)
+    let mut quarantine_at: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut probation_at: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut integrity: Vec<(u64, f64)> = Vec::new(); // (request, ts)
+    let mut retry_at: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
 
     for (i, ev) in events.iter().enumerate() {
         let ph = ev.get("ph").and_then(Value::as_str).ok_or(format!("event {i}: missing ph"))?;
@@ -151,11 +175,21 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
                 *entry = ts;
             }
             if name == "Shed" {
-                shed_at.entry(id).or_insert(ts);
+                // Retry-exhaustion sheds are spans covering the
+                // request's whole queued life (arrival -> decision);
+                // the *end* is the shed instant the finality and
+                // integrity-resolution checks compare against.
+                shed_at.entry(id).or_insert(ts + dur);
             }
             let last = latest.entry(id).or_insert((ts, name.to_string()));
             if ts > last.0 {
                 *last = (ts, name.to_string());
+            }
+            if name == "IntegrityFail" {
+                integrity.push((id, ts));
+            }
+            if name == "RetryAttempt" {
+                retry_at.entry(id).or_default().push(ts);
             }
         }
         if let Some(w) = ev.get("args").and_then(|a| a.get("worker")).and_then(number) {
@@ -172,6 +206,17 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
                 "Drain" => drains.entry(w).or_default().push(ts),
                 "ScaleDown" => scale_downs.entry(w).or_default().push(ts),
                 "ScaleUp" => scale_up_ends.entry(w).or_default().push(ts + dur),
+                "Quarantine" => quarantine_at.entry(w).or_default().push(ts),
+                "Probation" => probation_at.entry(w).or_default().push(ts),
+                _ => {}
+            }
+        }
+        if let Some(b) = ev.get("args").and_then(|a| a.get("batch_id")).and_then(number) {
+            let b = b as u64;
+            match name {
+                "Hedge" => hedge_starts.entry(b).or_default().push(ts),
+                "HedgeWin" => hedge_marks.push((b, ts, true)),
+                "HedgeCancel" => hedge_marks.push((b, ts, false)),
                 _ => {}
             }
         }
@@ -272,6 +317,44 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         }
     }
 
+    // Hedge pairing: a win or cancel only makes sense against a hedge
+    // that actually started on the same batch, at or before the mark.
+    for &(b, ts, is_win) in &hedge_marks {
+        let kind = if is_win { "HedgeWin" } else { "HedgeCancel" };
+        let started = hedge_starts.get(&b).is_some_and(|hs| hs.iter().any(|&h| h <= ts));
+        if !started {
+            return Err(format!("{kind} on batch {b} at {ts} without a prior Hedge"));
+        }
+    }
+    // Quarantine windows: from the Quarantine instant until the next
+    // Probation on the same worker the dispatcher must route around it
+    // — no Exec may start inside the window.
+    let mut quarantine_count = 0usize;
+    for (w, qs) in &quarantine_at {
+        let ps = probation_at.get(w).map(Vec::as_slice).unwrap_or_default();
+        for &q in qs {
+            quarantine_count += 1;
+            let release = ps.iter().copied().filter(|&p| p >= q).fold(f64::INFINITY, f64::min);
+            if let Some(x) = execs.get(w).into_iter().flatten().find(|&&x| x >= q && x < release) {
+                return Err(format!(
+                    "worker {w}: Exec at {x} inside quarantine window [{q}, {release})"
+                ));
+            }
+        }
+    }
+    // Every integrity rejection must resolve: a retry attempt or a shed
+    // of the same request at/after the rejection — corrupt results may
+    // never silently surface as completions.
+    for &(id, ts) in &integrity {
+        let retried = retry_at.get(&id).is_some_and(|rs| rs.iter().any(|&r| r >= ts));
+        let is_shed = shed_at.get(&id).is_some_and(|&s| s >= ts);
+        if !retried && !is_shed {
+            return Err(format!(
+                "request {id}: IntegrityFail at {ts} with no retry or shed after it"
+            ));
+        }
+    }
+
     // A shed request is dead: nothing of it may start after the Shed.
     for (id, &sts) in &shed_at {
         if let Some((t, n)) = latest.get(id) {
@@ -314,6 +397,12 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         drains: drains.values().map(Vec::len).sum(),
         scale_ups: scale_up_ends.values().map(Vec::len).sum(),
         scale_downs: scale_downs.values().map(Vec::len).sum(),
+        hedges: hedge_starts.values().map(Vec::len).sum(),
+        hedge_wins: hedge_marks.iter().filter(|m| m.2).count(),
+        hedge_cancels: hedge_marks.iter().filter(|m| !m.2).count(),
+        integrity_fails: integrity.len(),
+        quarantines: quarantine_count,
+        probations: probation_at.values().map(Vec::len).sum(),
     })
 }
 
@@ -511,6 +600,78 @@ mod tests {
         // accounting violation: the drain must wait for in-flight work.
         let err = validate(&synthetic_scaling_log(false, true)).unwrap_err();
         assert!(err.contains("in-flight Exec"), "{err}");
+    }
+
+    /// A hand-built log exercising the gray-failure grammar next to one
+    /// fully chained request: a hedged batch won by the duplicate, a
+    /// quarantine window on worker 1, and one integrity rejection.
+    fn synthetic_gray_log(
+        strip_hedge: bool,
+        exec_in_quarantine: bool,
+        orphan_integrity: bool,
+    ) -> String {
+        use desim::SimTime;
+        use ncsw_obs::{chrome_trace, Ctx, Event, EventLog, Lane, Recorder as _};
+        let t = |ms: u64| SimTime(ms * 1_000_000);
+        let mut log = EventLog::new();
+        let r = Ctx::request(0).with_batch(0).with_worker(0);
+        log.record(Event::instant(Phase::Arrive, Lane::Server, t(0), Ctx::request(0)));
+        log.record(Event::instant(Phase::Admit, Lane::Server, t(0), Ctx::request(0)));
+        log.record(Event::instant(Phase::BatchClose, Lane::Queue, t(1), r));
+        log.record(Event::instant(Phase::Dispatch, Lane::Worker(0), t(1), r));
+        log.record(Event::span(Phase::UsbWrite, Lane::Host { worker: 0, dev: 0 }, t(1), t(2), r));
+        log.record(Event::span(Phase::Exec, Lane::Vpu { worker: 0, dev: 0 }, t(2), t(4), r));
+        log.record(Event::span(Phase::UsbRead, Lane::Host { worker: 0, dev: 0 }, t(4), t(5), r));
+        log.record(Event::instant(Phase::Complete, Lane::Server, t(5), r));
+        // The primary ran long: batch 0 was hedged onto worker 1, and
+        // the duplicate won at t(3).
+        let h = Ctx { request_id: None, batch_id: Some(0), worker: Some(1) };
+        if !strip_hedge {
+            log.record(Event::span(Phase::Hedge, Lane::Worker(1), t(2), t(3), h));
+        }
+        log.record(Event::instant(Phase::HedgeWin, Lane::Worker(1), t(3), h));
+        // Worker 1 is quarantined as fail-slow from t(5) to its
+        // probation probe at t(20).
+        let w1 = Ctx { request_id: None, batch_id: None, worker: Some(1) };
+        log.record(Event::instant(Phase::Quarantine, Lane::Worker(1), t(5), w1));
+        if exec_in_quarantine {
+            let b = Ctx { request_id: None, batch_id: Some(7), worker: Some(1) };
+            log.record(Event::span(Phase::Exec, Lane::Vpu { worker: 1, dev: 0 }, t(10), t(12), b));
+        }
+        log.record(Event::instant(Phase::Probation, Lane::Worker(1), t(20), w1));
+        // Request 1's completion failed its checksum and was retried.
+        let s = Ctx::request(1).with_batch(0).with_worker(0);
+        log.record(Event::instant(Phase::Arrive, Lane::Server, t(6), Ctx::request(1)));
+        log.record(Event::instant(Phase::IntegrityFail, Lane::Worker(0), t(8), s));
+        if !orphan_integrity {
+            log.record(Event::instant(
+                Phase::RetryAttempt,
+                Lane::Server,
+                t(9),
+                Ctx::request(1).with_batch(0),
+            ));
+            log.record(Event::instant(Phase::Complete, Lane::Server, t(10), s));
+        }
+        chrome_trace(&log)
+    }
+
+    #[test]
+    fn gray_checks_enforce_hedge_quarantine_and_integrity_grammar() {
+        let ok = synthetic_gray_log(false, false, false);
+        let check = validate(&ok).expect("synthetic gray trace must validate");
+        assert_eq!((check.hedges, check.hedge_wins, check.hedge_cancels), (1, 1, 0));
+        assert_eq!((check.quarantines, check.probations), (1, 1));
+        assert_eq!(check.integrity_fails, 1);
+        // A HedgeWin with no Hedge on that batch is a phantom duplicate.
+        let err = validate(&synthetic_gray_log(true, false, false)).unwrap_err();
+        assert!(err.contains("without a prior Hedge"), "{err}");
+        // Dispatching work to a quarantined worker defeats the defense.
+        let err = validate(&synthetic_gray_log(false, true, false)).unwrap_err();
+        assert!(err.contains("quarantine window"), "{err}");
+        // An integrity rejection that neither retries nor sheds means
+        // the request silently vanished.
+        let err = validate(&synthetic_gray_log(false, false, true)).unwrap_err();
+        assert!(err.contains("no retry or shed"), "{err}");
     }
 
     #[test]

@@ -61,6 +61,32 @@ pub struct ServeError {
     pub kind: FailureKind,
 }
 
+/// Per-slot anomalies injected at the USB completion boundary. The
+/// built-in device models always return a clean wire (`None` on
+/// [`BatchRun::wire`]); fault wrappers (`ncsw-faults`) attach one of
+/// these so the serving layer's end-to-end integrity checks have
+/// something to catch. Slot indices are submission-order positions into
+/// [`BatchRun::done`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireReport {
+    /// Slots whose returned payload was silently bit-flipped in transit
+    /// (the transfer itself reported success).
+    pub corrupted: Vec<usize>,
+    /// Slots whose completion was delivered twice (a retransmitted USB
+    /// completion the host must dedup for exactly-once delivery).
+    pub duplicated: Vec<usize>,
+    /// Slots whose completion never arrived: the batch reports success
+    /// but the slot's result is missing, detectable only by sequence
+    /// tags once the rest of the batch has landed.
+    pub dropped: Vec<usize>,
+}
+
+impl WireReport {
+    pub fn is_clean(&self) -> bool {
+        self.corrupted.is_empty() && self.duplicated.is_empty() && self.dropped.is_empty()
+    }
+}
+
 /// Timing record of one served batch.
 #[derive(Debug, Clone)]
 pub struct BatchRun {
@@ -72,6 +98,10 @@ pub struct BatchRun {
     /// (`done.len() == batch`; host devices return the whole batch at
     /// once, the VPU pipeline streams results back per image).
     pub done: Vec<SimTime>,
+    /// Wire-level completion anomalies; `None` on every clean transfer,
+    /// so unwrapped devices (and fleets wrapped with an empty fault
+    /// plan) stay byte-identical to the pre-gray-fault model.
+    pub wire: Option<WireReport>,
 }
 
 /// A device a dynamic batcher can drive one batch at a time.
@@ -154,7 +184,7 @@ impl ServiceHook for IntelCpu {
     fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun {
         let cost = self.model().cost32.clone();
         let run = self.device_mut().run_batch(&cost, batch, ready);
-        BatchRun { start: run.start, end: run.end, done: vec![run.end; batch] }
+        BatchRun { start: run.start, end: run.end, done: vec![run.end; batch], wire: None }
     }
 
     fn estimate(&self, batch: usize) -> Duration {
@@ -183,7 +213,7 @@ impl ServiceHook for NvGpu {
     fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun {
         let cost = self.model().cost32.clone();
         let run = self.device_mut().run_batch(&cost, batch, ready);
-        BatchRun { start: run.start, end: run.end, done: vec![run.end; batch] }
+        BatchRun { start: run.start, end: run.end, done: vec![run.end; batch], wire: None }
     }
 
     fn estimate(&self, batch: usize) -> Duration {
@@ -220,12 +250,12 @@ impl ServiceHook for IntelVpu {
 
     fn serve(&mut self, batch: usize, ready: SimTime) -> BatchRun {
         let report = self.pipeline_mut().run_pipeline_at(batch, ready);
-        BatchRun { start: report.start, end: report.end, done: report.result_times }
+        BatchRun { start: report.start, end: report.end, done: report.result_times, wire: None }
     }
 
     fn serve_obs(&mut self, batch: usize, ready: SimTime, obs: &mut BatchObs<'_>) -> BatchRun {
         let report = self.pipeline_mut().run_pipeline_obs(batch, ready, |_| None, obs);
-        BatchRun { start: report.start, end: report.end, done: report.result_times }
+        BatchRun { start: report.start, end: report.end, done: report.result_times, wire: None }
     }
 
     fn estimate(&self, batch: usize) -> Duration {

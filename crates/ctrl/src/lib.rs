@@ -59,6 +59,10 @@ pub struct ScaleSignals {
     /// Live workers whose circuit breaker is currently open — the
     /// outage signal replacements react to.
     pub open_circuits: usize,
+    /// Live workers quarantined as fail-slow by the serve-side gray
+    /// defenses. Quarantined sticks are routed around, so like open
+    /// circuits they are committed capacity the dispatcher cannot use.
+    pub quarantined: usize,
     /// Nameplate capacity of one elastic stick.
     pub stick_rps: f64,
     /// Nameplate capacity of the always-on (non-elastic) workers.
@@ -214,14 +218,16 @@ impl ScalingPolicy for Reactive {
     fn decide(&mut self, s: &ScaleSignals) -> ScaleDecision {
         let committed = s.live + s.provisioning;
 
-        // Outage replacement: circuit breakers that stay open across
-        // ticks mean capacity the dispatcher cannot use — refill the
-        // pool from the gated sticks while the outage lasts.
-        if s.open_circuits > 0 {
+        // Outage replacement: circuit breakers that stay open — or
+        // fail-slow quarantines that persist — across ticks mean
+        // capacity the dispatcher cannot use; refill the pool from the
+        // gated sticks while the outage lasts.
+        let unusable = s.open_circuits + s.quarantined;
+        if unusable > 0 {
             self.outage_streak += 1;
             if self.outage_streak >= self.cfg.outage_ticks && s.gated > 0 {
                 self.calm = 0;
-                return ScaleDecision::Up(s.open_circuits.min(s.gated));
+                return ScaleDecision::Up(unusable.min(s.gated));
             }
         } else {
             self.outage_streak = 0;
@@ -409,6 +415,7 @@ mod tests {
             provisioning: 0,
             gated,
             open_circuits: 0,
+            quarantined: 0,
             stick_rps: 10.0,
             base_rps: 0.0,
         }
@@ -468,6 +475,17 @@ mod tests {
         assert!(!matches!(p.decide(&s), ScaleDecision::Up(_)));
         // Second consecutive tick with open circuits: replace both.
         assert_eq!(p.decide(&s), ScaleDecision::Up(2));
+    }
+
+    #[test]
+    fn reactive_replaces_quarantined_fail_slow_sticks() {
+        // A persistent quarantine is an outage the breakers never see:
+        // the replacement path must treat it like an open circuit.
+        let mut p = Reactive::default();
+        let mut s = signals(at_ms(100.0), 5.0, 3, 5);
+        s.quarantined = 1;
+        assert!(!matches!(p.decide(&s), ScaleDecision::Up(_)));
+        assert_eq!(p.decide(&s), ScaleDecision::Up(1));
     }
 
     #[test]

@@ -27,6 +27,24 @@ pub enum FaultEvent {
     /// probability (seeded draw; the failed attempt burns half the
     /// nominal service time before the host notices).
     TransientExecError { per_batch_prob: f64 },
+    /// Gray fail-slow: batches dispatched inside the window take
+    /// `factor`× their nominal service time *without any error or
+    /// fault event* — unlike [`FaultEvent::ThermalThrottle`], the host
+    /// gets no signal beyond the latency itself, so error-driven
+    /// circuit breakers are blind to it.
+    FailSlow { at: Duration, duration: Duration, factor: f64 },
+    /// Each returned image result is independently bit-flipped in
+    /// transit with this probability (seeded per-image draw at the USB
+    /// completion boundary); the transfer itself reports success.
+    ResultCorrupt { per_image_prob: f64 },
+    /// Each image completion is independently delivered *twice* with
+    /// this probability (a retransmitted USB completion the host must
+    /// dedup for exactly-once delivery).
+    DuplicateCompletion { per_image_prob: f64 },
+    /// Each image completion is independently *lost* with this
+    /// probability: the batch reports success but the slot's result
+    /// never lands (detectable only via sequence tags).
+    DroppedCompletion { per_image_prob: f64 },
 }
 
 /// A fault pinned to a worker slot (`None` = the plan's default target,
@@ -66,6 +84,10 @@ impl FaultPlan {
     /// throttle@1s:for@2s:slow@3     3x slowdown over 1s..3s
     /// usb@1s:for@500ms:factor@2.5   USB stretch over 1s..1.5s
     /// execerr@0.05                  5% of batches die mid-exec
+    /// failslow@1s:for@4s:slow@6     silent 6x fail-slow over 1s..5s
+    /// corrupt@0.02                  2% of results bit-flip in transit
+    /// dup@0.02                      2% of completions delivered twice
+    /// drop@0.02                     2% of completions silently lost
     /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::empty();
@@ -78,13 +100,86 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// Check every worker pin against a fleet of `fleet_size` workers,
+    /// returning a one-line error naming the offending fault instead of
+    /// the panic [`FaultPlan::apply`] raises. CLI front-ends call this
+    /// before applying.
+    pub fn validate_pins(&self, fleet_size: usize) -> Result<(), String> {
+        for pf in &self.faults {
+            if let Some(w) = pf.worker {
+                if w >= fleet_size {
+                    return Err(format!(
+                        "fault '{}' targets worker {w}, but the fleet has only {fleet_size} \
+                         workers (w0..w{})",
+                        pf.fault,
+                        fleet_size - 1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the plan back into the `--faults` grammar. The output
+    /// parses to an equal plan, so harnesses that synthesize plans
+    /// (chaos campaigns, E22) can print a spec the CLI reproduces.
+    pub fn to_spec(&self) -> String {
+        let ms = |d: Duration| format!("{}ms", d.as_millis());
+        self.faults
+            .iter()
+            .map(|pf| {
+                let body = match pf.fault {
+                    FaultEvent::StickUnplug { at, reconnect_after } => match reconnect_after {
+                        Some(back) => format!("unplug@{}:reconnect@{}", ms(at), ms(at + back)),
+                        None => format!("unplug@{}", ms(at)),
+                    },
+                    FaultEvent::ThermalThrottle { at, duration, slowdown } => {
+                        format!("throttle@{}:for@{}:slow@{slowdown}", ms(at), ms(duration))
+                    }
+                    FaultEvent::UsbDegrade { at, duration, factor } => {
+                        format!("usb@{}:for@{}:factor@{factor}", ms(at), ms(duration))
+                    }
+                    FaultEvent::TransientExecError { per_batch_prob } => {
+                        format!("execerr@{per_batch_prob}")
+                    }
+                    FaultEvent::FailSlow { at, duration, factor } => {
+                        format!("failslow@{}:for@{}:slow@{factor}", ms(at), ms(duration))
+                    }
+                    FaultEvent::ResultCorrupt { per_image_prob } => {
+                        format!("corrupt@{per_image_prob}")
+                    }
+                    FaultEvent::DuplicateCompletion { per_image_prob } => {
+                        format!("dup@{per_image_prob}")
+                    }
+                    FaultEvent::DroppedCompletion { per_image_prob } => {
+                        format!("drop@{per_image_prob}")
+                    }
+                };
+                match pf.worker {
+                    Some(w) => format!("w{w}:{body}"),
+                    None => body,
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
 }
 
 fn split_worker(part: &str) -> Result<(Option<usize>, &str), String> {
     if let Some(rest) = part.strip_prefix('w') {
         if let Some((idx, body)) = rest.split_once(':') {
-            if let Ok(w) = idx.parse::<usize>() {
-                return Ok((Some(w), body));
+            // Anything `w...:` shaped before the first `@` is an
+            // intended worker pin: reject a malformed index by name
+            // instead of falling through to an opaque kind error.
+            if !idx.contains('@') {
+                return match idx.parse::<usize>() {
+                    Ok(w) => Ok((Some(w), body)),
+                    Err(_) => Err(format!(
+                        "bad worker pin 'w{idx}' in '{part}' (expected wN: with N a \
+                                     worker index)"
+                    )),
+                };
             }
         }
     }
@@ -112,11 +207,11 @@ fn parse_fault(body: &str) -> Result<FaultEvent, String> {
             }
             Ok(FaultEvent::StickUnplug { at, reconnect_after })
         }
-        "throttle" | "usb" => {
+        "throttle" | "usb" | "failslow" => {
             let at = parse_duration(arg)?;
             let mut duration = None;
             let mut factor = None;
-            let factor_key = if kind == "throttle" { "slow@" } else { "factor@" };
+            let factor_key = if kind == "usb" { "factor@" } else { "slow@" };
             for f in fields {
                 if let Some(v) = f.strip_prefix("for@") {
                     duration = Some(parse_duration(v)?);
@@ -129,23 +224,31 @@ fn parse_fault(body: &str) -> Result<FaultEvent, String> {
             let duration = duration.ok_or_else(|| format!("{kind}: missing for@DURATION"))?;
             let factor =
                 factor.ok_or_else(|| format!("{kind}: missing {factor_key}FACTOR (>= 1)"))?;
-            Ok(if kind == "throttle" {
-                FaultEvent::ThermalThrottle { at, duration, slowdown: factor }
-            } else {
-                FaultEvent::UsbDegrade { at, duration, factor }
+            Ok(match kind {
+                "throttle" => FaultEvent::ThermalThrottle { at, duration, slowdown: factor },
+                "failslow" => FaultEvent::FailSlow { at, duration, factor },
+                _ => FaultEvent::UsbDegrade { at, duration, factor },
             })
         }
-        "execerr" => {
-            let p: f64 = arg.parse().map_err(|_| format!("execerr: bad probability '{arg}'"))?;
+        "execerr" | "corrupt" | "dup" | "drop" => {
+            let p: f64 = arg.parse().map_err(|_| format!("{kind}: bad probability '{arg}'"))?;
             if !(0.0..=1.0).contains(&p) {
-                return Err(format!("execerr: probability {p} outside [0, 1]"));
+                return Err(format!("{kind}: probability {p} outside [0, 1]"));
             }
             if let Some(f) = fields.next() {
-                return Err(format!("execerr: unknown field '{f}'"));
+                return Err(format!("{kind}: unknown field '{f}'"));
             }
-            Ok(FaultEvent::TransientExecError { per_batch_prob: p })
+            Ok(match kind {
+                "execerr" => FaultEvent::TransientExecError { per_batch_prob: p },
+                "corrupt" => FaultEvent::ResultCorrupt { per_image_prob: p },
+                "dup" => FaultEvent::DuplicateCompletion { per_image_prob: p },
+                _ => FaultEvent::DroppedCompletion { per_image_prob: p },
+            })
         }
-        other => Err(format!("unknown fault kind '{other}'")),
+        other => Err(format!(
+            "unknown fault kind '{other}' (expected unplug, throttle, usb, execerr, failslow, \
+             corrupt, dup or drop)"
+        )),
     }
 }
 
@@ -187,6 +290,18 @@ impl fmt::Display for FaultEvent {
             }
             FaultEvent::TransientExecError { per_batch_prob } => {
                 write!(f, "exec-err p={per_batch_prob}")
+            }
+            FaultEvent::FailSlow { at, duration, factor } => {
+                write!(f, "fail-slow@{at} for {duration} x{factor}")
+            }
+            FaultEvent::ResultCorrupt { per_image_prob } => {
+                write!(f, "result-corrupt p={per_image_prob}")
+            }
+            FaultEvent::DuplicateCompletion { per_image_prob } => {
+                write!(f, "duplicate-completion p={per_image_prob}")
+            }
+            FaultEvent::DroppedCompletion { per_image_prob } => {
+                write!(f, "dropped-completion p={per_image_prob}")
             }
         }
     }
@@ -238,6 +353,21 @@ mod tests {
     }
 
     #[test]
+    fn parses_gray_fault_kinds() {
+        let plan = FaultPlan::parse("w1:failslow@1s:for@4s:slow@6,corrupt@0.02,dup@0.1,drop@0.01")
+            .unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(plan.faults[0].worker, Some(1));
+        assert_eq!(
+            plan.faults[0].fault,
+            FaultEvent::FailSlow { at: ms(1_000.0), duration: ms(4_000.0), factor: 6.0 }
+        );
+        assert_eq!(plan.faults[1].fault, FaultEvent::ResultCorrupt { per_image_prob: 0.02 });
+        assert_eq!(plan.faults[2].fault, FaultEvent::DuplicateCompletion { per_image_prob: 0.1 });
+        assert_eq!(plan.faults[3].fault, FaultEvent::DroppedCompletion { per_image_prob: 0.01 });
+    }
+
+    #[test]
     fn rejects_malformed_specs() {
         for bad in [
             "",
@@ -248,8 +378,43 @@ mod tests {
             "execerr@1.5",
             "unplug@-2s",
             "tornado@2s",
+            "failslow@1s:slow@2",          // missing duration
+            "failslow@1s:for@1s:slow@0.5", // speedup is not a fault
+            "corrupt@2",                   // probability out of range
+            "dup@-0.1",
+            "drop@zzz",
+            "wx:unplug@1s", // malformed worker pin
+            "w:drop@0.1",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "spec '{bad}' must be rejected");
         }
+    }
+
+    #[test]
+    fn malformed_specs_name_the_offending_token() {
+        let err = FaultPlan::parse("wx:unplug@1s").unwrap_err();
+        assert!(err.contains("'wx'"), "pin error must name the token: {err}");
+        let err = FaultPlan::parse("unplug@1s,tornado@2s").unwrap_err();
+        assert!(err.contains("'tornado'"), "kind error must name the token: {err}");
+        let err = FaultPlan::parse("corrupt@oops").unwrap_err();
+        assert!(err.contains("'oops'"), "probability error must name the token: {err}");
+    }
+
+    #[test]
+    fn validate_pins_names_out_of_range_faults() {
+        let plan = FaultPlan::parse("w9:unplug@1s").unwrap();
+        let err = plan.validate_pins(2).unwrap_err();
+        assert!(err.contains("worker 9") && err.contains("2 workers"), "{err}");
+        assert!(plan.validate_pins(10).is_ok());
+        assert!(FaultPlan::parse("unplug@1s").unwrap().validate_pins(1).is_ok());
+    }
+    #[test]
+    fn to_spec_round_trips_every_fault_kind() {
+        let spec = "w0:unplug@100ms:reconnect@350ms,w1:throttle@1s:for@2s:slow@3,\
+                    usb@1s:for@500ms:factor@2.5,execerr@0.05,\
+                    w2:failslow@1s:for@4s:slow@6,corrupt@0.02,dup@0.03,drop@0.04";
+        let plan = FaultPlan::parse(spec).unwrap();
+        let rendered = plan.to_spec();
+        assert_eq!(FaultPlan::parse(&rendered).unwrap(), plan, "render: {rendered}");
     }
 }

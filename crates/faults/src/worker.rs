@@ -13,7 +13,7 @@
 
 use crate::plan::FaultEvent;
 use desim::{Duration, SimTime};
-use ncsw::service::{BatchRun, FailureKind, ServeError, ServiceHook};
+use ncsw::service::{BatchRun, FailureKind, ServeError, ServiceHook, WireReport};
 use ncsw_obs::{BatchObs, Ctx, Event, Lane, Phase};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -31,12 +31,29 @@ struct Outage {
 }
 
 /// A service-time stretch window: batches starting in `[from, until)`
-/// take `factor`× their nominal time.
+/// take `factor`× their nominal time. `silent` stretches (gray
+/// fail-slow) emit no `FaultInject` event — the latency itself is the
+/// only signal the host gets.
 #[derive(Debug, Clone, Copy)]
 struct Stretch {
     from: SimTime,
     until: SimTime,
     factor: f64,
+    silent: bool,
+}
+
+/// Per-image wire-fault probabilities at the USB completion boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct WireProbs {
+    corrupt: f64,
+    duplicate: f64,
+    drop: f64,
+}
+
+impl WireProbs {
+    fn any(&self) -> bool {
+        self.corrupt > 0.0 || self.duplicate > 0.0 || self.drop > 0.0
+    }
 }
 
 /// A fault-injectable wrapper around any fleet worker.
@@ -45,7 +62,11 @@ pub struct FaultyWorker {
     outages: Vec<Outage>,
     stretches: Vec<Stretch>,
     exec_err_prob: f64,
+    wire: WireProbs,
     rng: ChaCha8Rng,
+    /// Independent stream for wire-fault draws, so adding a corruption
+    /// plan never perturbs the exec-error sequence (and vice versa).
+    wire_rng: ChaCha8Rng,
     /// Reported busy horizon (>= the inner device's own horizon once
     /// any batch has been stretched or burned by a failed attempt).
     busy: SimTime,
@@ -65,6 +86,7 @@ impl FaultyWorker {
         let mut outages = Vec::new();
         let mut stretches = Vec::new();
         let mut exec_err_prob: f64 = 0.0;
+        let mut wire = WireProbs::default();
         for f in faults {
             match *f {
                 FaultEvent::StickUnplug { at, reconnect_after } => outages.push(Outage {
@@ -75,14 +97,31 @@ impl FaultyWorker {
                     from: epoch + at,
                     until: epoch + at + duration,
                     factor: slowdown,
+                    silent: false,
                 }),
                 FaultEvent::UsbDegrade { at, duration, factor } => stretches.push(Stretch {
                     from: epoch + at,
                     until: epoch + at + duration,
                     factor,
+                    silent: false,
+                }),
+                FaultEvent::FailSlow { at, duration, factor } => stretches.push(Stretch {
+                    from: epoch + at,
+                    until: epoch + at + duration,
+                    factor,
+                    silent: true,
                 }),
                 FaultEvent::TransientExecError { per_batch_prob } => {
                     exec_err_prob = exec_err_prob.max(per_batch_prob)
+                }
+                FaultEvent::ResultCorrupt { per_image_prob } => {
+                    wire.corrupt = wire.corrupt.max(per_image_prob)
+                }
+                FaultEvent::DuplicateCompletion { per_image_prob } => {
+                    wire.duplicate = wire.duplicate.max(per_image_prob)
+                }
+                FaultEvent::DroppedCompletion { per_image_prob } => {
+                    wire.drop = wire.drop.max(per_image_prob)
                 }
             }
         }
@@ -92,7 +131,9 @@ impl FaultyWorker {
             outages,
             stretches,
             exec_err_prob,
+            wire,
             rng: rng::indexed_stream(seed, "fault-exec", worker_index as u64),
+            wire_rng: rng::indexed_stream(seed, "fault-wire", worker_index as u64),
             busy,
         }
     }
@@ -111,6 +152,39 @@ impl FaultyWorker {
             .filter(|s| s.from <= t && t < s.until)
             .map(|s| s.factor)
             .product::<f64>()
+    }
+
+    /// Whether any *visible* (non-gray) stretch window covers `t`: only
+    /// those emit a `FaultInject` event; fail-slow stays silent.
+    fn stretch_visible(&self, t: SimTime) -> bool {
+        self.stretches.iter().any(|s| s.from <= t && t < s.until && !s.silent)
+    }
+
+    /// Seeded per-image wire-fault draws at the completion boundary, in
+    /// a fixed (corrupt, duplicate, drop) order per slot. A dropped
+    /// completion can't also be delivered corrupted or twice — the drop
+    /// wins.
+    fn inject_wire(&mut self, run: &mut BatchRun) {
+        if !self.wire.any() {
+            return;
+        }
+        let mut rep = WireReport::default();
+        for slot in 0..run.done.len() {
+            if self.wire.corrupt > 0.0 && self.wire_rng.gen::<f64>() < self.wire.corrupt {
+                rep.corrupted.push(slot);
+            }
+            if self.wire.duplicate > 0.0 && self.wire_rng.gen::<f64>() < self.wire.duplicate {
+                rep.duplicated.push(slot);
+            }
+            if self.wire.drop > 0.0 && self.wire_rng.gen::<f64>() < self.wire.drop {
+                rep.dropped.push(slot);
+            }
+        }
+        rep.corrupted.retain(|s| !rep.dropped.contains(s));
+        rep.duplicated.retain(|s| !rep.dropped.contains(s));
+        if !rep.is_clean() {
+            run.wire = Some(rep);
+        }
     }
 
     fn fault_ctx(&self, obs: &BatchObs<'_>) -> Ctx {
@@ -179,24 +253,34 @@ impl ServiceHook for FaultyWorker {
         }
 
         let factor = self.stretch_factor(t0);
-        let run = self.inner.serve_obs(batch, t0, obs);
-        if factor <= 1.0 {
-            self.busy = SimTime::max_of(self.busy, run.end);
-            return Ok(run);
+        let mut run = self.inner.serve_obs(batch, t0, obs);
+        if factor > 1.0 {
+            // Stretch the host-visible completion instants around the
+            // true start. The inner device's sub-spans (USB legs, SHAVE
+            // exec) keep their nominal shape — the throttle shows up as
+            // the gap between the last device span and the stretched
+            // completions.
+            let start = run.start;
+            let stretch = |t: SimTime| start + (t - start) * factor;
+            run.end = stretch(run.end);
+            for t in &mut run.done {
+                *t = stretch(*t);
+            }
+            // Gray fail-slow windows inflate latency with no fault
+            // event; throttle/USB windows announce themselves.
+            if self.stretch_visible(t0) && obs.enabled() {
+                let ctx = self.fault_ctx(obs);
+                obs.rec.record(Event::instant(
+                    Phase::FaultInject,
+                    Lane::Worker(obs.worker),
+                    t0,
+                    ctx,
+                ));
+            }
         }
-        // Stretch the host-visible completion instants around the true
-        // start. The inner device's sub-spans (USB legs, SHAVE exec)
-        // keep their nominal shape — the throttle shows up as the gap
-        // between the last device span and the stretched completions.
-        let stretch = |t: SimTime| run.start + (t - run.start) * factor;
-        let end = stretch(run.end);
-        let done: Vec<SimTime> = run.done.iter().map(|&t| stretch(t)).collect();
-        if obs.enabled() {
-            let ctx = self.fault_ctx(obs);
-            obs.rec.record(Event::instant(Phase::FaultInject, Lane::Worker(obs.worker), t0, ctx));
-        }
-        self.busy = SimTime::max_of(self.busy, end);
-        Ok(BatchRun { start: run.start, end, done })
+        self.busy = SimTime::max_of(self.busy, run.end);
+        self.inject_wire(&mut run);
+        Ok(run)
     }
 
     fn estimate(&self, batch: usize) -> Duration {
@@ -310,6 +394,82 @@ mod tests {
         assert_eq!(fire(7), fire(7), "same seed must replay");
         assert!(fire(7).iter().any(|&e| e), "p=0.5 over 16 draws should fire");
         assert!(fire(7).iter().any(|&e| !e), "p=0.5 over 16 draws should also pass");
+    }
+
+    #[test]
+    fn fail_slow_stretches_silently() {
+        let mut plain = cpu();
+        let epoch = plain.busy_until();
+        let baseline = plain.serve(1, epoch);
+        let nominal = baseline.end - baseline.start;
+        let faults = [FaultEvent::FailSlow { at: ms(0.0), duration: ms(60_000.0), factor: 4.0 }];
+        let mut w = FaultyWorker::new(cpu(), &faults, epoch, 7, 0);
+        let mut log = ncsw_obs::EventLog::new();
+        let run = w
+            .try_serve_obs(
+                1,
+                epoch,
+                &mut BatchObs { rec: &mut log, batch_id: 0, worker: 0, ids: &[5] },
+            )
+            .unwrap();
+        let got = run.end - run.start;
+        assert!(
+            got.nanos().abs_diff(nominal.nanos() * 4) <= 4,
+            "fail-slow span {got} vs nominal {nominal}"
+        );
+        // The whole point of the gray fault: no FaultInject announces it.
+        assert!(
+            log.events().iter().all(|e| e.phase != Phase::FaultInject),
+            "fail-slow must not emit FaultInject"
+        );
+        assert!(run.wire.is_none(), "fail-slow is a latency fault, not a wire fault");
+    }
+
+    #[test]
+    fn wire_faults_are_seeded_and_drop_wins() {
+        let run_with = |seed: u64| -> Vec<ncsw::service::WireReport> {
+            let faults = [
+                FaultEvent::ResultCorrupt { per_image_prob: 0.3 },
+                FaultEvent::DuplicateCompletion { per_image_prob: 0.3 },
+                FaultEvent::DroppedCompletion { per_image_prob: 0.3 },
+            ];
+            let inner = cpu();
+            let epoch = inner.busy_until();
+            let mut w = FaultyWorker::new(inner, &faults, epoch, seed, 0);
+            let mut null = ncsw_obs::NullRecorder;
+            (0..8)
+                .map(|_| {
+                    w.try_serve_obs(4, epoch, &mut BatchObs::disabled(&mut null))
+                        .unwrap()
+                        .wire
+                        .unwrap_or_default()
+                })
+                .collect()
+        };
+        let a = run_with(7);
+        assert_eq!(a, run_with(7), "same seed must replay the same wire faults");
+        assert!(a.iter().any(|r| !r.is_clean()), "p=0.3 over 32 slots must fire");
+        for rep in &a {
+            for s in &rep.dropped {
+                assert!(!rep.corrupted.contains(s) && !rep.duplicated.contains(s), "drop wins");
+            }
+        }
+        // Wire draws come from their own stream: the exec-error pattern
+        // of a run without wire faults is unchanged when they're added.
+        let exec_only = |wire: bool| -> Vec<bool> {
+            let mut faults = vec![FaultEvent::TransientExecError { per_batch_prob: 0.5 }];
+            if wire {
+                faults.push(FaultEvent::ResultCorrupt { per_image_prob: 0.5 });
+            }
+            let inner = cpu();
+            let epoch = inner.busy_until();
+            let mut w = FaultyWorker::new(inner, &faults, epoch, 7, 0);
+            let mut null = ncsw_obs::NullRecorder;
+            (0..16)
+                .map(|_| w.try_serve_obs(1, epoch, &mut BatchObs::disabled(&mut null)).is_err())
+                .collect()
+        };
+        assert_eq!(exec_only(false), exec_only(true), "wire stream must not perturb exec stream");
     }
 
     #[test]

@@ -69,10 +69,34 @@ pub enum Phase {
     /// the provisioning delay; the worker is dispatchable from the
     /// span's end.
     ScaleUp,
+    /// A speculative duplicate of a batch was dispatched to a second
+    /// worker after the hedge delay elapsed without the primary
+    /// completing — a span covering the hedge attempt on the hedge
+    /// worker's lane.
+    Hedge,
+    /// The hedged duplicate finished before the primary: the batch's
+    /// results come from the hedge worker and the primary's remaining
+    /// span is charged as wasted energy.
+    HedgeWin,
+    /// The primary finished before its hedged duplicate: the
+    /// duplicate's span is charged as wasted energy.
+    HedgeCancel,
+    /// A completed result failed its end-to-end checksum verification
+    /// (wire corruption) — the request is re-enqueued or shed, never
+    /// surfaced to the client.
+    IntegrityFail,
+    /// The latency-outlier health score quarantined a fail-slow worker:
+    /// no `Exec` may appear on the worker between this instant and the
+    /// next `Probation` on it.
+    Quarantine,
+    /// A quarantined worker re-entered service on probation (the
+    /// quarantine window expired); the next outlier re-quarantines it
+    /// with an escalated window.
+    Probation,
 }
 
 impl Phase {
-    pub const ALL: [Phase; 20] = [
+    pub const ALL: [Phase; 26] = [
         Phase::Arrive,
         Phase::Admit,
         Phase::Enqueue,
@@ -93,6 +117,12 @@ impl Phase {
         Phase::Drain,
         Phase::ScaleDown,
         Phase::ScaleUp,
+        Phase::Hedge,
+        Phase::HedgeWin,
+        Phase::HedgeCancel,
+        Phase::IntegrityFail,
+        Phase::Quarantine,
+        Phase::Probation,
     ];
 
     /// The happy-path phase sequence of one request on a VPU worker.
@@ -132,6 +162,12 @@ impl Phase {
             Phase::Drain => "Drain",
             Phase::ScaleDown => "ScaleDown",
             Phase::ScaleUp => "ScaleUp",
+            Phase::Hedge => "Hedge",
+            Phase::HedgeWin => "HedgeWin",
+            Phase::HedgeCancel => "HedgeCancel",
+            Phase::IntegrityFail => "IntegrityFail",
+            Phase::Quarantine => "Quarantine",
+            Phase::Probation => "Probation",
         }
     }
 

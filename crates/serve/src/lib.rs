@@ -47,7 +47,7 @@ pub use ncsw_obs::histogram;
 
 pub use fleet::{live_capacity_rps, live_preferred_batch, worker_rps, FleetSpec, WorkerSpec};
 pub use metrics::{
-    EnergyReport, FaultReport, Percentiles, ScalingReport, ServeReport, ShedBreakdown,
+    EnergyReport, FaultReport, GrayReport, Percentiles, ScalingReport, ServeReport, ShedBreakdown,
     WorkerEnergy, WorkerReport,
 };
 /// The decision half of the autoscaling loop lives in `ncsw-ctrl`;
@@ -56,8 +56,9 @@ pub use ncsw_ctrl::{self as ctrl, ScaleDecision, ScaleSignals, ScalingPolicy};
 pub use ncsw_obs::LogHistogram;
 pub use server::{
     serve, serve_autoscaled, serve_autoscaled_observed, serve_observed, DispatchPolicy, FaultStats,
-    ObsConfig, OutageRecord, RequestRecord, RobustConfig, ScalingConfig, ScalingStats, ServeConfig,
-    ServeObservation, ServeOutcome, ShedCause, ShedPolicy, ShedRecord, WorkerStats,
+    GrayConfig, GrayStats, HedgeConfig, ObsConfig, OutageRecord, QuarantineConfig, RequestRecord,
+    RobustConfig, ScalingConfig, ScalingStats, ServeConfig, ServeObservation, ServeOutcome,
+    ShedCause, ShedPolicy, ShedRecord, WorkerStats,
 };
 pub use workload::ArrivalProcess;
 

@@ -1,7 +1,7 @@
 //! Aggregation of a serving run into a serializable report.
 
 use crate::histogram::LogHistogram;
-use crate::server::{ServeConfig, ServeOutcome, ShedCause};
+use crate::server::{GrayStats, ServeConfig, ServeOutcome, ShedCause};
 use desim::Duration;
 use ncsw_obs::joules;
 use serde::{Deserialize, Serialize};
@@ -126,6 +126,24 @@ impl FaultReport {
             } else {
                 during.quantile(0.99).as_millis()
             },
+        }
+    }
+}
+
+/// Gray-failure view of one run: wire integrity, hedging and fail-slow
+/// quarantine. All zeros on a clean wire with the defenses off.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GrayReport {
+    pub stats: GrayStats,
+    /// [`GrayStats::hedge_wasted_pj`] in joules, for reading.
+    pub hedge_wasted_j: f64,
+}
+
+impl GrayReport {
+    fn of(outcome: &ServeOutcome) -> GrayReport {
+        GrayReport {
+            stats: outcome.gray.clone(),
+            hedge_wasted_j: joules(outcome.gray.hedge_wasted_pj),
         }
     }
 }
@@ -299,6 +317,8 @@ pub struct ServeReport {
     pub service_time_mean_ms: f64,
     /// Fault injection and failover accounting.
     pub faults: FaultReport,
+    /// Gray-failure accounting (wire integrity, hedging, quarantine).
+    pub gray: GrayReport,
     /// Integrated energy accounting (Eq. 1 vs measured img/W).
     pub energy: EnergyReport,
     /// Autoscaling accounting; `null` on static-fleet runs.
@@ -341,6 +361,7 @@ impl ServeReport {
             queue_wait_mean_ms: (queue / n).as_millis(),
             service_time_mean_ms: (service / n).as_millis(),
             faults: FaultReport::of(outcome),
+            gray: GrayReport::of(outcome),
             energy: EnergyReport::of(outcome, good as f64 / horizon),
             scaling: outcome.scaling.as_ref().map(|s| ScalingReport::of(outcome, s)),
             workers: outcome

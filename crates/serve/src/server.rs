@@ -165,6 +165,96 @@ impl Default for RobustConfig {
     }
 }
 
+/// Latency-outlier quarantine knobs — the defense against *fail-slow*
+/// workers, which complete every batch (no error, so the circuit
+/// breakers never trip) while silently inflating its span. A worker
+/// whose observed service span exceeds `outlier_factor` × its
+/// calibrated estimate for `threshold` consecutive batches is
+/// quarantined: taken out of the dispatch pool for `window`, then
+/// re-admitted *on probation* — the next outlier re-quarantines it
+/// immediately with the window escalated by `backoff` (capped at
+/// `window_max`), while a clean batch clears probation and resets the
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineConfig {
+    /// Span / estimate ratio above which a batch counts as an outlier.
+    pub outlier_factor: f64,
+    /// Consecutive outliers that quarantine a (non-probation) worker.
+    pub threshold: u32,
+    /// Initial quarantine window.
+    pub window: Duration,
+    /// Window escalation factor on every probation failure.
+    pub backoff: f64,
+    pub window_max: Duration,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            outlier_factor: 2.5,
+            threshold: 3,
+            window: Duration::from_millis(500.0),
+            backoff: 2.0,
+            window_max: Duration::from_secs(4.0),
+        }
+    }
+}
+
+/// Hedged-dispatch knobs: once a batch's primary service span blows
+/// past the hedge delay — the observed `quantile` of the span/estimate
+/// ratio, learned online from at least `min_samples` completed batches
+/// — a duplicate of the batch is speculatively dispatched to a second
+/// worker. Whichever copy completes first wins; the loser's span is
+/// charged to the energy ledger as *wasted* (exact pJ, reported in
+/// [`GrayStats::hedge_wasted_pj`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HedgeConfig {
+    /// Ratio quantile that sets the hedge delay (e.g. 0.95 hedges the
+    /// slowest ~5% of batches).
+    pub quantile: f64,
+    /// Completed batches observed fleet-wide before hedging arms.
+    pub min_samples: u64,
+    /// Floor on the hedge delay, so near-zero estimates cannot hedge
+    /// every batch.
+    pub min_delay: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig { quantile: 0.95, min_samples: 16, min_delay: Duration::from_millis(1.0) }
+    }
+}
+
+/// Gray-failure defenses of the serving loop. `Default` turns every
+/// defense off, and the all-off path is bit-identical to a pre-gray
+/// run — the defenses only read the wire metadata `ncsw-faults`
+/// attaches to a `BatchRun` and the spans the loop already observes;
+/// they never perturb RNG streams or healthy-path timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GrayConfig {
+    /// Verify results on completion (per-request sequence tags plus
+    /// result checksums): corrupted or dropped completions are rejected
+    /// and retried instead of surfacing to the client. Duplicate
+    /// completions are deduplicated by sequence tag either way.
+    pub verify: bool,
+    /// Fail-slow quarantine (`None` = off).
+    pub quarantine: Option<QuarantineConfig>,
+    /// Hedged dispatch (`None` = off).
+    pub hedge: Option<HedgeConfig>,
+}
+
+impl GrayConfig {
+    /// Every defense on with default tuning — what `repro chaos` and
+    /// the E22 "defended" arm run.
+    pub fn defended() -> GrayConfig {
+        GrayConfig {
+            verify: true,
+            quarantine: Some(QuarantineConfig::default()),
+            hedge: Some(HedgeConfig::default()),
+        }
+    }
+}
+
 /// Serving-loop parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeConfig {
@@ -182,6 +272,9 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Retry / timeout / circuit-breaker behavior.
     pub robust: RobustConfig,
+    /// Gray-failure defenses (verify-on-complete, fail-slow quarantine,
+    /// hedged dispatch). `Default` turns everything off.
+    pub gray: GrayConfig,
 }
 
 impl Default for ServeConfig {
@@ -195,6 +288,7 @@ impl Default for ServeConfig {
             slo: Duration::from_millis(500.0),
             seed: vpu_num::rng::DEFAULT_SEED,
             robust: RobustConfig::default(),
+            gray: GrayConfig::default(),
         }
     }
 }
@@ -305,6 +399,43 @@ pub struct FaultStats {
     pub outages: Vec<OutageRecord>,
 }
 
+/// Gray-failure accounting of one run (all zero on a clean wire with
+/// the defenses off — the struct exists even then so reports stay
+/// structurally stable).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GrayStats {
+    /// Result slots the wire corrupted, whether or not verification
+    /// caught them.
+    pub corrupted_wire: u64,
+    /// Completions rejected by verify-on-complete (corrupt checksum or
+    /// sequence-tag gap); each is followed by a retry or a shed.
+    pub integrity_fails: u64,
+    /// Corrupted results that reached the client (verification off) —
+    /// the chaos harness asserts this stays zero when defenses are on.
+    pub corrupt_surfaced: u64,
+    /// Duplicate completions suppressed by exactly-once sequence-tag
+    /// dedup.
+    pub dups_suppressed: u64,
+    /// Dropped completions detected as sequence-tag gaps (verification
+    /// on; each is also counted in `integrity_fails`).
+    pub drops_detected: u64,
+    /// Dropped completions surfaced as batch-horizon completions
+    /// (verification off).
+    pub drops_surfaced: u64,
+    /// Hedged dispatches issued.
+    pub hedges: u64,
+    /// Hedges whose duplicate finished first.
+    pub hedge_wins: u64,
+    /// Hedges outlived by the primary (or whose duplicate failed).
+    pub hedge_cancels: u64,
+    /// Exact busy-energy cost of hedging — every losing span, in pJ.
+    pub hedge_wasted_pj: u64,
+    /// Fail-slow quarantine entries.
+    pub quarantines: u64,
+    /// Probation re-entries after a quarantine window elapsed.
+    pub probations: u64,
+}
+
 /// Raw outcome of one serving run (aggregate with [`crate::metrics`]).
 #[derive(Debug, Clone)]
 pub struct ServeOutcome {
@@ -315,6 +446,9 @@ pub struct ServeOutcome {
     pub shed: Vec<ShedRecord>,
     pub workers: Vec<WorkerStats>,
     pub faults: FaultStats,
+    /// Gray-failure accounting (wire corruption, integrity rejections,
+    /// hedging, quarantine).
+    pub gray: GrayStats,
     /// Integrated per-worker energy ledger. Purely passive — charging
     /// never influences timing, routing or RNG state, so a metered run
     /// is byte-identical to an unmetered one. Failed attempts are
@@ -675,12 +809,16 @@ impl<'a> CtrlState<'a> {
 
     fn signals(&self, tk: SimTime, queue_depth: usize, fo: &FailoverState) -> ScaleSignals {
         let (mut live, mut provisioning, mut gated, mut open_circuits) = (0, 0, 0, 0);
+        let mut quarantined = 0;
         for &w in &self.cfg.elastic {
             match self.state[w] {
                 ScaleState::Live => {
                     live += 1;
                     if fo.health[w].is_open() {
                         open_circuits += 1;
+                    }
+                    if fo.quarantined[w].is_some() {
+                        quarantined += 1;
                     }
                 }
                 ScaleState::Provisioning { .. } => provisioning += 1,
@@ -707,6 +845,7 @@ impl<'a> CtrlState<'a> {
             provisioning,
             gated,
             open_circuits,
+            quarantined,
             stick_rps: self.stick_rps,
             base_rps: self.base_rps,
         }
@@ -907,6 +1046,53 @@ impl Health {
     }
 }
 
+/// Online histogram of observed service-span / estimate ratios, in
+/// 1/256 fixed point (integer-only, so the hedge delay it yields is
+/// deterministic and byte-stable across platforms). Normalizing by the
+/// calibrated estimate folds batch-size and device-speed differences
+/// into one distribution — exactly the quantity a fail-slow stretch
+/// inflates.
+struct RatioHist {
+    /// Linear buckets of width 1/256, saturating at a 16× ratio.
+    buckets: Vec<u32>,
+    n: u64,
+}
+
+const RATIO_FP: u64 = 256;
+const RATIO_BUCKETS: usize = 4096;
+
+impl RatioHist {
+    fn new() -> RatioHist {
+        RatioHist { buckets: vec![0; RATIO_BUCKETS], n: 0 }
+    }
+
+    fn record(&mut self, span_ns: u64, est_ns: u64) {
+        if est_ns == 0 {
+            return;
+        }
+        let fp = (span_ns.saturating_mul(RATIO_FP) / est_ns).min(RATIO_BUCKETS as u64 - 1);
+        self.buckets[fp as usize] += 1;
+        self.n += 1;
+    }
+
+    /// Upper edge of the `q`-quantile bucket as a ×256 fixed-point
+    /// ratio; `None` until `min_samples` ratios were recorded.
+    fn quantile_fp(&self, q: f64, min_samples: u64) -> Option<u64> {
+        if self.n < min_samples.max(1) {
+            return None;
+        }
+        let target = (((self.n as f64) * q).ceil() as u64).clamp(1, self.n);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c as u64;
+            if seen >= target {
+                return Some(i as u64 + 1);
+            }
+        }
+        Some(RATIO_BUCKETS as u64)
+    }
+}
+
 /// Mutable failover state of one run, kept out of `serve_core`'s way.
 struct FailoverState {
     health: Vec<Health>,
@@ -933,11 +1119,32 @@ struct FailoverState {
     /// Batch fill target after degradation.
     fill_limit: usize,
     stats: FaultStats,
+    /// Fail-slow quarantine: the instant each worker's window ends
+    /// (`None` = not quarantined). A quarantined worker is blocked like
+    /// an open circuit; once the window elapses the next planned
+    /// dispatch to it becomes the probation probe.
+    quarantined: Vec<Option<SimTime>>,
+    probation: Vec<bool>,
+    /// Consecutive latency-outlier batches per worker.
+    outlier_run: Vec<u32>,
+    /// Next quarantine window per worker (escalates on probation
+    /// failures, resets on a clean probe).
+    quar_window: Vec<Duration>,
+    /// Span/estimate ratios feeding the hedge delay (populated only
+    /// when a gray defense is on). Fleet-wide on purpose: normalizing
+    /// by each worker's own estimate folds out device speed (healthy
+    /// ratios sit near 1.0 for every device class), and pooling lets a
+    /// slow minority worker — which may serve only a handful of batches
+    /// all run — inherit an armed hedge delay from the rest of the
+    /// fleet instead of never reaching `min_samples` on its own.
+    hist: RatioHist,
+    gray: GrayStats,
 }
 
 impl FailoverState {
     fn new(workers: &[Box<dyn ServiceHook>], cfg: &ServeConfig) -> FailoverState {
         let nameplate_rps: f64 = workers.iter().map(|w| worker_rps(w.as_ref())).sum();
+        let base_window = cfg.gray.quarantine.map_or(Duration::ZERO, |q| q.window);
         FailoverState {
             health: workers.iter().map(|_| Health::new(&cfg.robust)).collect(),
             gated: vec![false; workers.len()],
@@ -948,13 +1155,49 @@ impl FailoverState {
             eff_capacity: cfg.queue_capacity,
             fill_limit: cfg.max_batch,
             stats: FaultStats::default(),
+            quarantined: vec![None; workers.len()],
+            probation: vec![false; workers.len()],
+            outlier_run: vec![0; workers.len()],
+            quar_window: vec![base_window; workers.len()],
+            hist: RatioHist::new(),
+            gray: GrayStats::default(),
         }
     }
 
     /// Worker `i` is out of the dispatch pool right now: circuit open,
-    /// power-gated, or still provisioning.
+    /// power-gated, still provisioning, or quarantined as fail-slow.
     fn blocked(&self, i: usize) -> bool {
-        self.health[i].is_open() || self.gated[i] || self.not_ready[i].is_some()
+        self.health[i].is_open()
+            || self.gated[i]
+            || self.not_ready[i].is_some()
+            || self.quarantined[i].is_some()
+    }
+
+    /// Earliest instant worker `i` may receive a dispatch (`None` = no
+    /// floor): breaker cooldown, provisioning delay and quarantine
+    /// window all gate it.
+    fn floor_of(&self, i: usize) -> Option<SimTime> {
+        match (
+            self.health[i].open_until(),
+            self.not_ready[i],
+            self.quarantined[i],
+            self.ready_floor[i],
+        ) {
+            (None, None, None, SimTime::ZERO) => None,
+            (a, b, q, f) => Some(SimTime::max_of(
+                SimTime::max_of(
+                    SimTime::max_of(a.unwrap_or(SimTime::ZERO), b.unwrap_or(SimTime::ZERO)),
+                    q.unwrap_or(SimTime::ZERO),
+                ),
+                f,
+            )),
+        }
+    }
+
+    /// Worker `i` may be handed a batch at `at` (gates never clear on
+    /// their own; floors do once elapsed).
+    fn routable_at(&self, i: usize, at: SimTime) -> bool {
+        !self.gated[i] && self.floor_of(i).is_none_or(|until| until <= at)
     }
 
     fn any_blocked(&self) -> bool {
@@ -1015,26 +1258,16 @@ fn choose_worker(
     rr_cursor: usize,
     fo: &FailoverState,
 ) -> (usize, SimTime) {
-    // Earliest instant worker `i` may receive a dispatch (`None` = no
-    // floor): breaker cooldown and provisioning delay both gate it.
-    let floor = |i: usize| -> Option<SimTime> {
-        match (fo.health[i].open_until(), fo.not_ready[i], fo.ready_floor[i]) {
-            (None, None, SimTime::ZERO) => None,
-            (a, b, f) => Some(SimTime::max_of(
-                SimTime::max_of(a.unwrap_or(SimTime::ZERO), b.unwrap_or(SimTime::ZERO)),
-                f,
-            )),
-        }
-    };
-    let routable =
-        |i: usize| -> bool { !fo.gated[i] && floor(i).is_none_or(|until| until <= ready) };
+    // Breaker cooldown, provisioning delay and quarantine windows all
+    // floor a worker's next dispatch ([`FailoverState::floor_of`]).
+    let routable = |i: usize| -> bool { fo.routable_at(i, ready) };
     if !(0..workers.len()).any(&routable) {
         // Everyone is blocked: wait for the earliest floor and probe.
         let w = (0..workers.len())
             .filter(|&i| !fo.gated[i])
-            .min_by_key(|&i| (floor(i).expect("blocked worker has a floor"), i))
+            .min_by_key(|&i| (fo.floor_of(i).expect("blocked worker has a floor"), i))
             .expect("min_live keeps at least one worker un-gated");
-        let until = floor(w).expect("blocked");
+        let until = fo.floor_of(w).expect("blocked");
         return (w, SimTime::max_of(SimTime::max_of(ready, until), workers[w].busy_until()));
     }
     match policy {
@@ -1430,6 +1663,25 @@ fn serve_core(
                         ));
                     }
                 }
+                // Quarantine expiry: this dispatch is the probation
+                // probe. The worker re-enters the pool; its next
+                // latency outlier re-quarantines it immediately with an
+                // escalated window, while a clean batch clears
+                // probation and resets the window.
+                if fo.quarantined[w].is_some() {
+                    fo.quarantined[w] = None;
+                    fo.probation[w] = true;
+                    fo.gray.probations += 1;
+                    fo.recompute_degradation(workers, cfg);
+                    if rec.enabled() {
+                        rec.record(Event::instant(
+                            Phase::Probation,
+                            Lane::Worker(w as u32),
+                            t,
+                            Ctx { request_id: None, batch_id: None, worker: Some(w as u32) },
+                        ));
+                    }
+                }
                 // Replanning can move the dispatch instant *earlier* than a
                 // previously admitted arrival (e.g. cost-aware estimates
                 // shift as the queue grows), so a batch closing at `t` may
@@ -1466,6 +1718,179 @@ fn serve_core(
                     t,
                     &mut BatchObs { rec: &mut *rec, batch_id: bid, worker: w as u32, ids: &ids },
                 );
+                // Gray-failure defenses on a successful primary: hedge
+                // a span that blew past the learned quantile delay onto
+                // a second worker (first completion wins, the loser's
+                // span is charged as wasted energy), then score the
+                // primary's span for the fail-slow quarantine. Both are
+                // off — and this block is a no-op — without `cfg.gray`.
+                let (w, run) = if cfg.gray.hedge.is_some() || cfg.gray.quarantine.is_some() {
+                    let mut w = w;
+                    let mut run = run;
+                    if let Some((pstart, pend)) = run.as_ref().ok().map(|r| (r.start, r.end)) {
+                        let pw = w; // the primary, even if the hedge wins
+                        let est = workers[pw].estimate(size);
+                        // The hedge decision may only use ratios from
+                        // *earlier* batches; this span is recorded after.
+                        let hedge_at = cfg.gray.hedge.and_then(|h| {
+                            let fp = fo.hist.quantile_fp(h.quantile, h.min_samples)?;
+                            let delay_ns = (fp.saturating_mul(est.nanos()) / RATIO_FP)
+                                .max(h.min_delay.nanos());
+                            let fire = pstart + Duration::from_nanos(delay_ns);
+                            (pend > fire).then_some(fire)
+                        });
+                        // Only a fully healthy worker may serve the
+                        // duplicate: an open-circuit or quarantined
+                        // worker past its cooldown is `routable_at` as
+                        // a half-open/probation *probe*, but that
+                        // transition is the primary dispatch path's job
+                        // — a hedge must beat the primary's tail, not
+                        // gamble it on an unproven device.
+                        let pick = hedge_at.and_then(|at| {
+                            (0..workers.len())
+                                .filter(|&i| i != pw && !fo.blocked(i) && fo.routable_at(i, at))
+                                .min_by_key(|&i| (workers[i].busy_until(), i))
+                        });
+                        if let (Some(hat), Some(h)) = (hedge_at, pick) {
+                            fo.gray.hedges += 1;
+                            let hctx = Ctx {
+                                request_id: None,
+                                batch_id: Some(bid),
+                                worker: Some(h as u32),
+                            };
+                            let hres = workers[h].try_serve_obs(
+                                size,
+                                hat,
+                                &mut BatchObs {
+                                    rec: &mut *rec,
+                                    batch_id: bid,
+                                    worker: h as u32,
+                                    ids: &ids,
+                                },
+                            );
+                            // Either copy's span really ran on a device:
+                            // busy time and energy are charged for both,
+                            // the loser's as wasted.
+                            let mut waste = |wk: usize, from: SimTime, to: SimTime| {
+                                stats[wk].busy += to - from;
+                                if let Some(sp) = meter.charge(wk as u32, from, to, bid, true) {
+                                    let span_ns = sp.end.nanos() - sp.start.nanos();
+                                    fo.gray.hedge_wasted_pj +=
+                                        meter.profiles()[wk].energy_pj(span_ns, 0);
+                                    if let Some(o) = obs.as_deref_mut() {
+                                        o.sampler.b.on_energy_span(wk, sp.start, sp.end);
+                                    }
+                                }
+                            };
+                            match hres {
+                                Ok(hrun) => {
+                                    if rec.enabled() {
+                                        rec.record(Event::span(
+                                            Phase::Hedge,
+                                            Lane::Worker(h as u32),
+                                            hat,
+                                            hrun.end,
+                                            hctx,
+                                        ));
+                                    }
+                                    if hrun.end < pend {
+                                        // The duplicate wins: take its
+                                        // results (and its wire faults),
+                                        // waste the primary's span.
+                                        fo.gray.hedge_wins += 1;
+                                        if rec.enabled() {
+                                            rec.record(Event::instant(
+                                                Phase::HedgeWin,
+                                                Lane::Worker(h as u32),
+                                                hrun.end,
+                                                hctx,
+                                            ));
+                                        }
+                                        waste(pw, pstart, pend);
+                                        w = h;
+                                        run = Ok(hrun);
+                                    } else {
+                                        fo.gray.hedge_cancels += 1;
+                                        if rec.enabled() {
+                                            rec.record(Event::instant(
+                                                Phase::HedgeCancel,
+                                                Lane::Worker(h as u32),
+                                                pend,
+                                                hctx,
+                                            ));
+                                        }
+                                        waste(h, hrun.start, hrun.end);
+                                    }
+                                }
+                                Err(e) => {
+                                    // A failed hedge never hurts the
+                                    // primary (its result is in hand) and
+                                    // never feeds the breaker; the probe's
+                                    // detection span is wasted energy.
+                                    fo.gray.hedge_cancels += 1;
+                                    let det = SimTime::max_of(hat, e.at);
+                                    waste(h, hat, det);
+                                    if rec.enabled() {
+                                        rec.record(Event::span(
+                                            Phase::Hedge,
+                                            Lane::Worker(h as u32),
+                                            hat,
+                                            det,
+                                            hctx,
+                                        ));
+                                        rec.record(Event::instant(
+                                            Phase::HedgeCancel,
+                                            Lane::Worker(h as u32),
+                                            det,
+                                            hctx,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        fo.hist.record((pend - pstart).nanos(), est.nanos());
+                        // Fail-slow scoring on the *primary*: enough
+                        // consecutive outliers (or one while on
+                        // probation) quarantine it from `pend`, which is
+                        // causally safe — its backlog already extends to
+                        // `pend`, so no earlier dispatch can exist.
+                        if let Some(qc) = cfg.gray.quarantine {
+                            if est > Duration::ZERO && pend - pstart > est * qc.outlier_factor {
+                                fo.outlier_run[pw] += 1;
+                                if fo.probation[pw] || fo.outlier_run[pw] >= qc.threshold {
+                                    let window = fo.quar_window[pw];
+                                    fo.quarantined[pw] = Some(pend + window);
+                                    fo.quar_window[pw] = (window * qc.backoff).min(qc.window_max);
+                                    fo.probation[pw] = false;
+                                    fo.outlier_run[pw] = 0;
+                                    fo.gray.quarantines += 1;
+                                    fo.recompute_degradation(workers, cfg);
+                                    if rec.enabled() {
+                                        rec.record(Event::instant(
+                                            Phase::Quarantine,
+                                            Lane::Worker(pw as u32),
+                                            pend,
+                                            Ctx {
+                                                request_id: None,
+                                                batch_id: Some(bid),
+                                                worker: Some(pw as u32),
+                                            },
+                                        ));
+                                    }
+                                }
+                            } else {
+                                fo.outlier_run[pw] = 0;
+                                if fo.probation[pw] {
+                                    fo.probation[pw] = false;
+                                    fo.quar_window[pw] = qc.window;
+                                }
+                            }
+                        }
+                    }
+                    (w, run)
+                } else {
+                    (w, run)
+                };
                 // Per-batch dispatch timeout: a batch whose results land
                 // too late is declared failed (the work — and its
                 // energy — is wasted; the device really ran the span).
@@ -1502,7 +1927,103 @@ fn serve_core(
                             o.meters.reg.inc(o.meters.batches);
                             o.sampler.b.on_batch(w, run.start, run.end);
                         }
-                        for (m, &done) in members.iter().zip(&run.done) {
+                        // Wire-integrity processing: the device may have
+                        // corrupted, duplicated or dropped individual
+                        // result slots ([`ncsw::service::WireReport`]).
+                        // With verification on, per-request sequence
+                        // tags + checksums reject bad completions — the
+                        // request retries (or sheds once out of
+                        // attempts) instead of surfacing garbage. With
+                        // it off, corrupt results reach the client and
+                        // dropped slots surface at the batch horizon.
+                        // Duplicates are idempotent either way: the
+                        // host keys results by sequence tag, so the
+                        // second copy lands on the first.
+                        let wire = run.wire.clone().unwrap_or_default();
+                        let mut requeue: Vec<Pending> = Vec::new();
+                        for (slot, (m, &done)) in members.iter().zip(&run.done).enumerate() {
+                            let corrupted = wire.corrupted.contains(&slot);
+                            let dropped = wire.dropped.contains(&slot);
+                            if corrupted {
+                                fo.gray.corrupted_wire += 1;
+                            }
+                            if wire.duplicated.contains(&slot) {
+                                fo.gray.dups_suppressed += 1;
+                            }
+                            if cfg.gray.verify && (corrupted || dropped) {
+                                // A drop is only detectable once the
+                                // whole batch lands and the tag gap
+                                // shows; a bad checksum fails on its
+                                // own completion.
+                                let at = if dropped { run.end } else { done };
+                                fo.gray.integrity_fails += 1;
+                                if dropped {
+                                    fo.gray.drops_detected += 1;
+                                }
+                                if rec.enabled() {
+                                    rec.record(Event::instant(
+                                        Phase::IntegrityFail,
+                                        Lane::Worker(w as u32),
+                                        at,
+                                        Ctx::request(m.id).with_batch(bid).with_worker(w as u32),
+                                    ));
+                                }
+                                let attempts = m.attempts + 1;
+                                if attempts >= cfg.robust.max_attempts {
+                                    fo.stats.exhausted += 1;
+                                    let r = ShedRecord {
+                                        id: m.id,
+                                        arrival: m.arrival,
+                                        shed_at: at,
+                                        cause: ShedCause::RetriesExhausted,
+                                    };
+                                    record_shed(r, &mut obs, &mut ctrl, &mut shed);
+                                    if rec.enabled() {
+                                        rec.record(
+                                            Event::span(
+                                                Phase::Shed,
+                                                Lane::Queue,
+                                                m.arrival,
+                                                at,
+                                                Ctx::request(m.id).with_batch(bid),
+                                            )
+                                            .with_cause(ShedCause::RetriesExhausted),
+                                        );
+                                    }
+                                } else {
+                                    fo.stats.retries += 1;
+                                    if let Some(o) = obs.as_deref_mut() {
+                                        o.meters.reg.inc(o.meters.retries);
+                                    }
+                                    if rec.enabled() {
+                                        rec.record(Event::instant(
+                                            Phase::RetryAttempt,
+                                            Lane::Server,
+                                            at,
+                                            Ctx::request(m.id).with_batch(bid),
+                                        ));
+                                    }
+                                    requeue.push(Pending {
+                                        id: m.id,
+                                        arrival: m.arrival,
+                                        attempts,
+                                        earliest: at,
+                                    });
+                                }
+                                continue;
+                            }
+                            let done = if dropped {
+                                // Unverified drop: the client only sees
+                                // this result when the batch-horizon
+                                // flush resends it.
+                                fo.gray.drops_surfaced += 1;
+                                run.end
+                            } else {
+                                done
+                            };
+                            if corrupted {
+                                fo.gray.corrupt_surfaced += 1;
+                            }
                             let record = RequestRecord {
                                 id: m.id,
                                 arrival: m.arrival,
@@ -1534,6 +2055,12 @@ fn serve_core(
                                 ));
                             }
                             completed.push(record);
+                        }
+                        // Integrity-rejected members re-enter at the
+                        // queue head, oldest first — the same contract
+                        // as batch failover.
+                        for p in requeue.into_iter().rev() {
+                            queue.push_front(p);
                         }
                     }
                     Err(err) => {
@@ -1673,6 +2200,7 @@ fn serve_core(
         shed,
         workers: stats,
         faults: fo.stats,
+        gray: fo.gray,
         energy: meter,
         scaling: ctrl.map(|c| c.stats.clone()),
         sim_events,

@@ -3,8 +3,10 @@
 //! dispatch policies hold the p99 under each — then the E20 closed
 //! loop: an elastic `8*vpu` stick fleet under the autoscaling
 //! controller, reclaiming the idle headroom a static fleet pays for —
-//! and finally the E21 self-observability report: what watching the
-//! run costs in wall time, recorder nanoseconds and exporter bytes.
+//! the E21 self-observability report: what watching the run costs in
+//! wall time, recorder nanoseconds and exporter bytes — and the E22
+//! gray-failure drill: a stick silently slows 6x and the hedging +
+//! quarantine defenses claw the p99 back, pricing the hedges in joules.
 //!
 //! ```text
 //! cargo run --release --example online_serving
@@ -184,4 +186,47 @@ fn main() {
     println!("\nE21 self-observability, one observed run on cpu+gpu+8xvpu:");
     println!("  {}", throughput.render());
     println!("  {}", ledger.render());
+
+    // E22: gray failures. One stick silently slows 6x mid-run — no
+    // error, so the circuit breaker never trips — then the same run
+    // with the defenses on: hedged dispatch duplicates the slow
+    // batches (losers billed as wasted joules) and the quarantine
+    // pulls the sick stick from the pool.
+    use vpu_coprocessor::faults::{FaultEvent, FaultPlan};
+    use vpu_coprocessor::serving::GrayConfig;
+    let spec = FleetSpec::parse("vpu+vpu+vpu+vpu").unwrap();
+    let probe = spec.build(&model);
+    let rate = spec.capacity_rps(&probe) * 0.7;
+    let gray_batch = spec.preferred_batch(&probe);
+    drop(probe);
+    let gray_n = 200; // the E22 bench shape
+    let horizon = gray_n as f64 / rate;
+    let mut plan = FaultPlan::empty();
+    plan.push(
+        Some(0),
+        FaultEvent::FailSlow {
+            at: Duration::from_secs(horizon * 0.15),
+            duration: Duration::from_secs(horizon * 0.60),
+            factor: 6.0,
+        },
+    );
+    let gray_load = ArrivalProcess::Poisson { rate_per_sec: rate };
+    println!("\nE22 gray failure: one of four sticks silently 6x slower for 60% of the run:");
+    for (arm, gray) in
+        [("defenseless", GrayConfig::default()), ("defended", GrayConfig::defended())]
+    {
+        let cfg = ServeConfig { max_batch: gray_batch, gray, ..ServeConfig::default() };
+        let mut workers = plan.apply(spec.build(&model), cfg.seed);
+        let outcome = serve(&mut workers, &cfg, &gray_load, gray_n);
+        let r = ServeReport::of(&outcome, &cfg);
+        println!(
+            "  {:<12} p99 {:>6.1} ms   hedges {:>2} (won {})   quarantines {}   wasted {:.4} J",
+            arm,
+            r.latency.p99_ms,
+            outcome.gray.hedges,
+            outcome.gray.hedge_wins,
+            outcome.gray.quarantines,
+            outcome.gray.hedge_wasted_pj as f64 * 1e-12,
+        );
+    }
 }

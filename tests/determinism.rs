@@ -202,6 +202,79 @@ fn profiler_is_passive_bit_identical_outputs() {
 }
 
 #[test]
+fn gray_defended_artifacts_are_byte_identical_across_runs() {
+    // Hedging, quarantine and verify-on-complete all run on virtual
+    // time and seeded streams — a defended run under injected gray
+    // faults must reproduce every artifact byte-for-byte, including
+    // the wasted-energy picojoule counters.
+    use vpu_coprocessor::experiments::{serve_bench::traced_serve_gray, Scale};
+    use vpu_coprocessor::faults::{FaultEvent, FaultPlan};
+    use vpu_coprocessor::serving::{DispatchPolicy, GrayConfig};
+    use vpu_coprocessor::sim::Duration;
+    let run = || {
+        let mut plan = FaultPlan::empty();
+        plan.push(
+            Some(2),
+            FaultEvent::FailSlow {
+                at: Duration::from_millis(200.0),
+                duration: Duration::from_millis(800.0),
+                factor: 6.0,
+            },
+        );
+        plan.push(Some(0), FaultEvent::ResultCorrupt { per_image_prob: 0.05 });
+        let t = traced_serve_gray(
+            Scale::Tiny,
+            Duration::from_millis(500.0),
+            DispatchPolicy::LeastOutstanding,
+            Duration::from_millis(10.0),
+            Some(&plan),
+            GrayConfig::defended(),
+        );
+        let report = serde_json::to_string(&t.report).expect("serialize");
+        (t.chrome_json, t.series_csv, t.summary, report)
+    };
+    let (json_a, csv_a, sum_a, rep_a) = run();
+    let (json_b, csv_b, sum_b, rep_b) = run();
+    assert_eq!(json_a, json_b, "defended trace JSON must be byte-identical");
+    assert_eq!(csv_a, csv_b, "defended series CSV must be byte-identical");
+    assert_eq!(sum_a, sum_b, "defended summary must be byte-identical");
+    assert_eq!(rep_a, rep_b, "defended serve report must be byte-identical");
+}
+
+#[test]
+fn gray_defenses_off_are_passive_byte_identical_to_plain_run() {
+    // With every defense off and an empty fault plan, the gray code
+    // path must not perturb the simulation at all: the artifacts must
+    // match the plain traced run byte-for-byte.
+    use vpu_coprocessor::experiments::serve_bench::{traced_serve, traced_serve_gray};
+    use vpu_coprocessor::experiments::Scale;
+    use vpu_coprocessor::serving::{DispatchPolicy, GrayConfig};
+    use vpu_coprocessor::sim::Duration;
+    let plain = traced_serve(
+        Scale::Tiny,
+        Duration::from_millis(500.0),
+        DispatchPolicy::CostAware,
+        Duration::from_millis(10.0),
+    );
+    let off = traced_serve_gray(
+        Scale::Tiny,
+        Duration::from_millis(500.0),
+        DispatchPolicy::CostAware,
+        Duration::from_millis(10.0),
+        None,
+        GrayConfig::default(),
+    );
+    assert_eq!(plain.chrome_json, off.chrome_json, "gray-off trace must match plain run");
+    assert_eq!(plain.series_csv, off.series_csv, "gray-off series must match plain run");
+    assert_eq!(plain.summary, off.summary, "gray-off summary must match plain run");
+    assert_eq!(
+        serde_json::to_string(&plain.report).unwrap(),
+        serde_json::to_string(&off.report).unwrap(),
+        "gray-off report must match plain run"
+    );
+}
+
+#[test]
 fn different_seeds_change_results() {
     let preds = |seed: u64| {
         let spec = Arc::new(Variant::Tiny.build());
