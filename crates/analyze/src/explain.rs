@@ -1,0 +1,215 @@
+//! `repro explain <request-id>`: one request's causal timeline.
+//!
+//! Renders everything the trace knows about a single request — its
+//! chronological event timeline (dispatch attempts, retries, hedges,
+//! integrity failures), the nine telescoping latency segments with the
+//! critical one marked, and the batch-scoped side events (hedges,
+//! quarantines) of every batch that carried it. Works on a full trace
+//! or a tail-sampled one: sampling keeps kept chains intact, so an
+//! anomalous request explains identically either way; a sampled-out
+//! request yields a one-line error saying so.
+
+use crate::attribution::{Breakdown, Segment};
+use crate::parse::parse_chrome_trace;
+use crate::span::{Outcome, SpanForest};
+use desim::SimTime;
+use ncsw_obs::{Event, EventLog, Phase};
+use std::fmt::Write as _;
+
+/// Render the causal timeline of `id` from a parsed event log.
+pub fn explain_request(log: &EventLog, id: u64) -> Result<String, String> {
+    let evs = log.for_request(id);
+    if evs.is_empty() {
+        return Err(format!(
+            "request {id} not in trace (wrong id, or dropped by tail sampling — \
+             anomalous chains are always kept)"
+        ));
+    }
+    let forest = SpanForest::build(log);
+    let r = forest
+        .requests
+        .get(&id)
+        .ok_or_else(|| format!("request {id} has events but no span tree"))?;
+    let t0 = r.arrive;
+    let ms = |t: SimTime| t.since(t0).as_millis();
+    let mut out = String::new();
+
+    // Headline: how the story ended.
+    match r.outcome() {
+        Outcome::Completed => {
+            let _ = writeln!(
+                out,
+                "request {id}: completed in {:.3} ms on worker {} (batch {}){}",
+                r.latency().map(|d| d.as_millis()).unwrap_or(0.0),
+                r.worker.map_or("?".to_string(), |w| w.to_string()),
+                r.batch.map_or("?".to_string(), |b| b.to_string()),
+                if r.retries > 0 {
+                    format!(", {} retr{}", r.retries, if r.retries == 1 { "y" } else { "ies" })
+                } else {
+                    String::new()
+                }
+            );
+        }
+        Outcome::Shed => {
+            let _ = writeln!(
+                out,
+                "request {id}: shed ({}) {:.3} ms after arrival",
+                r.shed_cause.map_or("unknown", |c| c.name()),
+                r.shed_at.map(ms).unwrap_or(0.0),
+            );
+        }
+        Outcome::Incomplete => {
+            let _ = writeln!(out, "request {id}: incomplete in this trace (truncated run?)");
+        }
+    }
+
+    // Chronological event timeline, offsets relative to arrival.
+    let _ = writeln!(out, "\ntimeline (t=0 at arrival, {:.3} ms absolute):", t0.as_millis());
+    for ev in &evs {
+        let _ = write!(out, "  t+{:>9.3} ms  {:<12}", ms(ev.start), ev.phase.name());
+        if let Some(end) = ev.end {
+            let _ = write!(out, " {:>9.3} ms", end.since(ev.start).as_millis());
+        } else {
+            let _ = write!(out, " {:>12}", "·");
+        }
+        let _ = write!(out, "  {}", ev.lane.name());
+        if let Some(b) = ev.ctx.batch_id {
+            let _ = write!(out, "  batch {b}");
+        }
+        if let Some(c) = ev.cause {
+            let _ = write!(out, "  cause {}", c.name());
+        }
+        out.push('\n');
+    }
+
+    // Batch-scoped side events: hedges/quarantines/failovers on any
+    // batch that carried this request.
+    let batches: Vec<u64> =
+        evs.iter().filter_map(|e| e.ctx.batch_id).fold(Vec::new(), |mut acc, b| {
+            if !acc.contains(&b) {
+                acc.push(b);
+            }
+            acc
+        });
+    let side: Vec<&Event> = log
+        .events()
+        .iter()
+        .filter(|e| {
+            e.ctx.request_id.is_none()
+                && e.ctx.batch_id.is_some_and(|b| batches.contains(&b))
+                && matches!(
+                    e.phase,
+                    Phase::Hedge
+                        | Phase::HedgeWin
+                        | Phase::HedgeCancel
+                        | Phase::Quarantine
+                        | Phase::Failover
+                )
+        })
+        .collect();
+    if !side.is_empty() {
+        let _ = writeln!(out, "\nbatch side events:");
+        for ev in side {
+            let _ = writeln!(
+                out,
+                "  t+{:>9.3} ms  {:<12}  batch {}  {}",
+                ms(ev.start),
+                ev.phase.name(),
+                ev.ctx.batch_id.unwrap_or(0),
+                ev.lane.name()
+            );
+        }
+    }
+
+    // The nine telescoping segments of a completed request.
+    if let Some(b) = Breakdown::of(r) {
+        let _ =
+            writeln!(out, "\nlatency attribution ({:.3} ms total, exact):", b.total.as_millis());
+        let widest = b.segs.iter().map(|d| d.nanos()).max().unwrap_or(1).max(1);
+        for s in Segment::ALL {
+            let d = b.seg(s);
+            let bar = "#".repeat(((d.nanos() * 24) / widest) as usize);
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>9.3} ms {}{}",
+                s.name(),
+                d.as_millis(),
+                bar,
+                if s == b.critical { "  <- critical" } else { "" }
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// [`explain_request`] over Chrome trace-event JSON (full or sampled).
+pub fn explain_chrome(json: &str, id: u64) -> Result<String, String> {
+    let log = parse_chrome_trace(json)?;
+    explain_request(&log, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncsw_obs::{chrome_trace, Ctx, Event, Lane, Recorder, ShedCause};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    fn served_log() -> EventLog {
+        let mut log = EventLog::new();
+        let r = Ctx::request(7);
+        log.record(Event::instant(Phase::Arrive, Lane::Server, t(0), r));
+        log.record(Event::instant(Phase::Admit, Lane::Server, t(0), r));
+        log.record(Event::instant(Phase::BatchClose, Lane::Queue, t(10), r.with_batch(0)));
+        let a = r.with_batch(0).with_worker(1);
+        log.record(Event::instant(Phase::Dispatch, Lane::Worker(1), t(10), a));
+        log.record(Event::span(Phase::UsbWrite, Lane::Host { worker: 1, dev: 0 }, t(10), t(12), a));
+        log.record(Event::span(Phase::Exec, Lane::Vpu { worker: 1, dev: 0 }, t(12), t(60), a));
+        log.record(Event::span(Phase::UsbRead, Lane::Host { worker: 1, dev: 0 }, t(60), t(62), a));
+        // A hedge launched against the same batch.
+        let h = Ctx { request_id: None, batch_id: Some(0), worker: Some(2) };
+        log.record(Event::span(Phase::Hedge, Lane::Worker(2), t(30), t(31), h));
+        log.record(Event::instant(Phase::Complete, Lane::Server, t(62), a));
+        log
+    }
+
+    #[test]
+    fn explains_a_completed_request_with_segments_and_hedges() {
+        let text = explain_request(&served_log(), 7).expect("request present");
+        assert!(text.starts_with("request 7: completed in 62.000 ms on worker 1"), "{text}");
+        assert!(text.contains("timeline"), "{text}");
+        assert!(text.contains("exec"), "{text}");
+        assert!(text.contains("batch side events"), "{text}");
+        assert!(text.contains("Hedge"), "{text}");
+        assert!(text.contains("latency attribution (62.000 ms total"), "{text}");
+        assert!(text.contains("<- critical"), "{text}");
+        // exec (48 ms) dominates this request.
+        let crit_line = text.lines().find(|l| l.contains("<- critical")).expect("critical marker");
+        assert!(crit_line.trim_start().starts_with("exec "), "{crit_line}");
+    }
+
+    #[test]
+    fn explains_a_shed_request_and_rejects_unknown_ids() {
+        let mut log = EventLog::new();
+        let r = Ctx::request(3);
+        log.record(Event::instant(Phase::Arrive, Lane::Server, t(0), r));
+        log.record(
+            Event::instant(Phase::Shed, Lane::Server, t(4), r).with_cause(ShedCause::Rejected),
+        );
+        let text = explain_request(&log, 3).unwrap();
+        assert!(text.starts_with("request 3: shed (rejected) 4.000 ms after arrival"), "{text}");
+        let err = explain_request(&log, 99).unwrap_err();
+        assert!(err.contains("request 99 not in trace"), "{err}");
+        assert!(err.contains("sampling"), "{err}");
+    }
+
+    #[test]
+    fn explain_round_trips_through_chrome_json() {
+        let log = served_log();
+        let direct = explain_request(&log, 7).unwrap();
+        let via_json = explain_chrome(&chrome_trace(&log), 7).unwrap();
+        assert_eq!(direct, via_json);
+    }
+}

@@ -37,6 +37,7 @@ pub mod attribution;
 pub mod burn;
 pub mod diff;
 pub mod energy;
+pub mod explain;
 pub mod flame;
 pub mod parse;
 pub mod span;
@@ -47,6 +48,7 @@ pub use attribution::{
 pub use burn::{alert_events, burn_alerts, AlertWindow, BurnConfig};
 pub use diff::{diff, DiffConfig, MetricDelta, TraceDiff, Verdict};
 pub use energy::{BusySpan, EnergyAnalysis, RequestEnergy, WorkerLedger};
+pub use explain::{explain_chrome, explain_request};
 pub use flame::{folded, folded_energy};
 pub use parse::parse_chrome_trace;
 pub use span::{DeviceSpans, OutageWindow, Outcome, RequestSpan, SpanForest};

@@ -258,6 +258,18 @@ impl AutoscaleExp {
 /// dark while a stick is gated), the time series CSV with the
 /// `live_sticks` / `scale_events` columns, and the metric summary.
 pub fn traced_autoscale(scale: Scale, policy_name: &str, sample_every: Duration) -> TracedServe {
+    traced_autoscale_sampled(scale, policy_name, sample_every, None)
+}
+
+/// [`traced_autoscale`] with tail-based trace sampling (the
+/// `repro autoscale --sample SPEC` path); sampling is passive, so the
+/// autoscaled outcome and series are identical to the unsampled run.
+pub fn traced_autoscale_sampled(
+    scale: Scale,
+    policy_name: &str,
+    sample_every: Duration,
+    sample: Option<ncsw_obs::SamplePolicy>,
+) -> TracedServe {
     let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
     let n = requests_per_point(scale);
     let spec = FleetSpec::parse(AUTOSCALE_FLEET).expect("valid fleet spec");
@@ -273,16 +285,15 @@ pub fn traced_autoscale(scale: Scale, policy_name: &str, sample_every: Duration)
     let mut workers = spec.build(&model);
     let rate = capacity_rps * AUTOSCALE_LOADS[0];
     let load = ArrivalProcess::Poisson { rate_per_sec: rate };
-    let (outcome, mut obs) = serve_autoscaled_observed(
-        &mut workers,
-        &cfg,
-        &load,
-        n,
-        &scaling,
-        policy.as_mut(),
-        &ObsConfig { sample_every },
-    );
+    let ocfg = ObsConfig { sample_every, sample: sample.clone(), ..ObsConfig::default() };
+    let (outcome, mut obs) =
+        serve_autoscaled_observed(&mut workers, &cfg, &load, n, &scaling, policy.as_mut(), &ocfg);
     let art = crate::serve_bench::observed_artifacts(&mut obs);
+    let mut replay = format!("repro autoscale --scale {} --ctrl {policy_name}", scale.name());
+    if let Some(p) = &sample {
+        replay.push_str(&format!(" --sample {}", p.spec()));
+    }
+    let incidents = crate::serve_bench::incident_bundles(&obs, cfg.seed, &art.summary, &replay);
     TracedServe {
         fleet: AUTOSCALE_FLEET.to_string(),
         requests: n,
@@ -293,6 +304,8 @@ pub fn traced_autoscale(scale: Scale, policy_name: &str, sample_every: Duration)
         summary: art.summary,
         slo_alerts: art.slo_alerts,
         overhead: art.overhead,
+        sample: obs.sample.clone(),
+        incidents,
     }
 }
 

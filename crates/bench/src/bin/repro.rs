@@ -16,6 +16,8 @@
 //!   chaos                                 seeded chaos campaigns (exit 1 on violation)
 //!   bench-diff BASE CAND                  gated events/sec comparison of two BENCH_sim.json
 //!   validate-trace PATH                   check an exported Chrome trace
+//!   explain TRACE ID                      one request's causal timeline from a trace
+//!   sample-sweep                          E23 tail-sampling cost/fidelity curve
 //!   all                                   everything above
 //! ```
 //!
@@ -81,11 +83,12 @@ impl EnergyJson {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|bench-sim|gray|chaos|abdiff|all> \
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|bench-sim|gray|chaos|abdiff|sample-sweep|all> \
          [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
-         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--faults SPEC] [--gray] [--ctrl reactive|predictive|oracle] [--prof]\n\
+         [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--sample all|1-in-N[+topK]] [--incidents DIR] [--faults SPEC] [--gray] [--ctrl reactive|predictive|oracle] [--prof]\n\
          \x20      repro chaos [--campaigns N] [--seed S]\n\
          \x20      repro validate-trace PATH\n\
+         \x20      repro explain TRACE REQUEST_ID\n\
          \x20      repro analyze TRACE [--flame PATH] [--flame-energy PATH] [--json [PATH]] [--prof]\n\
          \x20      repro diff BASELINE_TRACE CANDIDATE_TRACE [--abs-ms MS] [--rel-pct PCT] [--json [PATH]]\n\
          \x20      repro bench-diff BASE_SIM_JSON CAND_SIM_JSON [--tol-pct PCT] [--json [PATH]]\n\
@@ -104,7 +107,14 @@ fn usage() -> ExitCode {
          \x20      bench-sim measures sim throughput (events/sec, req/sec, recorder overhead); \
          bench-diff exits 1 when events/sec regressed beyond --tol-pct (default 50)\n\
          \x20      --prof profiles the simulator's own hot loops (wall clock) and prints the \
-         scope tree; the simulated outcome is bit-identical either way"
+         scope tree; the simulated outcome is bit-identical either way\n\
+         \x20      --sample turns on tail-based trace sampling for a traced serve/autoscale \
+         run: anomalous requests (shed, SLO-violating, faulted, hedged, quarantined) always \
+         keep their full chains, plus the K slowest and a uniform 1-in-N; 'all' keeps \
+         everything (byte-identical to the unsampled trace)\n\
+         \x20      --incidents DIR writes each flight-recorder incident bundle (circuit-open, \
+         integrity-fail, burn-rate) as DIR/incident_<n>.json with its trace window and a \
+         one-line deterministic replay command"
     );
     ExitCode::from(2)
 }
@@ -122,6 +132,8 @@ fn main() -> ExitCode {
     let mut metrics_csv: Option<String> = None;
     let mut sample_ms = 10.0f64;
     let mut faults: Option<ncsw_faults::FaultPlan> = None;
+    let mut sample: Option<ncsw_obs::SamplePolicy> = None;
+    let mut incidents_dir: Option<String> = None;
     let mut ctrl_policy = String::from("reactive");
     let mut flame_path: Option<String> = None;
     let mut flame_energy_path: Option<String> = None;
@@ -266,6 +278,20 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--sample" => {
+                let Some(v) = it.next() else { return usage() };
+                match ncsw_obs::SamplePolicy::parse(v) {
+                    Ok(p) => sample = Some(p),
+                    Err(e) => {
+                        eprintln!("bad --sample: {e}");
+                        return usage();
+                    }
+                }
+            }
+            "--incidents" => {
+                let Some(v) = it.next() else { return usage() };
+                incidents_dir = Some(v.clone());
+            }
             other if experiment.is_none() && !other.starts_with('-') => {
                 experiment = Some(other.to_string());
             }
@@ -273,7 +299,7 @@ fn main() -> ExitCode {
                 if !other.starts_with('-')
                     && match experiment.as_deref() {
                         Some("validate-trace") | Some("analyze") => operands.is_empty(),
-                        Some("diff") | Some("bench-diff") => operands.len() < 2,
+                        Some("diff") | Some("bench-diff") | Some("explain") => operands.len() < 2,
                         _ => false,
                     } =>
             {
@@ -331,6 +357,20 @@ fn main() -> ExitCode {
             vpu_bench::report::write_csv_in(dir, name, &content);
         }
     };
+    let write_incidents = |bundles: &[vpu_bench::serve_bench::IncidentBundle]| {
+        if let Some(dir) = &incidents_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir}: {e}");
+                std::process::exit(2);
+            }
+            if bundles.is_empty() {
+                eprintln!("{dir}: no incident fired during the run; nothing written");
+            }
+            for b in bundles {
+                vpu_bench::report::write_json(&format!("{dir}/incident_{}.json", b.n), b);
+            }
+        }
+    };
     let run = |name: &str, json: bool| {
         match name {
             "fig6a" => {
@@ -386,6 +426,8 @@ fn main() -> ExitCode {
                 if trace_path.is_some()
                     || metrics_csv.is_some()
                     || faults.is_some()
+                    || sample.is_some()
+                    || incidents_dir.is_some()
                     || gray_on
                     || prof_on =>
             {
@@ -402,26 +444,36 @@ fn main() -> ExitCode {
                 } else {
                     ncsw_serve::GrayConfig::default()
                 };
-                let r = profiled!(serve_bench::traced_serve_gray(
+                let r = profiled!(serve_bench::traced_serve_sampled(
                     scale,
                     desim::Duration::from_millis(slo_ms),
                     policy,
                     desim::Duration::from_millis(sample_ms),
                     faults.as_ref(),
                     gray,
+                    sample.clone(),
                 ));
                 vpu_bench::report::write_artifact_opt(&trace_path, &r.chrome_json);
                 vpu_bench::report::write_artifact_opt(&metrics_csv, &r.series_csv);
+                write_incidents(&r.incidents);
                 emit!(r);
             }
-            "autoscale" if trace_path.is_some() || metrics_csv.is_some() || prof_on => {
-                let r = profiled!(vpu_bench::autoscale_bench::traced_autoscale(
+            "autoscale"
+                if trace_path.is_some()
+                    || metrics_csv.is_some()
+                    || sample.is_some()
+                    || incidents_dir.is_some()
+                    || prof_on =>
+            {
+                let r = profiled!(vpu_bench::autoscale_bench::traced_autoscale_sampled(
                     scale,
                     &ctrl_policy,
                     desim::Duration::from_millis(sample_ms),
+                    sample.clone(),
                 ));
                 vpu_bench::report::write_artifact_opt(&trace_path, &r.chrome_json);
                 vpu_bench::report::write_artifact_opt(&metrics_csv, &r.series_csv);
+                write_incidents(&r.incidents);
                 emit!(r);
             }
             "bench-sim" => emit!(vpu_bench::sim_bench::sim_bench(scale)),
@@ -515,6 +567,9 @@ fn main() -> ExitCode {
                             check.quarantines,
                             check.integrity_fails
                         );
+                        if let Some(s) = &check.sampling {
+                            println!("{path}: {}", s.render());
+                        }
                         println!(
                             "{path}: parsed {:.2} MB in {:.1} ms ({:.1} MB/s)",
                             mb,
@@ -528,6 +583,24 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "explain" => {
+                let [path, id] = operands.as_slice() else {
+                    eprintln!("explain needs a TRACE path and a REQUEST_ID");
+                    std::process::exit(2);
+                };
+                let Ok(id) = id.parse::<u64>() else {
+                    eprintln!("bad request id '{id}'");
+                    std::process::exit(2);
+                };
+                match ncsw_analyze::explain_chrome(&read_file(path), id) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "sample-sweep" => emit!(vpu_bench::sample_bench::sample_exp(scale)),
             "analyze" => {
                 let Some(path) = operands.first() else {
                     eprintln!("analyze needs a TRACE path");
@@ -638,6 +711,7 @@ fn main() -> ExitCode {
             "autoscale",
             "bench-sim",
             "gray",
+            "sample-sweep",
         ] {
             run(name, json);
         }

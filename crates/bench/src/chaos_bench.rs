@@ -182,7 +182,7 @@ fn execute(spec: &CampaignSpec, plan: &FaultPlan, model: &ModelBundle) -> Campai
     let mut workers = fleet.build(model);
     workers = plan.apply(workers, cfg.seed);
     let load = ArrivalProcess::Poisson { rate_per_sec: capacity_rps * spec.load_frac };
-    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0) };
+    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() };
     let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, spec.requests, &ocfg);
     let report_json =
         serde_json::to_string(&ServeReport::of(&outcome, &cfg)).expect("report serializes");

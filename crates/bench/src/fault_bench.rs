@@ -112,7 +112,8 @@ pub fn failover_exp_with(scale: Scale, slo: Duration) -> FailoverExp {
             // Observed run: the phase-event stream feeds the analyzer,
             // which attributes the tail during failover from the trace
             // alone (no access to the server's internal records).
-            let obs_cfg = ObsConfig { sample_every: Duration::from_millis(10.0) };
+            let obs_cfg =
+                ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() };
             let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, n, &obs_cfg);
             let analysis = Analysis::of(&obs.events);
             let good = outcome.completed.iter().filter(|r| r.latency() <= slo).count();

@@ -26,6 +26,7 @@ pub mod layers;
 pub mod mdk_gemm;
 pub mod power_bench;
 pub mod report;
+pub mod sample_bench;
 pub mod scale;
 pub mod serve_bench;
 pub mod sim_bench;

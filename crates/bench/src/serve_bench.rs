@@ -13,6 +13,7 @@ use crate::report;
 use crate::scale::Scale;
 use desim::Duration;
 use ncsw::ModelBundle;
+use ncsw_obs::{Recorder as _, SamplePolicy, SampleStats};
 use ncsw_serve::{
     serve, serve_observed, ArrivalProcess, DispatchPolicy, FleetSpec, ObsConfig, ServeConfig,
     ServeReport,
@@ -147,6 +148,68 @@ pub struct TracedServe {
     /// peak scratch buffer, recorder ns/event (wall fields are zero
     /// unless the run was profiled).
     pub overhead: ncsw_obs::OverheadLedger,
+    /// Tail-sampling ledger (`None` = full-fidelity recording).
+    pub sample: Option<SampleStats>,
+    /// Incident bundles snapped by the always-on flight recorder
+    /// (circuit-open, integrity-fail and burn-rate triggers).
+    pub incidents: Vec<IncidentBundle>,
+}
+
+/// A self-contained post-mortem artifact for one incident trigger:
+/// the flight-recorder trace window around the trigger, the metric
+/// summary, the run's seed and spec, and a one-line `repro` command
+/// that deterministically reproduces the whole run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncidentBundle {
+    /// Incident ordinal within the run (0-based).
+    pub n: usize,
+    /// What fired: `circuit-open`, `integrity-fail` or `burn-rate`.
+    pub trigger: String,
+    /// Virtual-clock trigger instant, ms since epoch.
+    pub at_ms: f64,
+    /// RNG seed of the run — replaying with it is byte-identical.
+    pub seed: u64,
+    /// Events in the flight-recorder window.
+    pub window_events: usize,
+    /// Chrome trace-event JSON of the window (loads in Perfetto and
+    /// passes `repro validate-trace`'s parser).
+    pub trace_window: String,
+    /// Registry metric summary at end of run.
+    pub registry_summary: String,
+    /// One-line command reproducing the run: the window is a teaser,
+    /// this regenerates the full deterministic trace.
+    pub replay: String,
+}
+
+/// Convert the flight recorder's snapshots into self-contained
+/// [`IncidentBundle`]s. `replay_base` is the `repro …` invocation that
+/// reproduces the run (the bundle appends the `--trace` artifact flag).
+pub(crate) fn incident_bundles(
+    obs: &ncsw_serve::ServeObservation,
+    seed: u64,
+    registry_summary: &str,
+    replay_base: &str,
+) -> Vec<IncidentBundle> {
+    obs.flight
+        .incidents()
+        .iter()
+        .map(|snap| {
+            let mut window = ncsw_obs::EventLog::new();
+            for ev in &snap.events {
+                window.record(*ev);
+            }
+            IncidentBundle {
+                n: snap.n,
+                trigger: snap.trigger.clone(),
+                at_ms: snap.at.as_millis(),
+                seed,
+                window_events: snap.events.len(),
+                trace_window: ncsw_obs::chrome_trace(&window),
+                registry_summary: registry_summary.to_string(),
+                replay: format!("{replay_base} --trace replay.trace.json"),
+            }
+        })
+        .collect()
 }
 
 /// Shared assembly of an observed run's exportable artifacts: burn-rate
@@ -169,15 +232,30 @@ pub(crate) fn observed_artifacts(obs: &mut ncsw_serve::ServeObservation) -> Obse
     // shows the alert right above the phase activity that caused it.
     let alerts = ncsw_analyze::burn_alerts(&obs.series, &ncsw_analyze::BurnConfig::default());
     {
-        use ncsw_obs::Recorder as _;
         for ev in ncsw_analyze::alert_events(&alerts) {
             obs.events.record(ev);
         }
     }
+    // A burn-rate alert is an incident too: snapshot the flight ring so
+    // the run exports a bundle even when no fault-path trigger fired.
+    if let Some(a) = alerts.first() {
+        obs.flight.force_snapshot("burn-rate", a.from);
+    }
     let mut trace_buf = Vec::new();
     let trace_stats = {
         let _s = prof::scope("export.chrome");
-        ncsw_obs::chrome_trace_to(&obs.events, &mut trace_buf).expect("Vec sink cannot fail")
+        // Same streaming writer as `chrome_trace_to`, plus the sampling
+        // metadata row when the run was tail-sampled — an all-keep or
+        // unsampled run stays byte-identical to the plain export.
+        let mut w = ncsw_obs::ChromeWriter::new(&mut trace_buf, &obs.events.lanes())
+            .expect("Vec sink cannot fail");
+        for ev in obs.events.events() {
+            w.event(ev).expect("Vec sink cannot fail");
+        }
+        if let Some(stats) = obs.sample.as_ref().filter(|s| !s.keeps_all()) {
+            w.sampling(stats).expect("Vec sink cannot fail");
+        }
+        w.finish().expect("Vec sink cannot fail")
     };
     let mut series_buf = Vec::new();
     let series_stats = {
@@ -236,6 +314,23 @@ pub fn traced_serve_gray(
     faults: Option<&ncsw_faults::FaultPlan>,
     gray: ncsw_serve::GrayConfig,
 ) -> TracedServe {
+    traced_serve_sampled(scale, slo, policy, sample_every, faults, gray, None)
+}
+
+/// [`traced_serve_gray`] with tail-based trace sampling (the
+/// `repro serve --sample SPEC` path). `None` records full fidelity;
+/// `Some(all)` is byte-identical to `None`. Sampling is passive: the
+/// served outcome, time series and registry are identical either way —
+/// only the exported trace shrinks.
+pub fn traced_serve_sampled(
+    scale: Scale,
+    slo: Duration,
+    policy: DispatchPolicy,
+    sample_every: Duration,
+    faults: Option<&ncsw_faults::FaultPlan>,
+    gray: ncsw_serve::GrayConfig,
+    sample: Option<SamplePolicy>,
+) -> TracedServe {
     let model = ModelBundle::googlenet_untrained(Variant::Full, 1);
     let n = requests_per_point(scale);
     let spec = FleetSpec::parse(TRACED_FLEET).expect("valid fleet spec");
@@ -251,9 +346,26 @@ pub fn traced_serve_gray(
     }
     let rate = capacity_rps * TRACED_LOAD_FRACTION;
     let load = ArrivalProcess::Poisson { rate_per_sec: rate };
-    let (outcome, mut obs) =
-        serve_observed(&mut workers, &cfg, &load, n, &ObsConfig { sample_every });
+    let ocfg = ObsConfig { sample_every, sample: sample.clone(), ..ObsConfig::default() };
+    let (outcome, mut obs) = serve_observed(&mut workers, &cfg, &load, n, &ocfg);
     let art = observed_artifacts(&mut obs);
+
+    let mut replay = format!(
+        "repro serve --scale {} --slo-ms {} --policy {}",
+        scale.name(),
+        slo.as_millis(),
+        policy.name()
+    );
+    if let Some(plan) = faults {
+        replay.push_str(&format!(" --faults {}", plan.to_spec()));
+    }
+    if gray != ncsw_serve::GrayConfig::default() {
+        replay.push_str(" --gray");
+    }
+    if let Some(p) = &sample {
+        replay.push_str(&format!(" --sample {}", p.spec()));
+    }
+    let incidents = incident_bundles(&obs, cfg.seed, &art.summary, &replay);
     TracedServe {
         fleet: TRACED_FLEET.to_string(),
         requests: n,
@@ -264,6 +376,8 @@ pub fn traced_serve_gray(
         summary: art.summary,
         slo_alerts: art.slo_alerts,
         overhead: art.overhead,
+        sample: obs.sample.clone(),
+        incidents,
     }
 }
 
@@ -296,6 +410,16 @@ impl TracedServe {
         );
         if self.overhead.events_recorded > 0 {
             println!("{}", self.overhead.render());
+        }
+        if let Some(s) = &self.sample {
+            println!("{}", s.render());
+        }
+        if !self.incidents.is_empty() {
+            println!(
+                "flight recorder: {} incident bundle(s) [{}]",
+                self.incidents.len(),
+                self.incidents.iter().map(|b| b.trigger.as_str()).collect::<Vec<_>>().join(", ")
+            );
         }
         if self.slo_alerts > 0 {
             println!("SLO burn-rate alerts fired: {} window(s)", self.slo_alerts);

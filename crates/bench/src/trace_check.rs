@@ -7,7 +7,8 @@
 //! non-decreasing timestamps. This closes the loop on the exporter — a
 //! trace that renders in Perfetto but silently lost a phase fails here.
 
-use ncsw_obs::{Phase, ShedCause};
+use ncsw_obs::{Phase, SampleStats, ShedCause};
+use serde::Deserialize as _;
 use serde_json::Value;
 use std::collections::BTreeMap;
 
@@ -68,6 +69,9 @@ pub struct TraceCheck {
     pub quarantines: usize,
     /// Probation re-entries.
     pub probations: usize,
+    /// Tail-sampling ledger parsed from the trace's `sampling` metadata
+    /// row (`None` = full-fidelity trace).
+    pub sampling: Option<SampleStats>,
 }
 
 fn number(v: &Value) -> Option<f64> {
@@ -118,12 +122,21 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
     let mut probation_at: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     let mut integrity: Vec<(u64, f64)> = Vec::new(); // (request, ts)
     let mut retry_at: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut sampling: Option<SampleStats> = None;
 
     for (i, ev) in events.iter().enumerate() {
         let ph = ev.get("ph").and_then(Value::as_str).ok_or(format!("event {i}: missing ph"))?;
         if ph == "M" {
-            if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
-                tracks += 1;
+            match ev.get("name").and_then(Value::as_str) {
+                Some("thread_name") => tracks += 1,
+                Some("sampling") => {
+                    let args =
+                        ev.get("args").ok_or(format!("event {i}: sampling row without args"))?;
+                    sampling = Some(SampleStats::from_value(args).map_err(|e| {
+                        format!("event {i}: malformed sampling metadata row: {e:?}")
+                    })?);
+                }
+                _ => {}
             }
             continue;
         }
@@ -403,6 +416,7 @@ pub fn validate(json: &str) -> Result<TraceCheck, String> {
         integrity_fails: integrity.len(),
         quarantines: quarantine_count,
         probations: probation_at.values().map(Vec::len).sum(),
+        sampling,
     })
 }
 
@@ -452,6 +466,33 @@ mod tests {
             Some(&plan),
         )
         .chrome_json
+    }
+
+    #[test]
+    fn sampled_trace_validates_and_carries_the_sampling_ledger() {
+        let t = crate::serve_bench::traced_serve_sampled(
+            Scale::Tiny,
+            Duration::from_millis(500.0),
+            DispatchPolicy::CostAware,
+            Duration::from_millis(10.0),
+            None,
+            ncsw_serve::GrayConfig::default(),
+            Some(ncsw_obs::SamplePolicy::parse("1-in-25").unwrap()),
+        );
+        // The sampled trace still passes the full grammar: kept chains
+        // are intact, so REQUIRED_PHASES and chaining hold.
+        let check = validate(&t.chrome_json).expect("sampled trace must validate");
+        let s = check.sampling.as_ref().expect("sampling metadata row");
+        assert_eq!(s.spec, "1-in-25");
+        assert!(s.requests_kept < s.requests_seen, "{s:?}");
+        assert!(check.chained > 0, "{check:?}");
+        // A full-fidelity trace carries no sampling row.
+        assert!(validate(&tiny_trace()).unwrap().sampling.is_none());
+        // A corrupted ledger is rejected, not ignored.
+        let bad = t.chrome_json.replace("\"requests_seen\":", "\"requests_sxen\":");
+        assert_ne!(bad, t.chrome_json);
+        let err = validate(&bad).unwrap_err();
+        assert!(err.contains("sampling"), "{err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn defended_failslow_run() -> (ncsw_serve::ServeOutcome, trace_check::TraceCheck
     let mut workers = spec.build(&model);
     workers = failslow_plan(6.0, horizon_secs).apply(workers, cfg.seed);
     let load = ArrivalProcess::Poisson { rate_per_sec: rate };
-    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0) };
+    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() };
     let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, n, &ocfg);
     let check = trace_check::validate(&chrome_trace(&obs.events))
         .expect("defended fail-slow trace must satisfy every invariant");
@@ -80,7 +80,7 @@ fn heterogeneous_traced_fleet_engages_defenses() {
     let mut workers = spec.build(&model);
     workers = plan.apply(workers, cfg.seed);
     let load = ArrivalProcess::Poisson { rate_per_sec: rate };
-    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0) };
+    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() };
     let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, n, &ocfg);
     let check = trace_check::validate(&chrome_trace(&obs.events))
         .expect("defended heterogeneous trace must satisfy every invariant");
@@ -113,7 +113,7 @@ fn defended_corruption_run_rejects_and_validates() {
     let mut workers = spec.build(&model);
     workers = plan.apply(workers, cfg.seed);
     let load = ArrivalProcess::Poisson { rate_per_sec: rate };
-    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0) };
+    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() };
     let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, 200, &ocfg);
     let check = trace_check::validate(&chrome_trace(&obs.events))
         .expect("defended corruption trace must satisfy every invariant");

@@ -146,6 +146,39 @@ impl<W: io::Write> ChromeWriter<W> {
         Ok(())
     }
 
+    /// Append a `sampling` metadata row carrying the tail-sampling
+    /// keep/drop ledger, so `validate-trace` can report what a sampled
+    /// trace kept. Only sampled documents carry this row — all-keep and
+    /// unsampled exports must stay byte-identical.
+    pub fn sampling(&mut self, stats: &crate::sample::SampleStats) -> io::Result<()> {
+        self.row.clear();
+        let _ = write!(
+            self.row,
+            ",\n{{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"sampling\",\"args\":{{\
+             \"spec\":\"{}\",\"requests_seen\":{},\"requests_kept\":{},\
+             \"slo\":{},\"shed\":{},\"fault\":{},\"hedge\":{},\"quarantine\":{},\
+             \"uniform\":{},\"reservoir\":{},\"unterminated\":{},\
+             \"events_seen\":{},\"events_kept\":{}}}}}",
+            stats.spec,
+            stats.requests_seen,
+            stats.requests_kept,
+            stats.slo,
+            stats.shed,
+            stats.fault,
+            stats.hedge,
+            stats.quarantine,
+            stats.uniform,
+            stats.reservoir,
+            stats.unterminated,
+            stats.events_seen,
+            stats.events_kept,
+        );
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.row.len() as u64);
+        self.sink.write_all(self.row.as_bytes())?;
+        self.stats.bytes += self.row.len() as u64;
+        Ok(())
+    }
+
     /// Close the JSON document, flush, and return the write ledger.
     pub fn finish(mut self) -> io::Result<WriteStats> {
         let tail = "\n]}\n";
@@ -280,6 +313,35 @@ mod tests {
         assert_eq!(stats.bytes, buffered.len() as u64);
         assert!(stats.peak_buffered > 0);
         assert!(stats.peak_buffered < buffered.len() as u64);
+    }
+
+    #[test]
+    fn sampling_metadata_row_round_trips_the_ledger() {
+        use crate::sample::SampleStats;
+        let log = sample_log();
+        let stats = SampleStats {
+            spec: "1-in-100".into(),
+            requests_seen: 200,
+            requests_kept: 9,
+            slo: 1,
+            shed: 2,
+            uniform: 3,
+            reservoir: 3,
+            events_seen: 1000,
+            events_kept: 45,
+            ..SampleStats::default()
+        };
+        let mut buf = Vec::new();
+        let mut w = ChromeWriter::new(&mut buf, &log.lanes()).unwrap();
+        w.sampling(&stats).unwrap();
+        for ev in log.events() {
+            w.event(ev).unwrap();
+        }
+        w.finish().unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        assert!(json.contains("\"name\":\"sampling\",\"args\":{\"spec\":\"1-in-100\""), "{json}");
+        assert!(json.contains("\"requests_seen\":200,\"requests_kept\":9"), "{json}");
+        assert!(json.contains("\"events_seen\":1000,\"events_kept\":45"), "{json}");
     }
 
     #[test]

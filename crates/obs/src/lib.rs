@@ -29,6 +29,15 @@
 //!   render as `ph:"C"` counter tracks. [`ChromeWriter`] /
 //!   [`chrome_trace_to`] stream the same bytes incrementally into any
 //!   `io::Write` sink with bounded memory.
+//! - [`SamplingRecorder`]/[`SamplePolicy`] — tail-based trace
+//!   sampling: buffer each request's span chain until its terminal
+//!   event, then keep it only for always-keep anomaly triggers, the
+//!   top-K-slowest reservoir, or a seeded uniform 1-in-N hash. The
+//!   all-keep policy is byte-identical to a full trace.
+//! - [`FlightRecorder`] — an always-on bounded ring of recent events
+//!   that freezes an [`IncidentSnapshot`] when `CircuitOpen` /
+//!   `IntegrityFail` fire (the bench layer adds burn-rate alerts),
+//!   feeding `incident_<n>.json` bundles with a replay command.
 //! - [`prof`] — *host-side* self-observability: wall-clock scoped
 //!   timers over the simulator's own hot loops, the per-run
 //!   [`OverheadLedger`] (events recorded, bytes written, ns/event on
@@ -40,19 +49,23 @@
 pub mod chrome;
 pub mod energy;
 pub mod event;
+pub mod flight;
 pub mod histogram;
 pub mod prof;
 pub mod recorder;
 pub mod registry;
+pub mod sample;
 pub mod series;
 
 pub use chrome::{chrome_trace, chrome_trace_to, ChromeWriter};
 pub use energy::{joules, watts, EnergyMeter, EnergyProfile, EnergyTotals, MeterSpan};
 pub use event::{Ctx, Event, Lane, Phase, ShedCause};
+pub use flight::{FlightConfig, FlightRecorder, IncidentSnapshot};
 pub use histogram::LogHistogram;
 pub use prof::{
     CountingWrite, OverheadLedger, ProfReport, ProfiledRecorder, Throughput, WriteStats,
 };
 pub use recorder::{BatchObs, EventLog, GanttRecorder, NullRecorder, Recorder, Tee};
 pub use registry::{CounterId, GaugeId, HistogramId, Registry};
+pub use sample::{SamplePolicy, SampleStats, SamplingRecorder};
 pub use series::{Sample, TimeSeries, TimeSeriesBuilder};

@@ -7,6 +7,8 @@
 use crate::event::{Ctx, Event, Lane, Phase};
 use desim::{SimTime, TraceLog};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// A sink for observability events. Implementations must be cheap:
 /// instrumented hot paths guard event *construction* on
@@ -35,9 +37,43 @@ impl Recorder for NullRecorder {
 }
 
 /// An append-only in-memory event log (the input to the exporters).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EventLog {
     events: Vec<Event>,
+    /// Lazily-built request-id → event-position index, extended on
+    /// demand by [`EventLog::for_request`]. The log is append-only, so
+    /// positions never go stale; the index just catches up to `len()`.
+    index: RefCell<ReqIndex>,
+}
+
+// Manual serde: only the events travel; the index is a cache rebuilt
+// on demand.
+impl Serialize for EventLog {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![("events".to_string(), self.events.to_value())])
+    }
+}
+
+impl Deserialize for EventLog {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let events = Vec::<Event>::from_value(serde::map_get(v, "events")?)?;
+        Ok(EventLog { events, index: RefCell::new(ReqIndex::default()) })
+    }
+}
+
+/// See [`EventLog::index`]: `upto` is how many events have been
+/// indexed so far.
+#[derive(Debug, Clone, Default)]
+struct ReqIndex {
+    by_request: HashMap<u64, Vec<usize>>,
+    upto: usize,
+}
+
+/// Identity lives in the events alone; the index is a cache.
+impl PartialEq for EventLog {
+    fn eq(&self, other: &EventLog) -> bool {
+        self.events == other.events
+    }
 }
 
 impl Recorder for EventLog {
@@ -80,8 +116,25 @@ impl EventLog {
     }
 
     /// All events tagged with `request_id`, in record order.
+    ///
+    /// Amortized O(events of that request): the first call after new
+    /// appends extends the per-request index, so span-tree joins and
+    /// `repro explain` stay linear on large traces instead of
+    /// re-scanning the whole log per request.
     pub fn for_request(&self, request_id: u64) -> Vec<&Event> {
-        self.events.iter().filter(|e| e.ctx.request_id == Some(request_id)).collect()
+        let mut idx = self.index.borrow_mut();
+        if idx.upto < self.events.len() {
+            for (pos, ev) in self.events.iter().enumerate().skip(idx.upto) {
+                if let Some(id) = ev.ctx.request_id {
+                    idx.by_request.entry(id).or_default().push(pos);
+                }
+            }
+            idx.upto = self.events.len();
+        }
+        idx.by_request
+            .get(&request_id)
+            .map(|positions| positions.iter().map(|&p| &self.events[p]).collect())
+            .unwrap_or_default()
     }
 
     /// The first-start instant of each [`Phase::REQUEST_CHAIN`] phase for
@@ -229,6 +282,28 @@ mod tests {
         assert_eq!(chain.len(), Phase::REQUEST_CHAIN.len());
         assert_eq!(chain[0], (Phase::Arrive, SimTime(0)));
         assert_eq!(chain[7], (Phase::Complete, SimTime(7)));
+    }
+
+    #[test]
+    fn for_request_index_tracks_interleaved_appends() {
+        let mut log = EventLog::new();
+        log.record(Event::instant(Phase::Arrive, Lane::Server, SimTime(1), Ctx::request(0)));
+        log.record(Event::instant(Phase::Arrive, Lane::Server, SimTime(2), Ctx::request(1)));
+        // Query builds the index...
+        assert_eq!(log.for_request(0).len(), 1);
+        // ...then appends after the index exists must still be found.
+        log.record(Event::instant(Phase::Complete, Lane::Server, SimTime(3), Ctx::request(0)));
+        log.record(Event::instant(Phase::Complete, Lane::Server, SimTime(4), Ctx::request(1)));
+        assert_eq!(log.for_request(0).len(), 2);
+        assert_eq!(log.for_request(1).len(), 2);
+        assert!(log.for_request(7).is_empty());
+        // Record order is preserved within a request.
+        let phases: Vec<Phase> = log.for_request(0).iter().map(|e| e.phase).collect();
+        assert_eq!(phases, vec![Phase::Arrive, Phase::Complete]);
+        // The index is a cache: clones and equality ignore it.
+        let clone = log.clone();
+        assert_eq!(clone, log);
+        assert_eq!(clone.for_request(1).len(), 2);
     }
 
     #[test]

@@ -86,6 +86,29 @@ impl Registry {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// Fold another shard's registry into this one, the reduction step
+    /// of a sharded sweep: counters add, gauges keep the maximum (they
+    /// report peaks — queue high-water marks, burn rates — where the
+    /// worst shard is the honest fleet answer), histograms merge
+    /// bucket-wise (exact, see [`LogHistogram::merge`]). Names unseen
+    /// here are appended, so a merge of disjoint registries is a
+    /// union; registration order of `self` wins for shared names.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            let id = self.counter(name);
+            self.counters[id.0].1 += v;
+        }
+        for (name, v) in &other.gauges {
+            let id = self.gauge(name);
+            let cur = &mut self.gauges[id.0].1;
+            *cur = cur.max(*v);
+        }
+        for (name, h) in &other.histograms {
+            let id = self.histogram(name);
+            self.histograms[id.0].1.merge(h);
+        }
+    }
+
     /// Human-readable run summary: counters, gauges, then histogram
     /// percentile rows, in registration order.
     pub fn summary(&self) -> String {
@@ -143,6 +166,35 @@ mod tests {
         r.set(g, 3.0);
         r.set(g, 7.0);
         assert_eq!(r.gauge_value("queue_depth"), Some(7.0));
+    }
+
+    #[test]
+    fn merge_adds_counters_maxes_gauges_and_unions_names() {
+        let mut a = Registry::new();
+        let ca = a.counter("completed");
+        a.add(ca, 10);
+        let ga = a.gauge("burn.max");
+        a.set(ga, 1.5);
+        let ha = a.histogram("latency");
+        a.observe(ha, Duration::from_millis(2.0));
+
+        let mut b = Registry::new();
+        let cb = b.counter("completed");
+        b.add(cb, 5);
+        let cb2 = b.counter("shed"); // only in b
+        b.add(cb2, 3);
+        let gb = b.gauge("burn.max");
+        b.set(gb, 0.9);
+        let hb = b.histogram("latency");
+        b.observe(hb, Duration::from_millis(40.0));
+
+        a.merge(&b);
+        assert_eq!(a.counter_value("completed"), Some(15));
+        assert_eq!(a.counter_value("shed"), Some(3), "unseen names are appended");
+        assert_eq!(a.gauge_value("burn.max"), Some(1.5), "gauges keep the peak");
+        let h = a.histogram_of("latency").unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.quantile(1.0) >= Duration::from_millis(40.0));
     }
 
     #[test]

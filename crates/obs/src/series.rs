@@ -156,8 +156,21 @@ impl TimeSeries {
             "shed_rate",
         ];
         for (i, want) in FIXED.iter().enumerate() {
-            if cols.get(i) != Some(want) {
-                return Err(format!("column {i} is {:?}, expected {want:?}", cols.get(i)));
+            match cols.get(i) {
+                Some(got) if got == want => {}
+                Some(got) => {
+                    return Err(format!(
+                        "header (line 1) column {}: {got:?}, expected {want:?}",
+                        i + 1
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "header (line 1): only {} columns, column {} should be {want:?}",
+                        cols.len(),
+                        i + 1
+                    ));
+                }
             }
         }
         let labels: Vec<String> = cols
@@ -175,7 +188,8 @@ impl TimeSeries {
         let new_shape = FIXED.len() + 3 * labels.len() + 2;
         let scaled_shape = new_shape + 2;
         let power_cols = |cols: &[&str]| {
-            cols[old_shape..old_shape + labels.len()].iter().all(|c| c.starts_with("power_"))
+            cols.get(old_shape..old_shape + labels.len())
+                .is_some_and(|s| s.iter().all(|c| c.starts_with("power_")))
         };
         let has_scaling = cols.len() == scaled_shape
             && power_cols(&cols)
@@ -192,16 +206,35 @@ impl TimeSeries {
             old_shape
         };
         if cols.len() != expect {
-            return Err(format!("{} columns, expected {expect} from the header shape", cols.len()));
+            return Err(format!(
+                "header (line 1): {} columns, expected {expect} for a {}-worker series",
+                cols.len(),
+                labels.len()
+            ));
         }
         let mut samples = Vec::new();
         for (ln, line) in lines.enumerate() {
+            // 1-based file line number: the header is line 1.
+            let ln = ln + 2;
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != expect {
-                return Err(format!("row {ln}: {} fields, expected {expect}", f.len()));
+                return Err(format!("line {ln}: {} fields, expected {expect}", f.len()));
             }
-            let num = |i: usize| f[i].parse::<f64>().map_err(|e| format!("row {ln} col {i}: {e}"));
-            let int = |i: usize| f[i].parse::<u64>().map_err(|e| format!("row {ln} col {i}: {e}"));
+            let num = |i: usize| {
+                f[i].parse::<f64>().map_err(|_| {
+                    format!("line {ln} column {} ({}): {:?} is not a number", i + 1, cols[i], f[i])
+                })
+            };
+            let int = |i: usize| {
+                f[i].parse::<u64>().map_err(|_| {
+                    format!(
+                        "line {ln} column {} ({}): {:?} is not an integer",
+                        i + 1,
+                        cols[i],
+                        f[i]
+                    )
+                })
+            };
             samples.push(Sample {
                 t: SimTime::ZERO + Duration::from_millis(num(0)?),
                 queue_depth: int(1)? as usize,
@@ -239,6 +272,104 @@ impl TimeSeries {
             samples,
             scaling: has_scaling,
         })
+    }
+
+    /// Fold another shard's series into this one, the time-series leg
+    /// of the sharded-sweep reduction (counterpart of
+    /// [`crate::Registry::merge`]). Both series must share the same
+    /// epoch, interval, worker labels and scaling-ness — shards of one
+    /// sweep cell do by construction.
+    ///
+    /// Column semantics per boundary:
+    /// - fleet totals add: queue depth, in-flight batches, cumulative
+    ///   completed/shed/scale events, energy, live sticks;
+    /// - health ratios keep the worst shard: SLO burn, shed rate,
+    ///   per-worker utilization/power/circuit (alerting on the merged
+    ///   series can only under-state, never hide, a shard on fire);
+    /// - `img_per_watt` is recomputed from merged completions/energy.
+    ///
+    /// If one shard ran longer, the shorter shard's final cumulative
+    /// values carry through the tail.
+    pub fn merge(&mut self, other: &TimeSeries) -> Result<(), String> {
+        if self.epoch != other.epoch {
+            return Err("series merge: mismatched epochs".to_string());
+        }
+        if self.interval != other.interval {
+            return Err(format!(
+                "series merge: interval {} ms vs {} ms",
+                self.interval.as_millis(),
+                other.interval.as_millis()
+            ));
+        }
+        if self.worker_labels != other.worker_labels {
+            return Err(format!(
+                "series merge: worker labels {:?} vs {:?}",
+                self.worker_labels, other.worker_labels
+            ));
+        }
+        if self.scaling != other.scaling {
+            return Err("series merge: one series has autoscaling columns".to_string());
+        }
+        // Extend self with the tail of a longer other; tail rows start
+        // from a copy that keeps other's cumulative columns only.
+        while self.samples.len() < other.samples.len() {
+            let last = self.samples.last().cloned();
+            let t = other.samples[self.samples.len()].t;
+            let n = self.worker_labels.len();
+            let mut s = Sample {
+                t,
+                queue_depth: 0,
+                inflight_batches: 0,
+                completed: 0,
+                shed: 0,
+                slo_burn: 0.0,
+                shed_rate: 0.0,
+                worker_util: vec![0.0; n],
+                circuit: vec![0.0; n],
+                worker_power: vec![0.0; n],
+                energy_j: 0.0,
+                img_per_watt: 0.0,
+                live_sticks: 0,
+                scale_events: 0,
+            };
+            if let Some(last) = last {
+                s.completed = last.completed;
+                s.shed = last.shed;
+                s.energy_j = last.energy_j;
+                s.scale_events = last.scale_events;
+            }
+            self.samples.push(s);
+        }
+        for (i, s) in self.samples.iter_mut().enumerate() {
+            // Past other's end, its final cumulative values carry on.
+            let (o, live) = match other.samples.get(i) {
+                Some(o) => (Some(o), true),
+                None => (other.samples.last(), false),
+            };
+            let Some(o) = o else { continue };
+            if live {
+                s.queue_depth += o.queue_depth;
+                s.inflight_batches += o.inflight_batches;
+                s.slo_burn = s.slo_burn.max(o.slo_burn);
+                s.shed_rate = s.shed_rate.max(o.shed_rate);
+                for (a, b) in s.worker_util.iter_mut().zip(&o.worker_util) {
+                    *a = a.max(*b);
+                }
+                for (a, b) in s.circuit.iter_mut().zip(&o.circuit) {
+                    *a = a.max(*b);
+                }
+                for (a, b) in s.worker_power.iter_mut().zip(&o.worker_power) {
+                    *a = a.max(*b);
+                }
+                s.live_sticks += o.live_sticks;
+            }
+            s.completed += o.completed;
+            s.shed += o.shed;
+            s.energy_j += o.energy_j;
+            s.scale_events += o.scale_events;
+            s.img_per_watt = if s.energy_j > 0.0 { s.completed as f64 / s.energy_j } else { 0.0 };
+        }
+        Ok(())
     }
 }
 
@@ -792,6 +923,97 @@ mod tests {
             stats.peak_buffered,
             buffered.len()
         );
+    }
+
+    #[test]
+    fn from_csv_errors_name_the_line_and_column() {
+        // Wrong header column name.
+        let err = TimeSeries::from_csv("time_ms,queue_depth,oops\n").unwrap_err();
+        assert!(err.contains("header (line 1)") && err.contains("\"oops\""), "{err}");
+        assert!(!err.contains('\n'), "one-line error: {err}");
+        // Truncated header.
+        let err = TimeSeries::from_csv("time_ms,queue_depth\n").unwrap_err();
+        assert!(err.contains("only 2 columns"), "{err}");
+        // Header whose column count matches no known shape.
+        let err = TimeSeries::from_csv(
+            "time_ms,queue_depth,inflight_batches,completed,shed,slo_burn,shed_rate,util_v\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("expected 9 for a 1-worker series"), "{err}");
+        // A row with the wrong field count names its 1-based line.
+        let good_header = "time_ms,queue_depth,inflight_batches,completed,shed,slo_burn,\
+                           shed_rate,util_v,circuit_v\n";
+        let err = TimeSeries::from_csv(&format!("{good_header}1,2,3\n")).unwrap_err();
+        assert!(err.contains("line 2: 3 fields, expected 9"), "{err}");
+        // A non-numeric cell names line, column number and header name.
+        let err = TimeSeries::from_csv(&format!(
+            "{good_header}0.0,1,0,2,0,0.0,0.0,0.1,0.0\n0.0,1,0,xyz,0,0.0,0.0,0.1,0.0\n"
+        ))
+        .unwrap_err();
+        assert!(err.contains("line 3 column 4 (completed)"), "{err}");
+        assert!(err.contains("\"xyz\" is not an integer"), "{err}");
+        assert!(!err.contains('\n'), "one-line error: {err}");
+    }
+
+    #[test]
+    fn merge_adds_totals_and_keeps_worst_shard_health() {
+        let mk = |busy_ms: f64, miss: bool| {
+            let mut b =
+                TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(5.0));
+            b.set_power(vec![(900, 172)]);
+            b.on_batch(0, at(0.0), at(busy_ms));
+            b.on_energy_span(0, at(0.0), at(busy_ms));
+            b.on_arrival();
+            b.on_complete(if miss { ms(9.0) } else { ms(1.0) });
+            b.finish(at(20.0), 1)
+        };
+        let mut a = mk(4.0, true);
+        let b = mk(8.0, false);
+        let (burn_a, util_b) = (a.samples[0].slo_burn, b.samples[0].worker_util[0]);
+        let energy_want = a.samples[1].energy_j + b.samples[1].energy_j;
+        a.merge(&b).expect("same-shape merge");
+        assert_eq!(a.samples[0].completed, 2, "completions add");
+        assert_eq!(a.samples[0].queue_depth, 2, "queue depths add");
+        assert_eq!(a.samples[0].slo_burn, burn_a, "burn keeps the worst shard");
+        assert_eq!(a.samples[0].worker_util[0], util_b, "util keeps the busiest shard");
+        assert!((a.samples[1].energy_j - energy_want).abs() < 1e-15, "energy adds");
+        let ipw = a.samples[1].completed as f64 / a.samples[1].energy_j;
+        assert!((a.samples[1].img_per_watt - ipw).abs() < 1e-9, "img/W recomputed");
+        // The merged series still exports and re-parses.
+        let back = TimeSeries::from_csv(&a.csv()).expect("merged CSV parses");
+        assert_eq!(back.samples.len(), a.samples.len());
+    }
+
+    #[test]
+    fn merge_handles_unequal_lengths_and_rejects_mismatched_shapes() {
+        let mk = |end_ms: f64| {
+            let mut b =
+                TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(10.0), ms(5.0));
+            b.on_arrival();
+            b.on_complete(ms(1.0));
+            b.finish(at(end_ms), 0)
+        };
+        // Longer other: self grows a tail carrying its own finals.
+        let mut a = mk(10.0);
+        let b = mk(30.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.samples.len(), 3);
+        assert_eq!(a.samples[2].completed, 2, "both shards' finals in the tail");
+        // Shorter other: its final cumulative values carry through.
+        let mut c = mk(30.0);
+        c.merge(&mk(10.0)).unwrap();
+        assert_eq!(c.samples[2].completed, 2);
+        assert_eq!(c.samples[2].queue_depth, 0, "instantaneous columns don't carry");
+
+        let mut d = mk(10.0);
+        let other = TimeSeriesBuilder::new(vec!["x".into()], SimTime::ZERO, ms(10.0), ms(5.0))
+            .finish(at(10.0), 0);
+        let err = d.merge(&other).unwrap_err();
+        assert!(err.contains("worker labels"), "{err}");
+        let other = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(20.0), ms(5.0))
+            .finish(at(20.0), 0);
+        let err = d.merge(&other).unwrap_err();
+        assert!(err.contains("interval"), "{err}");
     }
 
     #[test]

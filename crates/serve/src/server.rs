@@ -44,8 +44,9 @@ use desim::{Duration, SimTime};
 use ncsw::service::{FailureKind, ServeError, ServiceHook};
 use ncsw_ctrl::{PrimeContext, ScaleDecision, ScaleSignals, ScalingPolicy};
 use ncsw_obs::{
-    prof, BatchObs, CounterId, Ctx, EnergyMeter, Event, EventLog, GaugeId, HistogramId, Lane,
-    NullRecorder, Phase, ProfiledRecorder, Recorder, Registry, TimeSeries, TimeSeriesBuilder,
+    prof, BatchObs, CounterId, Ctx, EnergyMeter, Event, EventLog, FlightConfig, FlightRecorder,
+    GaugeId, HistogramId, Lane, NullRecorder, Phase, ProfiledRecorder, Recorder, Registry,
+    SamplePolicy, SampleStats, SamplingRecorder, Tee, TimeSeries, TimeSeriesBuilder,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -495,24 +496,47 @@ struct Pending {
 pub struct ObsConfig {
     /// Time-series sampling interval (virtual time).
     pub sample_every: Duration,
+    /// Tail-based trace sampling policy. `None` (and the all-keep
+    /// policy) capture the full event log, byte-identical to each
+    /// other; a 1-in-N policy keeps anomalous request chains in full
+    /// and drops most of the happy path (see
+    /// [`ncsw_obs::SamplingRecorder`]).
+    pub sample: Option<SamplePolicy>,
+    /// Bounds of the always-on [`FlightRecorder`] incident ring.
+    pub flight: FlightConfig,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
-        ObsConfig { sample_every: Duration::from_millis(10.0) }
+        ObsConfig {
+            sample_every: Duration::from_millis(10.0),
+            sample: None,
+            flight: FlightConfig::default(),
+        }
     }
 }
 
 /// Everything an observed run captured beyond the [`ServeOutcome`].
 #[derive(Debug)]
 pub struct ServeObservation {
-    /// Structured event stream (export with [`ncsw_obs::chrome_trace`]).
+    /// Structured event stream — the full log, or the sampled one when
+    /// [`ObsConfig::sample`] names a dropping policy (export with
+    /// [`ncsw_obs::chrome_trace`]).
     pub events: EventLog,
     /// Periodic samples of queue/worker state (export with
     /// [`TimeSeries::csv`]).
     pub series: TimeSeries,
-    /// Counters, gauges and latency histograms of the run.
+    /// Counters, gauges and latency histograms of the run. Always
+    /// full-fidelity: metrics see every request even under sampling.
     pub registry: Registry,
+    /// Keep/drop ledger of the sampling recorder (`None` when
+    /// [`ObsConfig::sample`] is `None`).
+    pub sample: Option<SampleStats>,
+    /// The always-on incident flight recorder: its ring holds the
+    /// run's final trace window, and `incidents()` any snapshots taken
+    /// when `CircuitOpen`/`IntegrityFail` fired mid-run. The bench
+    /// layer adds burn-rate-alert snapshots post-run.
+    pub flight: FlightRecorder,
 }
 
 /// Registered metric handles of one observed run.
@@ -1384,7 +1408,6 @@ fn observed_core(
     assert!(!workers.is_empty(), "need at least one worker");
     let epoch = workers.iter().map(|w| w.busy_until()).max().unwrap();
     let labels = workers.iter().map(|w| w.label()).collect();
-    let mut events = EventLog::new();
     let mut builder = TimeSeriesBuilder::new(labels, epoch, ocfg.sample_every, cfg.slo);
     builder.set_power(
         workers
@@ -1403,14 +1426,36 @@ fn observed_core(
         sampler: SamplerDrive { b: builder, pending: BinaryHeap::new() },
         meters: Meters::new(),
     };
-    // With the profiler on, meter the recorder path (events forwarded +
-    // wall ns inside record()); the wrapper forwards verbatim, so the
-    // captured log — and everything derived from it — is unchanged.
-    let outcome = if prof::enabled() {
-        let mut profiled = ProfiledRecorder::new(&mut events);
-        serve_core(workers, cfg, process, n, &mut profiled, Some(&mut obs), ctrl)
-    } else {
-        serve_core(workers, cfg, process, n, &mut events, Some(&mut obs), ctrl)
+    // Recorder stack, all passive: the base sink is either the full
+    // event log or a tail-sampling recorder, teed into the always-on
+    // flight-recorder ring; with the profiler on, the stack is wrapped
+    // to meter the record() path (events forwarded + wall ns). None of
+    // the layers influence timing or RNG state, so the outcome is
+    // identical whichever stack is active.
+    let mut full_log: Option<EventLog> = None;
+    let mut sampler: Option<SamplingRecorder> = None;
+    let mut flight = FlightRecorder::new(ocfg.flight.clone());
+    let outcome = {
+        let base: &mut dyn Recorder = match &ocfg.sample {
+            Some(policy) => {
+                sampler.insert(SamplingRecorder::new(policy.clone(), cfg.seed, cfg.slo))
+            }
+            None => full_log.insert(EventLog::new()),
+        };
+        let mut tee = Tee { a: base, b: &mut flight };
+        if prof::enabled() {
+            let mut profiled = ProfiledRecorder::new(&mut tee);
+            serve_core(workers, cfg, process, n, &mut profiled, Some(&mut obs), ctrl)
+        } else {
+            serve_core(workers, cfg, process, n, &mut tee, Some(&mut obs), ctrl)
+        }
+    };
+    let (mut events, sample) = match sampler {
+        Some(s) => {
+            let (log, stats) = s.finish();
+            (log, Some(stats))
+        }
+        None => (full_log.unwrap_or_default(), None),
     };
     let series = obs.sampler.finish(outcome.end());
     let mut registry = obs.meters.finish();
@@ -1420,7 +1465,7 @@ fn observed_core(
     let horizon = outcome.energy_horizon();
     outcome.energy.record_into(&mut events, horizon);
     outcome.energy.register(&mut registry, horizon);
-    (outcome, ServeObservation { events, series, registry })
+    (outcome, ServeObservation { events, series, registry, sample, flight })
 }
 
 fn serve_core(

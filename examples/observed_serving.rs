@@ -27,7 +27,7 @@ fn main() {
         &cfg,
         &load,
         400,
-        &ObsConfig { sample_every: Duration::from_millis(10.0) },
+        &ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() },
     );
     let report = ServeReport::of(&outcome, &cfg);
 

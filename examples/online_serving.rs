@@ -6,7 +6,10 @@
 //! the E21 self-observability report: what watching the run costs in
 //! wall time, recorder nanoseconds and exporter bytes — and the E22
 //! gray-failure drill: a stick silently slows 6x and the hedging +
-//! quarantine defenses claw the p99 back, pricing the hedges in joules.
+//! quarantine defenses claw the p99 back, pricing the hedges in joules
+//! — and the E23 tail sampler: the same observed run kept at 1-in-20,
+//! every anomalous chain intact, with one request's causal timeline
+//! explained from the thinned trace.
 //!
 //! ```text
 //! cargo run --release --example online_serving
@@ -162,7 +165,7 @@ fn main() {
         &cfg,
         &steady,
         n,
-        &ObsConfig { sample_every: Duration::from_millis(10.0) },
+        &ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() },
     );
     let mut trace = Vec::new();
     let trace_stats = chrome_trace_to(&obs.events, &mut trace).unwrap();
@@ -228,5 +231,58 @@ fn main() {
             outcome.gray.quarantines,
             outcome.gray.hedge_wasted_pj as f64 * 1e-12,
         );
+    }
+
+    // E23: observability that scales. Rerun the observed cell with the
+    // tail sampler: each request's span chain buffers until its
+    // terminal event, anomalies (SLO violations, sheds, retries,
+    // hedges...) are always kept in full, a top-K reservoir keeps the
+    // latency tail, and a seeded 1-in-N hash keeps a happy-path slice.
+    // Sampling is passive — the serving outcome never moves — it only
+    // decides which chains survive into the exported trace.
+    use vpu_coprocessor::analyze::SpanForest;
+    use vpu_coprocessor::obs::{chrome_trace, SamplePolicy};
+    let observed = |sample: Option<SamplePolicy>| {
+        let mut workers = FleetSpec::parse("cpu+gpu+8xvpu").unwrap().build(&model);
+        serve_observed(
+            &mut workers,
+            &cfg,
+            &steady,
+            n,
+            &ObsConfig {
+                sample_every: Duration::from_millis(10.0),
+                sample,
+                ..ObsConfig::default()
+            },
+        )
+    };
+    let (_, full) = observed(None);
+    let (_, thinned) = observed(Some(SamplePolicy::parse("1-in-20+top8").unwrap()));
+    let stats = thinned.sample.clone().expect("sampled run carries its keep/drop ledger");
+    let full_bytes = chrome_trace(&full.events).len();
+    let thin_bytes = chrome_trace(&thinned.events).len();
+    println!("\nE23 tail sampling, the same observed run at 1-in-20+top8:");
+    println!("  {}", stats.render());
+    println!(
+        "  trace {full_bytes} B -> {thin_bytes} B ({:.1}x smaller), outcome untouched",
+        full_bytes as f64 / thin_bytes as f64
+    );
+
+    // One kept request, explained from the *thinned* trace: the phase
+    // timeline and the nine-segment latency attribution survive intact
+    // for every chain the sampler kept — here, the slowest request in
+    // the run (reservoir-kept, so always present).
+    let forest = SpanForest::build(&thinned.events);
+    let slowest = forest
+        .requests
+        .values()
+        .filter_map(|r| r.latency().map(|l| (l.nanos(), r.id)))
+        .max()
+        .map(|(_, id)| id)
+        .expect("the reservoir keeps the latency tail");
+    println!();
+    match vpu_coprocessor::analyze::explain_request(&thinned.events, slowest) {
+        Ok(text) => print!("{text}"),
+        Err(e) => println!("explain failed: {e}"),
     }
 }

@@ -275,6 +275,98 @@ fn gray_defenses_off_are_passive_byte_identical_to_plain_run() {
 }
 
 #[test]
+fn sampled_trace_is_byte_identical_and_all_keep_matches_plain() {
+    // Tail sampling draws only from its own seeded stream and decides
+    // keep/drop after the run, so a sampled trace must reproduce
+    // byte-for-byte — and the all-keep policy must be a pure
+    // pass-through, byte-identical to running with no policy at all.
+    use vpu_coprocessor::experiments::serve_bench::{traced_serve, traced_serve_sampled};
+    use vpu_coprocessor::experiments::Scale;
+    use vpu_coprocessor::obs::SamplePolicy;
+    use vpu_coprocessor::serving::{DispatchPolicy, GrayConfig};
+    use vpu_coprocessor::sim::Duration;
+    let sampled = |spec: &str| {
+        traced_serve_sampled(
+            Scale::Tiny,
+            Duration::from_millis(500.0),
+            DispatchPolicy::CostAware,
+            Duration::from_millis(10.0),
+            None,
+            GrayConfig::default(),
+            Some(SamplePolicy::parse(spec).expect("spec")),
+        )
+    };
+    let a = sampled("1-in-25+top8");
+    let b = sampled("1-in-25+top8");
+    assert_eq!(a.chrome_json, b.chrome_json, "sampled trace JSON must be byte-identical");
+    assert_eq!(a.series_csv, b.series_csv, "sampled series CSV must be byte-identical");
+    assert_eq!(a.summary, b.summary, "sampled summary must be byte-identical");
+    let (sa, sb) = (a.sample.expect("sampling ledger"), b.sample.expect("sampling ledger"));
+    assert_eq!(sa, sb, "the sampling ledger must reproduce exactly");
+    assert!(sa.requests_dropped() > 0, "1-in-25 on a tiny run must drop some requests");
+    let plain = traced_serve(
+        Scale::Tiny,
+        Duration::from_millis(500.0),
+        DispatchPolicy::CostAware,
+        Duration::from_millis(10.0),
+    );
+    let all = sampled("all");
+    assert_eq!(plain.chrome_json, all.chrome_json, "all-keep trace must match the unsampled run");
+    assert_eq!(plain.series_csv, all.series_csv, "all-keep series must match the unsampled run");
+    assert_eq!(plain.summary, all.summary, "all-keep summary must match the unsampled run");
+    assert!(all.sample.expect("ledger").keeps_all());
+}
+
+#[test]
+fn incident_bundles_are_byte_identical_across_runs() {
+    // The flight recorder snapshots off the same virtual clock the
+    // scheduler runs on, so a faulted run must produce the same
+    // incident bundles — trigger, window and replay command — every
+    // time.
+    use vpu_coprocessor::experiments::serve_bench::traced_serve_sampled;
+    use vpu_coprocessor::experiments::Scale;
+    use vpu_coprocessor::faults::FaultPlan;
+    use vpu_coprocessor::serving::{DispatchPolicy, GrayConfig};
+    use vpu_coprocessor::sim::Duration;
+    let run = || {
+        let plan = FaultPlan::parse("unplug@100ms:reconnect@400ms").expect("plan");
+        let t = traced_serve_sampled(
+            Scale::Tiny,
+            Duration::from_millis(500.0),
+            DispatchPolicy::CostAware,
+            Duration::from_millis(10.0),
+            Some(&plan),
+            GrayConfig::default(),
+            None,
+        );
+        t.incidents
+            .iter()
+            .map(|b| {
+                (
+                    b.n,
+                    b.trigger.clone(),
+                    b.at_ms.to_bits(),
+                    b.trace_window.clone(),
+                    b.replay.clone(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "an unplug fault must fire at least one incident bundle");
+    assert_eq!(a, b, "incident bundles must be byte-identical across runs");
+    let (_, trigger, _, window, replay) = &a[0];
+    assert_eq!(trigger, "circuit-open");
+    assert!(window.starts_with(r#"{"displayTimeUnit":"ms","traceEvents":["#));
+    assert!(
+        replay.starts_with("repro serve "),
+        "replay must be a runnable repro command: {replay}"
+    );
+    assert!(replay.contains("--faults unplug@100ms:reconnect@400ms"));
+}
+
+#[test]
 fn different_seeds_change_results() {
     let preds = |seed: u64| {
         let spec = Arc::new(Variant::Tiny.build());

@@ -96,7 +96,7 @@ fn mid_run_unplug_loses_no_admitted_request() {
 fn empty_fault_plan_is_byte_identical_to_no_plan() {
     let cfg = ServeConfig::default();
     let load = ArrivalProcess::Poisson { rate_per_sec: RATE };
-    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0) };
+    let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() };
 
     let mut plain = FleetSpec::parse(FLEET).unwrap().build(&model());
     let (plain_outcome, plain_obs) = serve_observed(&mut plain, &cfg, &load, REQUESTS, &ocfg);
@@ -127,7 +127,7 @@ fn same_seed_and_plan_replay_byte_identically() {
         let mut workers = FleetSpec::parse(FLEET).unwrap().build(&model());
         workers = mid_run_unplug().apply(workers, cfg.seed);
         let load = ArrivalProcess::Poisson { rate_per_sec: RATE };
-        let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0) };
+        let ocfg = ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() };
         let (outcome, obs) = serve_observed(&mut workers, &cfg, &load, REQUESTS, &ocfg);
         (
             serde_json::to_string(&ServeReport::of(&outcome, &cfg)).unwrap(),

@@ -33,7 +33,7 @@ fn observed_run() -> (ServeOutcome, vpu_coprocessor::serving::ServeObservation) 
         &cfg,
         &load,
         200,
-        &ObsConfig { sample_every: Duration::from_millis(10.0) },
+        &ObsConfig { sample_every: Duration::from_millis(10.0), ..ObsConfig::default() },
     )
 }
 
@@ -118,6 +118,74 @@ fn streaming_exporters_match_buffered_on_a_real_run() {
     assert_eq!(String::from_utf8(csv_sink).unwrap(), csv);
     assert_eq!(csv_stats.bytes, csv.len() as u64);
     assert!(csv_stats.peak_buffered > 0 && csv_stats.peak_buffered < csv_stats.bytes);
+}
+
+#[test]
+fn tail_sampling_is_passive_and_keeps_anomalous_chains_in_full() {
+    // The sampler watches the stream and decides keep/drop after each
+    // request's terminal event — it never touches virtual time or the
+    // serve RNG streams, so the outcome is bit-identical to an
+    // unsampled run. Every anomalous request (shed, SLO-violating or
+    // retried) must survive sampling with its full chain intact, and
+    // the sampled log must still pass the structural trace validator.
+    use vpu_coprocessor::analyze::{Outcome, SpanForest};
+    use vpu_coprocessor::obs::SamplePolicy;
+    let run = |sample: Option<SamplePolicy>| {
+        let model = vpu_coprocessor::framework::ModelBundle::googlenet_untrained(
+            vpu_coprocessor::nn::googlenet::Variant::Tiny,
+            1,
+        );
+        let mut workers = FleetSpec::parse("cpu+2xvpu").unwrap().build(&model);
+        // Overload the fleet against a tight SLO so the run produces
+        // real anomalies (sheds and SLO violations) to retain.
+        let cfg = ServeConfig { slo: Duration::from_millis(30.0), ..ServeConfig::default() };
+        let load = ArrivalProcess::Poisson { rate_per_sec: 20000.0 };
+        serve_observed(
+            &mut workers,
+            &cfg,
+            &load,
+            200,
+            &ObsConfig {
+                sample_every: Duration::from_millis(10.0),
+                sample,
+                ..ObsConfig::default()
+            },
+        )
+    };
+    let (full_out, full_obs) = run(None);
+    let (out, obs) = run(Some(SamplePolicy::parse("1-in-20+top4").unwrap()));
+    assert_eq!(fingerprint(&full_out), fingerprint(&out), "sampling must not perturb the run");
+    assert!(full_obs.sample.is_none(), "an unsampled run must not carry a sampling ledger");
+    let stats = obs.sample.clone().expect("a sampled run must carry the keep/drop ledger");
+    assert_eq!(stats.spec, "1-in-20+top4");
+    assert!(stats.requests_kept < stats.requests_seen, "1-in-20 must drop requests: {stats:?}");
+    assert!(stats.events_kept < stats.events_seen, "dropping chains must drop events: {stats:?}");
+    assert!(stats.reservoir > 0, "the top-K-slowest reservoir must keep something: {stats:?}");
+    // Anomalies, judged from the FULL log, must all survive bit-for-bit.
+    let slo = Duration::from_millis(30.0);
+    let forest = SpanForest::build(&full_obs.events);
+    let anomalous: Vec<u64> = forest
+        .requests
+        .values()
+        .filter(|r| {
+            matches!(r.outcome(), Outcome::Shed)
+                || r.retries > 0
+                || r.latency().is_some_and(|l| l.nanos() > slo.nanos())
+        })
+        .map(|r| r.id)
+        .collect();
+    assert!(!anomalous.is_empty(), "the overloaded run must produce anomalous requests");
+    for id in &anomalous {
+        let full_chain: Vec<_> = full_obs.events.for_request(*id).into_iter().copied().collect();
+        let kept_chain: Vec<_> = obs.events.for_request(*id).into_iter().copied().collect();
+        assert!(!kept_chain.is_empty(), "anomalous request {id} was dropped by the sampler");
+        assert_eq!(full_chain, kept_chain, "request {id} must keep its full chain");
+    }
+    // The thinned log still validates structurally.
+    let json = vpu_coprocessor::obs::chrome_trace(&obs.events);
+    let check = vpu_coprocessor::experiments::trace_check::validate(&json)
+        .expect("sampled trace must validate");
+    assert!(check.chained > 0);
 }
 
 #[test]
