@@ -216,7 +216,13 @@ pub struct E2e {
 
 impl E2e {
     fn of(breakdowns: &[Breakdown]) -> E2e {
-        let mut ns: Vec<u64> = breakdowns.iter().map(|b| b.total.nanos()).collect();
+        E2e::of_ns(breakdowns.iter().map(|b| b.total.nanos()).collect())
+    }
+
+    /// Exact stats over raw nanosecond latencies — the what-if engine
+    /// aggregates counterfactual (scaled) latencies through the same
+    /// nearest-rank math as the observed ones.
+    pub(crate) fn of_ns(mut ns: Vec<u64>) -> E2e {
         ns.sort_unstable();
         let total: u64 = ns.iter().sum();
         E2e {

@@ -1,23 +1,87 @@
 //! `repro explain <request-id>`: one request's causal timeline.
 //!
-//! Renders everything the trace knows about a single request — its
+//! Builds everything the trace knows about a single request — its
 //! chronological event timeline (dispatch attempts, retries, hedges,
 //! integrity failures), the nine telescoping latency segments with the
 //! critical one marked, and the batch-scoped side events (hedges,
-//! quarantines) of every batch that carried it. Works on a full trace
-//! or a tail-sampled one: sampling keeps kept chains intact, so an
-//! anomalous request explains identically either way; a sampled-out
-//! request yields a one-line error saying so.
+//! quarantines) of every batch that carried it — as a structured
+//! [`Explanation`] (the `repro explain --json` shape), with
+//! [`Explanation::render`] producing the human timeline. Works on a
+//! full trace or a tail-sampled one: sampling keeps kept chains intact,
+//! so an anomalous request explains identically either way; a
+//! sampled-out request yields a one-line error saying so.
 
 use crate::attribution::{Breakdown, Segment};
 use crate::parse::parse_chrome_trace;
 use crate::span::{Outcome, SpanForest};
 use desim::SimTime;
 use ncsw_obs::{Event, EventLog, Phase};
+use serde::Serialize;
 use std::fmt::Write as _;
 
-/// Render the causal timeline of `id` from a parsed event log.
-pub fn explain_request(log: &EventLog, id: u64) -> Result<String, String> {
+/// One timeline (or batch-side) event of an [`Explanation`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ExplainEvent {
+    /// Offset from the request's arrival, ms.
+    pub t_ms: f64,
+    pub phase: String,
+    /// Span duration; `None` for instant events.
+    pub dur_ms: Option<f64>,
+    pub lane: String,
+    pub batch: Option<u64>,
+    pub cause: Option<String>,
+}
+
+impl ExplainEvent {
+    fn of(ev: &Event, t0: SimTime) -> ExplainEvent {
+        ExplainEvent {
+            t_ms: ev.start.since(t0).as_millis(),
+            phase: ev.phase.name().to_string(),
+            dur_ms: ev.end.map(|end| end.since(ev.start).as_millis()),
+            lane: ev.lane.name(),
+            batch: ev.ctx.batch_id,
+            cause: ev.cause.map(|c| c.name().to_string()),
+        }
+    }
+}
+
+/// One of the nine telescoping latency segments.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExplainSegment {
+    pub segment: String,
+    /// Exact nanoseconds (they sum to the total exactly).
+    pub ns: u64,
+    pub ms: f64,
+    pub critical: bool,
+}
+
+/// The structured shape of `repro explain` (and its `--json` output):
+/// one request's full causal story.
+#[derive(Debug, Clone, Serialize)]
+pub struct Explanation {
+    pub id: u64,
+    /// `completed` | `shed` | `incomplete`.
+    pub outcome: String,
+    /// Arrival instant, absolute ms into the run.
+    pub arrive_ms: f64,
+    pub latency_ms: Option<f64>,
+    pub worker: Option<u32>,
+    pub batch: Option<u64>,
+    pub retries: u32,
+    pub shed_cause: Option<String>,
+    pub shed_after_ms: Option<f64>,
+    /// The request's own events, chronological, offsets from arrival.
+    pub timeline: Vec<ExplainEvent>,
+    /// Hedges/quarantines/failovers on any batch that carried it.
+    pub batch_side_events: Vec<ExplainEvent>,
+    /// The nine exact segments; empty unless the request completed.
+    pub segments: Vec<ExplainSegment>,
+    /// Name of the critical (largest) segment, when completed.
+    pub critical: Option<String>,
+}
+
+/// Build the structured explanation of `id` from a parsed event log.
+pub fn explain(log: &EventLog, id: u64) -> Result<Explanation, String> {
     let evs = log.for_request(id);
     if evs.is_empty() {
         return Err(format!(
@@ -31,59 +95,7 @@ pub fn explain_request(log: &EventLog, id: u64) -> Result<String, String> {
         .get(&id)
         .ok_or_else(|| format!("request {id} has events but no span tree"))?;
     let t0 = r.arrive;
-    let ms = |t: SimTime| t.since(t0).as_millis();
-    let mut out = String::new();
 
-    // Headline: how the story ended.
-    match r.outcome() {
-        Outcome::Completed => {
-            let _ = writeln!(
-                out,
-                "request {id}: completed in {:.3} ms on worker {} (batch {}){}",
-                r.latency().map(|d| d.as_millis()).unwrap_or(0.0),
-                r.worker.map_or("?".to_string(), |w| w.to_string()),
-                r.batch.map_or("?".to_string(), |b| b.to_string()),
-                if r.retries > 0 {
-                    format!(", {} retr{}", r.retries, if r.retries == 1 { "y" } else { "ies" })
-                } else {
-                    String::new()
-                }
-            );
-        }
-        Outcome::Shed => {
-            let _ = writeln!(
-                out,
-                "request {id}: shed ({}) {:.3} ms after arrival",
-                r.shed_cause.map_or("unknown", |c| c.name()),
-                r.shed_at.map(ms).unwrap_or(0.0),
-            );
-        }
-        Outcome::Incomplete => {
-            let _ = writeln!(out, "request {id}: incomplete in this trace (truncated run?)");
-        }
-    }
-
-    // Chronological event timeline, offsets relative to arrival.
-    let _ = writeln!(out, "\ntimeline (t=0 at arrival, {:.3} ms absolute):", t0.as_millis());
-    for ev in &evs {
-        let _ = write!(out, "  t+{:>9.3} ms  {:<12}", ms(ev.start), ev.phase.name());
-        if let Some(end) = ev.end {
-            let _ = write!(out, " {:>9.3} ms", end.since(ev.start).as_millis());
-        } else {
-            let _ = write!(out, " {:>12}", "·");
-        }
-        let _ = write!(out, "  {}", ev.lane.name());
-        if let Some(b) = ev.ctx.batch_id {
-            let _ = write!(out, "  batch {b}");
-        }
-        if let Some(c) = ev.cause {
-            let _ = write!(out, "  cause {}", c.name());
-        }
-        out.push('\n');
-    }
-
-    // Batch-scoped side events: hedges/quarantines/failovers on any
-    // batch that carried this request.
     let batches: Vec<u64> =
         evs.iter().filter_map(|e| e.ctx.batch_id).fold(Vec::new(), |mut acc, b| {
             if !acc.contains(&b) {
@@ -91,7 +103,7 @@ pub fn explain_request(log: &EventLog, id: u64) -> Result<String, String> {
             }
             acc
         });
-    let side: Vec<&Event> = log
+    let side: Vec<ExplainEvent> = log
         .events()
         .iter()
         .filter(|e| {
@@ -106,46 +118,160 @@ pub fn explain_request(log: &EventLog, id: u64) -> Result<String, String> {
                         | Phase::Failover
                 )
         })
+        .map(|e| ExplainEvent::of(e, t0))
         .collect();
-    if !side.is_empty() {
-        let _ = writeln!(out, "\nbatch side events:");
-        for ev in side {
-            let _ = writeln!(
-                out,
-                "  t+{:>9.3} ms  {:<12}  batch {}  {}",
-                ms(ev.start),
-                ev.phase.name(),
-                ev.ctx.batch_id.unwrap_or(0),
-                ev.lane.name()
-            );
-        }
-    }
 
-    // The nine telescoping segments of a completed request.
-    if let Some(b) = Breakdown::of(r) {
-        let _ =
-            writeln!(out, "\nlatency attribution ({:.3} ms total, exact):", b.total.as_millis());
-        let widest = b.segs.iter().map(|d| d.nanos()).max().unwrap_or(1).max(1);
-        for s in Segment::ALL {
-            let d = b.seg(s);
-            let bar = "#".repeat(((d.nanos() * 24) / widest) as usize);
+    let breakdown = Breakdown::of(r);
+    let segments = breakdown
+        .as_ref()
+        .map(|b| {
+            Segment::ALL
+                .into_iter()
+                .map(|s| ExplainSegment {
+                    segment: s.name().to_string(),
+                    ns: b.seg(s).nanos(),
+                    ms: b.seg(s).as_millis(),
+                    critical: s == b.critical,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    Ok(Explanation {
+        id,
+        outcome: match r.outcome() {
+            Outcome::Completed => "completed",
+            Outcome::Shed => "shed",
+            Outcome::Incomplete => "incomplete",
+        }
+        .to_string(),
+        arrive_ms: t0.as_millis(),
+        latency_ms: r.latency().map(|d| d.as_millis()),
+        worker: r.worker,
+        batch: r.batch,
+        retries: r.retries,
+        shed_cause: r.shed_cause.map(|c| c.name().to_string()),
+        shed_after_ms: r.shed_at.map(|t| t.since(t0).as_millis()),
+        timeline: evs.iter().map(|e| ExplainEvent::of(e, t0)).collect(),
+        batch_side_events: side,
+        segments,
+        critical: breakdown.map(|b| b.critical.name().to_string()),
+    })
+}
+
+impl Explanation {
+    /// The human timeline `repro explain` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+
+        // Headline: how the story ended.
+        match self.outcome.as_str() {
+            "completed" => {
+                let _ = writeln!(
+                    out,
+                    "request {}: completed in {:.3} ms on worker {} (batch {}){}",
+                    self.id,
+                    self.latency_ms.unwrap_or(0.0),
+                    self.worker.map_or("?".to_string(), |w| w.to_string()),
+                    self.batch.map_or("?".to_string(), |b| b.to_string()),
+                    if self.retries > 0 {
+                        format!(
+                            ", {} retr{}",
+                            self.retries,
+                            if self.retries == 1 { "y" } else { "ies" }
+                        )
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            "shed" => {
+                let _ = writeln!(
+                    out,
+                    "request {}: shed ({}) {:.3} ms after arrival",
+                    self.id,
+                    self.shed_cause.as_deref().unwrap_or("unknown"),
+                    self.shed_after_ms.unwrap_or(0.0),
+                );
+            }
+            _ => {
+                let _ =
+                    writeln!(out, "request {}: incomplete in this trace (truncated run?)", self.id);
+            }
+        }
+
+        // Chronological event timeline, offsets relative to arrival.
+        let _ = writeln!(out, "\ntimeline (t=0 at arrival, {:.3} ms absolute):", self.arrive_ms);
+        for ev in &self.timeline {
+            let _ = write!(out, "  t+{:>9.3} ms  {:<12}", ev.t_ms, ev.phase);
+            if let Some(d) = ev.dur_ms {
+                let _ = write!(out, " {:>9.3} ms", d);
+            } else {
+                let _ = write!(out, " {:>12}", "·");
+            }
+            let _ = write!(out, "  {}", ev.lane);
+            if let Some(b) = ev.batch {
+                let _ = write!(out, "  batch {b}");
+            }
+            if let Some(c) = &ev.cause {
+                let _ = write!(out, "  cause {c}");
+            }
+            out.push('\n');
+        }
+
+        if !self.batch_side_events.is_empty() {
+            let _ = writeln!(out, "\nbatch side events:");
+            for ev in &self.batch_side_events {
+                let _ = writeln!(
+                    out,
+                    "  t+{:>9.3} ms  {:<12}  batch {}  {}",
+                    ev.t_ms,
+                    ev.phase,
+                    ev.batch.unwrap_or(0),
+                    ev.lane
+                );
+            }
+        }
+
+        // The nine telescoping segments of a completed request.
+        if !self.segments.is_empty() {
+            let total_ns: u64 = self.segments.iter().map(|s| s.ns).sum();
             let _ = writeln!(
                 out,
-                "  {:<14} {:>9.3} ms {}{}",
-                s.name(),
-                d.as_millis(),
-                bar,
-                if s == b.critical { "  <- critical" } else { "" }
+                "\nlatency attribution ({:.3} ms total, exact):",
+                total_ns as f64 / 1e6
             );
+            let widest = self.segments.iter().map(|s| s.ns).max().unwrap_or(1).max(1);
+            for s in &self.segments {
+                let bar = "#".repeat(((s.ns * 24) / widest) as usize);
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>9.3} ms {}{}",
+                    s.segment,
+                    s.ms,
+                    bar,
+                    if s.critical { "  <- critical" } else { "" }
+                );
+            }
         }
+        out
     }
-    Ok(out)
+}
+
+/// Render the causal timeline of `id` from a parsed event log.
+pub fn explain_request(log: &EventLog, id: u64) -> Result<String, String> {
+    Ok(explain(log, id)?.render())
+}
+
+/// [`explain`] over Chrome trace-event JSON (full or sampled).
+pub fn explain_chrome_json(json: &str, id: u64) -> Result<Explanation, String> {
+    let log = parse_chrome_trace(json)?;
+    explain(&log, id)
 }
 
 /// [`explain_request`] over Chrome trace-event JSON (full or sampled).
 pub fn explain_chrome(json: &str, id: u64) -> Result<String, String> {
-    let log = parse_chrome_trace(json)?;
-    explain_request(&log, id)
+    Ok(explain_chrome_json(json, id)?.render())
 }
 
 #[cfg(test)]
@@ -191,6 +317,25 @@ mod tests {
     }
 
     #[test]
+    fn structured_explanation_carries_the_same_story() {
+        let e = explain(&served_log(), 7).expect("request present");
+        assert_eq!(e.outcome, "completed");
+        assert_eq!(e.latency_ms, Some(62.0));
+        assert_eq!((e.worker, e.batch, e.retries), (Some(1), Some(0), 0));
+        assert_eq!(e.timeline.len(), 8, "the request's own events, in order");
+        assert_eq!(e.batch_side_events.len(), 1);
+        assert_eq!(e.batch_side_events[0].phase, "Hedge");
+        // Segments telescope exactly and name the critical one.
+        assert_eq!(e.segments.len(), 9);
+        assert_eq!(e.segments.iter().map(|s| s.ns).sum::<u64>(), 62_000_000);
+        assert_eq!(e.critical.as_deref(), Some("exec"));
+        assert!(e.segments.iter().any(|s| s.segment == "exec" && s.critical && s.ns == 48_000_000));
+        // And it is what the JSON arm serializes.
+        let json = serde_json::to_string_pretty(&e).expect("serialize");
+        assert!(json.contains("\"critical\": \"exec\""), "{json}");
+    }
+
+    #[test]
     fn explains_a_shed_request_and_rejects_unknown_ids() {
         let mut log = EventLog::new();
         let r = Ctx::request(3);
@@ -200,6 +345,10 @@ mod tests {
         );
         let text = explain_request(&log, 3).unwrap();
         assert!(text.starts_with("request 3: shed (rejected) 4.000 ms after arrival"), "{text}");
+        let e = explain(&log, 3).unwrap();
+        assert_eq!(e.outcome, "shed");
+        assert_eq!(e.shed_cause.as_deref(), Some("rejected"));
+        assert!(e.segments.is_empty() && e.critical.is_none());
         let err = explain_request(&log, 99).unwrap_err();
         assert!(err.contains("request 99 not in trace"), "{err}");
         assert!(err.contains("sampling"), "{err}");

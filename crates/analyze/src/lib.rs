@@ -25,6 +25,11 @@
 //! - [`flame::folded`] — the attribution as folded stacks for
 //!   flamegraph tooling (`repro analyze --flame out.folded`);
 //!   [`flame::folded_energy`] is the same shape with picojoule values.
+//! - [`whatif`] — causal what-if profiling: counterfactual predictions
+//!   ("component X at `f`× speed") replayed analytically through the
+//!   nine-segment attribution, with per-component bottleneck ranking.
+//!   Queue-blind by construction; `vpu-bench`'s E24 experiment
+//!   validates each prediction against an actually-rescaled re-run.
 //! - [`diff`] — paired A/B trace diffing: join two same-seed runs on
 //!   request id, per-request and per-phase deltas, and a
 //!   machine-readable improved/regressed/neutral verdict with
@@ -41,6 +46,7 @@ pub mod explain;
 pub mod flame;
 pub mod parse;
 pub mod span;
+pub mod whatif;
 
 pub use attribution::{
     Analysis, AttributionTable, Breakdown, E2e, Segment, SegmentRow, ShedCounts,
@@ -48,7 +54,8 @@ pub use attribution::{
 pub use burn::{alert_events, burn_alerts, AlertWindow, BurnConfig};
 pub use diff::{diff, DiffConfig, MetricDelta, TraceDiff, Verdict};
 pub use energy::{BusySpan, EnergyAnalysis, RequestEnergy, WorkerLedger};
-pub use explain::{explain_chrome, explain_request};
+pub use explain::{explain, explain_chrome, explain_chrome_json, explain_request, Explanation};
 pub use flame::{folded, folded_energy};
 pub use parse::parse_chrome_trace;
 pub use span::{DeviceSpans, OutageWindow, Outcome, RequestSpan, SpanForest};
+pub use whatif::{predict, rank, Component, Prediction};

@@ -18,6 +18,7 @@
 //!   validate-trace PATH                   check an exported Chrome trace
 //!   explain TRACE ID                      one request's causal timeline from a trace
 //!   sample-sweep                          E23 tail-sampling cost/fidelity curve
+//!   whatif                                E24 causal what-if profiling (exit 1 on gate violation)
 //!   all                                   everything above
 //! ```
 //!
@@ -80,15 +81,21 @@ impl EnergyJson {
     }
 }
 
+/// Comma-separated positive floats (`0.9,0.75,0.5`).
+fn parse_f64_list(s: &str) -> Option<Vec<f64>> {
+    let vals: Vec<f64> = s.split(',').map(|v| v.parse::<f64>()).collect::<Result<_, _>>().ok()?;
+    (!vals.is_empty() && vals.iter().all(|&v| v > 0.0)).then_some(vals)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|anchors|timeline|\
-         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|bench-sim|gray|chaos|abdiff|sample-sweep|all> \
+         ablation-accum|ablation-usb|ablation-shave|ablation-faults|ablation-prefetch|ablation-blob|mdk-gemm|layers|zoo|stream|power|energy|future-work|serve|failover|autoscale|bench-sim|gray|chaos|abdiff|sample-sweep|whatif|all> \
          [--scale tiny|small|paper] [--json [PATH]] [--csv DIR] [--slo-ms MS] [--policy round-robin|least-outstanding|cost-aware] \
          [--trace PATH] [--metrics-csv PATH] [--sample-ms MS] [--sample all|1-in-N[+topK]] [--incidents DIR] [--faults SPEC] [--gray] [--ctrl reactive|predictive|oracle] [--prof]\n\
          \x20      repro chaos [--campaigns N] [--seed S]\n\
          \x20      repro validate-trace PATH\n\
-         \x20      repro explain TRACE REQUEST_ID\n\
+         \x20      repro explain TRACE REQUEST_ID [--json [PATH]]\n\
          \x20      repro analyze TRACE [--flame PATH] [--flame-energy PATH] [--json [PATH]] [--prof]\n\
          \x20      repro diff BASELINE_TRACE CANDIDATE_TRACE [--abs-ms MS] [--rel-pct PCT] [--json [PATH]]\n\
          \x20      repro bench-diff BASE_SIM_JSON CAND_SIM_JSON [--tol-pct PCT] [--json [PATH]]\n\
@@ -114,7 +121,13 @@ fn usage() -> ExitCode {
          everything (byte-identical to the unsampled trace)\n\
          \x20      --incidents DIR writes each flight-recorder incident bundle (circuit-open, \
          integrity-fail, burn-rate) as DIR/incident_<n>.json with its trace window and a \
-         one-line deterministic replay command"
+         one-line deterministic replay command\n\
+         \x20      whatif sweeps --components (comma list of usb-write,usb-read,exec,\
+         batch-wait,dispatch,host) x --factors (e.g. 0.9,0.75,0.5) x --loads (capacity \
+         fractions), validating each analytic counterfactual against an actually-rescaled \
+         re-simulation; --tol-pct sets the agreement tolerance (default 10), --trace PATH \
+         writes the baseline Chrome trace plus PATH.identity.json from the f=1.0 arm \
+         (byte-identical by construction), exit 1 when the E24 gate is violated"
     );
     ExitCode::from(2)
 }
@@ -139,12 +152,17 @@ fn main() -> ExitCode {
     let mut flame_energy_path: Option<String> = None;
     let mut abs_ms = 0.5f64;
     let mut rel_pct = 5.0f64;
-    let mut tol_pct = 50.0f64;
+    // `None` = flag absent: bench-diff defaults to 50, whatif to its
+    // own gate tolerance.
+    let mut tol_pct: Option<f64> = None;
     let mut prof_on = false;
     let mut gray_on = false;
     let mut campaigns = 25usize;
     let mut seed = vpu_num::rng::DEFAULT_SEED;
     let mut baseline_policy = ncsw_serve::DispatchPolicy::RoundRobin;
+    let mut whatif_components: Option<Vec<ncsw::ScaleComponent>> = None;
+    let mut whatif_factors: Option<Vec<f64>> = None;
+    let mut whatif_loads: Option<Vec<f64>> = None;
     let mut operands: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -232,7 +250,39 @@ fn main() -> ExitCode {
                     eprintln!("bad --tol-pct '{v}'");
                     return usage();
                 };
-                tol_pct = p;
+                tol_pct = Some(p);
+            }
+            "--components" => {
+                let Some(v) = it.next() else { return usage() };
+                let mut parsed = Vec::new();
+                for name in v.split(',') {
+                    let Some(c) = ncsw::ScaleComponent::parse(name) else {
+                        eprintln!("unknown component '{name}'");
+                        return usage();
+                    };
+                    parsed.push(c);
+                }
+                whatif_components = Some(parsed);
+            }
+            "--factors" => {
+                let Some(v) = it.next() else { return usage() };
+                match parse_f64_list(v) {
+                    Some(l) => whatif_factors = Some(l),
+                    None => {
+                        eprintln!("bad --factors '{v}' (comma-separated positive numbers)");
+                        return usage();
+                    }
+                }
+            }
+            "--loads" => {
+                let Some(v) = it.next() else { return usage() };
+                match parse_f64_list(v) {
+                    Some(l) => whatif_loads = Some(l),
+                    None => {
+                        eprintln!("bad --loads '{v}' (comma-separated positive numbers)");
+                        return usage();
+                    }
+                }
             }
             "--prof" => prof_on = true,
             "--gray" => gray_on = true,
@@ -504,7 +554,11 @@ fn main() -> ExitCode {
                         }
                     }
                 };
-                let d = vpu_bench::sim_bench::sim_bench_diff(&load(a_path), &load(b_path), tol_pct);
+                let d = vpu_bench::sim_bench::sim_bench_diff(
+                    &load(a_path),
+                    &load(b_path),
+                    tol_pct.unwrap_or(50.0),
+                );
                 if let Some(p) = &json_path {
                     vpu_bench::report::write_json(p, &d);
                     print!("{}", d.render());
@@ -592,8 +646,17 @@ fn main() -> ExitCode {
                     eprintln!("bad request id '{id}'");
                     std::process::exit(2);
                 };
-                match ncsw_analyze::explain_chrome(&read_file(path), id) {
-                    Ok(text) => print!("{text}"),
+                match ncsw_analyze::explain_chrome_json(&read_file(path), id) {
+                    Ok(e) => {
+                        if let Some(p) = &json_path {
+                            vpu_bench::report::write_json(p, &e);
+                            print!("{}", e.render());
+                        } else if json {
+                            println!("{}", serde_json::to_string_pretty(&e).expect("serialize"));
+                        } else {
+                            print!("{}", e.render());
+                        }
+                    }
                     Err(e) => {
                         eprintln!("{path}: {e}");
                         std::process::exit(1);
@@ -601,6 +664,33 @@ fn main() -> ExitCode {
                 }
             }
             "sample-sweep" => emit!(vpu_bench::sample_bench::sample_exp(scale)),
+            "whatif" => {
+                use vpu_bench::whatif_bench::{self, WhatIfConfig};
+                let defaults = WhatIfConfig::default();
+                let grid = WhatIfConfig {
+                    components: whatif_components.clone().unwrap_or(defaults.components),
+                    factors: whatif_factors.clone().unwrap_or(defaults.factors),
+                    loads: whatif_loads.clone().unwrap_or(defaults.loads),
+                    tolerance_pct: tol_pct.unwrap_or(whatif_bench::TOLERANCE_PCT),
+                };
+                let out = whatif_bench::whatif_run(scale, &grid);
+                // --trace writes the baseline trace plus the f=1.0
+                // arm's as PATH.identity.json, so CI can `cmp` the
+                // passivity claim byte-for-byte.
+                vpu_bench::report::write_artifact_opt(&trace_path, &out.baseline_trace);
+                if let Some(p) = &trace_path {
+                    vpu_bench::report::write_artifact(
+                        &format!("{p}.identity.json"),
+                        &out.identity_trace,
+                    );
+                }
+                write_csv("whatif", vpu_bench::whatif_bench::whatif_csv(&out.exp));
+                let ok = out.exp.whatif_ok;
+                emit!(out.exp);
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
             "analyze" => {
                 let Some(path) = operands.first() else {
                     eprintln!("analyze needs a TRACE path");
@@ -712,6 +802,7 @@ fn main() -> ExitCode {
             "bench-sim",
             "gray",
             "sample-sweep",
+            "whatif",
         ] {
             run(name, json);
         }

@@ -33,6 +33,7 @@ pub mod sim_bench;
 pub mod stream_bench;
 pub mod timeline;
 pub mod trace_check;
+pub mod whatif_bench;
 pub mod zoo_bench;
 
 pub use scale::Scale;

@@ -33,6 +33,10 @@ pub mod target;
 pub use metrics::{AccuracyReport, ConfidenceDiffReport, ThroughputReport};
 pub use model::ModelBundle;
 pub use multivpu::MultiVpu;
-pub use service::{BatchRun, FailureKind, ServeError, ServiceHook};
+pub use service::{BatchRun, FailureKind, ScaleComponent, ScalePlan, ServeError, ServiceHook};
+// Device-config crate, re-exported so downstream layers (e.g. fleet
+// builders threading a `ScalePlan`) can name host configs without a
+// direct dependency edge.
+pub use hostsim;
 pub use source::{ImageFolder, MpiStream, SourceImage};
 pub use target::{IntelCpu, IntelVpu, NvGpu, TargetDevice};

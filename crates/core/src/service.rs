@@ -289,6 +289,171 @@ impl ServiceHook for IntelVpu {
     }
 }
 
+/// Which service-model component a causal what-if [`ScalePlan`]
+/// targets. Each variant names one knob of the simulated hardware the
+/// profiler can virtually speed up (factor < 1) or slow down
+/// (factor > 1); the names match the trace-side latency segments the
+/// analytical prediction scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ScaleComponent {
+    /// Host→device input-tensor transfers (USB wire + command time).
+    UsbWrite,
+    /// Device→host result transfers.
+    UsbRead,
+    /// On-chip execution: the Myriad run on VPU workers (every internal
+    /// unit clock scales together via `Myriad2Config::time_scaled`).
+    Exec,
+    /// The batcher's `max_wait` deadline — how long a batch may form.
+    /// Applied at the serving layer via [`ScalePlan::max_wait`].
+    BatchWait,
+    /// Dispatch-side launch overheads: host thread spawn + LEON command
+    /// processing on VPUs, per-batch framework overhead on hosts.
+    Dispatch,
+    /// The whole host (CPU/GPU) forward call, overhead + compute.
+    Host,
+}
+
+impl ScaleComponent {
+    pub const ALL: [ScaleComponent; 6] = [
+        ScaleComponent::UsbWrite,
+        ScaleComponent::UsbRead,
+        ScaleComponent::Exec,
+        ScaleComponent::BatchWait,
+        ScaleComponent::Dispatch,
+        ScaleComponent::Host,
+    ];
+
+    pub const fn name(self) -> &'static str {
+        match self {
+            ScaleComponent::UsbWrite => "usb-write",
+            ScaleComponent::UsbRead => "usb-read",
+            ScaleComponent::Exec => "exec",
+            ScaleComponent::BatchWait => "batch-wait",
+            ScaleComponent::Dispatch => "dispatch",
+            ScaleComponent::Host => "host",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ScaleComponent> {
+        ScaleComponent::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+/// One counterfactual: scale `component`'s service model by `factor`.
+///
+/// The plan is applied at fleet-build time
+/// (`FleetSpec::build_scaled` threads it into each worker's config) so
+/// estimates, dispatch decisions and energy metering all see the scaled
+/// hardware — the re-run is a real simulation of the faster component,
+/// not a post-hoc edit. An identity plan (factor `1.0`) is
+/// **byte-identical** to an unscaled build: every knob guards the
+/// multiply, which the whatif passivity tests enforce end to end.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScalePlan {
+    pub component: ScaleComponent,
+    pub factor: f64,
+}
+
+/// `x` nanoseconds scaled by `f` (exact at `f == 1.0`).
+fn scale_ns(x: u64, f: f64) -> u64 {
+    (x as f64 * f).round() as u64
+}
+
+impl ScalePlan {
+    pub fn new(component: ScaleComponent, factor: f64) -> ScalePlan {
+        assert!(factor > 0.0, "scale factor must be positive");
+        ScalePlan { component, factor }
+    }
+
+    /// The do-nothing plan every unscaled build is equivalent to.
+    pub fn identity() -> ScalePlan {
+        ScalePlan { component: ScaleComponent::Exec, factor: 1.0 }
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.factor == 1.0
+    }
+
+    /// `component@factor`, e.g. `exec@0.5`.
+    pub fn parse(s: &str) -> Option<ScalePlan> {
+        let (c, f) = s.split_once('@')?;
+        let component = ScaleComponent::parse(c)?;
+        let factor: f64 = f.parse().ok()?;
+        if factor > 0.0 {
+            Some(ScalePlan { component, factor })
+        } else {
+            None
+        }
+    }
+
+    /// CPU config with this plan applied.
+    pub fn cpu_config(&self, base: hostsim::CpuConfig) -> hostsim::CpuConfig {
+        if self.is_identity() {
+            return base;
+        }
+        match self.component {
+            ScaleComponent::Host => hostsim::CpuConfig { service_scale: self.factor, ..base },
+            ScaleComponent::Dispatch => {
+                hostsim::CpuConfig { batch_overhead: base.batch_overhead * self.factor, ..base }
+            }
+            _ => base,
+        }
+    }
+
+    /// GPU config with this plan applied.
+    pub fn gpu_config(&self, base: hostsim::GpuConfig) -> hostsim::GpuConfig {
+        if self.is_identity() {
+            return base;
+        }
+        match self.component {
+            ScaleComponent::Host => hostsim::GpuConfig { service_scale: self.factor, ..base },
+            ScaleComponent::Dispatch => {
+                hostsim::GpuConfig { batch_overhead: base.batch_overhead * self.factor, ..base }
+            }
+            _ => base,
+        }
+    }
+
+    /// VPU pipeline config with this plan applied.
+    pub fn vpu_config(
+        &self,
+        mut base: crate::multivpu::MultiVpuConfig,
+    ) -> crate::multivpu::MultiVpuConfig {
+        if self.is_identity() {
+            return base;
+        }
+        match self.component {
+            ScaleComponent::UsbWrite => base.usb.write_scale = self.factor,
+            ScaleComponent::UsbRead => base.usb.read_scale = self.factor,
+            ScaleComponent::Exec => base.ncs.exec_scale = self.factor,
+            ScaleComponent::Dispatch => {
+                base.thread_spawn = base.thread_spawn * self.factor;
+                base.ncs.risc_cmd_overhead_ns =
+                    scale_ns(base.ncs.risc_cmd_overhead_ns, self.factor);
+            }
+            ScaleComponent::BatchWait | ScaleComponent::Host => {}
+        }
+        base
+    }
+
+    /// The batcher deadline under this plan (the serving layer applies
+    /// it to `ServeConfig::max_wait`; every other component leaves the
+    /// deadline alone).
+    pub fn max_wait(&self, base: Duration) -> Duration {
+        if self.component == ScaleComponent::BatchWait && !self.is_identity() {
+            base * self.factor
+        } else {
+            base
+        }
+    }
+}
+
+impl std::fmt::Display for ScalePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.component.name(), self.factor)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

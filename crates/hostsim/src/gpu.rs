@@ -36,6 +36,11 @@ pub struct GpuConfig {
     pub jitter_cv: f64,
     /// Seed of the jitter stream.
     pub jitter_seed: u64,
+    /// What-if scaling of the whole forward call (overhead + compute):
+    /// `0.5` simulates a GPU twice as fast. `1.0` is byte-identical to
+    /// a config without the knob — the causal profiler's passivity
+    /// guarantee.
+    pub service_scale: f64,
 }
 
 impl Default for GpuConfig {
@@ -51,6 +56,7 @@ impl Default for GpuConfig {
             idle_w: 13.0,
             jitter_cv: 0.008,
             jitter_seed: 2012,
+            service_scale: 1.0,
         }
     }
 }
@@ -106,7 +112,12 @@ impl GpuDevice {
     pub fn batch_duration(&self, cost: &NetworkCost, batch: usize) -> Duration {
         assert!(batch > 0, "batch must be positive");
         assert!(self.batch_fits(cost, batch), "batch {batch} exceeds GPU memory");
-        self.cfg.batch_overhead + self.compute_per_image(cost) * batch as u64
+        let nominal = self.cfg.batch_overhead + self.compute_per_image(cost) * batch as u64;
+        if self.cfg.service_scale == 1.0 {
+            nominal
+        } else {
+            nominal * self.cfg.service_scale
+        }
     }
 
     /// Simulate one batched forward pass starting no earlier than `ready`.

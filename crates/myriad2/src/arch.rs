@@ -50,6 +50,29 @@ pub struct Myriad2Config {
     pub weight_prefetch: bool,
 }
 
+impl Myriad2Config {
+    /// A config whose every timing source runs `f`× as long (`0.5` = a
+    /// chip twice as fast): rate-shaped fields divided by `f`, fixed
+    /// latencies multiplied. Used by the causal profiler's what-if exec
+    /// scaling; every internal unit clock (SHAVE, CMX, DDR, SIPP, LEON
+    /// dispatch) stays mutually consistent because they all derive from
+    /// these four fields. `1.0` returns the config unchanged,
+    /// byte-identically.
+    pub fn time_scaled(&self, f: f64) -> Myriad2Config {
+        assert!(f > 0.0, "time scale must be positive");
+        if f == 1.0 {
+            return self.clone();
+        }
+        Myriad2Config {
+            clock_hz: self.clock_hz / f,
+            ddr_bandwidth: self.ddr_bandwidth / f,
+            ddr_latency_ns: (self.ddr_latency_ns as f64 * f).round() as u64,
+            risc_dispatch_ns: (self.risc_dispatch_ns as f64 * f).round() as u64,
+            ..self.clone()
+        }
+    }
+}
+
 impl Default for Myriad2Config {
     fn default() -> Self {
         Myriad2Config {

@@ -189,7 +189,8 @@ impl Ncapi {
         let t = self.call(at);
         // Block while the device FIFO is full (depth 2 in NCSDK v1).
         let accept = self.fleet.devices[dev].accept_ready(t);
-        let xfer = self.fleet.bus.transfer(port, accept, in_bytes);
+        let scale = self.fleet.bus.config().write_scale;
+        let xfer = self.fleet.bus.transfer_scaled(port, accept, in_bytes, scale);
         self.fleet.devices[dev].submit(xfer.end, output)?;
         Ok(xfer.end)
     }
@@ -207,7 +208,8 @@ impl Ncapi {
         let t = self.call(at);
         let Pending { completion, run, output } = self.fleet.devices[dev].collect()?;
         let avail = SimTime::max_of(t, completion);
-        let xfer = self.fleet.bus.transfer(port, avail, out_bytes);
+        let scale = self.fleet.bus.config().read_scale;
+        let xfer = self.fleet.bus.transfer_scaled(port, avail, out_bytes, scale);
         let returned_at = self.call(xfer.end);
         Ok(InferenceResult { output, run, completion, returned_at })
     }

@@ -25,6 +25,13 @@ pub struct NcsConfig {
     /// Stick peak power (USB interface + DDR + chip), Watts. The paper
     /// quotes 2.5 W peak for the NCS versus 0.9 W chip TDP.
     pub peak_power_w: f64,
+    /// What-if scaling of on-chip execution time (`0.5` = a chip twice
+    /// as fast), applied by constructing the Myriad with
+    /// [`Myriad2Config::time_scaled`] so every internal unit clock
+    /// agrees. Chip energy follows the shorter busy spans. `1.0` is
+    /// byte-identical to a config without the knob — the causal
+    /// profiler's passivity guarantee.
+    pub exec_scale: f64,
 }
 
 impl Default for NcsConfig {
@@ -35,6 +42,7 @@ impl Default for NcsConfig {
             risc_cmd_overhead_ns: 550_000,
             fifo_depth: 2,
             peak_power_w: 2.5,
+            exec_scale: 1.0,
         }
     }
 }
@@ -87,7 +95,7 @@ pub struct NcsDevice {
 impl NcsDevice {
     pub fn new(index: usize, port: UsbPort, cfg: NcsConfig) -> Self {
         NcsDevice {
-            chip: Myriad2::with_lane(cfg.chip.clone(), format!("vpu{index}")),
+            chip: Myriad2::with_lane(cfg.chip.time_scaled(cfg.exec_scale), format!("vpu{index}")),
             risc: FifoResource::new(format!("risc{index}")),
             cfg,
             port,

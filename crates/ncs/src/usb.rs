@@ -40,6 +40,14 @@ pub struct UsbConfig {
     pub retry_penalty_ns: u64,
     /// Seed of the fault-injection stream.
     pub fault_seed: u64,
+    /// What-if scaling of host→device tensor transfers (`0.5` = a bus
+    /// twice as fast on writes). Applies to the wire + command time of
+    /// scaled transfers only; boot-time firmware/graph uploads always
+    /// run at `1.0`. `1.0` is byte-identical to a config without the
+    /// knob — the causal profiler's passivity guarantee.
+    pub write_scale: f64,
+    /// What-if scaling of device→host result transfers.
+    pub read_scale: f64,
 }
 
 impl Default for UsbConfig {
@@ -52,6 +60,8 @@ impl Default for UsbConfig {
             error_rate: 0.0,
             retry_penalty_ns: 2_000_000,
             fault_seed: 2012,
+            write_scale: 1.0,
+            read_scale: 1.0,
         }
     }
 }
@@ -129,10 +139,18 @@ impl UsbBus {
     /// transient errors, each costing the retry backoff plus a second
     /// pass over the wire — deterministic per `(fault_seed, transfer#)`.
     pub fn transfer(&mut self, port: UsbPort, ready: SimTime, bytes: u64) -> Busy {
+        self.transfer_scaled(port, ready, bytes, 1.0)
+    }
+
+    /// [`UsbBus::transfer`] with the wire + command time scaled by the
+    /// what-if factor (callers pass [`UsbConfig::write_scale`] /
+    /// [`UsbConfig::read_scale`] per direction). Retry backoff is driver
+    /// time and stays unscaled; the retried wire pass scales.
+    pub fn transfer_scaled(&mut self, port: UsbPort, ready: SimTime, bytes: u64, f: f64) -> Busy {
         use rand::Rng;
         let seq = self.transfers;
         self.transfers += 1;
-        let mut busy = self.transfer_once(port, ready, bytes);
+        let mut busy = self.transfer_once(port, ready, bytes, f);
         if self.cfg.error_rate > 0.0 {
             let mut stream = vpu_num::rng::indexed_stream(self.cfg.fault_seed, "usb-fault", seq);
             for _attempt in 0..3 {
@@ -141,20 +159,33 @@ impl UsbBus {
                 }
                 self.errors += 1;
                 let retry_at = busy.end + Duration::from_nanos(self.cfg.retry_penalty_ns);
-                let retry = self.transfer_once(port, retry_at, bytes);
+                let retry = self.transfer_once(port, retry_at, bytes, f);
                 busy = Busy { start: busy.start, end: retry.end };
             }
         }
         busy
     }
 
-    fn transfer_once(&mut self, port: UsbPort, ready: SimTime, bytes: u64) -> Busy {
+    /// `1.0` bypasses the multiply entirely, so an identity what-if plan
+    /// is byte-identical to the unscaled bus.
+    fn scaled(service: Duration, f: f64) -> Duration {
+        if f == 1.0 {
+            service
+        } else {
+            service * f
+        }
+    }
+
+    fn transfer_once(&mut self, port: UsbPort, ready: SimTime, bytes: u64, f: f64) -> Busy {
         let mut t = ready;
         let mut start = None;
         if let UsbPort::Hub(h) = port {
             assert!(h < self.hubs.len(), "hub {h} not present (have {})", self.hubs.len());
-            let service = Duration::from_nanos(self.cfg.hub_latency_ns)
-                + Duration::for_bytes(bytes, self.cfg.hub_bandwidth);
+            let service = Self::scaled(
+                Duration::from_nanos(self.cfg.hub_latency_ns)
+                    + Duration::for_bytes(bytes, self.cfg.hub_bandwidth),
+                f,
+            );
             let busy = self.hubs[h].acquire(t, service);
             if let Some(tap) = &mut self.tap {
                 tap.push(TapSpan { hub: Some(h), start: busy.start, end: busy.end });
@@ -162,8 +193,11 @@ impl UsbBus {
             start = Some(busy.start);
             t = busy.end;
         }
-        let service = Duration::from_nanos(self.cfg.command_overhead_ns)
-            + Duration::for_bytes(bytes, self.cfg.root_bandwidth);
+        let service = Self::scaled(
+            Duration::from_nanos(self.cfg.command_overhead_ns)
+                + Duration::for_bytes(bytes, self.cfg.root_bandwidth),
+            f,
+        );
         let busy = self.root.acquire(t, service);
         if let Some(tap) = &mut self.tap {
             tap.push(TapSpan { hub: None, start: busy.start, end: busy.end });

@@ -122,6 +122,10 @@ impl FlightRecorder {
     /// layer for post-run triggers (burn-rate alerts); still respects
     /// `max_incidents`. Returns the snapshot ordinal if one was taken.
     pub fn force_snapshot(&mut self, trigger: &str, at: SimTime) -> Option<usize> {
+        // E23 hot path: clones the whole ring — the expensive part of
+        // the flight recorder, covering both in-stream triggers (via
+        // `record`) and the bench layer's post-run forces.
+        let _prof = crate::prof::scope("flight.snapshot");
         if self.incidents.len() >= self.cfg.max_incidents {
             return None;
         }
@@ -193,6 +197,20 @@ mod tests {
         assert_eq!(snap.trigger, "circuit-open");
         assert_eq!(snap.at, SimTime(20 * 1_000_000));
         assert_eq!(snap.events.len(), 21, "ring captured through the trigger");
+    }
+
+    #[test]
+    fn snapshot_is_a_named_profiler_scope() {
+        crate::prof::start();
+        let mut fr = FlightRecorder::new(FlightConfig::default());
+        for ms in 0..10 {
+            fr.record(ev(Phase::Arrive, ms));
+        }
+        fr.record(ev(Phase::CircuitOpen, 10)); // in-stream trigger
+        fr.force_snapshot("burn-rate", SimTime(11 * 1_000_000)); // bench force
+        let r = crate::prof::stop();
+        let snap = r.scopes.iter().find(|s| s.name == "flight.snapshot");
+        assert_eq!(snap.map(|s| s.calls), Some(2), "both trigger paths are metered: {r:#?}");
     }
 
     #[test]

@@ -253,6 +253,10 @@ impl SamplingRecorder {
     }
 
     fn decide(&mut self, id: u64, terminal: &Event) {
+        // E23 hot path: one decision per terminated request — the
+        // sampler's whole overhead story lives here and in the ring
+        // appends, so `--prof` runs break it out by name.
+        let _prof = crate::prof::scope("sample.decide");
         let Some(mut req) = self.pending.remove(&id) else { return };
         self.stats.requests_seen += 1;
         let end_ns = terminal.finish().nanos();
@@ -443,6 +447,19 @@ mod tests {
         let mut rec = SamplingRecorder::new(policy, seed, Duration::from_millis(500.0));
         feed(&mut rec, n);
         rec.finish()
+    }
+
+    #[test]
+    fn decide_is_a_named_profiler_scope() {
+        crate::prof::start();
+        let (_log, stats) = sampled(SamplePolicy::parse("1-in-4").unwrap(), 7, 20);
+        let r = crate::prof::stop();
+        let decide = r.scopes.iter().find(|s| s.name == "sample.decide");
+        assert_eq!(
+            decide.map(|s| s.calls),
+            Some(stats.requests_seen),
+            "one decision per terminated request: {r:#?}"
+        );
     }
 
     #[test]

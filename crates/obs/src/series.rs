@@ -301,11 +301,23 @@ impl TimeSeries {
                 other.interval.as_millis()
             ));
         }
-        if self.worker_labels != other.worker_labels {
+        if self.worker_labels.len() != other.worker_labels.len() {
             return Err(format!(
-                "series merge: worker labels {:?} vs {:?}",
-                self.worker_labels, other.worker_labels
+                "series merge: {} worker labels, expected {}",
+                other.worker_labels.len(),
+                self.worker_labels.len()
             ));
+        }
+        if let Some((i, (want, got))) = self
+            .worker_labels
+            .iter()
+            .zip(&other.worker_labels)
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+        {
+            // Name the first offending column, `from_csv` style —
+            // sixteen-shard fleets make whole-vector dumps unreadable.
+            return Err(format!("series merge: worker label {i}: {got:?}, expected {want:?}"));
         }
         if self.scaling != other.scaling {
             return Err("series merge: one series has autoscaling columns".to_string());
@@ -1009,7 +1021,16 @@ mod tests {
         let other = TimeSeriesBuilder::new(vec!["x".into()], SimTime::ZERO, ms(10.0), ms(5.0))
             .finish(at(10.0), 0);
         let err = d.merge(&other).unwrap_err();
-        assert!(err.contains("worker labels"), "{err}");
+        assert_eq!(err, "series merge: worker label 0: \"x\", expected \"vpu\"");
+        let other = TimeSeriesBuilder::new(
+            vec!["vpu".into(), "gpu".into()],
+            SimTime::ZERO,
+            ms(10.0),
+            ms(5.0),
+        )
+        .finish(at(10.0), 0);
+        let err = d.merge(&other).unwrap_err();
+        assert_eq!(err, "series merge: 2 worker labels, expected 1");
         let other = TimeSeriesBuilder::new(vec!["vpu".into()], SimTime::ZERO, ms(20.0), ms(5.0))
             .finish(at(20.0), 0);
         let err = d.merge(&other).unwrap_err();

@@ -2,7 +2,7 @@
 //! [`ServiceHook`] workers over one shared [`ModelBundle`].
 
 use ncsw::service::ServiceHook;
-use ncsw::{IntelCpu, IntelVpu, ModelBundle, NvGpu};
+use ncsw::{IntelCpu, IntelVpu, ModelBundle, NvGpu, ScalePlan};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -81,14 +81,39 @@ impl FleetSpec {
     /// Instantiate the workers (each gets its own simulated device; the
     /// model bundle is shared — it is `Arc`s inside).
     pub fn build(&self, model: &ModelBundle) -> Vec<Box<dyn ServiceHook>> {
+        self.build_scaled(model, &ScalePlan::identity())
+    }
+
+    /// [`FleetSpec::build`] with a causal what-if [`ScalePlan`] threaded
+    /// into every worker's device config, so estimates, dispatch and
+    /// energy metering all see the scaled hardware. The identity plan
+    /// builds a byte-identical fleet (each knob guards its multiply);
+    /// `ScaleComponent::BatchWait` is a serving-layer knob, so the
+    /// fleet itself is also unscaled for it — callers apply
+    /// [`ScalePlan::max_wait`] to their `ServeConfig`.
+    pub fn build_scaled(&self, model: &ModelBundle, plan: &ScalePlan) -> Vec<Box<dyn ServiceHook>> {
+        use ncsw::hostsim::{CpuConfig, GpuConfig};
+        use ncsw::multivpu::MultiVpuConfig;
+        let vpu = |devices: usize| {
+            IntelVpu::with_config(
+                model.clone(),
+                plan.vpu_config(MultiVpuConfig::paper_testbed(devices)),
+            )
+        };
         self.0
             .iter()
             .map(|w| -> Box<dyn ServiceHook> {
                 match *w {
-                    WorkerSpec::Cpu => Box::new(IntelCpu::new(model.clone())),
-                    WorkerSpec::Gpu => Box::new(NvGpu::new(model.clone())),
-                    WorkerSpec::Vpu { devices } => Box::new(IntelVpu::new(model.clone(), devices)),
-                    WorkerSpec::Stick => Box::new(IntelVpu::new(model.clone(), 1)),
+                    WorkerSpec::Cpu => Box::new(IntelCpu::with_config(
+                        model.clone(),
+                        plan.cpu_config(CpuConfig::default()),
+                    )),
+                    WorkerSpec::Gpu => Box::new(NvGpu::with_config(
+                        model.clone(),
+                        plan.gpu_config(GpuConfig::default()),
+                    )),
+                    WorkerSpec::Vpu { devices } => Box::new(vpu(devices)),
+                    WorkerSpec::Stick => Box::new(vpu(1)),
                 }
             })
             .collect()

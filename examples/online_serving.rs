@@ -9,7 +9,9 @@
 //! quarantine defenses claw the p99 back, pricing the hedges in joules
 //! — and the E23 tail sampler: the same observed run kept at 1-in-20,
 //! every anomalous chain intact, with one request's causal timeline
-//! explained from the thinned trace.
+//! explained from the thinned trace — and the E24 what-if ranking:
+//! which component a 2x speed-up would actually buy p99 from,
+//! predicted from the recorded attribution alone.
 //!
 //! ```text
 //! cargo run --release --example online_serving
@@ -284,5 +286,31 @@ fn main() {
     match vpu_coprocessor::analyze::explain_request(&thinned.events, slowest) {
         Ok(text) => print!("{text}"),
         Err(e) => println!("explain failed: {e}"),
+    }
+
+    // E24: the counterfactual question — which component is *worth*
+    // speeding up? The what-if engine virtually scales one component's
+    // segment inside the recorded attribution (queue-blind, no
+    // re-simulation) and ranks components by predicted p99 gain at
+    // f = 0.5. `repro whatif` validates exactly these predictions
+    // against re-simulations with the service model actually scaled,
+    // and classifies every disagreement (queueing, batch-shift, ...).
+    use vpu_coprocessor::analyze::{rank, Analysis};
+    let analysis = Analysis::of(&full.events);
+    println!("\nE24 what-if ranking, every component virtually 2x faster (from the trace alone):");
+    println!(
+        "  {:<11} {:>8} {:>6} {:>13} {:>13} {:>9}",
+        "component", "affected", "seg%", "base p99 ms", "pred p99 ms", "gain ms"
+    );
+    for p in rank(&analysis, 0.5) {
+        println!(
+            "  {:<11} {:>8} {:>6.1} {:>13.1} {:>13.1} {:>9.1}",
+            p.component,
+            p.affected,
+            p.seg_share * 100.0,
+            p.base.p99_ms,
+            p.predicted.p99_ms,
+            p.p99_gain_ms()
+        );
     }
 }
